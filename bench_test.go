@@ -1,0 +1,263 @@
+package godsm
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablations DESIGN.md calls out. Each benchmark iteration performs one
+// full simulated run of the experiment's workload; the custom metrics
+// report the paper's quantities (speedup, diffs, misses, messages, data
+// volume, time-breakdown fractions) from the simulator's virtual clock,
+// while ns/op measures the real cost of simulating it.
+//
+// Regenerate the actual tables with cmd/repro, which formats the same
+// numbers the way the paper prints them.
+
+import (
+	"strconv"
+	"testing"
+
+	"godsm/internal/apps"
+	"godsm/internal/core"
+	"godsm/internal/cost"
+	"godsm/internal/repro"
+)
+
+const benchProcs = 8
+
+// benchSeqTimes caches sequential baselines across benchmarks (they are
+// protocol-free and identical between iterations).
+var benchSeqTimes = map[string]Duration{}
+
+func seqTime(b *testing.B, app *apps.App) Duration {
+	b.Helper()
+	if t, ok := benchSeqTimes[app.Name]; ok {
+		return t
+	}
+	rep, err := app.RunSeq(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSeqTimes[app.Name] = rep.Elapsed
+	return rep.Elapsed
+}
+
+func benchRun(b *testing.B, app *apps.App, proto ProtocolKind, model *CostModel) *Report {
+	b.Helper()
+	var rep *Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = app.Run(benchProcs, proto, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rep
+}
+
+// BenchmarkAppsTable regenerates the §3.1 applications table: per-app
+// shared segment size and synchronization granularity under bar-u.
+func BenchmarkAppsTable(b *testing.B) {
+	for _, app := range apps.All() {
+		app := app
+		proto := BarU
+		if app.Dynamic {
+			proto = BarI
+		}
+		b.Run(app.Name, func(b *testing.B) {
+			rep := benchRun(b, app, proto, nil)
+			b.ReportMetric(float64(app.SegmentBytes)/1024, "segKB")
+			perNode := rep.Total.Barriers / int64(rep.Procs)
+			if perNode > 0 {
+				b.ReportMetric(float64(rep.Elapsed)/float64(perNode)/1e3, "syncgran_µs")
+			}
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: diffs, remote misses, messages and
+// data volume for each application under lmw-i, lmw-u, bar-i and bar-u.
+func BenchmarkTable1(b *testing.B) {
+	for _, app := range apps.All() {
+		for _, proto := range []ProtocolKind{LmwI, LmwU, BarI, BarU} {
+			app, proto := app, proto
+			b.Run(app.Name+"/"+proto.String(), func(b *testing.B) {
+				rep := benchRun(b, app, proto, nil)
+				b.ReportMetric(float64(rep.Total.Diffs), "diffs")
+				b.ReportMetric(float64(rep.Total.RemoteMisses), "misses")
+				b.ReportMetric(float64(rep.Total.Messages), "messages")
+				b.ReportMetric(float64(rep.Total.DataBytes)/1024, "dataKB")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2: 8-processor speedups of the four
+// base protocols over all eight applications.
+func BenchmarkFigure2(b *testing.B) {
+	for _, app := range apps.All() {
+		for _, proto := range []ProtocolKind{LmwI, LmwU, BarI, BarU} {
+			app, proto := app, proto
+			b.Run(app.Name+"/"+proto.String(), func(b *testing.B) {
+				seq := seqTime(b, app)
+				rep := benchRun(b, app, proto, nil)
+				b.ReportMetric(rep.Speedup(seq), "speedup")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: the four-way breakdown of bar-u
+// execution time (app / os / sigio / wait fractions).
+func BenchmarkFigure3(b *testing.B) {
+	for _, app := range apps.All() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			rep := benchRun(b, app, BarU, nil)
+			af, of, sf, wf := rep.BreakdownSum.Fractions()
+			b.ReportMetric(af*100, "app%")
+			b.ReportMetric(of*100, "os%")
+			b.ReportMetric(sf*100, "sigio%")
+			b.ReportMetric(wf*100, "wait%")
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: overdrive speedups (bar-u, bar-s,
+// bar-m, and the better lmw protocol) for the seven static applications;
+// barnes is excluded exactly as in the paper.
+func BenchmarkFigure4(b *testing.B) {
+	for _, app := range apps.All() {
+		if app.Dynamic {
+			continue
+		}
+		for _, proto := range []ProtocolKind{LmwU, BarU, BarS, BarM} {
+			app, proto := app, proto
+			b.Run(app.Name+"/"+proto.String(), func(b *testing.B) {
+				seq := seqTime(b, app)
+				rep := benchRun(b, app, proto, nil)
+				b.ReportMetric(rep.Speedup(seq), "speedup")
+				b.ReportMetric(float64(rep.Total.Segvs), "segvs")
+				b.ReportMetric(float64(rep.Total.Mprotects), "mprotects")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationStress sweeps the §4 VM-stress model on swm: with an
+// ideal OS, bar-m's advantage over bar-u nearly vanishes.
+func BenchmarkAblationStress(b *testing.B) {
+	app := apps.SWM(apps.SWMDefault())
+	for _, tc := range []struct {
+		name  string
+		model *cost.Model
+	}{
+		{"stressed", cost.Default()},
+		{"ideal", cost.Ideal()},
+	} {
+		for _, proto := range []ProtocolKind{BarU, BarM} {
+			tc, proto := tc, proto
+			b.Run(tc.name+"/"+proto.String(), func(b *testing.B) {
+				seqRep, err := app.RunSeq(tc.model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep := benchRun(b, app, proto, tc.model)
+				b.ReportMetric(rep.Speedup(seqRep.Elapsed), "speedup")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationScale measures bar-u speedups at 2, 4 and 8 nodes.
+func BenchmarkAblationScale(b *testing.B) {
+	for _, app := range apps.All() {
+		for _, procs := range []int{2, 4, 8} {
+			app, procs := app, procs
+			b.Run(app.Name+"/"+strconv.Itoa(procs), func(b *testing.B) {
+				seq := seqTime(b, app)
+				var rep *Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = app.Run(procs, BarU, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(rep.Speedup(seq), "speedup")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationHome compares bar-u with runtime home migration (the
+// paper's protocol) against static block homes.
+func BenchmarkAblationHome(b *testing.B) {
+	for _, app := range apps.All() {
+		if app.Dynamic {
+			continue
+		}
+		for _, tc := range []struct {
+			name    string
+			disable bool
+		}{{"migrated", false}, {"static", true}} {
+			app, tc := app, tc
+			b.Run(app.Name+"/"+tc.name, func(b *testing.B) {
+				seq := seqTime(b, app)
+				var rep *Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = core.Run(core.Config{
+						Procs:            benchProcs,
+						Protocol:         BarU,
+						SegmentBytes:     app.SegmentBytes,
+						DisableMigration: tc.disable,
+					}, app.Body)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(rep.Speedup(seq), "speedup")
+				b.ReportMetric(float64(rep.Total.RemoteMisses), "misses")
+			})
+		}
+	}
+}
+
+// BenchmarkSummary reports the paper's headline averages in one shot.
+func BenchmarkSummary(b *testing.B) {
+	var s *repro.Summary
+	for i := 0; i < b.N; i++ {
+		r := repro.NewRunner()
+		var err error
+		s, err = r.ComputeSummary()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric((s.BarUOverLmw-1)*100, "barU_vs_lmw_%")
+	b.ReportMetric((s.BarSOverBarU-1)*100, "barS_vs_barU_%")
+	b.ReportMetric((s.BarMOverBarU-1)*100, "barM_vs_barU_%")
+	b.ReportMetric((s.BarMOverLmwI-1)*100, "barM_vs_lmwI_%")
+}
+
+// BenchmarkAblationPageSize compares bar-u at 4 KB vs the paper's 8 KB
+// protection granularity.
+func BenchmarkAblationPageSize(b *testing.B) {
+	for _, app := range apps.All() {
+		if app.Dynamic {
+			continue
+		}
+		for _, ps := range []int{4096, 8192} {
+			app, ps := app, ps
+			b.Run(app.Name+"/"+strconv.Itoa(ps), func(b *testing.B) {
+				m := cost.Default()
+				m.PageSize = ps
+				seqRep, err := app.RunSeq(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep := benchRun(b, app, BarU, m)
+				b.ReportMetric(rep.Speedup(seqRep.Elapsed), "speedup")
+				b.ReportMetric(float64(rep.Total.Mprotects), "mprotects")
+			})
+		}
+	}
+}

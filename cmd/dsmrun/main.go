@@ -1,0 +1,109 @@
+// Command dsmrun executes one of the paper's applications under one DSM
+// protocol on the simulated cluster and prints the measured statistics.
+//
+// Usage:
+//
+//	dsmrun -app jacobi -proto bar-u -procs 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"godsm/internal/apps"
+	"godsm/internal/core"
+	"godsm/internal/cost"
+	"godsm/internal/trace"
+)
+
+func main() {
+	appName := flag.String("app", "jacobi", "application: barnes expl fft jacobi shallow sor swm tomcat")
+	protoName := flag.String("proto", "bar-u", "protocol: seq lmw-i lmw-u bar-i bar-u bar-s bar-m")
+	procs := flag.Int("procs", 8, "cluster size")
+	small := flag.Bool("small", false, "use the reduced application size")
+	traceN := flag.Int("trace", 0, "record up to N protocol events and print a summary plus the last 40")
+	flag.Parse()
+
+	proto, err := core.ParseProtocol(*protoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var app *apps.App
+	list := apps.All()
+	if *small {
+		list = apps.Small()
+	}
+	for _, a := range list {
+		if a.Name == *appName {
+			app = a
+		}
+	}
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "dsmrun: unknown application %q\n", *appName)
+		os.Exit(2)
+	}
+
+	seq, err := app.RunSeq(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if proto == core.ProtoSeq {
+		printReport(app, seq, seq)
+		return
+	}
+	var log *trace.Log
+	var rep *core.Report
+	if *traceN > 0 {
+		log = trace.New(*traceN)
+		rep, err = core.Run(core.Config{
+			Procs:        *procs,
+			Protocol:     proto,
+			SegmentBytes: app.SegmentBytes,
+			Model:        cost.Default(),
+			Trace:        log,
+		}, app.Body)
+	} else {
+		rep, err = app.Run(*procs, proto, nil)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printReport(app, rep, seq)
+	if log != nil {
+		fmt.Printf("\n  protocol event summary (%d recorded, %d dropped):\n", len(log.Events()), log.Dropped())
+		log.WriteSummary(os.Stdout)
+		ev := log.Events()
+		if len(ev) > 40 {
+			ev = ev[len(ev)-40:]
+		}
+		fmt.Println("\n  last events:")
+		for _, e := range ev {
+			fmt.Println("   ", e)
+		}
+	}
+}
+
+func printReport(app *apps.App, r, seq *core.Report) {
+	fmt.Printf("%s under %s, %d procs\n", app.Name, r.Protocol, r.Procs)
+	fmt.Printf("  %s\n\n", app.Description)
+	fmt.Printf("  elapsed (measured)   %v\n", r.Elapsed)
+	fmt.Printf("  sequential baseline  %v\n", seq.Elapsed)
+	fmt.Printf("  speedup              %.2f\n", r.Speedup(seq.Elapsed))
+	fmt.Printf("  checksum             %#016x\n\n", r.Checksum)
+	t := r.Total
+	fmt.Printf("  diffs %d (empty %d)  remote misses %d  page fetches %d  diff fetches %d\n",
+		t.Diffs, t.EmptyDiffs, t.RemoteMisses, t.PageFetches, t.DiffFetches)
+	fmt.Printf("  messages %d  replies %d  data %d KB\n", t.Messages, t.Replies, t.DataBytes/1024)
+	fmt.Printf("  segvs %d  mprotects %d  twins %d\n", t.Segvs, t.Mprotects, t.Twins)
+	fmt.Printf("  updates sent %d (unneeded %d)  diffs stored %d  migrations %d  barriers %d\n\n",
+		t.UpdatesSent, t.UpdatesUnneeded, t.DiffsStored, t.HomeMigrations, t.Barriers)
+	fmt.Printf("  time breakdown per node (app/os/sigio/wait):\n")
+	for i, bd := range r.Breakdowns {
+		af, of, sf, wf := bd.Fractions()
+		fmt.Printf("    node %d: %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n", i, af*100, of*100, sf*100, wf*100)
+	}
+}

@@ -1,0 +1,70 @@
+// Command repro regenerates the tables and figures of Keleher, "Update
+// Protocols and Iterative Scientific Applications" (IPPS'98) on the
+// simulated cluster.
+//
+// Usage:
+//
+//	repro [flags] <experiment>
+//
+// Experiments: apps, table1, fig2, fig3, fig4, summary,
+// ablation-stress, ablation-scale, ablation-home, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"godsm/internal/repro"
+)
+
+func main() {
+	procs := flag.Int("procs", 8, "cluster size (the paper's testbed has 8 nodes)")
+	small := flag.Bool("small", false, "use reduced application sizes (quick check)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repro [flags] <experiment>\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary ablation-stress ablation-scale ablation-home ablation-pagesize all\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	r := &repro.Runner{Procs: *procs, Small: *small}
+
+	type experiment struct {
+		name   string
+		render func() (string, error)
+	}
+	exps := []experiment{
+		{"apps", r.RenderAppsTable},
+		{"table1", r.RenderTable1},
+		{"fig2", r.RenderFigure2},
+		{"fig3", r.RenderFigure3},
+		{"fig4", r.RenderFigure4},
+		{"summary", r.RenderSummary},
+		{"ablation-stress", r.RenderAblationStress},
+		{"ablation-scale", r.RenderAblationScale},
+		{"ablation-home", r.RenderAblationHome},
+		{"ablation-pagesize", r.RenderAblationPageSize},
+	}
+	want := flag.Arg(0)
+	ran := false
+	for _, e := range exps {
+		if e.name == want || want == "all" {
+			out, err := e.render()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "repro: unknown experiment %q\n", want)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module godsm
+
+go 1.22

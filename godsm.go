@@ -1,0 +1,127 @@
+// Package godsm is a software distributed-shared-memory (DSM) laboratory:
+// a faithful Go reconstruction of the protocols, runtime and evaluation of
+// Pete Keleher, "Update Protocols and Iterative Scientific Applications",
+// IPPS 1998.
+//
+// The package re-exports the engine's public surface:
+//
+//   - Run executes an SPMD body on a simulated cluster under one of six
+//     coherence protocols: the homeless multi-writer lazy-release-
+//     consistency protocols LmwI and LmwU, the home-based barrier
+//     protocols BarI and BarU, and the "overdrive" protocols BarS and
+//     BarM that eliminate SIGSEGV write trapping and mprotect calls from
+//     the steady state.
+//   - Proc is the application-facing handle: shared typed arrays with
+//     software page protection, barriers, and barrier-borne reductions.
+//   - Report carries the measured statistics: Table-1 style counters and
+//     the sigio/wait/os/app execution-time breakdown.
+//
+// Everything runs on a deterministic discrete-event simulation of the
+// paper's 8-node IBM SP-2 (see internal/sim and internal/cost), so runs
+// are bit-for-bit reproducible and every protocol action is charged its
+// measured cost. The eight benchmark applications live in internal/apps;
+// the experiment harness that regenerates the paper's tables and figures
+// lives in internal/repro and is driven by cmd/repro.
+//
+// A minimal program:
+//
+//	cfg := godsm.Config{Procs: 4, Protocol: godsm.BarU, SegmentBytes: 1 << 20}
+//	report, err := godsm.Run(cfg, func(p *godsm.Proc) {
+//	    a := p.AllocF64(1024)
+//	    if p.ID() == 0 {
+//	        for i := 0; i < a.Len(); i++ {
+//	            a.Set(i, float64(i))
+//	        }
+//	    }
+//	    p.Barrier()
+//	    // ... iterate, read halos, write your partition ...
+//	})
+package godsm
+
+import (
+	"godsm/internal/core"
+	"godsm/internal/cost"
+	"godsm/internal/sim"
+)
+
+// Core engine types.
+type (
+	// Config describes one DSM run.
+	Config = core.Config
+	// Proc is the application-facing handle to one DSM node.
+	Proc = core.Proc
+	// Report is the outcome of a run.
+	Report = core.Report
+	// ProtocolKind selects a coherence protocol.
+	ProtocolKind = core.ProtocolKind
+	// F64Array is a shared float64 array with software page protection.
+	F64Array = core.F64Array
+	// F64Matrix is a dense row-major shared matrix.
+	F64Matrix = core.F64Matrix
+	// I64Array is a shared int64 array.
+	I64Array = core.I64Array
+	// RedOp is a reduction operator carried on barriers.
+	RedOp = core.RedOp
+	// CostModel is the virtual-time cost model of the simulated cluster.
+	CostModel = cost.Model
+	// Duration is a span of virtual time in nanoseconds.
+	Duration = sim.Duration
+	// Time is a virtual-time instant.
+	Time = sim.Time
+)
+
+// The six protocols of the paper, plus the uniprocessor baseline.
+const (
+	// Seq is the sequential baseline with synchronization nulled out.
+	Seq = core.ProtoSeq
+	// LmwI is homeless invalidate-based multi-writer LRC (TreadMarks/CVM).
+	LmwI = core.ProtoLmwI
+	// LmwU is LmwI plus copyset-directed update flushes.
+	LmwU = core.ProtoLmwU
+	// BarI is the home-based barrier protocol with invalidation.
+	BarI = core.ProtoBarI
+	// BarU is BarI plus copyset-directed updates waited for in-barrier.
+	BarU = core.ProtoBarU
+	// BarS is BarU with overdrive write prediction replacing SIGSEGV.
+	BarS = core.ProtoBarS
+	// BarM is BarS with steady-state mprotect eliminated.
+	BarM = core.ProtoBarM
+)
+
+// Reduction operators.
+const (
+	RedSum = core.RedSum
+	RedMax = core.RedMax
+	RedMin = core.RedMin
+	RedXor = core.RedXor
+)
+
+// Common durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Run executes body on cfg.Procs simulated nodes under cfg.Protocol. The
+// body runs once per node (SPMD); all nodes must perform identical Alloc
+// and Barrier sequences.
+func Run(cfg Config, body func(*Proc)) (*Report, error) {
+	return core.Run(cfg, body)
+}
+
+// Protocols lists the paper's six protocols in presentation order.
+func Protocols() []ProtocolKind { return core.Protocols() }
+
+// ParseProtocol maps a protocol name ("bar-u", "lmw-i", ...) to its kind.
+func ParseProtocol(s string) (ProtocolKind, error) { return core.ParseProtocol(s) }
+
+// DefaultCostModel returns the model calibrated to the paper's SP-2/AIX
+// microbenchmarks (160 µs RPC, 939 µs remote page fault, 128 µs segv,
+// 12 µs mprotect, 40 MB/s links, 8 KB pages).
+func DefaultCostModel() *CostModel { return cost.Default() }
+
+// IdealCostModel returns a model with a perfectly scalable OS (no
+// VM-stress degradation), for ablations.
+func IdealCostModel() *CostModel { return cost.Ideal() }

@@ -1,0 +1,111 @@
+package godsm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickstart exercises the public facade end to end: a ring of nodes
+// exchanging partition sums through shared memory and reductions.
+func TestQuickstart(t *testing.T) {
+	const n = 4096
+	body := func(p *Proc) {
+		data := p.AllocF64(n)
+		lo, hi := n*p.ID()/p.NumProcs(), n*(p.ID()+1)/p.NumProcs()
+		if p.ID() == 0 {
+			for i := 0; i < n; i++ {
+				data.Set(i, float64(i))
+			}
+		}
+		p.Barrier()
+		p.StartMeasure()
+		local := 0.0
+		for i := lo; i < hi; i++ {
+			local += data.Get(i)
+		}
+		p.Charge(Duration(hi-lo) * 100 * Nanosecond)
+		total := p.Reduce(RedSum, []float64{local})
+		if want := float64(n) * float64(n-1) / 2; total[0] != want {
+			t.Errorf("sum = %v, want %v", total[0], want)
+		}
+		p.StopMeasure()
+		p.SetResult(uint64(total[0]))
+	}
+	for _, proto := range Protocols() {
+		rep, err := Run(Config{Procs: 4, Protocol: proto, SegmentBytes: n * 8}, body)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if !rep.HasChecksum {
+			t.Fatalf("%v: no result", proto)
+		}
+	}
+}
+
+func TestProtocolNamesRoundTrip(t *testing.T) {
+	for _, k := range append([]ProtocolKind{Seq}, Protocols()...) {
+		got, err := ParseProtocol(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseProtocol(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	d := DefaultCostModel()
+	if d.PageSize != 8192 {
+		t.Errorf("page size = %d, want the paper's 8 KB", d.PageSize)
+	}
+	i := IdealCostModel()
+	if i.AppStress(1<<20) != 1 {
+		t.Error("ideal model exhibits VM stress")
+	}
+	if d.AppStress(d.MprotectStressThreshold*4) <= 1 {
+		t.Error("default model exhibits no VM stress")
+	}
+}
+
+// TestSharedWriteVisibilityProperty: whatever values node 0 writes before
+// a barrier, every node reads back after it — under every protocol.
+func TestSharedWriteVisibilityProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 || len(vals) > 256 {
+			return true
+		}
+		for _, proto := range []ProtocolKind{LmwI, BarI, BarU, BarM} {
+			ok := true
+			body := func(p *Proc) {
+				a := p.AllocF64(len(vals))
+				if p.ID() == 0 {
+					for i, v := range vals {
+						a.Set(i, v)
+					}
+				}
+				p.Barrier()
+				// Read through the protocol repeatedly so overdrive
+				// learning has identical iterations to observe.
+				for it := 0; it < 4; it++ {
+					for i, v := range vals {
+						got := a.Get(i)
+						if got != v && !(got != got && v != v) { // NaN-safe
+							ok = false
+						}
+					}
+					p.Barrier()
+					p.IterationBoundary()
+				}
+				p.SetResult(1)
+			}
+			if _, err := Run(Config{Procs: 3, Protocol: proto, SegmentBytes: len(vals) * 8}, body); err != nil {
+				return false
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,280 @@
+package apps
+
+import (
+	"math"
+
+	"godsm/internal/core"
+	"godsm/internal/sim"
+)
+
+// BarnesConfig parameterizes the barnes application.
+type BarnesConfig struct {
+	Bodies        int
+	Warm, Measure int
+	// Theta is the Barnes-Hut opening criterion.
+	Theta float64
+	// InterCost is the charged cost per body-cell interaction.
+	InterCost sim.Duration
+	Dt        float64
+}
+
+// BarnesDefault is the paper-like configuration. The body count spans
+// several pages per state array so the drifting partition really does
+// shift page-level write sets between iterations.
+func BarnesDefault() BarnesConfig {
+	return BarnesConfig{Bodies: 4096, Warm: 3, Measure: 4, Theta: 0.7, InterCost: 400 * sim.Nanosecond, Dt: 0.025}
+}
+
+// BarnesSmall is a reduced configuration for tests.
+func BarnesSmall() BarnesConfig {
+	return BarnesConfig{Bodies: 192, Warm: 3, Measure: 3, Theta: 0.7, InterCost: 400 * sim.Nanosecond, Dt: 0.025}
+}
+
+// Barnes builds the paper's barnes application: "a version of the n-body
+// simulation from SPLASH-2 that has been modified to use less
+// synchronization, and to perform some tasks (i.e. maketree) serially".
+// Node 0 rebuilds the octree serially each step; force computation and the
+// position update are partitioned over bodies, but the partition origin
+// drifts every iteration ("work is allocated via non-deterministic
+// traversals of a shared tree structure, resulting in slightly different
+// sharing patterns each iteration"), which is why the paper excludes
+// barnes from the overdrive protocols — App.Dynamic is set.
+func Barnes(cfg BarnesConfig) *App {
+	nb := cfg.Bodies
+	maxCells := 4 * nb
+	body := func(p *core.Proc) {
+		// Structure-of-arrays body state.
+		px := p.AllocF64(nb)
+		py := p.AllocF64(nb)
+		pz := p.AllocF64(nb)
+		vx := p.AllocF64(nb)
+		vy := p.AllocF64(nb)
+		vz := p.AllocF64(nb)
+		ax := p.AllocF64(nb)
+		ay := p.AllocF64(nb)
+		az := p.AllocF64(nb)
+		mass := p.AllocF64(nb)
+		// Octree cell pool, built serially by node 0 each step.
+		// child[c*8+k]: 0 empty, i+1 a body, -(i+1) a cell.
+		child := p.AllocI64(maxCells * 8)
+		cx := p.AllocF64(maxCells)
+		cy := p.AllocF64(maxCells)
+		cz := p.AllocF64(maxCells)
+		cmass := p.AllocF64(maxCells)
+		meta := p.AllocF64(4) // ncells, root half-width, center is origin
+
+		me, np := p.ID(), p.NumProcs()
+		if me == 0 {
+			rng := lcg(1687)
+			for i := 0; i < nb; i++ {
+				// A centrally condensed ball of bodies.
+				r := 0.1 + 0.9*rng.float()
+				th := rng.float() * 2 * math.Pi
+				ph := (rng.float() - 0.5) * math.Pi
+				px.Set(i, r*math.Cos(th)*math.Cos(ph))
+				py.Set(i, r*math.Sin(th)*math.Cos(ph))
+				pz.Set(i, r*math.Sin(ph))
+				vx.Set(i, -0.2*py.Get(i))
+				vy.Set(i, 0.2*px.Get(i))
+				vz.Set(i, 0)
+				mass.Set(i, 1.0/float64(nb))
+			}
+		}
+		p.Barrier()
+
+		ncells := 0
+		newCell := func() int {
+			if ncells >= maxCells {
+				panic("barnes: cell pool exhausted")
+			}
+			c := ncells
+			ncells++
+			for k := 0; k < 8; k++ {
+				child.Set(c*8+k, 0)
+			}
+			return c
+		}
+		// makeTree is run serially by node 0 (paper behaviour).
+		makeTree := func() {
+			half := 0.0
+			for i := 0; i < nb; i++ {
+				for _, v := range [3]float64{px.Get(i), py.Get(i), pz.Get(i)} {
+					if v > half {
+						half = v
+					}
+					if -v > half {
+						half = -v
+					}
+				}
+			}
+			half *= 1.01
+			ncells = 0
+			root := newCell()
+			// Insert bodies one at a time.
+			var insert func(cell int, chw float64, ox, oy, oz float64, b int)
+			insert = func(cell int, chw float64, ox, oy, oz float64, b int) {
+				oct := 0
+				if px.Get(b) > ox {
+					oct |= 1
+				}
+				if py.Get(b) > oy {
+					oct |= 2
+				}
+				if pz.Get(b) > oz {
+					oct |= 4
+				}
+				nx, ny, nz := ox-chw/2, oy-chw/2, oz-chw/2
+				if oct&1 != 0 {
+					nx = ox + chw/2
+				}
+				if oct&2 != 0 {
+					ny = oy + chw/2
+				}
+				if oct&4 != 0 {
+					nz = oz + chw/2
+				}
+				switch c := child.Get(cell*8 + oct); {
+				case c == 0:
+					child.Set(cell*8+oct, int64(b+1))
+				case c > 0:
+					// Split: push the resident body down one level.
+					other := int(c - 1)
+					sub := newCell()
+					child.Set(cell*8+oct, int64(-(sub + 1)))
+					insert(sub, chw/2, nx, ny, nz, other)
+					insert(sub, chw/2, nx, ny, nz, b)
+				default:
+					insert(int(-c-1), chw/2, nx, ny, nz, b)
+				}
+			}
+			for i := 0; i < nb; i++ {
+				insert(root, half, 0, 0, 0, i)
+			}
+			// Centers of mass, bottom-up.
+			var com func(cell int) (m, x, y, z float64)
+			com = func(cell int) (m, x, y, z float64) {
+				for k := 0; k < 8; k++ {
+					switch c := child.Get(cell*8 + k); {
+					case c > 0:
+						b := int(c - 1)
+						bm := mass.Get(b)
+						m += bm
+						x += bm * px.Get(b)
+						y += bm * py.Get(b)
+						z += bm * pz.Get(b)
+					case c < 0:
+						sm, sx, sy, sz := com(int(-c - 1))
+						m += sm
+						x += sm * sx
+						y += sm * sy
+						z += sm * sz
+					}
+				}
+				if m > 0 {
+					x, y, z = x/m, y/m, z/m
+				}
+				cmass.Set(cell, m)
+				cx.Set(cell, x)
+				cy.Set(cell, y)
+				cz.Set(cell, z)
+				return m, x, y, z
+			}
+			com(root)
+			meta.Set(0, float64(ncells))
+			meta.Set(1, half)
+			p.Charge(sim.Duration(nb) * 12 * sim.Microsecond) // serial tree build: the Amdahl bottleneck
+		}
+
+		inters := 0
+		force := func(b int) (fx, fy, fz float64) {
+			bx, by, bz := px.Get(b), py.Get(b), pz.Get(b)
+			var walk func(cell int, width float64)
+			walk = func(cell int, width float64) {
+				for k := 0; k < 8; k++ {
+					c := child.Get(cell*8 + k)
+					switch {
+					case c == 0:
+						continue
+					case c > 0:
+						i := int(c - 1)
+						if i == b {
+							continue
+						}
+						dx, dy, dz := px.Get(i)-bx, py.Get(i)-by, pz.Get(i)-bz
+						r2 := dx*dx + dy*dy + dz*dz + 1e-4
+						f := mass.Get(i) / (r2 * math.Sqrt(r2))
+						fx += f * dx
+						fy += f * dy
+						fz += f * dz
+						inters++
+					default:
+						sc := int(-c - 1)
+						dx, dy, dz := cx.Get(sc)-bx, cy.Get(sc)-by, cz.Get(sc)-bz
+						r2 := dx*dx + dy*dy + dz*dz + 1e-4
+						if width*width < cfg.Theta*cfg.Theta*r2 {
+							f := cmass.Get(sc) / (r2 * math.Sqrt(r2))
+							fx += f * dx
+							fy += f * dy
+							fz += f * dz
+							inters++
+						} else {
+							walk(sc, width/2)
+						}
+					}
+				}
+			}
+			walk(0, meta.Get(1)*2)
+			return
+		}
+
+		for it := 0; it < cfg.Warm+cfg.Measure; it++ {
+			if it == cfg.Warm {
+				p.StartMeasure()
+			}
+			if me == 0 {
+				makeTree()
+			}
+			p.Barrier()
+			// The drifting partition: same block sizes, origin rotates each
+			// step — deterministic, but the page-sharing pattern shifts.
+			off := (it * 131) % nb
+			lo, hi := blockRange(nb, np, me)
+			for i := lo; i < hi; i++ {
+				b := (i + off) % nb
+				fx, fy, fz := force(b)
+				ax.Set(b, fx)
+				ay.Set(b, fy)
+				az.Set(b, fz)
+				p.Charge(sim.Duration(inters) * cfg.InterCost)
+				inters = 0
+			}
+			p.Barrier()
+			for i := lo; i < hi; i++ {
+				b := (i + off) % nb
+				vx.Set(b, vx.Get(b)+cfg.Dt*ax.Get(b))
+				vy.Set(b, vy.Get(b)+cfg.Dt*ay.Get(b))
+				vz.Set(b, vz.Get(b)+cfg.Dt*az.Get(b))
+				px.Set(b, px.Get(b)+cfg.Dt*vx.Get(b))
+				py.Set(b, py.Get(b)+cfg.Dt*vy.Get(b))
+				pz.Set(b, pz.Get(b)+cfg.Dt*vz.Get(b))
+			}
+			p.Charge(sim.Duration(hi-lo) * 200 * sim.Nanosecond)
+			p.Barrier()
+			p.IterationBoundary()
+		}
+		p.StopMeasure()
+		lo, hi := blockRange(nb, np, me)
+		sum := px.Checksum(lo, hi) ^ py.Checksum(lo, hi) ^ pz.Checksum(lo, hi)
+		finishChecksum(p, sum)
+	}
+	return &App{
+		Name:            "barnes",
+		Description:     "SPLASH-2 Barnes-Hut n-body, serial maketree, drifting partition",
+		SegmentBytes:    (10*nb + maxCells*8 + 4*maxCells + 4) * 8,
+		Warm:            cfg.Warm,
+		Measure:         cfg.Measure,
+		Body:            body,
+		Dynamic:         true,
+		BarriersPerIter: 3,
+	}
+}

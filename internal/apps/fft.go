@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"math"
+
+	"godsm/internal/core"
+	"godsm/internal/sim"
+)
+
+// FFTConfig parameterizes the fft kernel.
+type FFTConfig struct {
+	// N is the edge of the N^3 complex grid (power of two).
+	N             int
+	Warm, Measure int
+	// OpCost is the charged cost per butterfly operation.
+	OpCost sim.Duration
+}
+
+// FFTDefault is the paper-like configuration.
+func FFTDefault() FFTConfig {
+	return FFTConfig{N: 32, Warm: 3, Measure: 4, OpCost: 1100 * sim.Nanosecond}
+}
+
+// FFTSmall is a reduced configuration for tests.
+func FFTSmall() FFTConfig {
+	return FFTConfig{N: 16, Warm: 3, Measure: 3, OpCost: 150 * sim.Nanosecond}
+}
+
+// FFT builds the paper's fft application: "a three-dimensional
+// implementation of the Fast Fourier Transform that uses matrix
+// transposition to reduce communication". The grid lives in two complex
+// arrays A (z-major) and B (x-major). Each time step runs unitary 1-D
+// FFTs along the two locally contiguous axes of A, scatter-transposes into
+// B (every node writes its z-columns of every page — the all-to-all),
+// transforms the third axis in B, and scatter-transposes back. FFT moves
+// by far the most data of the eight applications, as in Table 1.
+func FFT(cfg FFTConfig) *App {
+	n := cfg.N
+	total := n * n * n
+	body := func(p *core.Proc) {
+		a := p.AllocF64(2 * total) // A[z][y][x], interleaved re/im
+		b := p.AllocF64(2 * total) // B[x][y][z], interleaved re/im
+		me, np := p.ID(), p.NumProcs()
+		zlo, zhi := blockRange(n, np, me)
+		if me == 0 {
+			rng := lcg(333)
+			for i := 0; i < total; i++ {
+				a.Set(2*i, rng.float()-0.5)
+				a.Set(2*i+1, 0)
+			}
+		}
+		p.Barrier()
+
+		re := make([]float64, n)
+		im := make([]float64, n)
+		ops := 0
+		// line runs a unitary FFT over n elements of arr starting at elem
+		// base with the given element stride (in complex elements).
+		line := func(arr core.F64Array, base, stride int) {
+			for i := 0; i < n; i++ {
+				re[i] = arr.Get(2 * (base + i*stride))
+				im[i] = arr.Get(2*(base+i*stride) + 1)
+			}
+			ops += fft1d(re, im)
+			for i := 0; i < n; i++ {
+				arr.Set(2*(base+i*stride), re[i])
+				arr.Set(2*(base+i*stride)+1, im[i])
+			}
+		}
+		flushOps := func() {
+			p.Charge(sim.Duration(ops) * cfg.OpCost)
+			ops = 0
+		}
+		for it := 0; it < cfg.Warm+cfg.Measure; it++ {
+			if it == cfg.Warm {
+				p.StartMeasure()
+			}
+			// Axis x then axis y, local to the z-slab of A.
+			for z := zlo; z < zhi; z++ {
+				for y := 0; y < n; y++ {
+					line(a, z*n*n+y*n, 1)
+				}
+				for x := 0; x < n; x++ {
+					line(a, z*n*n+x, n)
+				}
+				flushOps()
+			}
+			p.Barrier()
+			// Scatter-transpose: write my z-columns of B (all-to-all).
+			for z := zlo; z < zhi; z++ {
+				for y := 0; y < n; y++ {
+					for x := 0; x < n; x++ {
+						si := z*n*n + y*n + x
+						di := x*n*n + y*n + z
+						b.Set(2*di, a.Get(2*si))
+						b.Set(2*di+1, a.Get(2*si+1))
+					}
+				}
+				chargeCells(p, n*n, cfg.OpCost/4)
+			}
+			p.Barrier()
+			// Axis z, now contiguous in my x-slab of B.
+			for x := zlo; x < zhi; x++ {
+				for y := 0; y < n; y++ {
+					line(b, x*n*n+y*n, 1)
+				}
+				flushOps()
+			}
+			p.Barrier()
+			// Scatter-transpose back into A.
+			for x := zlo; x < zhi; x++ {
+				for y := 0; y < n; y++ {
+					for z := 0; z < n; z++ {
+						si := x*n*n + y*n + z
+						di := z*n*n + y*n + x
+						a.Set(2*di, b.Get(2*si))
+						a.Set(2*di+1, b.Get(2*si+1))
+					}
+				}
+				chargeCells(p, n*n, cfg.OpCost/4)
+			}
+			p.Barrier()
+			p.IterationBoundary()
+		}
+		p.StopMeasure()
+		finishChecksum(p, a.Checksum(2*zlo*n*n, 2*zhi*n*n))
+	}
+	return &App{
+		Name:            "fft",
+		Description:     "3-D FFT with scatter transposes (all-to-all communication)",
+		SegmentBytes:    4 * total * 8,
+		Warm:            cfg.Warm,
+		Measure:         cfg.Measure,
+		Body:            body,
+		BarriersPerIter: 4,
+	}
+}
+
+// fft1d performs an in-place unitary radix-2 FFT over re/im and returns
+// the number of butterfly operations performed.
+func fft1d(re, im []float64) int {
+	n := len(re)
+	// Bit reversal.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	ops := 0
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			cr, ci := 1.0, 0.0
+			for k := 0; k < length/2; k++ {
+				i, j := start+k, start+k+length/2
+				tr := re[j]*cr - im[j]*ci
+				ti := re[j]*ci + im[j]*cr
+				re[j], im[j] = re[i]-tr, im[i]-ti
+				re[i], im[i] = re[i]+tr, im[i]+ti
+				cr, ci = cr*wr-ci*wi, cr*wi+ci*wr
+				ops++
+			}
+		}
+	}
+	// Unitary scaling keeps repeated transforms bounded.
+	s := 1 / math.Sqrt(float64(n))
+	for i := range re {
+		re[i] *= s
+		im[i] *= s
+	}
+	return ops + n
+}

@@ -1,0 +1,239 @@
+package apps
+
+import (
+	"godsm/internal/core"
+	"godsm/internal/sim"
+)
+
+// SORConfig parameterizes the sor kernel.
+type SORConfig struct {
+	Rows, Cols    int
+	Warm, Measure int
+	CellCost      sim.Duration
+	Omega         float64
+}
+
+// SORDefault is the paper-like configuration: a 512x512 grid, the most
+// compute-dense of the kernels (sor achieves the best speedups in Figure 2
+// because it communicates only boundary rows).
+func SORDefault() SORConfig {
+	return SORConfig{Rows: 512, Cols: 512, Warm: 3, Measure: 4, CellCost: 3700 * sim.Nanosecond, Omega: 1.5}
+}
+
+// SORSmall is a reduced configuration for tests.
+func SORSmall() SORConfig {
+	return SORConfig{Rows: 64, Cols: 96, Warm: 3, Measure: 3, CellCost: 260 * sim.Nanosecond, Omega: 1.5}
+}
+
+// SOR builds the paper's sor application: "a simple nearest-neighbor
+// stencil", here a red-black successive-over-relaxation sweep with fixed
+// (Dirichlet) boundaries. Each iteration is one red and one black
+// half-sweep over the same grid, two barriers, no reductions.
+func SOR(cfg SORConfig) *App {
+	rows, cols := cfg.Rows, cfg.Cols
+	body := func(p *core.Proc) {
+		a := p.AllocF64Matrix(rows, cols)
+		me, np := p.ID(), p.NumProcs()
+		lo, hi := blockRange(rows, np, me)
+		if me == 0 {
+			rng := lcg(20665)
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					switch {
+					case r == 0 || r == rows-1 || c == 0 || c == cols-1:
+						a.Set(r, c, 100)
+					default:
+						a.Set(r, c, rng.float()*50)
+					}
+				}
+			}
+		}
+		p.Barrier()
+		sweep := func(color int) {
+			for r := max(lo, 1); r < min(hi, rows-1); r++ {
+				for c := 1 + (r+color)%2; c < cols-1; c += 2 {
+					v := (a.At(r-1, c) + a.At(r+1, c) + a.At(r, c-1) + a.At(r, c+1)) / 4
+					a.Set(r, c, a.At(r, c)+cfg.Omega*(v-a.At(r, c)))
+				}
+				chargeCells(p, cols/2, cfg.CellCost)
+			}
+			p.Barrier()
+		}
+		for it := 0; it < cfg.Warm+cfg.Measure; it++ {
+			if it == cfg.Warm {
+				p.StartMeasure()
+			}
+			sweep(0)
+			sweep(1)
+			p.IterationBoundary()
+		}
+		p.StopMeasure()
+		finishChecksum(p, a.ChecksumRows(lo, hi))
+	}
+	return &App{
+		Name:            "sor",
+		Description:     "red-black successive over-relaxation, nearest-neighbour stencil",
+		SegmentBytes:    rows * cols * 8,
+		Warm:            cfg.Warm,
+		Measure:         cfg.Measure,
+		Body:            body,
+		BarriersPerIter: 2,
+	}
+}
+
+// JacobiConfig parameterizes the jacobi kernel.
+type JacobiConfig struct {
+	N             int
+	Warm, Measure int
+	CellCost      sim.Duration
+}
+
+// JacobiDefault is the paper-like configuration.
+func JacobiDefault() JacobiConfig {
+	return JacobiConfig{N: 385, Warm: 3, Measure: 4, CellCost: 360 * sim.Nanosecond}
+}
+
+// JacobiSmall is a reduced configuration for tests.
+func JacobiSmall() JacobiConfig {
+	return JacobiConfig{N: 64, Warm: 3, Measure: 3, CellCost: 180 * sim.Nanosecond}
+}
+
+// Jacobi builds the paper's jacobi application: "a stencil kernel combined
+// with a convergence test that checks the residual value using a max
+// reduction". Phase one computes the next grid and the local residual;
+// the max reduction rides the phase barrier (bar-i's explicit reduction
+// support). Phase two copies the result back.
+func Jacobi(cfg JacobiConfig) *App {
+	n := cfg.N
+	body := func(p *core.Proc) {
+		a := p.AllocF64Matrix(n, n)
+		b := p.AllocF64Matrix(n, n)
+		me, np := p.ID(), p.NumProcs()
+		lo, hi := blockRange(n, np, me)
+		if me == 0 {
+			rng := lcg(98)
+			for r := 0; r < n; r++ {
+				for c := 0; c < n; c++ {
+					a.Set(r, c, rng.float()*100)
+				}
+			}
+		}
+		p.Barrier()
+		for it := 0; it < cfg.Warm+cfg.Measure; it++ {
+			if it == cfg.Warm {
+				p.StartMeasure()
+			}
+			residual := 0.0
+			for r := max(lo, 1); r < min(hi, n-1); r++ {
+				for c := 1; c < n-1; c++ {
+					v := (a.At(r-1, c) + a.At(r+1, c) + a.At(r, c-1) + a.At(r, c+1)) / 4
+					b.Set(r, c, v)
+					if d := v - a.At(r, c); d > residual {
+						residual = d
+					} else if -d > residual {
+						residual = -d
+					}
+				}
+				chargeCells(p, n, cfg.CellCost)
+			}
+			// The convergence test: the paper's codes keep iterating a
+			// fixed schedule; the reduction's cost is what matters.
+			p.Reduce(core.RedMax, []float64{residual})
+			for r := max(lo, 1); r < min(hi, n-1); r++ {
+				for c := 1; c < n-1; c++ {
+					a.Set(r, c, b.At(r, c))
+				}
+				chargeCells(p, n/4, cfg.CellCost)
+			}
+			p.Barrier()
+			p.IterationBoundary()
+		}
+		p.StopMeasure()
+		finishChecksum(p, a.ChecksumRows(lo, hi))
+	}
+	return &App{
+		Name:            "jacobi",
+		Description:     "Jacobi relaxation with max-residual convergence reduction",
+		SegmentBytes:    2 * n * n * 8,
+		Warm:            cfg.Warm,
+		Measure:         cfg.Measure,
+		Body:            body,
+		BarriersPerIter: 2,
+	}
+}
+
+// ExplConfig parameterizes the expl kernel.
+type ExplConfig struct {
+	Rows, Cols    int
+	Warm, Measure int
+	CellCost      sim.Duration
+}
+
+// ExplDefault is the paper-like configuration.
+func ExplDefault() ExplConfig {
+	return ExplConfig{Rows: 512, Cols: 256, Warm: 3, Measure: 4, CellCost: 1000 * sim.Nanosecond}
+}
+
+// ExplSmall is a reduced configuration for tests.
+func ExplSmall() ExplConfig {
+	return ExplConfig{Rows: 64, Cols: 64, Warm: 3, Measure: 3, CellCost: 200 * sim.Nanosecond}
+}
+
+// Expl builds the paper's expl application: "a dense stencil kernel
+// typical of those found in iterative PDE solvers" — an explicit
+// wave-equation time step over three fields (previous, current, next).
+func Expl(cfg ExplConfig) *App {
+	rows, cols := cfg.Rows, cfg.Cols
+	const courant = 0.4
+	body := func(p *core.Proc) {
+		prev := p.AllocF64Matrix(rows, cols)
+		cur := p.AllocF64Matrix(rows, cols)
+		next := p.AllocF64Matrix(rows, cols)
+		me, np := p.ID(), p.NumProcs()
+		lo, hi := blockRange(rows, np, me)
+		if me == 0 {
+			rng := lcg(7177)
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					v := rng.float()
+					prev.Set(r, c, v)
+					cur.Set(r, c, v)
+				}
+			}
+		}
+		p.Barrier()
+		for it := 0; it < cfg.Warm+cfg.Measure; it++ {
+			if it == cfg.Warm {
+				p.StartMeasure()
+			}
+			for r := max(lo, 1); r < min(hi, rows-1); r++ {
+				for c := 1; c < cols-1; c++ {
+					lap := cur.At(r-1, c) + cur.At(r+1, c) + cur.At(r, c-1) + cur.At(r, c+1) - 4*cur.At(r, c)
+					next.Set(r, c, 2*cur.At(r, c)-prev.At(r, c)+courant*lap)
+				}
+				chargeCells(p, cols, cfg.CellCost)
+			}
+			p.Barrier()
+			for r := max(lo, 1); r < min(hi, rows-1); r++ {
+				for c := 1; c < cols-1; c++ {
+					prev.Set(r, c, cur.At(r, c))
+					cur.Set(r, c, next.At(r, c))
+				}
+				chargeCells(p, cols/2, cfg.CellCost)
+			}
+			p.Barrier()
+			p.IterationBoundary()
+		}
+		p.StopMeasure()
+		finishChecksum(p, cur.ChecksumRows(lo, hi))
+	}
+	return &App{
+		Name:            "expl",
+		Description:     "explicit wave-equation time stepping over three fields",
+		SegmentBytes:    3 * rows * cols * 8,
+		Warm:            cfg.Warm,
+		Measure:         cfg.Measure,
+		Body:            body,
+		BarriersPerIter: 2,
+	}
+}

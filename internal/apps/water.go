@@ -1,0 +1,183 @@
+package apps
+
+import (
+	"godsm/internal/core"
+	"godsm/internal/sim"
+)
+
+// WaterConfig parameterizes the shallow-water models. The paper runs two
+// versions of the same simulation, shal and swm, "differing primarily in
+// synchronization granularity": swm (the SPEC code) splits each time step
+// into three barrier-separated phases, shal merges the purely local
+// smoothing phase into the second epoch.
+type WaterConfig struct {
+	N             int
+	Warm, Measure int
+	CellCost      sim.Duration
+	FineSync      bool // swm: 3 barriers per step; shal: 2
+}
+
+// ShallowDefault is the paper-like shal configuration.
+func ShallowDefault() WaterConfig {
+	return WaterConfig{N: 193, Warm: 3, Measure: 4, CellCost: 2600 * sim.Nanosecond}
+}
+
+// ShallowSmall is a reduced shal configuration for tests.
+func ShallowSmall() WaterConfig {
+	return WaterConfig{N: 48, Warm: 3, Measure: 3, CellCost: 230 * sim.Nanosecond}
+}
+
+// SWMDefault is the paper-like swm configuration: the SPEC-sized variant
+// (SPEC's swm256 uses 257x257 arrays; the odd extent makes row blocks
+// straddle pages, so block boundaries are genuinely co-written) with the
+// largest shared segment and the finest synchronization — the combination
+// that stresses the VM system hardest (swm is the paper's poster child
+// for mprotect-induced OS degradation).
+func SWMDefault() WaterConfig {
+	return WaterConfig{N: 257, Warm: 3, Measure: 4, CellCost: 400 * sim.Nanosecond, FineSync: true}
+}
+
+// SWMSmall is a reduced swm configuration for tests.
+func SWMSmall() WaterConfig {
+	return WaterConfig{N: 48, Warm: 3, Measure: 3, CellCost: 110 * sim.Nanosecond, FineSync: true}
+}
+
+// Shallow builds the paper's shal application.
+func Shallow(cfg WaterConfig) *App {
+	cfg.FineSync = false
+	return water("shallow", cfg)
+}
+
+// SWM builds the paper's swm application (SPEC shallow water).
+func SWM(cfg WaterConfig) *App {
+	cfg.FineSync = true
+	return water("swm", cfg)
+}
+
+// water implements a shallow-water time step with the SPEC swm structure:
+// calc1 computes mass fluxes, vorticity and height (reads u, v, p at +1
+// neighbours); calc2 advances the fields (reads cu, cv, z, h at -1
+// neighbours); calc3 applies Robert-Asselin time smoothing (purely local).
+// Thirteen n x n fields with periodic boundaries, row-block partitioned.
+func water(name string, cfg WaterConfig) *App {
+	n := cfg.N
+	barriers := 2
+	if cfg.FineSync {
+		barriers = 3
+	}
+	body := func(p *core.Proc) {
+		alloc := func() core.F64Matrix { return p.AllocF64Matrix(n, n) }
+		u, v, pp := alloc(), alloc(), alloc()
+		unew, vnew, pnew := alloc(), alloc(), alloc()
+		uold, vold, pold := alloc(), alloc(), alloc()
+		cu, cv, z, h := alloc(), alloc(), alloc(), alloc()
+		me, np := p.ID(), p.NumProcs()
+		lo, hi := blockRange(n, np, me)
+		wrap := func(i int) int {
+			if i >= n {
+				return i - n
+			}
+			return i
+		}
+		if me == 0 {
+			rng := lcg(1963)
+			for r := 0; r < n; r++ {
+				for c := 0; c < n; c++ {
+					psi := rng.float()
+					u.Set(r, c, -psi)
+					v.Set(r, c, psi*0.5)
+					pp.Set(r, c, 50000+psi*1000)
+					uold.Set(r, c, -psi)
+					vold.Set(r, c, psi*0.5)
+					pold.Set(r, c, 50000+psi*1000)
+				}
+			}
+		}
+		p.Barrier()
+		const (
+			fsdx, fsdy = 4.0 / 1e5, 4.0 / 1e5
+			tdts8      = 90.0 / 8
+			tdtsdx     = 90.0 / 1e5
+			tdtsdy     = 90.0 / 1e5
+			alpha      = 0.001
+		)
+		calc1 := func() {
+			for r := lo; r < hi; r++ {
+				rp := wrap(r + 1)
+				for c := 0; c < n; c++ {
+					cp := wrap(c + 1)
+					cu.Set(r, c, 0.5*(pp.At(rp, c)+pp.At(r, c))*u.At(r, c))
+					cv.Set(r, c, 0.5*(pp.At(r, cp)+pp.At(r, c))*v.At(r, c))
+					z.Set(r, c, (fsdx*(v.At(rp, c)-v.At(r, c))-fsdy*(u.At(r, cp)-u.At(r, c)))/
+						(pp.At(r, c)+pp.At(rp, c)+pp.At(r, cp)+pp.At(rp, cp)))
+					h.Set(r, c, pp.At(r, c)+0.25*(u.At(rp, c)*u.At(rp, c)+u.At(r, c)*u.At(r, c)+
+						v.At(r, cp)*v.At(r, cp)+v.At(r, c)*v.At(r, c)))
+				}
+				chargeCells(p, n, cfg.CellCost)
+			}
+			p.Barrier()
+		}
+		calc2 := func() {
+			for r := lo; r < hi; r++ {
+				rm := wrap(r - 1 + n)
+				for c := 0; c < n; c++ {
+					cm := wrap(c - 1 + n)
+					unew.Set(r, c, uold.At(r, c)+
+						tdts8*(z.At(r, cm)+z.At(r, c))*(cv.At(r, c)+cv.At(rm, c)+cv.At(rm, cm)+cv.At(r, cm))-
+						tdtsdx*(h.At(r, c)-h.At(rm, c)))
+					vnew.Set(r, c, vold.At(r, c)-
+						tdts8*(z.At(rm, c)+z.At(r, c))*(cu.At(r, c)+cu.At(rm, c)+cu.At(rm, cm)+cu.At(r, cm))-
+						tdtsdy*(h.At(r, c)-h.At(r, cm)))
+					pnew.Set(r, c, pold.At(r, c)-
+						tdtsdx*(cu.At(r, c)-cu.At(rm, c))-tdtsdy*(cv.At(r, c)-cv.At(r, cm)))
+				}
+				chargeCells(p, n, cfg.CellCost)
+			}
+			if cfg.FineSync {
+				p.Barrier()
+			}
+		}
+		calc3 := func() {
+			for r := lo; r < hi; r++ {
+				for c := 0; c < n; c++ {
+					uo := u.At(r, c) + alpha*(unew.At(r, c)-2*u.At(r, c)+uold.At(r, c))
+					vo := v.At(r, c) + alpha*(vnew.At(r, c)-2*v.At(r, c)+vold.At(r, c))
+					po := pp.At(r, c) + alpha*(pnew.At(r, c)-2*pp.At(r, c)+pold.At(r, c))
+					uold.Set(r, c, uo)
+					vold.Set(r, c, vo)
+					pold.Set(r, c, po)
+					u.Set(r, c, unew.At(r, c))
+					v.Set(r, c, vnew.At(r, c))
+					pp.Set(r, c, pnew.At(r, c))
+				}
+				chargeCells(p, n/2, cfg.CellCost)
+			}
+			p.Barrier()
+		}
+		for it := 0; it < cfg.Warm+cfg.Measure; it++ {
+			if it == cfg.Warm {
+				p.StartMeasure()
+			}
+			calc1()
+			calc2()
+			calc3()
+			p.IterationBoundary()
+		}
+		p.StopMeasure()
+		sum := u.ChecksumRows(lo, hi) ^ v.ChecksumRows(lo, hi) ^ pp.ChecksumRows(lo, hi)
+		finishChecksum(p, sum)
+	}
+	desc := "shallow water model, coarse synchronization (2 barriers/step)"
+	if cfg.FineSync {
+		desc = "SPEC shallow water model, fine synchronization (3 barriers/step)"
+	}
+	return &App{
+		Name:            name,
+		Description:     desc,
+		SegmentBytes:    13 * n * n * 8,
+		Warm:            cfg.Warm,
+		Measure:         cfg.Measure,
+		Body:            body,
+		BarriersPerIter: barriers,
+	}
+}

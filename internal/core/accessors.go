@@ -1,0 +1,160 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"godsm/internal/vm"
+)
+
+// The typed accessors below are the simulated equivalent of ordinary loads
+// and stores against mmap'd shared memory: every access performs the page
+// protection check the MMU would perform, diverting to the protocol's
+// fault handlers exactly where the real system would take SIGSEGV.
+
+// F64Array is a shared array of float64.
+type F64Array struct {
+	n    *node
+	base int // byte offset in the shared segment
+	len  int
+}
+
+// AllocF64 reserves a shared float64 array of n elements.
+func (p *Proc) AllocF64(n int) F64Array {
+	return F64Array{n: p.n, base: p.Alloc(n * 8), len: n}
+}
+
+// Len returns the element count.
+func (a F64Array) Len() int { return a.len }
+
+// Base returns the array's byte offset in the shared segment.
+func (a F64Array) Base() int { return a.base }
+
+// Get loads element i.
+func (a F64Array) Get(i int) float64 {
+	if uint(i) >= uint(a.len) {
+		panic(fmt.Sprintf("core: F64Array.Get(%d) out of range [0,%d)", i, a.len))
+	}
+	off := a.base + i*8
+	as := a.n.as
+	if pg := vm.PageID(off >> as.Shift()); as.Prot(pg) == vm.None {
+		a.n.readFault(pg)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(as.Mem[off:]))
+}
+
+// Set stores v into element i.
+func (a F64Array) Set(i int, v float64) {
+	if uint(i) >= uint(a.len) {
+		panic(fmt.Sprintf("core: F64Array.Set(%d) out of range [0,%d)", i, a.len))
+	}
+	off := a.base + i*8
+	as := a.n.as
+	pg := vm.PageID(off >> as.Shift())
+	if as.Prot(pg) != vm.ReadWrite {
+		a.n.writeFault(pg)
+	}
+	if a.n.writeProbe != nil {
+		a.n.writeProbe(pg)
+	}
+	binary.LittleEndian.PutUint64(as.Mem[off:], math.Float64bits(v))
+}
+
+// Add adds v to element i (a load and a store; two protection checks, as
+// on the real machine).
+func (a F64Array) Add(i int, v float64) { a.Set(i, a.Get(i)+v) }
+
+// Slice returns the subarray [lo, hi).
+func (a F64Array) Slice(lo, hi int) F64Array {
+	if lo < 0 || hi > a.len || lo > hi {
+		panic(fmt.Sprintf("core: F64Array.Slice(%d,%d) of len %d", lo, hi, a.len))
+	}
+	return F64Array{n: a.n, base: a.base + lo*8, len: hi - lo}
+}
+
+// Checksum xors the raw bits of elements [lo, hi), each rotated by a
+// function of its absolute position, reading through the coherence
+// protocol. The combination is independent of how the index range is
+// partitioned or ordered, so per-node checksums of disjoint ranges XOR
+// into the same value for any cluster size — runs are comparable
+// bit-for-bit across protocols, partitions and the sequential baseline.
+func (a F64Array) Checksum(lo, hi int) uint64 {
+	var c uint64
+	for i := lo; i < hi; i++ {
+		b := math.Float64bits(a.Get(i))
+		r := uint(((a.base/8 + i) * 7) & 63)
+		c ^= b<<r | b>>(64-r)
+	}
+	return c
+}
+
+// I64Array is a shared array of int64.
+type I64Array struct {
+	n    *node
+	base int
+	len  int
+}
+
+// AllocI64 reserves a shared int64 array of n elements.
+func (p *Proc) AllocI64(n int) I64Array {
+	return I64Array{n: p.n, base: p.Alloc(n * 8), len: n}
+}
+
+// Len returns the element count.
+func (a I64Array) Len() int { return a.len }
+
+// Get loads element i.
+func (a I64Array) Get(i int) int64 {
+	if uint(i) >= uint(a.len) {
+		panic(fmt.Sprintf("core: I64Array.Get(%d) out of range [0,%d)", i, a.len))
+	}
+	off := a.base + i*8
+	as := a.n.as
+	if pg := vm.PageID(off >> as.Shift()); as.Prot(pg) == vm.None {
+		a.n.readFault(pg)
+	}
+	return int64(binary.LittleEndian.Uint64(as.Mem[off:]))
+}
+
+// Set stores v into element i.
+func (a I64Array) Set(i int, v int64) {
+	if uint(i) >= uint(a.len) {
+		panic(fmt.Sprintf("core: I64Array.Set(%d) out of range [0,%d)", i, a.len))
+	}
+	off := a.base + i*8
+	as := a.n.as
+	pg := vm.PageID(off >> as.Shift())
+	if as.Prot(pg) != vm.ReadWrite {
+		a.n.writeFault(pg)
+	}
+	if a.n.writeProbe != nil {
+		a.n.writeProbe(pg)
+	}
+	binary.LittleEndian.PutUint64(as.Mem[off:], uint64(v))
+}
+
+// F64Matrix is a dense row-major shared matrix of float64.
+type F64Matrix struct {
+	A          F64Array
+	Rows, Cols int
+}
+
+// AllocF64Matrix reserves a rows x cols shared matrix.
+func (p *Proc) AllocF64Matrix(rows, cols int) F64Matrix {
+	return F64Matrix{A: p.AllocF64(rows * cols), Rows: rows, Cols: cols}
+}
+
+// At loads element (r, c).
+func (m F64Matrix) At(r, c int) float64 { return m.A.Get(r*m.Cols + c) }
+
+// Set stores v into element (r, c).
+func (m F64Matrix) Set(r, c int, v float64) { m.A.Set(r*m.Cols+c, v) }
+
+// Row returns row r as an F64Array.
+func (m F64Matrix) Row(r int) F64Array { return m.A.Slice(r*m.Cols, (r+1)*m.Cols) }
+
+// ChecksumRows xors the bits of rows [lo, hi).
+func (m F64Matrix) ChecksumRows(lo, hi int) uint64 {
+	return m.A.Checksum(lo*m.Cols, hi*m.Cols)
+}

@@ -1,0 +1,801 @@
+package core
+
+import (
+	"sort"
+
+	"godsm/internal/netsim"
+	"godsm/internal/sim"
+	"godsm/internal/trace"
+	"godsm/internal/vm"
+)
+
+// barArrivalBar is the home-based family's barrier arrival payload.
+type barArrivalBar struct {
+	// Versions reports every version bump this node observed this epoch:
+	// its own home-page bumps plus the post-apply versions acknowledged by
+	// the homes it flushed to. Every bump is reported by exactly one node,
+	// so the manager's per-page max is the final version.
+	Versions []pageVersion
+	// Written lists pages written this epoch; sent only during the first
+	// iteration, feeding the manager's migration decision.
+	Written []vm.PageID
+	// CopysetNews reports members newly added to copysets of pages this
+	// node is home of.
+	CopysetNews []copysetRec
+	// PushDests lists the destination of each update batch sent this
+	// epoch; the manager sums them into per-node expected batch counts.
+	PushDests []int
+	// IterEnd marks the first barrier after an IterationBoundary.
+	IterEnd bool
+}
+
+// copysetRec reports one copyset addition.
+type copysetRec struct {
+	Page   vm.PageID
+	Member int
+}
+
+// migrateRec reassigns a page's home.
+type migrateRec struct {
+	Page    vm.PageID
+	OldHome int
+	NewHome int
+}
+
+// barReleaseBar is the home-based family's barrier release payload.
+type barReleaseBar struct {
+	// Versions carries the final version of every page modified this
+	// epoch. Nodes holding staler copies invalidate (unless updates cover
+	// them).
+	Versions []pageVersion
+	// CopysetNews is the global union of copyset additions.
+	CopysetNews []copysetRec
+	// Migrations carries home reassignments (at most once per run).
+	Migrations []migrateRec
+	// ExpBatches is the number of update flush batches headed to this
+	// node this epoch; consumers wait for them inside the barrier.
+	ExpBatches int
+}
+
+func (a *barArrivalBar) size() int {
+	return len(a.Versions)*bytesVersionRec + len(a.Written)*bytesWriteNotice +
+		len(a.CopysetNews)*bytesCopysetRec + len(a.PushDests)*bytesUpdateCount + 1
+}
+
+func (r *barReleaseBar) size() int {
+	return len(r.Versions)*bytesVersionRec + len(r.CopysetNews)*bytesCopysetRec +
+		len(r.Migrations)*bytesMigrateRec + bytesUpdateCount
+}
+
+// barMode selects among the four home-based protocols.
+type barMode int
+
+const (
+	// barModeI: invalidate; misses fetch whole pages from the home.
+	barModeI barMode = iota
+	// barModeU: copyset-directed updates, waited for inside the barrier.
+	barModeU
+	// barModeS: bar-u with overdrive replacing segv write trapping.
+	barModeS
+	// barModeM: bar-s with steady-state mprotect eliminated.
+	barModeM
+)
+
+func (m barMode) update() bool    { return m >= barModeU }
+func (m barMode) overdrive() bool { return m >= barModeS }
+
+// bar implements the home-based barrier protocols of §2.2 and §4-5.
+type bar struct {
+	n    *node
+	mode barMode
+
+	home    []int     // current home of every page
+	version []uint32  // authoritative version (meaningful where home)
+	vcache  []uint32  // version our local copy derives from
+	copyset []copyset // consumers, maintained where we are home
+	wcopy   []copyset // consumer sets learned from releases (we push to these)
+	subscr  []bool    // we are a registered consumer of the page
+	// coveredAt is the first epoch whose update flushes are guaranteed to
+	// include us: a fetch at epoch f is advertised at barrier f and used
+	// by writers from barrier f+1, covering epochs >= f+2; copyset news
+	// seen at epoch e reach writers at the same release, covering epochs
+	// >= e+1. fetchAt is the epoch of our last page fetch. Together they
+	// let consumeUpdates recognize a mid-epoch fetch that absorbed some
+	// of the epoch's version bumps (the fetched copy is a coherent
+	// snapshot taken while the home was ahead of us in the barrier).
+	coveredAt []int
+	fetchAt   []int
+
+	dirty       []vm.PageID // twinned pages this epoch
+	isDirty     []bool
+	homeDirty   []vm.PageID // home-modified pages without twins this epoch
+	isHomeDirty []bool
+	selfPushed  []bool // pages whose diff we pushed this epoch (version math)
+	pushedList  []vm.PageID
+
+	csNews    []copysetRec  // additions to report at our next arrival
+	verReport []pageVersion // version bumps to report at our next arrival
+
+	iterEnd  bool // IterationBoundary passed since the last barrier
+	relStash *barReleaseBar
+
+	// Migration: home roles we must pull as a new home (set at release,
+	// pulled in postBarrier, inside the barrier).
+	owedPulls []migrateRec
+	// installing queues requests for pages whose home role is in flight
+	// to us.
+	installing map[vm.PageID]*installQueue
+
+	// Overdrive.
+	odActive  bool
+	odPending bool
+	learning  bool
+	hist      map[int]map[vm.PageID]bool // epoch start site -> written pages
+	epochSite int
+}
+
+// installQueue buffers service requests that arrived before a migrated
+// page's install.
+type installQueue struct {
+	pkts []*netsim.Packet
+}
+
+func newBar(n *node, mode barMode) *bar {
+	np := n.as.NumPages()
+	b := &bar{
+		n:           n,
+		mode:        mode,
+		home:        make([]int, np),
+		version:     make([]uint32, np),
+		vcache:      make([]uint32, np),
+		copyset:     make([]copyset, np),
+		wcopy:       make([]copyset, np),
+		subscr:      make([]bool, np),
+		coveredAt:   make([]int, np),
+		fetchAt:     make([]int, np),
+		isDirty:     make([]bool, np),
+		isHomeDirty: make([]bool, np),
+		selfPushed:  make([]bool, np),
+		installing:  make(map[vm.PageID]*installQueue),
+		hist:        make(map[int]map[vm.PageID]bool),
+		epochSite:   -1,
+	}
+	for pg := range b.home {
+		b.home[pg] = initialHome(vm.PageID(pg), np, n.clu.cfg.Procs)
+		b.coveredAt[pg] = -1
+		b.fetchAt[pg] = -1
+	}
+	return b
+}
+
+func (b *bar) epoch() int { return b.n.barSeq }
+
+// --- faults ---------------------------------------------------------------
+
+func (b *bar) readFault(pg vm.PageID) {
+	n := b.n
+	if n.as.Prot(pg) != vm.None {
+		n.fatal("bar: read fault on valid page %d", pg)
+	}
+	b.fetchPage(pg)
+}
+
+func (b *bar) writeFault(pg vm.PageID) {
+	n := b.n
+	if b.odActive {
+		// Overdrive missed this write: the access pattern diverged. The
+		// prototype "complains loudly and exits".
+		n.fatal("%v: unpredicted write to page %d during overdrive (sharing pattern diverged)",
+			n.clu.cfg.Protocol, pg)
+	}
+	if n.as.Prot(pg) == vm.None {
+		b.fetchPage(pg)
+	}
+	if b.home[pg] == n.id && !(b.mode.update() && b.copyset[pg].without(n.id) != 0) {
+		// The home effect: the home tracks its modification but creates no
+		// twin or diff. (With consumers to update, the home twins after
+		// all, so it has a diff to push.)
+		if !b.isHomeDirty[pg] {
+			b.isHomeDirty[pg] = true
+			b.homeDirty = append(b.homeDirty, pg)
+		}
+	} else if !b.isDirty[pg] && !b.isHomeDirty[pg] {
+		n.makeTwin(pg)
+		b.isDirty[pg] = true
+		b.dirty = append(b.dirty, pg)
+	}
+	n.mprotect(pg, vm.ReadWrite)
+}
+
+// fetchPage services a miss with a whole-page copy from the home.
+func (b *bar) fetchPage(pg vm.PageID) {
+	n := b.n
+	if b.home[pg] == n.id {
+		n.fatal("bar: miss on own home page %d", pg)
+	}
+	n.ctr.RemoteMisses++
+	n.ctr.PageFetches++
+	n.sendRequest(b.home[pg], mkPageReq, bytesPageReq, &pageReq{Page: pg})
+	pkt := n.awaitReply()
+	if pkt.Kind != mkPageRep {
+		n.fatal("bar: expected page reply, got kind %d", pkt.Kind)
+	}
+	rep := pkt.Data.(*pageRep)
+	n.trc(trace.PageFetch, int(pg), int64(rep.Version))
+	n.osCharge(n.clu.cm.FaultService)
+	n.osCharge(n.clu.cm.CopyCost(n.as.PageSize()))
+	n.as.CopyPageIn(pg, rep.Data)
+	b.vcache[pg] = rep.Version
+	b.fetchAt[pg] = b.epoch()
+	if b.mode.update() {
+		b.subscr[pg] = true
+		b.setCovered(pg, b.epoch()+2)
+	}
+	n.mprotect(pg, vm.Read)
+}
+
+// --- barrier phases ---------------------------------------------------------
+
+func (b *bar) preBarrier(int) (any, int) {
+	n := b.n
+	cm := n.clu.cm
+	epoch := b.epoch()
+
+	arr := &barArrivalBar{IterEnd: b.iterEnd}
+	b.iterEnd = false
+
+	// Learning for migration (first iteration) and overdrive histories.
+	// The epoch ending at the very first barrier is initialization (node 0
+	// typically populates every array) and would poison the writer sets,
+	// so it is excluded; the paper likewise bases migration on the first
+	// compute iteration.
+	if n.iter == 0 && n.barSeq > 1 {
+		arr.Written = append(append([]vm.PageID(nil), b.dirty...), b.homeDirty...)
+	}
+	if b.learning && b.mode.overdrive() {
+		set := b.hist[b.epochSite]
+		if set == nil {
+			set = make(map[vm.PageID]bool)
+			b.hist[b.epochSite] = set
+		}
+		for _, pg := range b.dirty {
+			set[pg] = true
+		}
+		for _, pg := range b.homeDirty {
+			set[pg] = true
+		}
+	}
+
+	// The home effect, part 1: home-modified pages bump the version with
+	// no diff at all.
+	for _, pg := range b.homeDirty {
+		b.isHomeDirty[pg] = false
+		b.version[pg]++
+		b.vcache[pg] = b.version[pg]
+		b.verReport = append(b.verReport, pageVersion{Page: pg, Version: b.version[pg]})
+		if !(b.odActive && b.mode == barModeM) {
+			n.mprotect(pg, vm.Read)
+		}
+	}
+	b.homeDirty = b.homeDirty[:0]
+
+	// Diff every twinned page; route diffs to homes and consumers.
+	homeFlushes := make(map[int][]diffMsg)
+	updFlushes := make(map[int][]diffMsg)
+	for _, pg := range b.dirty {
+		b.isDirty[pg] = false
+		n.osCharge(cm.DiffCreateCost(n.as.PageSize()))
+		d := n.as.DiffAgainstTwin(pg)
+		n.as.DiscardTwin(pg)
+		if !(b.odActive && b.mode == barModeM) {
+			n.mprotect(pg, vm.Read)
+		}
+		if d.Empty() {
+			// Overdrive misprediction: twin and comparison were pure
+			// overhead, but nothing needs to move.
+			n.ctr.EmptyDiffs++
+			continue
+		}
+		n.ctr.Diffs++
+		n.trc(trace.DiffCreate, int(pg), int64(d.Size()))
+		dm := diffMsg{Notice: writeNotice{Page: pg, Creator: n.id, Epoch: epoch}, Diff: d}
+		if b.home[pg] == n.id {
+			// Home as writer (update mode with consumers): bump locally.
+			b.version[pg]++
+			b.vcache[pg] = b.version[pg]
+			b.verReport = append(b.verReport, pageVersion{Page: pg, Version: b.version[pg]})
+		} else {
+			homeFlushes[b.home[pg]] = append(homeFlushes[b.home[pg]], dm)
+		}
+		if b.mode.update() {
+			cs := b.wcopy[pg]
+			if b.home[pg] == n.id {
+				cs |= b.copyset[pg]
+			}
+			// The home receives the diff via the acknowledged home flush;
+			// never push to it as a consumer.
+			cs = cs.without(b.home[pg])
+			for cs = cs.without(n.id); cs != 0; {
+				m := cs.lowest()
+				cs = cs.without(m)
+				updFlushes[m] = append(updFlushes[m], dm)
+			}
+			if !b.selfPushed[pg] {
+				b.selfPushed[pg] = true
+				b.pushedList = append(b.pushedList, pg)
+			}
+		}
+	}
+	b.dirty = b.dirty[:0]
+
+	// Consumer updates go first (unacknowledged, one message per
+	// destination) so they are in flight before anyone can be released.
+	for _, dst := range sortedKeys(updFlushes) {
+		batch := updFlushes[dst]
+		n.ctr.UpdatesSent += int64(len(batch))
+		n.trc(trace.UpdatePush, -1, int64(dst))
+		arr.PushDests = append(arr.PushDests, dst)
+		n.sendFlush(dst, mkUpdateFlush, sizeDiffs(batch), &updateFlush{Epoch: epoch, Diffs: batch})
+	}
+
+	// Home flushes are acknowledged; the acks carry post-apply versions,
+	// settling every version bump before our arrival reports it.
+	dests := sortedKeys(homeFlushes)
+	for _, dst := range dests {
+		batch := homeFlushes[dst]
+		n.sendRequest(dst, mkHomeFlush, sizeDiffs(batch), &homeFlush{Epoch: epoch, Diffs: batch})
+	}
+	for range dests {
+		pkt := n.awaitReply()
+		if pkt.Kind != mkHomeFlushAck {
+			n.fatal("bar: expected flush ack, got kind %d", pkt.Kind)
+		}
+		b.verReport = append(b.verReport, pkt.Data.(*homeFlushAck).Versions...)
+	}
+
+	arr.Versions = b.verReport
+	b.verReport = nil
+	arr.CopysetNews = b.csNews
+	b.csNews = nil
+	return arr, arr.size()
+}
+
+func (b *bar) onRelease(_ int, rel any) {
+	n := b.n
+	r := rel.(*barReleaseBar)
+	b.relStash = r
+
+	for _, cn := range r.CopysetNews {
+		b.wcopy[cn.Page].add(cn.Member)
+		if cn.Member == n.id {
+			b.subscr[cn.Page] = true
+			b.setCovered(cn.Page, b.epoch()+1)
+		}
+	}
+	for _, mg := range r.Migrations {
+		b.home[mg.Page] = mg.NewHome
+		if mg.NewHome == n.id {
+			n.ctr.HomeMigrations++
+			b.owedPulls = append(b.owedPulls, mg)
+			// Third-party requests racing the install queue here.
+			if b.installing[mg.Page] == nil {
+				b.installing[mg.Page] = &installQueue{}
+			}
+		}
+	}
+
+	for _, pv := range r.Versions {
+		pg := pv.Page
+		if b.home[pg] == n.id {
+			// Our copy is authoritative (diffs were applied to it by our
+			// service); just track the settled version.
+			if b.version[pg] < pv.Version {
+				// A flush can still be racing a migration install; the
+				// install path reconciles.
+				continue
+			}
+			b.vcache[pg] = b.version[pg]
+			continue
+		}
+		if b.vcache[pg] >= pv.Version {
+			continue
+		}
+		if b.mode.update() && b.subscr[pg] {
+			continue // postBarrier decides after updates are in
+		}
+		if b.selfPushed[pg] && pv.Version == b.vcache[pg]+1 {
+			// We were the only modifier; our copy matches the home's.
+			b.vcache[pg] = pv.Version
+			continue
+		}
+		b.invalidate(pg)
+	}
+}
+
+// invalidate discards a stale cached copy.
+func (b *bar) invalidate(pg vm.PageID) {
+	n := b.n
+	if n.as.Prot(pg) == vm.None {
+		return
+	}
+	if b.odActive && b.mode == barModeM {
+		// bar-m has forsworn protection changes, so the stale copy stays
+		// readable. With an invariant access pattern this node never
+		// touches the page again and the staleness is invisible; if the
+		// pattern diverges, a read returns stale data silently — exactly
+		// why "bar-m is not guaranteed to maintain consistency".
+		n.ctr.StaleSkips++
+		return
+	}
+	n.mprotect(pg, vm.None)
+}
+
+func (b *bar) postBarrier(site int) {
+	r := b.relStash
+	b.relStash = nil
+
+	// Take over owed home roles before consuming updates: after the pull,
+	// our copy is authoritative and banked updates become no-ops.
+	for _, mg := range b.owedPulls {
+		b.pullHome(mg)
+	}
+	b.owedPulls = nil
+
+	if b.mode.update() {
+		b.consumeUpdates(r)
+	}
+	for _, pg := range b.pushedList {
+		b.selfPushed[pg] = false
+	}
+	b.pushedList = b.pushedList[:0]
+
+	if b.odPending {
+		b.engageOverdrive()
+	}
+	if b.odActive {
+		b.armPredictions(site)
+	}
+	b.epochSite = site
+}
+
+// consumeUpdates waits for the epoch's expected update batches, then
+// applies them, validating version arithmetic per page: a page is current
+// only if its banked diffs plus our own pushed diff account for every
+// version bump. Shortfalls (lost flushes, mid-epoch copyset joins, home
+// no-diff modifications) invalidate conservatively.
+func (b *bar) consumeUpdates(r *barReleaseBar) {
+	n := b.n
+	epoch := b.epoch()
+	complete := n.waitUpdates(epoch, r.ExpBatches)
+	banked := n.takeBankedUpdates(epoch)
+	perPage := make(map[vm.PageID][]diffMsg)
+	for _, dm := range banked {
+		perPage[dm.Notice.Page] = append(perPage[dm.Notice.Page], dm)
+	}
+	for _, pv := range r.Versions {
+		pg := pv.Page
+		diffs := perPage[pg]
+		delete(perPage, pg)
+		if b.home[pg] == n.id {
+			// Stale copysets can still push to us after we took the home
+			// role; the home flush already delivered these modifications.
+			n.ctr.UpdatesUnneeded += int64(len(diffs))
+			continue
+		}
+		if b.vcache[pg] >= pv.Version {
+			continue
+		}
+		if !b.subscr[pg] && len(diffs) == 0 {
+			continue // handled at onRelease
+		}
+		selfDelta := uint32(0)
+		if b.selfPushed[pg] {
+			selfDelta = 1
+		}
+		ok := b.vcache[pg]+uint32(len(diffs))+selfDelta == pv.Version
+		if !ok && complete && b.fetchAt[pg] >= epoch-1 &&
+			b.coveredAt[pg] >= 0 && b.coveredAt[pg] <= epoch {
+			// We faulted mid-epoch and fetched a coherent snapshot that
+			// already included some of this epoch's bumps (the home runs
+			// ahead of late arrivers). Every writer already had us in its
+			// copyset when this epoch's diffs were pushed, so the banked
+			// diffs cover every pusher; applying them to the newer base
+			// is idempotent and yields the final content even though the
+			// version arithmetic overshoots.
+			ok = true
+		}
+		if n.as.Prot(pg) != vm.None && ok {
+			for i, dm := range diffs {
+				n.trc(trace.DiffApply, int(pg), int64(dm.Diff.Size()))
+				if n.clu.cfg.CheckDisjoint {
+					for _, prev := range diffs[:i] {
+						if prev.Diff.Overlaps(dm.Diff) {
+							n.fatal("bar: data race on page %d: nodes %d and %d wrote overlapping words in epoch %d",
+								pg, prev.Notice.Creator, dm.Notice.Creator, epoch)
+						}
+					}
+				}
+				n.osCharge(n.clu.cm.DiffApplyCost(dm.Diff.Size()))
+				n.as.ApplyDiff(dm.Diff)
+			}
+			b.vcache[pg] = pv.Version
+		} else {
+			n.ctr.UpdatesUnneeded += int64(len(diffs))
+			b.invalidate(pg)
+		}
+	}
+	// Updates for pages without version news would be a protocol bug;
+	// updates we cannot use (stale copysets after invalidation) are waste.
+	for pg, diffs := range perPage {
+		if n.as.Prot(pg) == vm.None {
+			n.ctr.UpdatesUnneeded += int64(len(diffs))
+			continue
+		}
+		n.fatal("bar: banked updates for page %d without version news", pg)
+	}
+}
+
+// pullHome takes over a page's home role from its old home, blocking
+// inside the barrier so our first access (or the first queued request) is
+// served from the installed authoritative copy.
+func (b *bar) pullHome(mg migrateRec) {
+	n := b.n
+	pg := mg.Page
+	n.sendRequest(mg.OldHome, mkHomePull, bytesPageReq, &homePull{Page: pg})
+	pkt := n.awaitReply()
+	if pkt.Kind != mkHomePullRep {
+		n.fatal("bar: expected home-pull reply, got kind %d", pkt.Kind)
+	}
+	rep := pkt.Data.(*homePullRep)
+	n.osCharge(n.clu.cm.CopyCost(n.as.PageSize()))
+	n.as.CopyPageIn(pg, rep.Data)
+	b.version[pg] = rep.Version
+	b.vcache[pg] = rep.Version
+	b.copyset[pg] |= rep.Copyset.without(n.id)
+	n.trc(trace.Migration, int(pg), int64(n.id))
+	n.mprotect(pg, vm.Read)
+	if q := b.installing[pg]; q != nil {
+		delete(b.installing, pg)
+		for _, qp := range q.pkts {
+			b.dispatchHomeReq(n.compute, qp)
+		}
+	}
+}
+
+// engageOverdrive transitions bar-s/bar-m into steady-state operation.
+func (b *bar) engageOverdrive() {
+	n := b.n
+	b.odPending = false
+	b.learning = false
+	b.odActive = true
+	n.trc(trace.OverdriveOn, -1, 0)
+	if b.mode == barModeM {
+		// Every page the histories predict we will write must be writable
+		// before we stop calling mprotect. One last batch of protection
+		// changes, then silence.
+		for _, pg := range b.allPredicted() {
+			n.mprotect(pg, vm.ReadWrite)
+		}
+		if n.clu.cfg.CheckOverdrive {
+			b.installDivergenceProbe()
+		}
+	}
+}
+
+// allPredicted returns the union of all per-site histories, sorted.
+func (b *bar) allPredicted() []vm.PageID {
+	seen := make(map[vm.PageID]bool)
+	var out []vm.PageID
+	for _, set := range b.hist {
+		for pg := range set {
+			if !seen[pg] {
+				seen[pg] = true
+				out = append(out, pg)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// armPredictions twins (and under bar-s write-enables) the pages the
+// history predicts will be written in the epoch starting at site.
+func (b *bar) armPredictions(site int) {
+	n := b.n
+	set := b.hist[site]
+	if len(set) == 0 {
+		return
+	}
+	pages := make([]vm.PageID, 0, len(set))
+	for pg := range set {
+		pages = append(pages, pg)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, pg := range pages {
+		if b.isDirty[pg] {
+			continue
+		}
+		n.makeTwin(pg)
+		b.isDirty[pg] = true
+		b.dirty = append(b.dirty, pg)
+		if b.mode == barModeS {
+			n.mprotect(pg, vm.ReadWrite)
+		}
+	}
+}
+
+// installDivergenceProbe arms the zero-cost store monitor that catches
+// writes bar-m's open protections would let slip through undetected.
+func (b *bar) installDivergenceProbe() {
+	n := b.n
+	n.writeProbe = func(pg vm.PageID) {
+		if !n.as.HasTwin(pg) {
+			n.fatal("bar-m: divergence: write to unpredicted page %d in overdrive", pg)
+		}
+	}
+}
+
+func (b *bar) iterBoundary() {
+	b.iterEnd = true
+	if !b.mode.overdrive() {
+		return
+	}
+	n := b.n
+	switch {
+	case n.iter == 1:
+		// Homes migrate at the next barrier; learn from the post-migration
+		// iterations.
+		b.learning = true
+	case n.iter == n.clu.cfg.LearnIters && !b.odActive:
+		b.odPending = true
+	}
+}
+
+// --- service path -----------------------------------------------------------
+
+func (b *bar) handleRequest(pkt *netsim.Packet) {
+	b.dispatchHomeReq(b.n.service, pkt)
+}
+
+// dispatchHomeReq routes a home-directed request, queueing it behind a
+// pending home-role install when necessary. p is the execution context to
+// charge and reply from: the service process normally, the compute process
+// when draining a migration install's queue.
+func (b *bar) dispatchHomeReq(p *sim.Proc, pkt *netsim.Packet) {
+	n := b.n
+	switch pkt.Kind {
+	case mkPageReq, mkHomeFlush:
+		if pg, blocked := b.firstBlockedPage(pkt); blocked {
+			// The page's home role is migrating to us but the install has
+			// not landed (or our own release is still in flight). Queue;
+			// the install drains us.
+			q := b.installing[pg]
+			if q == nil {
+				q = &installQueue{}
+				b.installing[pg] = q
+			}
+			q.pkts = append(q.pkts, pkt)
+			return
+		}
+		b.serveHomeRequest(p, pkt)
+	case mkHomePull:
+		pg := pkt.Data.(*homePull).Page
+		p.Advance(n.clu.cm.CopyCost(n.as.PageSize()))
+		data := n.as.CopyPageOut(pg)
+		if n.as.HasTwin(pg) {
+			// Our own next-epoch writes have begun; hand over the
+			// committed (pre-write) image so contents match the version.
+			data = append(data[:0], n.as.Twin(pg)...)
+		}
+		cs := b.copyset[pg].without(pkt.FromNode)
+		rep := &homePullRep{
+			Page:    pg,
+			Data:    data,
+			Version: b.version[pg],
+			Copyset: cs,
+		}
+		b.copyset[pg] = 0
+		// Our replica stops being authoritative and nobody will update it,
+		// so discard it now; a later read faults and subscribes properly.
+		// An active mid-epoch writer keeps its copy — its next flush and
+		// the version arithmetic reconcile it.
+		if !n.as.HasTwin(pg) {
+			n.mprotectSvc(pg, vm.None)
+			b.subscr[pg] = false
+		}
+		n.replyFrom(p, pkt, mkHomePullRep, n.as.PageSize()+bytesMigrateRec, rep)
+	default:
+		n.fatal("bar: unexpected request kind %d", pkt.Kind)
+	}
+}
+
+// serveHomeRequest handles page fetches and home flushes for a page we
+// are home of. p is the execution context (see dispatchHomeReq).
+func (b *bar) serveHomeRequest(p *sim.Proc, pkt *netsim.Packet) {
+	n := b.n
+	cm := n.clu.cm
+	switch pkt.Kind {
+	case mkPageReq:
+		pg := pkt.Data.(*pageReq).Page
+		p.Advance(cm.CopyCost(n.as.PageSize()))
+		if b.mode.update() && pkt.FromNode != n.id {
+			b.addCopysetMember(pg, pkt.FromNode)
+		}
+		n.replyFrom(p, pkt, mkPageRep, n.as.PageSize()+bytesVersionRec,
+			&pageRep{Page: pg, Data: n.as.CopyPageOut(pg), Version: b.version[pg]})
+	case mkHomeFlush:
+		hf := pkt.Data.(*homeFlush)
+		ack := &homeFlushAck{}
+		for _, dm := range hf.Diffs {
+			pg := dm.Notice.Page
+			p.Advance(cm.DiffApplyCost(dm.Diff.Size()))
+			// Re-check the twin after Advance: advancing yields to the
+			// compute process, which may diff-and-discard (or create) the
+			// twin meanwhile.
+			n.as.ApplyDiff(dm.Diff)
+			if n.as.HasTwin(pg) {
+				// We are mid-epoch writers of this page ourselves. Keep
+				// the twin in sync so our own diff stays confined to our
+				// own modifications instead of re-propagating this one.
+				dm.Diff.Apply(n.as.Twin(pg))
+				p.Advance(cm.DiffApplyCost(dm.Diff.Size()))
+			}
+			b.version[pg]++
+			b.vcache[pg] = b.version[pg]
+			ack.Versions = append(ack.Versions, pageVersion{Page: pg, Version: b.version[pg]})
+			if b.mode.update() && hf.Epoch > 1 {
+				// Writers cache the page: they belong in its copyset. The
+				// initialization epoch is excluded — node 0 typically
+				// populates every array once, and enrolling it everywhere
+				// would defeat the home effect with useless updates.
+				b.addCopysetMember(pg, dm.Notice.Creator)
+			}
+		}
+		n.replyFrom(p, pkt, mkHomeFlushAck, len(ack.Versions)*bytesVersionRec, ack)
+	}
+}
+
+// setCovered lowers the page's push-coverage epoch.
+func (b *bar) setCovered(pg vm.PageID, epoch int) {
+	if b.coveredAt[pg] < 0 || epoch < b.coveredAt[pg] {
+		b.coveredAt[pg] = epoch
+	}
+}
+
+func (b *bar) addCopysetMember(pg vm.PageID, member int) {
+	if b.copyset[pg].has(member) {
+		return
+	}
+	b.copyset[pg].add(member)
+	b.csNews = append(b.csNews, copysetRec{Page: pg, Member: member})
+}
+
+// firstBlockedPage reports the first page in a queueable request whose
+// home role has not settled on this node.
+func (b *bar) firstBlockedPage(pkt *netsim.Packet) (vm.PageID, bool) {
+	blocked := func(pg vm.PageID) bool {
+		return b.home[pg] != b.n.id || b.installing[pg] != nil
+	}
+	switch pkt.Kind {
+	case mkPageReq:
+		pg := pkt.Data.(*pageReq).Page
+		return pg, blocked(pg)
+	case mkHomeFlush:
+		for _, dm := range pkt.Data.(*homeFlush).Diffs {
+			if blocked(dm.Notice.Page) {
+				return dm.Notice.Page, true
+			}
+		}
+		return 0, false
+	}
+	panic("core: firstBlockedPage on non-queueable kind")
+}
+
+func sortedKeys(m map[int][]diffMsg) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"godsm/internal/netsim"
+)
+
+// barMgr is the centralized barrier manager, hosted by node 0's service
+// process (CVM's master). Arrival messages piggyback protocol payloads and
+// reduction contributions; the release fan-out carries per-node protocol
+// payloads (write notices, version maps, copyset and migration notices,
+// expected-update counts) and the combined reduction result.
+type barMgr struct {
+	clu      *cluster
+	arrivals []*barArrive
+	count    int
+}
+
+func newBarMgr(c *cluster) *barMgr {
+	return &barMgr{clu: c, arrivals: make([]*barArrive, c.cfg.Procs)}
+}
+
+// handle processes one arrival on node 0's service path. When the last
+// node arrives it aggregates and releases everyone.
+func (m *barMgr) handle(n0 *node, pkt *netsim.Packet) {
+	a := pkt.Data.(*barArrive)
+	if m.arrivals[a.From] != nil {
+		n0.fatal("double barrier arrival from node %d", a.From)
+	}
+	m.arrivals[a.From] = a
+	m.count++
+	if m.count < m.clu.cfg.Procs {
+		return
+	}
+	seq, site := m.arrivals[0].Seq, m.arrivals[0].Site
+	var contribs []*redContrib
+	for _, ar := range m.arrivals {
+		if ar.Seq != seq || ar.Site != site {
+			n0.fatal("barrier mismatch: node %d at seq %d site %d, node 0 at seq %d site %d",
+				ar.From, ar.Seq, ar.Site, seq, site)
+		}
+		contribs = append(contribs, ar.Red)
+	}
+	red := combineReds(contribs)
+	rels, sizes := m.clu.pmgr.aggregate(site, m.arrivals)
+	for i := range m.arrivals {
+		m.arrivals[i] = nil
+	}
+	m.count = 0
+	for i := 0; i < m.clu.cfg.Procs; i++ {
+		rel := &barRelease{Seq: seq, Proto: rels[i], Red: red}
+		if i != n0.id {
+			n0.service.Advance(m.clu.cm.SendCPU)
+		}
+		m.clu.net.Send(n0.service, i, netsim.PortCompute, &netsim.Packet{
+			Kind:  mkBarRelease,
+			Size:  bytesBarHeader + sizes[i] + redResultSize(red),
+			Reply: true,
+			Data:  rel,
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+
+	"godsm/internal/vm"
+)
+
+// barProtoMgr is the home-based family's barrier-manager half. It settles
+// the epoch's final page versions (per-page max over the nodes' reports —
+// every version bump is reported by exactly one node), relays copyset
+// news, computes expected update-batch counts per node, and makes the
+// one-time runtime home-migration decision: any page never written by its
+// initial owner but written by at least one other node migrates to its
+// lowest-ranked writer at the end of the first iteration.
+type barProtoMgr struct {
+	clu      *cluster
+	writers  []copyset // page -> nodes that wrote it during iteration 0
+	migrated bool
+}
+
+func newBarProtoMgr(c *cluster) *barProtoMgr {
+	npages := (c.cfg.SegmentBytes + c.cm.PageSize - 1) / c.cm.PageSize
+	return &barProtoMgr{clu: c, writers: make([]copyset, npages)}
+}
+
+func (m *barProtoMgr) aggregate(_ int, arrivals []*barArrive) ([]any, []int) {
+	procs := m.clu.cfg.Procs
+	versions := make(map[vm.PageID]uint32)
+	var news []copysetRec
+	expBatches := make([]int, procs)
+	iterEnd := arrivals[0].Proto.(*barArrivalBar).IterEnd
+
+	for i, a := range arrivals {
+		p := a.Proto.(*barArrivalBar)
+		if p.IterEnd != iterEnd {
+			panic("core: nodes disagree on iteration boundary")
+		}
+		for _, pv := range p.Versions {
+			if pv.Version > versions[pv.Page] {
+				versions[pv.Page] = pv.Version
+			}
+		}
+		news = append(news, p.CopysetNews...)
+		for _, d := range p.PushDests {
+			expBatches[d]++
+		}
+		for _, pg := range p.Written {
+			m.writers[pg].add(i)
+		}
+	}
+
+	var migs []migrateRec
+	if iterEnd && !m.migrated {
+		m.migrated = true
+		if !m.clu.cfg.DisableMigration {
+			npages := len(m.writers)
+			for pg, w := range m.writers {
+				if w == 0 {
+					continue
+				}
+				ih := initialHome(vm.PageID(pg), npages, procs)
+				if w.has(ih) {
+					continue
+				}
+				migs = append(migs, migrateRec{Page: vm.PageID(pg), OldHome: ih, NewHome: w.lowest()})
+			}
+		}
+		m.writers = nil
+	}
+
+	verList := make([]pageVersion, 0, len(versions))
+	for pg, v := range versions {
+		verList = append(verList, pageVersion{Page: pg, Version: v})
+	}
+	sort.Slice(verList, func(i, j int) bool { return verList[i].Page < verList[j].Page })
+
+	rels := make([]any, procs)
+	sizes := make([]int, procs)
+	for i := 0; i < procs; i++ {
+		r := &barReleaseBar{
+			Versions:    verList,
+			CopysetNews: news,
+			Migrations:  migs,
+			ExpBatches:  expBatches[i],
+		}
+		rels[i] = r
+		sizes[i] = r.size()
+	}
+	return rels, sizes
+}

@@ -1,0 +1,143 @@
+// Package core implements the DSM runtime the paper evaluates: a simulated
+// CVM-like engine hosting six coherence protocols — the homeless
+// multi-writer lazy-release-consistency protocols lmw-i and lmw-u, the
+// home-based barrier protocols bar-i and bar-u, and the "overdrive"
+// protocols bar-s and bar-m that strip SIGSEGV write trapping and mprotect
+// calls out of the steady state.
+//
+// Applications are SPMD bodies run once per node against the Proc API:
+// typed shared arrays with software page protection, barrier-only
+// synchronization, and explicit reductions. The engine charges every
+// protocol action its calibrated virtual-time cost (see internal/cost) and
+// produces the statistics the paper reports.
+package core
+
+import (
+	"fmt"
+
+	"godsm/internal/cost"
+	"godsm/internal/trace"
+)
+
+// ProtocolKind selects a coherence protocol.
+type ProtocolKind int
+
+const (
+	// ProtoSeq is the uniprocessor baseline: no protocol actions, no
+	// synchronization cost; elapsed time is pure application compute.
+	// Speedups in the paper are computed against exactly this
+	// ("synchronization macros nulled out").
+	ProtoSeq ProtocolKind = iota
+	// ProtoLmwI is homeless invalidate-based multi-writer LRC.
+	ProtoLmwI
+	// ProtoLmwU is lmw-i plus copyset-directed update flushes.
+	ProtoLmwU
+	// ProtoBarI is the home-based barrier protocol with invalidation.
+	ProtoBarI
+	// ProtoBarU is bar-i plus copyset-directed updates with in-barrier
+	// update waiting.
+	ProtoBarU
+	// ProtoBarS is bar-u with overdrive write-history prediction replacing
+	// SIGSEGV write trapping.
+	ProtoBarS
+	// ProtoBarM is bar-s with all steady-state mprotect calls eliminated.
+	ProtoBarM
+)
+
+var protoNames = map[ProtocolKind]string{
+	ProtoSeq:  "seq",
+	ProtoLmwI: "lmw-i",
+	ProtoLmwU: "lmw-u",
+	ProtoBarI: "bar-i",
+	ProtoBarU: "bar-u",
+	ProtoBarS: "bar-s",
+	ProtoBarM: "bar-m",
+}
+
+func (k ProtocolKind) String() string {
+	if s, ok := protoNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("protocol(%d)", int(k))
+}
+
+// ParseProtocol maps a protocol name ("lmw-i", "bar-u", ...) to its kind.
+func ParseProtocol(s string) (ProtocolKind, error) {
+	for k, n := range protoNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown protocol %q", s)
+}
+
+// Protocols lists the six paper protocols in presentation order.
+func Protocols() []ProtocolKind {
+	return []ProtocolKind{ProtoLmwI, ProtoLmwU, ProtoBarI, ProtoBarU, ProtoBarS, ProtoBarM}
+}
+
+// Config describes one DSM run.
+type Config struct {
+	// Procs is the number of DSM nodes (the paper uses 8).
+	Procs int
+	// Protocol selects the coherence protocol.
+	Protocol ProtocolKind
+	// SegmentBytes sizes the shared segment (rounded up to whole pages).
+	SegmentBytes int
+	// Model is the virtual-time cost model; nil selects cost.Default().
+	Model *cost.Model
+	// LearnIters is the number of initial application iterations used as
+	// the learning window: home migration happens at the first iteration
+	// boundary and overdrive (bar-s/bar-m) engages at the second. The
+	// default of 2 matches the paper ("migrate pages before the second
+	// iteration begins"; overdrive "after gathering information for some
+	// period of time").
+	LearnIters int
+	// UpdateLossRate drops this fraction of unacknowledged update flushes
+	// (lmw-u and bar-u consumer updates), deterministically from Seed.
+	// The paper argues lost flushes cost only performance, never
+	// correctness; tests inject loss to verify that claim.
+	UpdateLossRate float64
+	// Seed feeds the loss-injection generator.
+	Seed int64
+	// CheckOverdrive enables the (zero-virtual-cost) divergence checker
+	// that verifies bar-m's unsound assumption: every steady-state write
+	// hits a predicted page. Violations abort the run, mirroring the
+	// prototype's "complain loudly and exit".
+	CheckOverdrive bool
+	// CheckDisjoint verifies that concurrent diffs of the same page never
+	// overlap (i.e. the program is data-race free). Debug aid.
+	CheckDisjoint bool
+	// LmwGCBarriers, when positive, runs the homeless protocols' explicit
+	// garbage collection every that-many barriers: all pending pages are
+	// validated, then diffs and interval logs covered by the sweep are
+	// dropped one barrier later. Zero (the default) never collects —
+	// "consistency information ... can not be discarded without explicit
+	// garbage collection", and CVM-era systems ran it rarely.
+	LmwGCBarriers int
+	// Trace, when non-nil, records protocol events (faults, protection
+	// changes, diffs, barriers, lock transfers, migrations) with virtual
+	// timestamps. See internal/trace and cmd/dsmrun's -trace flag.
+	Trace *trace.Log
+	// DisableMigration turns off the bar protocols' runtime home
+	// migration, leaving the static block distribution in place. Used by
+	// the home-assignment ablation to quantify what §2.2.1's runtime
+	// assignment buys.
+	DisableMigration bool
+}
+
+func (c *Config) fill() error {
+	if c.Procs <= 0 {
+		return fmt.Errorf("core: Procs = %d", c.Procs)
+	}
+	if c.SegmentBytes <= 0 {
+		return fmt.Errorf("core: SegmentBytes = %d", c.SegmentBytes)
+	}
+	if c.Model == nil {
+		c.Model = cost.Default()
+	}
+	if c.LearnIters == 0 {
+		c.LearnIters = 2
+	}
+	return nil
+}

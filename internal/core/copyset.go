@@ -1,0 +1,34 @@
+package core
+
+import "math/bits"
+
+// copyset is a bitmap of node ranks caching (or consuming) a page. The
+// paper: "Accesses to shared pages are tracked by using per-page copysets,
+// which are bitmaps that specify which processors cache a given page."
+// Bitmaps bound the cluster at 64 nodes — eight times the paper's testbed.
+type copyset uint64
+
+func (c copyset) has(i int) bool { return c&(1<<uint(i)) != 0 }
+
+func (c *copyset) add(i int) { *c |= 1 << uint(i) }
+
+func (c copyset) count() int { return bits.OnesCount64(uint64(c)) }
+
+// without returns c with member i removed.
+func (c copyset) without(i int) copyset { return c &^ (1 << uint(i)) }
+
+// members appends the set's node ranks, ascending, to dst.
+func (c copyset) members(dst []int) []int {
+	for v := uint64(c); v != 0; v &= v - 1 {
+		dst = append(dst, bits.TrailingZeros64(v))
+	}
+	return dst
+}
+
+// lowest returns the smallest member rank; it panics on an empty set.
+func (c copyset) lowest() int {
+	if c == 0 {
+		panic("core: lowest of empty copyset")
+	}
+	return bits.TrailingZeros64(uint64(c))
+}

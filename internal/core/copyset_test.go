@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCopysetBasics(t *testing.T) {
+	var c copyset
+	if c.count() != 0 || c.has(0) {
+		t.Fatal("zero copyset not empty")
+	}
+	c.add(3)
+	c.add(7)
+	c.add(3)
+	if c.count() != 2 || !c.has(3) || !c.has(7) || c.has(4) {
+		t.Fatalf("copyset state wrong: %b", c)
+	}
+	if got := c.members(nil); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("members = %v", got)
+	}
+	if c.lowest() != 3 {
+		t.Fatalf("lowest = %d", c.lowest())
+	}
+	d := c.without(3)
+	if d.has(3) || !d.has(7) || c.count() != 2 {
+		t.Fatal("without mutated the receiver or kept the member")
+	}
+}
+
+func TestCopysetLowestOfEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lowest of empty set did not panic")
+		}
+	}()
+	copyset(0).lowest()
+}
+
+// Property: members() is sorted, duplicate-free, consistent with has() and
+// count(), for arbitrary member sets.
+func TestCopysetMembersProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c copyset
+		want := map[int]bool{}
+		for i := 0; i < int(n%40); i++ {
+			m := rng.Intn(64)
+			c.add(m)
+			want[m] = true
+		}
+		ms := c.members(nil)
+		if len(ms) != len(want) || c.count() != len(want) {
+			return false
+		}
+		for i, m := range ms {
+			if !want[m] || !c.has(m) {
+				return false
+			}
+			if i > 0 && ms[i-1] >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,538 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"godsm/internal/cost"
+	"godsm/internal/netsim"
+	"godsm/internal/sim"
+	"godsm/internal/stats"
+	"godsm/internal/trace"
+	"godsm/internal/vm"
+)
+
+// updateWaitTimeout bounds how long a bar-u consumer waits for update
+// flushes when loss injection is enabled. Generous relative to any wire
+// time, so it only fires for genuinely lost flushes.
+const updateWaitTimeout = 20 * sim.Millisecond
+
+// cluster is one simulated DSM run: kernel, interconnect, and nodes.
+type cluster struct {
+	cfg   Config
+	cm    *cost.Model
+	kern  *sim.Kernel
+	net   *netsim.Net
+	nodes []*node
+	mgr   *barMgr
+	pmgr  protoManager
+	body  func(*Proc)
+	seq   bool // ProtoSeq: synchronization nulled out
+}
+
+// node is one DSM process: an address space, a protocol instance, and a
+// compute/service process pair sharing state (safe: the sim kernel runs
+// exactly one process at a time).
+type node struct {
+	id      int
+	clu     *cluster
+	as      *vm.AddressSpace
+	proto   protocol
+	compute *sim.Proc
+	service *sim.Proc
+	lossRng *rand.Rand
+
+	// --- time accounting ---
+	pendingApp   sim.Duration // charged, unflushed application compute
+	stressFactor float64      // VM-stress multiplier for this epoch's app time
+	stolen       sim.Duration // service handler time to inject into compute
+	bd           stats.Breakdown
+	ctr          stats.Counters
+	protChanges  int // protection changes this epoch (stress input)
+
+	// --- measurement window ---
+	measuring bool
+	windowed  bool // a window was opened at least once
+	mStart    sim.Time
+	mStartBd  stats.Breakdown
+	mStartCtr stats.Counters
+	mStartTr  netsim.Traffic
+	mStop     sim.Time
+	mStopBd   stats.Breakdown
+	mStopCtr  stats.Counters
+	mStopTr   netsim.Traffic
+
+	// --- barrier state ---
+	barSeq  int
+	siteIdx int // barrier call-site index within the current iteration
+	iter    int
+
+	// --- update-flush banking (lmw-u consumer banking lives in lmwState;
+	// this is the bar-u in-barrier wait machinery) ---
+	bank        map[int][]diffMsg // epoch -> banked update diffs
+	bankBatches map[int]int       // epoch -> flush batches received
+	expUpdates  int               // batches expected this epoch (from release)
+	waitingUpd  bool
+	waitEpoch   int
+	waitSeq     int
+
+	// writeProbe, when non-nil, observes every store (even to writable
+	// pages). bar-m's divergence checker uses it to detect unpredicted
+	// steady-state writes that real hardware would let slip through.
+	writeProbe func(pg vm.PageID)
+
+	allocOff int // shared-segment bump allocator
+	result   uint64
+	hasRes   bool
+}
+
+// Run executes body on cfg.Procs simulated nodes under cfg.Protocol and
+// returns the measured statistics. body runs once per node (SPMD); all
+// nodes must perform identical Alloc and Barrier sequences.
+func Run(cfg Config, body func(*Proc)) (*Report, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if cfg.Protocol == ProtoSeq && cfg.Procs != 1 {
+		return nil, fmt.Errorf("core: ProtoSeq requires Procs=1, got %d", cfg.Procs)
+	}
+	clu := &cluster{
+		cfg:  cfg,
+		cm:   cfg.Model,
+		kern: sim.NewKernel(),
+		body: body,
+		seq:  cfg.Protocol == ProtoSeq,
+	}
+	clu.net = netsim.New(clu.kern, cfg.Procs, clu.cm)
+	clu.mgr = newBarMgr(clu)
+	for i := 0; i < cfg.Procs; i++ {
+		n := &node{
+			id:           i,
+			clu:          clu,
+			as:           vm.NewAddressSpace(cfg.SegmentBytes, clu.cm.PageSize),
+			lossRng:      rand.New(rand.NewSource(cfg.Seed ^ int64(i*0x9e3779b9))),
+			stressFactor: 1,
+			bank:         make(map[int][]diffMsg),
+			bankBatches:  make(map[int]int),
+		}
+		if clu.seq {
+			for pg := 0; pg < n.as.NumPages(); pg++ {
+				n.as.SetProt(vm.PageID(pg), vm.ReadWrite)
+			}
+		}
+		clu.nodes = append(clu.nodes, n)
+	}
+	clu.pmgr = newProtoManager(clu)
+	for _, n := range clu.nodes {
+		n.proto = newProtocol(n)
+	}
+	for _, n := range clu.nodes {
+		n := n
+		n.compute = clu.net.Bind(n.id, netsim.PortCompute, fmt.Sprintf("compute%d", n.id), n.computeBody)
+		n.service = clu.net.Bind(n.id, netsim.PortService, fmt.Sprintf("service%d", n.id), n.serviceBody)
+	}
+	if err := clu.kern.Run(); err != nil {
+		return nil, err
+	}
+	return clu.report()
+}
+
+func (n *node) computeBody(p *sim.Proc) {
+	n.clu.body(&Proc{n: n})
+	// Quiesce: a final barrier guarantees no request can still be headed
+	// for any service, then shut the local service down.
+	n.barrier(nil)
+	if n.measuring || !n.windowed {
+		// Body never closed (or never opened) a window; fall back to
+		// measuring the whole run. The zero-valued start snapshot is
+		// exactly the state at time zero.
+		n.windowed = true
+		n.snapshotStop()
+	}
+	n.clu.net.Send(p, n.id, netsim.PortService, &netsim.Packet{Kind: mkShutdown})
+}
+
+func (n *node) serviceBody(p *sim.Proc) {
+	cm := n.clu.cm
+	for {
+		m := p.Recv()
+		pkt := m.Payload.(*netsim.Packet)
+		if pkt.Kind == mkShutdown {
+			return
+		}
+		start := p.Now()
+		if pkt.FromNode != n.id {
+			p.Advance(cm.SigioDispatch + cm.RecvCPU)
+		}
+		switch pkt.Kind {
+		case mkBarArrive:
+			n.clu.mgr.handle(n, pkt)
+		case mkUpdateFlush:
+			n.handleUpdateFlush(pkt)
+		default:
+			n.proto.handleRequest(pkt)
+		}
+		d := sim.Duration(p.Now() - start)
+		n.bd.Sigio += d
+		n.stolen += d
+	}
+}
+
+// --- compute-path accounting -------------------------------------------
+
+// charge accumulates application compute time (flushed lazily).
+func (n *node) charge(d sim.Duration) { n.pendingApp += d }
+
+// flush converts pending application time (inflated by the current VM
+// stress factor) and stolen service time into simulated elapsed time.
+func (n *node) flush() {
+	if n.pendingApp > 0 {
+		d := n.pendingApp
+		if n.stressFactor != 1 {
+			d = sim.Duration(float64(d) * n.stressFactor)
+		}
+		n.bd.App += d
+		n.pendingApp = 0
+		n.compute.Advance(d)
+	}
+	if n.stolen > 0 {
+		d := n.stolen
+		n.stolen = 0
+		n.compute.Advance(d)
+	}
+}
+
+// osCharge advances the compute clock by an operating-system cost.
+func (n *node) osCharge(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.bd.OS += d
+	n.compute.Advance(d)
+}
+
+// mprotect changes a page's protection, charging the (stress-dependent)
+// syscall cost. No-op protection changes are skipped, as a real runtime
+// would skip the syscall.
+func (n *node) mprotect(pg vm.PageID, pr vm.Prot) {
+	if n.as.Prot(pg) == pr {
+		return
+	}
+	n.as.SetProt(pg, pr)
+	n.protChanges++
+	n.ctr.Mprotects++
+	n.trc(trace.Mprotect, int(pg), int64(pr))
+	n.osCharge(n.clu.cm.MprotectCost(n.protChanges))
+}
+
+// mprotectSvc is mprotect on the service path (CVM's handlers change
+// protections from SIGIO context, e.g. when installing a migrated page).
+func (n *node) mprotectSvc(pg vm.PageID, pr vm.Prot) {
+	if n.as.Prot(pg) == pr {
+		return
+	}
+	n.as.SetProt(pg, pr)
+	n.protChanges++
+	n.ctr.Mprotects++
+	n.trcSvc(trace.Mprotect, int(pg), int64(pr))
+	n.service.Advance(n.clu.cm.MprotectCost(n.protChanges))
+}
+
+// segv charges one SIGSEGV-to-user-handler dispatch.
+func (n *node) segv() {
+	n.ctr.Segvs++
+	n.osCharge(n.clu.cm.SegvDispatch)
+}
+
+// trc records a trace event stamped with the compute clock.
+func (n *node) trc(kind trace.Kind, page int, arg int64) {
+	if t := n.clu.cfg.Trace; t != nil {
+		t.Add(n.compute.Now(), n.id, kind, page, arg)
+	}
+}
+
+// trcSvc records a trace event stamped with the service clock.
+func (n *node) trcSvc(kind trace.Kind, page int, arg int64) {
+	if t := n.clu.cfg.Trace; t != nil {
+		t.Add(n.service.Now(), n.id, kind, page, arg)
+	}
+}
+
+// makeTwin snapshots a page for later diffing, with accounting and trace.
+func (n *node) makeTwin(pg vm.PageID) {
+	n.as.MakeTwin(pg)
+	n.ctr.Twins++
+	n.osCharge(n.clu.cm.CopyCost(n.as.PageSize()))
+	n.trc(trace.Twin, int(pg), 0)
+}
+
+// fatal aborts the whole simulation. Used for protocol invariant
+// violations, e.g. bar-m divergence ("complain loudly and exit").
+func (n *node) fatal(format string, args ...any) {
+	n.compute.Fail(fmt.Errorf("node %d: %s", n.id, fmt.Sprintf(format, args...)))
+}
+
+// --- fault entry points (called by the typed accessors) -----------------
+
+func (n *node) readFault(pg vm.PageID) {
+	n.flush()
+	n.segv()
+	n.trc(trace.Segv, int(pg), 0)
+	n.proto.readFault(pg)
+	if n.as.Prot(pg) == vm.None {
+		n.fatal("read fault on page %d not resolved by %s", pg, n.clu.cfg.Protocol)
+	}
+}
+
+func (n *node) writeFault(pg vm.PageID) {
+	n.flush()
+	n.segv()
+	n.trc(trace.Segv, int(pg), 1)
+	n.proto.writeFault(pg)
+	if n.as.Prot(pg) != vm.ReadWrite {
+		n.fatal("write fault on page %d not resolved by %s", pg, n.clu.cfg.Protocol)
+	}
+}
+
+// --- compute-path messaging ---------------------------------------------
+
+// sendRequest transmits a request to dst's service port. The caller pairs
+// it with awaitReply (possibly batched: send k requests, await k replies).
+func (n *node) sendRequest(dst int, kind, size int, data any) {
+	n.osCharge(n.clu.cm.SendCPU)
+	n.clu.net.Send(n.compute, dst, netsim.PortService, &netsim.Packet{Kind: kind, Size: size, Data: data})
+}
+
+// sendFlush transmits an unacknowledged flush (update) message; subject to
+// loss injection.
+func (n *node) sendFlush(dst int, kind, size int, data any) {
+	n.osCharge(n.clu.cm.SendCPU)
+	if r := n.clu.cfg.UpdateLossRate; r > 0 && n.lossRng.Float64() < r {
+		return // dropped on the wire; cost already paid by the sender
+	}
+	n.clu.net.Send(n.compute, dst, netsim.PortService, &netsim.Packet{Kind: kind, Size: size, Data: data})
+}
+
+// awaitReply blocks until the next reply packet arrives at the compute
+// port, absorbing service time stolen during the wait and dropping stale
+// timeout alarms.
+func (n *node) awaitReply() *netsim.Packet {
+	start := n.compute.Now()
+	for {
+		m := n.compute.Recv()
+		pkt := m.Payload.(*netsim.Packet)
+		if pkt.Kind == mkUpdateTimeout {
+			continue // stale alarm from an earlier satisfied wait
+		}
+		n.absorbWait(start)
+		if pkt.FromNode != n.id {
+			n.osCharge(n.clu.cm.RecvCPU)
+		}
+		return pkt
+	}
+}
+
+// absorbWait discounts stolen service time that overlapped a wait that
+// started at start: handler work done while the compute side was idle does
+// not extend the critical path.
+func (n *node) absorbWait(start sim.Time) {
+	w := sim.Duration(n.compute.Now() - start)
+	if n.stolen <= w {
+		n.stolen = 0
+	} else {
+		n.stolen -= w
+	}
+}
+
+// serviceReply sends a reply from the service path back to a requester.
+func (n *node) serviceReply(req *netsim.Packet, kind, size int, data any) {
+	n.replyFrom(n.service, req, kind, size, data)
+}
+
+// replyFrom sends a reply to a requester from the given execution context
+// (service normally; compute when draining requests queued behind a home
+// migration install).
+func (n *node) replyFrom(p *sim.Proc, req *netsim.Packet, kind, size int, data any) {
+	if req.FromNode != n.id {
+		p.Advance(n.clu.cm.SendCPU)
+	}
+	n.clu.net.Send(p, req.FromNode, req.FromPort, &netsim.Packet{Kind: kind, Size: size, Reply: true, Data: data})
+}
+
+// --- barrier --------------------------------------------------------------
+
+// barrier performs one barrier episode, optionally carrying a reduction.
+func (n *node) barrier(red *redContrib) *redResult {
+	n.flush()
+	if n.clu.seq {
+		n.ctr.Barriers++
+		return reduceLocal(red)
+	}
+	site := n.siteIdx
+	n.siteIdx++
+	seq := n.barSeq
+	n.barSeq++
+	payload, psize := n.proto.preBarrier(site)
+	n.stressFactor = n.clu.cm.AppStress(n.protChanges)
+	n.protChanges = 0
+	arr := &barArrive{From: n.id, Site: site, Seq: seq, Proto: payload, Red: red}
+	n.trc(trace.BarrierArrive, -1, int64(seq))
+	n.osCharge(n.clu.cm.SendCPU)
+	n.clu.net.Send(n.compute, 0, netsim.PortService,
+		&netsim.Packet{Kind: mkBarArrive, Size: bytesBarHeader + psize + redSize(red), Data: arr})
+	rel := n.awaitRelease(seq)
+	n.trc(trace.BarrierRelease, -1, int64(seq))
+	n.proto.onRelease(site, rel.Proto)
+	n.proto.postBarrier(site)
+	n.ctr.Barriers++
+	return rel.Red
+}
+
+func (n *node) awaitRelease(seq int) *barRelease {
+	for {
+		pkt := n.awaitReply()
+		if pkt.Kind != mkBarRelease {
+			n.fatal("expected barrier release, got kind %d", pkt.Kind)
+		}
+		rel := pkt.Data.(*barRelease)
+		if rel.Seq != seq {
+			n.fatal("barrier release seq %d, want %d", rel.Seq, seq)
+		}
+		return rel
+	}
+}
+
+// iterationBoundary marks the end of one outer application iteration: the
+// barrier call-site counter resets and the protocol may change phase
+// (home migration after iteration 1, overdrive after LearnIters).
+func (n *node) iterationBoundary() {
+	n.iter++
+	n.siteIdx = 0
+	if !n.clu.seq {
+		n.proto.iterBoundary()
+	}
+}
+
+// --- update-flush banking (bar-u / bar-s / bar-m consumers) -------------
+
+func (n *node) handleUpdateFlush(pkt *netsim.Packet) {
+	uf := pkt.Data.(*updateFlush)
+	n.bank[uf.Epoch] = append(n.bank[uf.Epoch], uf.Diffs...)
+	n.bankBatches[uf.Epoch]++
+	if n.waitingUpd && n.waitEpoch == uf.Epoch && n.bankBatches[uf.Epoch] >= n.expUpdates {
+		n.waitingUpd = false
+		n.clu.net.Send(n.service, n.id, netsim.PortCompute,
+			&netsim.Packet{Kind: mkUpdatesReady, Data: &updatesReady{Epoch: uf.Epoch}})
+	}
+}
+
+// waitUpdates blocks (inside the barrier, per the paper) until the
+// expected number of update flush batches for epoch has arrived, or until
+// the loss timeout fires. It reports whether all batches arrived.
+func (n *node) waitUpdates(epoch, expected int) bool {
+	n.expUpdates = expected
+	if n.bankBatches[epoch] >= expected {
+		return true
+	}
+	n.waitingUpd = true
+	n.waitEpoch = epoch
+	lossy := n.clu.cfg.UpdateLossRate > 0
+	if lossy {
+		n.waitSeq++
+		n.compute.Send(n.compute.ID(), sim.Duration(updateWaitTimeout), &netsim.Packet{
+			Kind: mkUpdateTimeout, FromNode: n.id, Data: &updateTimeout{WaitSeq: n.waitSeq},
+		})
+	}
+	start := n.compute.Now()
+	for {
+		m := n.compute.Recv()
+		pkt := m.Payload.(*netsim.Packet)
+		switch pkt.Kind {
+		case mkUpdatesReady:
+			if pkt.Data.(*updatesReady).Epoch != epoch {
+				continue
+			}
+			n.absorbWait(start)
+			return true
+		case mkUpdateTimeout:
+			if !lossy || pkt.Data.(*updateTimeout).WaitSeq != n.waitSeq {
+				continue // stale alarm
+			}
+			n.waitingUpd = false
+			n.absorbWait(start)
+			return false
+		default:
+			n.fatal("unexpected packet kind %d while waiting for updates", pkt.Kind)
+		}
+	}
+}
+
+// takeBankedUpdates removes and returns epoch's banked update diffs.
+func (n *node) takeBankedUpdates(epoch int) []diffMsg {
+	d := n.bank[epoch]
+	delete(n.bank, epoch)
+	delete(n.bankBatches, epoch)
+	return d
+}
+
+// --- measurement ----------------------------------------------------------
+
+func (n *node) snapshotStart() {
+	n.measuring = true
+	n.windowed = true
+	n.mStart = n.compute.Now()
+	n.mStartBd = n.bd
+	n.mStartCtr = n.ctr
+	n.mStartTr = n.clu.net.Traffic[n.id]
+}
+
+func (n *node) snapshotStop() {
+	n.measuring = false
+	n.mStop = n.compute.Now()
+	n.mStopBd = n.bd
+	n.mStopCtr = n.ctr
+	n.mStopTr = n.clu.net.Traffic[n.id]
+}
+
+// report assembles the run's statistics from the measurement windows.
+func (c *cluster) report() (*Report, error) {
+	r := &Report{
+		Protocol: c.cfg.Protocol.String(),
+		Procs:    c.cfg.Procs,
+	}
+	for i, n := range c.nodes {
+		if !n.windowed {
+			return nil, fmt.Errorf("core: node %d has no measurement window", n.id)
+		}
+		elapsed := sim.Duration(n.mStop - n.mStart)
+		if elapsed > r.Elapsed {
+			r.Elapsed = elapsed
+		}
+		ctr := n.mStopCtr.Sub(n.mStartCtr)
+		tr := n.mStopTr.Sub(n.mStartTr)
+		ctr.Messages = tr.Messages
+		ctr.Replies = tr.Replies
+		ctr.DataBytes = tr.Bytes
+		bd := stats.Breakdown{
+			App:   n.mStopBd.App - n.mStartBd.App,
+			OS:    n.mStopBd.OS - n.mStartBd.OS,
+			Sigio: n.mStopBd.Sigio - n.mStartBd.Sigio,
+		}
+		bd.Wait = elapsed - bd.App - bd.OS - bd.Sigio
+		if bd.Wait < 0 {
+			bd.Wait = 0
+		}
+		r.PerNode = append(r.PerNode, ctr)
+		r.Breakdowns = append(r.Breakdowns, bd)
+		r.Total.Add(ctr)
+		r.BreakdownSum.Add(bd)
+		if n.hasRes {
+			if !r.HasChecksum {
+				r.Checksum, r.HasChecksum = n.result, true
+			} else if r.Checksum != n.result {
+				return nil, fmt.Errorf("core: checksum mismatch: node %d has %#x, node 0 has %#x", i, n.result, r.Checksum)
+			}
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"godsm/internal/sim"
+)
+
+// randomProgram builds a deterministic SPMD body from a seed: each node
+// owns a random slice of pages; every epoch it writes a random (but
+// per-iteration-stable) subset of its pages at random offsets and reads a
+// random set of other nodes' pages. This fuzzes the protocols with access
+// patterns no hand-written kernel would produce, while keeping the
+// overdrive invariant (the pattern repeats every iteration).
+func randomProgram(seed int64, pages, iters int) func(*Proc) {
+	const vnodes = 8 // the plan is laid out for 8 virtual nodes ...
+	return func(p *Proc) {
+		me, np := p.ID(), p.NumProcs()
+		a := p.AllocF64(pages * 1024)
+		// ... and real node me executes every virtual node v with
+		// v % np == me, so the program's semantics are identical at any
+		// cluster size (including the sequential baseline).
+		runs := func(v int) bool { return v%np == me }
+		// All nodes derive the same plan from the seed.
+		rng := rand.New(rand.NewSource(seed))
+		owner := make([]int, pages)
+		for pg := range owner {
+			owner[pg] = rng.Intn(vnodes)
+		}
+		type write struct{ pg, off int }
+		type epochPlan struct {
+			writes [][]write // per node
+			reads  [][]int   // per node: global offsets to read
+		}
+		plans := make([]epochPlan, 2) // two epochs per iteration
+		for e := range plans {
+			plans[e].writes = make([][]write, vnodes)
+			plans[e].reads = make([][]int, vnodes)
+			for v := 0; v < vnodes; v++ {
+				for pg := 0; pg < pages; pg++ {
+					if owner[pg] != v || rng.Intn(3) == 0 {
+						continue
+					}
+					for k := 0; k < 1+rng.Intn(4); k++ {
+						plans[e].writes[v] = append(plans[e].writes[v],
+							write{pg, rng.Intn(1024)})
+					}
+				}
+				for k := 0; k < rng.Intn(6); k++ {
+					plans[e].reads[v] = append(plans[e].reads[v],
+						rng.Intn(pages*1024))
+				}
+			}
+		}
+		if me == 0 {
+			for i := 0; i < pages*1024; i += 7 {
+				a.Set(i, float64(i))
+			}
+		}
+		p.Barrier()
+		acc := 0.0
+		for it := 0; it < iters; it++ {
+			for e := range plans {
+				for v := 0; v < vnodes; v++ {
+					if !runs(v) {
+						continue
+					}
+					for _, w := range plans[e].writes[v] {
+						idx := w.pg*1024 + w.off
+						a.Set(idx, a.Get(idx)+float64(it*31+e*7+v+1))
+					}
+				}
+				p.Charge(sim.Duration(20+me) * sim.Microsecond)
+				p.Barrier()
+				for v := 0; v < vnodes; v++ {
+					if !runs(v) {
+						continue
+					}
+					for _, idx := range plans[e].reads[v] {
+						acc += a.Get(idx)
+					}
+				}
+				p.Barrier()
+			}
+			p.IterationBoundary()
+		}
+		// Checksum the pages this node's virtual nodes own
+		// (partition-independent).
+		var sum uint64
+		for pg := 0; pg < pages; pg++ {
+			if runs(owner[pg]) {
+				sum ^= a.Checksum(pg*1024, (pg+1)*1024)
+			}
+		}
+		res := p.ReduceXor([]uint64{sum})
+		p.SetResult(res[0])
+		_ = acc
+	}
+}
+
+// TestFuzzProtocolsAgree runs randomly generated access patterns under
+// every protocol and cluster size, demanding bit-identical results. Writes
+// are owner-partitioned at page granularity (data-race free by
+// construction) but offsets, read sets and page ownership are random.
+func TestFuzzProtocolsAgree(t *testing.T) {
+	const pages, iters = 12, 6
+	for _, seed := range []int64{1, 7, 42, 1998, 77777} {
+		body := randomProgram(seed, pages, iters)
+		seq, err := Run(Config{Procs: 1, Protocol: ProtoSeq, SegmentBytes: pages * 8192}, body)
+		if err != nil {
+			t.Fatalf("seed %d seq: %v", seed, err)
+		}
+		for _, proto := range Protocols() {
+			for _, procs := range []int{2, 5, 8} {
+				r, err := Run(Config{Procs: procs, Protocol: proto, SegmentBytes: pages * 8192}, body)
+				if err != nil {
+					t.Fatalf("seed %d %v/%d: %v", seed, proto, procs, err)
+				}
+				if r.Checksum != seq.Checksum {
+					t.Errorf("seed %d %v/%d: checksum %#x, sequential %#x",
+						seed, proto, procs, r.Checksum, seq.Checksum)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"sort"
+
+	"godsm/internal/netsim"
+	"godsm/internal/trace"
+	"godsm/internal/vm"
+)
+
+// lmw implements the homeless multi-writer lazy-release-consistency
+// protocols: lmw-i (invalidate) and, with update=true, lmw-u (hybrid
+// update). Modifications are captured as diffs at each barrier; write
+// notices ride barrier messages; faults fetch the diffs the pending
+// notices name. Under lmw-u, writers additionally flush fresh diffs to
+// their per-page copysets, and receivers bank them, validating lazily at
+// the next segmentation fault — lmw-u "does not immediately validate pages
+// when diffs arrive by update" because homeless copysets are imprecise.
+//
+// Faithful to the paper's complaint, consistency state is long-lived: the
+// diff cache is never garbage-collected during a run (Counters.DiffsStored
+// records the high-water mark).
+type lmw struct {
+	n      *node
+	update bool
+
+	// myInterval is the node's current (open) interval index. Intervals
+	// close at barrier arrivals and at lock releases; write notices carry
+	// their creator's interval index.
+	myInterval int
+	// vc is the vector clock: the highest closed interval of each node
+	// this node has seen (through barriers or lock grants).
+	vc []int
+	// log holds every interval this node has seen, per creator, ascending.
+	// Lock grants are served from it. Like the diff cache it lives until
+	// the optional garbage collection runs.
+	log map[int][]intervalRec
+	// ivVC indexes interval vector clocks by creator<<32|index, for the
+	// causal ordering of same-page diffs at validation.
+	ivVC map[uint64][]int
+	// reported is the highest own interval already shipped in a barrier
+	// arrival.
+	reported int
+	// locks is the per-lock distributed token state; lockMgr the
+	// last-owner bookkeeping for locks this node manages; flags the
+	// one-shot events this node manages.
+	locks   map[int]*lockToken
+	lockMgr map[int]*lockChain
+	flags   map[int]*flagState
+
+	// gc state: vcAtGC snapshots the vector clock at a GC barrier; the
+	// cache and log entries it covers are dropped one barrier later (so
+	// in-flight validation requests from peers still find their diffs).
+	gcSnap []int
+
+	dirty   []vm.PageID // pages twinned this epoch, in fault order
+	isDirty []bool      // per page
+
+	// wroteLast marks pages this node diffed at the previous barrier; the
+	// co-writer copyset rule consults it on release.
+	wroteLast []bool
+
+	// pending lists foreign write notices per invalid page, appended at
+	// each release and consumed by validation faults.
+	pending map[vm.PageID][]writeNotice
+
+	// cache holds every diff this node has created, fetched, or banked.
+	// Nothing is ever evicted (homeless protocols need explicit GC, which
+	// CVM-era systems ran rarely; we never hit it within a run).
+	cache     map[writeNotice]vm.Diff
+	cacheHigh int
+
+	// copyset directs lmw-u flushes: nodes that requested diffs from us,
+	// plus co-writers observed via write notices.
+	copyset []copyset
+
+	// bankMeta tracks banked-update supersession for the
+	// UpdatesUnneeded counter: key = page<<8 | creator.
+	bankMeta map[uint64]bool // value: consumed since last banking
+}
+
+func newLmw(n *node, update bool) *lmw {
+	np := n.as.NumPages()
+	vc := make([]int, n.clu.cfg.Procs)
+	for i := range vc {
+		vc[i] = -1 // interval indices start at 0; nothing seen yet
+	}
+	return &lmw{
+		n:         n,
+		update:    update,
+		reported:  -1,
+		vc:        vc,
+		log:       make(map[int][]intervalRec),
+		ivVC:      make(map[uint64][]int),
+		locks:     make(map[int]*lockToken),
+		lockMgr:   make(map[int]*lockChain),
+		flags:     make(map[int]*flagState),
+		isDirty:   make([]bool, np),
+		wroteLast: make([]bool, np),
+		pending:   make(map[vm.PageID][]writeNotice),
+		cache:     make(map[writeNotice]vm.Diff),
+		copyset:   make([]copyset, np),
+		bankMeta:  make(map[uint64]bool),
+	}
+}
+
+// --- faults ---------------------------------------------------------------
+
+func (l *lmw) readFault(pg vm.PageID) {
+	l.validate(pg)
+}
+
+func (l *lmw) writeFault(pg vm.PageID) {
+	n := l.n
+	if n.as.Prot(pg) == vm.None {
+		l.validate(pg)
+	}
+	if !l.isDirty[pg] {
+		n.makeTwin(pg)
+		l.isDirty[pg] = true
+		l.dirty = append(l.dirty, pg)
+	}
+	n.mprotect(pg, vm.ReadWrite)
+}
+
+// validate brings an invalid page up to date by applying the diffs named
+// by its pending write notices, fetching any that are not locally cached.
+func (l *lmw) validate(pg vm.PageID) {
+	n := l.n
+	wants := l.pending[pg]
+	if len(wants) == 0 {
+		// Invalid page with no pending notices is a protocol bug.
+		n.fatal("lmw: fault on page %d with no pending notices", pg)
+	}
+	// Partition needed notices into locally available and missing.
+	var missing []writeNotice
+	for _, nt := range wants {
+		if _, ok := l.cache[nt]; !ok {
+			missing = append(missing, nt)
+		}
+	}
+	if len(missing) > 0 {
+		n.ctr.RemoteMisses++
+		byCreator := make(map[int][]writeNotice)
+		var creators []int
+		for _, nt := range missing {
+			if _, ok := byCreator[nt.Creator]; !ok {
+				creators = append(creators, nt.Creator)
+			}
+			byCreator[nt.Creator] = append(byCreator[nt.Creator], nt)
+		}
+		sort.Ints(creators)
+		for _, c := range creators {
+			n.ctr.DiffFetches++
+			n.trc(trace.DiffFetch, int(pg), int64(c))
+			n.sendRequest(c, mkDiffReq, len(byCreator[c])*bytesDiffName, &diffReq{Wants: byCreator[c]})
+		}
+		for range creators {
+			pkt := n.awaitReply()
+			if pkt.Kind != mkDiffRep {
+				n.fatal("lmw: expected diff reply, got kind %d", pkt.Kind)
+			}
+			for _, dm := range pkt.Data.(*diffRep).Diffs {
+				l.cacheDiff(dm.Notice, dm.Diff)
+			}
+		}
+		n.osCharge(n.clu.cm.FaultService)
+	}
+	// Apply in causal (happens-before) order: intervals chained through
+	// locks may rewrite the same words, and the later write must win.
+	// Concurrent intervals are disjoint in race-free programs, so their
+	// relative order is cosmetic; the deterministic tie-break keeps runs
+	// bit-reproducible.
+	l.orderCausally(wants)
+	for i, nt := range wants {
+		d, ok := l.cache[nt]
+		if !ok {
+			n.fatal("lmw: diff %v missing after fetch", nt)
+		}
+		if n.clu.cfg.CheckDisjoint {
+			// Concurrent (same-epoch) diffs of one page must be disjoint
+			// in a data-race-free program.
+			for _, prev := range wants[:i] {
+				if prev.Epoch == nt.Epoch && l.cache[prev].Overlaps(d) {
+					n.fatal("lmw: data race on page %d: nodes %d and %d wrote overlapping words in epoch %d",
+						pg, prev.Creator, nt.Creator, nt.Epoch)
+				}
+			}
+		}
+		n.osCharge(n.clu.cm.DiffApplyCost(d.Size()))
+		n.as.ApplyDiff(d)
+		n.trc(trace.DiffApply, int(nt.Page), int64(d.Size()))
+		l.bankMeta[bankKey(nt.Page, nt.Creator)] = true
+	}
+	delete(l.pending, pg)
+	n.mprotect(pg, vm.Read)
+}
+
+func (l *lmw) cacheDiff(nt writeNotice, d vm.Diff) {
+	if _, ok := l.cache[nt]; ok {
+		return // duplicate (e.g. flush raced a fetch)
+	}
+	l.cache[nt] = d
+	if len(l.cache) > l.cacheHigh {
+		l.cacheHigh = len(l.cache)
+		l.n.ctr.DiffsStored = int64(l.cacheHigh)
+	}
+}
+
+// --- barrier phases ---------------------------------------------------------
+
+// endInterval closes the node's current interval: every twinned page is
+// diffed, noticed and (at barriers, under lmw-u) flushed to its copyset.
+// Empty intervals (no modifications) are skipped entirely.
+func (l *lmw) endInterval(flushUpdates bool) []writeNotice {
+	n := l.n
+	cm := n.clu.cm
+	idx := l.myInterval
+	var notices []writeNotice
+	// Batched lmw-u flushes: destination -> diff batch.
+	var flushes map[int][]diffMsg
+	for _, pg := range l.dirty {
+		l.isDirty[pg] = false
+		n.osCharge(cm.DiffCreateCost(n.as.PageSize()))
+		d := n.as.DiffAgainstTwin(pg)
+		n.as.DiscardTwin(pg)
+		n.mprotect(pg, vm.Read)
+		if d.Empty() {
+			continue
+		}
+		n.ctr.Diffs++
+		n.trc(trace.DiffCreate, int(pg), int64(d.Size()))
+		nt := writeNotice{Page: pg, Creator: n.id, Epoch: idx}
+		l.cacheDiff(nt, d)
+		notices = append(notices, nt)
+		l.wroteLast[pg] = true
+		if l.update && flushUpdates {
+			for cs := l.copyset[pg].without(n.id); cs != 0; {
+				m := cs.lowest()
+				cs = cs.without(m)
+				if flushes == nil {
+					flushes = make(map[int][]diffMsg)
+				}
+				flushes[m] = append(flushes[m], diffMsg{Notice: nt, Diff: d})
+			}
+		}
+	}
+	l.dirty = l.dirty[:0]
+	if len(notices) == 0 {
+		return nil
+	}
+	l.vc[n.id] = idx
+	rec := intervalRec{Creator: n.id, Index: idx, Notices: notices, VC: append([]int(nil), l.vc...)}
+	l.log[n.id] = append(l.log[n.id], rec)
+	l.ivVC[ivKey(n.id, idx)] = rec.VC
+	l.myInterval++
+	for _, dst := range sortedKeys(flushes) {
+		batch := flushes[dst]
+		n.ctr.UpdatesSent += int64(len(batch))
+		n.trc(trace.UpdatePush, -1, int64(dst))
+		n.sendFlush(dst, mkLmwFlush, sizeDiffs(batch), &updateFlush{Epoch: idx, Diffs: batch})
+	}
+	return notices
+}
+
+func (l *lmw) preBarrier(int) (any, int) {
+	n := l.n
+	for i := range l.wroteLast {
+		l.wroteLast[i] = false
+	}
+	l.endInterval(true)
+	// Ship every own interval not yet reported — the one just closed plus
+	// any closed at lock releases since the previous barrier.
+	var ivs []intervalRec
+	for _, rec := range l.log[n.id] {
+		if rec.Index > l.reported {
+			ivs = append(ivs, rec)
+		}
+	}
+	l.reported = l.myInterval - 1
+	return ivs, sizeIntervals(ivs)
+}
+
+func (l *lmw) onRelease(_ int, rel any) {
+	ivs, _ := rel.([]intervalRec)
+	for _, iv := range ivs {
+		l.applyInterval(iv, true)
+	}
+}
+
+// applyInterval records one received interval: pending notices are queued,
+// cached copies invalidated, the co-writer copyset rule applied (at
+// barriers only). Intervals already covered by the vector clock are
+// dropped — barrier releases and lock grants may overlap.
+func (l *lmw) applyInterval(iv intervalRec, coWriterRule bool) {
+	n := l.n
+	if iv.Creator == n.id || iv.Index <= l.vc[iv.Creator] {
+		return
+	}
+	l.log[iv.Creator] = append(l.log[iv.Creator], iv)
+	l.ivVC[ivKey(iv.Creator, iv.Index)] = iv.VC
+	l.vc[iv.Creator] = iv.Index
+	for _, nt := range iv.Notices {
+		l.pending[nt.Page] = append(l.pending[nt.Page], nt)
+		n.mprotect(nt.Page, vm.None)
+		if l.update && coWriterRule && l.wroteLast[nt.Page] {
+			// Co-writer rule: we and nt.Creator both wrote the page this
+			// epoch; start flushing our diffs to them. Homeless copysets
+			// are imprecise — this may generate unneeded updates, which is
+			// exactly the overhead the paper attributes to lmw-u.
+			l.copyset[nt.Page].add(nt.Creator)
+		}
+	}
+}
+
+func (l *lmw) postBarrier(int) {
+	if k := l.n.clu.cfg.LmwGCBarriers; k > 0 {
+		l.maybeGC(k)
+	}
+}
+
+func (l *lmw) iterBoundary() {}
+
+// --- service path -----------------------------------------------------------
+
+func (l *lmw) handleRequest(pkt *netsim.Packet) {
+	n := l.n
+	switch pkt.Kind {
+	case mkDiffReq:
+		req := pkt.Data.(*diffReq)
+		rep := &diffRep{}
+		for _, nt := range req.Wants {
+			d, ok := l.cache[nt]
+			if !ok {
+				n.fatal("lmw: asked for diff %v we do not hold", nt)
+			}
+			rep.Diffs = append(rep.Diffs, diffMsg{Notice: nt, Diff: d})
+			l.copyset[nt.Page].add(pkt.FromNode)
+		}
+		n.serviceReply(pkt, mkDiffRep, sizeDiffs(rep.Diffs), rep)
+	case mkLmwFlush:
+		uf := pkt.Data.(*updateFlush)
+		for _, dm := range uf.Diffs {
+			// Banking out-of-order updates costs real bookkeeping in CVM's
+			// data structures — the paper blames this for lmw-u's barnes
+			// and swm regressions.
+			n.service.Advance(n.clu.cm.UpdateBankCPU)
+			key := bankKey(dm.Notice.Page, dm.Notice.Creator)
+			if consumed, seen := l.bankMeta[key]; seen && !consumed {
+				n.ctr.UpdatesUnneeded++
+			}
+			l.bankMeta[key] = false
+			l.cacheDiff(dm.Notice, dm.Diff)
+		}
+	case mkLockAcq:
+		l.handleLockAcq(pkt)
+	case mkLockFwd:
+		l.handleLockFwd(pkt)
+	case mkFlagSet:
+		l.handleFlagSet(pkt)
+	case mkFlagWait:
+		l.handleFlagWait(pkt)
+	default:
+		n.fatal("lmw: unexpected request kind %d", pkt.Kind)
+	}
+}
+
+func bankKey(pg vm.PageID, creator int) uint64 {
+	return uint64(pg)<<8 | uint64(creator)
+}
+
+func ivKey(creator, index int) uint64 {
+	return uint64(creator)<<32 | uint64(uint32(index))
+}
+
+// orderCausally topologically sorts notices by the happens-before order of
+// their intervals: interval b saw interval a iff b's vector clock covers
+// a's index. A stable selection keeps concurrent intervals in a
+// deterministic (index, creator) order.
+func (l *lmw) orderCausally(wants []writeNotice) {
+	n := l.n
+	saw := func(a, b writeNotice) bool { // b causally after a
+		bvc, ok := l.ivVC[ivKey(b.Creator, b.Epoch)]
+		if !ok {
+			n.fatal("lmw: interval (%d,%d) has no vector clock", b.Creator, b.Epoch)
+		}
+		return a.Creator < len(bvc) && bvc[a.Creator] >= a.Epoch
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].Epoch != wants[j].Epoch {
+			return wants[i].Epoch < wants[j].Epoch
+		}
+		return wants[i].Creator < wants[j].Creator
+	})
+	// Selection sort by causal precedence (k is small: the pending notices
+	// of one page).
+	for i := 0; i < len(wants); i++ {
+		min := i
+		for j := i + 1; j < len(wants); j++ {
+			if wants[j].Creator == wants[min].Creator {
+				continue // same creator already ascending
+			}
+			if saw(wants[j], wants[min]) && !saw(wants[min], wants[j]) {
+				min = j
+			}
+		}
+		if min != i {
+			w := wants[min]
+			copy(wants[i+1:min+1], wants[i:min])
+			wants[i] = w
+		}
+	}
+}
+
+// lmwMgr distributes the union of the newly reported intervals to every
+// node (minus its own). Receivers deduplicate against their vector clocks,
+// since lock grants may already have delivered some of them.
+type lmwMgr struct {
+	clu *cluster
+}
+
+func newLmwMgr(c *cluster) *lmwMgr { return &lmwMgr{clu: c} }
+
+func (m *lmwMgr) aggregate(_ int, arrivals []*barArrive) ([]any, []int) {
+	var all []intervalRec
+	for _, a := range arrivals {
+		if ivs, ok := a.Proto.([]intervalRec); ok {
+			all = append(all, ivs...)
+		}
+	}
+	rels := make([]any, len(arrivals))
+	sizes := make([]int, len(arrivals))
+	for i := range arrivals {
+		var mine []intervalRec
+		for _, iv := range all {
+			if iv.Creator != i {
+				mine = append(mine, iv)
+			}
+		}
+		rels[i] = mine
+		sizes[i] = sizeIntervals(mine)
+	}
+	return rels, sizes
+}

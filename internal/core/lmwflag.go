@@ -1,0 +1,162 @@
+package core
+
+import (
+	"godsm/internal/netsim"
+	"godsm/internal/sim"
+	"godsm/internal/trace"
+)
+
+// Flag synchronization for the homeless lmw protocols — the other
+// "non-global synchronization type" the paper credits lmw with supporting.
+// A flag is a one-shot event: WaitFlag blocks until SetFlag, and the
+// waiter acquires everything that happened before the set (release
+// consistency: the set is a release, the wait an acquire).
+//
+// Each flag lives at a static manager (flag mod procs). Setting ends the
+// setter's current interval and ships its vector clock's frontier to the
+// manager; waiters receive the setter's unseen intervals exactly like a
+// lock grant. Like locks, flags are rejected by the barrier-only bar
+// protocols.
+
+// flagState is the manager-side record of one flag.
+type flagState struct {
+	set bool
+	// ivs is the consistency payload captured at the set; waiters
+	// receive only the entries they lack, filtered by their own clocks.
+	ivs     []intervalRec
+	waiters []*netsim.Packet
+}
+
+// flagSet announces a set flag to its manager, carrying the setter's
+// full interval frontier (every interval the setter has seen); the
+// manager filters per waiter.
+type flagSet struct {
+	Flag int
+	Ivs  []intervalRec
+}
+
+// flagWait asks the manager to be released when the flag is set.
+type flagWait struct {
+	Flag int
+	From int
+	VC   []int
+}
+
+// flagRelease carries the consistency payload to a waiter.
+type flagRelease struct {
+	Flag int
+	Ivs  []intervalRec
+}
+
+// setFlag implements Proc.SetFlag for lmw.
+func (l *lmw) setFlag(flag int) {
+	n := l.n
+	n.flush()
+	l.endInterval(false)
+	// Ship every interval we know; the manager forwards the subset each
+	// waiter lacks.
+	var ivs []intervalRec
+	for _, c := range sortedLogCreators(l.log) {
+		ivs = append(ivs, l.log[c]...)
+	}
+	mgr := flag % n.clu.cfg.Procs
+	n.trc(trace.FlagSet, -1, int64(flag))
+	if mgr == n.id {
+		l.flagSetLocal(n.compute, flag, ivs)
+		return
+	}
+	n.sendRequest(mgr, mkFlagSet, sizeIntervals(ivs), &flagSet{Flag: flag, Ivs: ivs})
+	// Unacknowledged in spirit, but we reuse the request path without
+	// waiting: sets must not block the setter.
+}
+
+// waitFlag implements Proc.WaitFlag for lmw.
+func (l *lmw) waitFlag(flag int) {
+	n := l.n
+	n.flush()
+	n.trc(trace.FlagWait, -1, int64(flag))
+	mgr := flag % n.clu.cfg.Procs
+	req := &flagWait{Flag: flag, From: n.id, VC: append([]int(nil), l.vc...)}
+	n.sendRequest(mgr, mkFlagWait, 8+8*len(req.VC), req)
+	pkt := n.awaitReply()
+	if pkt.Kind != mkFlagRelease {
+		n.fatal("lmw: expected flag release, got kind %d", pkt.Kind)
+	}
+	for _, iv := range pkt.Data.(*flagRelease).Ivs {
+		l.applyInterval(iv, false)
+	}
+}
+
+// flagSetLocal records a set at the manager; p is the execution context
+// (compute when the setter manages the flag itself, service otherwise).
+func (l *lmw) flagSetLocal(p *sim.Proc, flag int, ivs []intervalRec) {
+	fs := l.flagStateFor(flag)
+	fs.set = true
+	fs.ivs = ivs
+	for _, w := range fs.waiters {
+		l.releaseWaiter(p, w, ivs)
+	}
+	fs.waiters = nil
+}
+
+func (l *lmw) flagStateFor(flag int) *flagState {
+	fs, ok := l.flags[flag]
+	if !ok {
+		fs = &flagState{}
+		l.flags[flag] = fs
+	}
+	return fs
+}
+
+// handleFlagSet runs at the manager's service.
+func (l *lmw) handleFlagSet(pkt *netsim.Packet) {
+	fsm := pkt.Data.(*flagSet)
+	l.flagSetLocal(l.n.service, fsm.Flag, fsm.Ivs)
+}
+
+// handleFlagWait runs at the manager's service: release immediately if the
+// flag is already set, else park the waiter.
+func (l *lmw) handleFlagWait(pkt *netsim.Packet) {
+	w := pkt.Data.(*flagWait)
+	fs := l.flagStateFor(w.Flag)
+	if fs.set {
+		l.releaseWaiter(l.n.service, pkt, fs.ivs)
+		return
+	}
+	fs.waiters = append(fs.waiters, pkt)
+}
+
+// releaseWaiter sends a waiter the intervals it lacks from the given
+// execution context.
+func (l *lmw) releaseWaiter(p *sim.Proc, pkt *netsim.Packet, ivs []intervalRec) {
+	n := l.n
+	w := pkt.Data.(*flagWait)
+	var missing []intervalRec
+	for _, iv := range ivs {
+		if iv.Creator != w.From && iv.Index > w.VC[iv.Creator] {
+			missing = append(missing, iv)
+		}
+	}
+	if w.From != n.id {
+		p.Advance(n.clu.cm.SendCPU)
+	}
+	n.clu.net.Send(p, w.From, netsim.PortCompute, &netsim.Packet{
+		Kind:  mkFlagRelease,
+		Size:  sizeIntervals(missing),
+		Reply: true,
+		Data:  &flagRelease{Flag: w.Flag, Ivs: missing},
+	})
+}
+
+func sortedLogCreators(log map[int][]intervalRec) []int {
+	ks := make([]int, 0, len(log))
+	for k := range log {
+		ks = append(ks, k)
+	}
+	for i := 1; i < len(ks); i++ { // insertion sort, tiny
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+	return ks
+}

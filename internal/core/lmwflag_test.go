@@ -1,0 +1,134 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"godsm/internal/sim"
+)
+
+// TestFlagProducerConsumer: node 0 produces a block of data and sets a
+// flag; every other node waits on it and must observe the full block —
+// the release-consistency transfer through the flag.
+func TestFlagProducerConsumer(t *testing.T) {
+	for _, proto := range []ProtocolKind{ProtoLmwI, ProtoLmwU} {
+		body := func(p *Proc) {
+			data := p.AllocF64(2048) // two pages
+			p.Barrier()
+			if p.ID() == 0 {
+				for i := 0; i < 2048; i++ {
+					data.Set(i, float64(i*3+1))
+				}
+				p.Charge(100 * sim.Microsecond)
+				p.SetFlag(7)
+			} else {
+				p.WaitFlag(7)
+				for i := 0; i < 2048; i += 97 {
+					if got := data.Get(i); got != float64(i*3+1) {
+						p.n.fatal("stale read at %d: %v", i, got)
+					}
+				}
+			}
+			p.Barrier()
+			p.SetResult(1)
+		}
+		if _, err := Run(lockCfg(4, proto), body); err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+	}
+}
+
+// TestFlagSetBeforeWait: waiters arriving after the set release instantly.
+func TestFlagSetBeforeWait(t *testing.T) {
+	body := func(p *Proc) {
+		x := p.AllocF64(1)
+		p.Barrier()
+		if p.ID() == 0 {
+			x.Set(0, 42)
+			p.SetFlag(3)
+		}
+		p.Barrier() // ensure the set happened before anyone waits
+		if p.ID() != 0 {
+			p.WaitFlag(3)
+			if x.Get(0) != 42 {
+				p.n.fatal("x = %v", x.Get(0))
+			}
+		}
+		p.Barrier()
+		p.SetResult(1)
+	}
+	if _, err := Run(lockCfg(3, ProtoLmwI), body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlagPipeline chains flags: 0 -> 1 -> 2 -> 3, each stage transforming
+// the previous stage's output.
+func TestFlagPipeline(t *testing.T) {
+	body := func(p *Proc) {
+		v := p.AllocF64(1024)
+		np := p.NumProcs()
+		p.Barrier()
+		if p.ID() == 0 {
+			v.Set(0, 1)
+			p.SetFlag(100)
+		} else {
+			p.WaitFlag(100 + p.ID() - 1)
+			v.Set(p.ID(), v.Get(p.ID()-1)*2)
+			p.SetFlag(100 + p.ID())
+		}
+		if p.ID() == np-1 {
+			p.SetFlag(999)
+		}
+		p.WaitFlag(999)
+		p.Barrier()
+		want := 1.0
+		for i := 1; i < np; i++ {
+			want *= 2
+		}
+		if got := v.Get(np - 1); got != want {
+			p.n.fatal("pipeline result %v, want %v", got, want)
+		}
+		p.SetResult(uint64(v.Get(np - 1)))
+	}
+	if _, err := Run(lockCfg(4, ProtoLmwU), body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlagNeverSetDeadlocks: a wait with no set is a deadlock the sim
+// kernel diagnoses rather than hangs on.
+func TestFlagNeverSetDeadlocks(t *testing.T) {
+	body := func(p *Proc) {
+		p.Barrier()
+		if p.ID() == 1 {
+			p.WaitFlag(5)
+		}
+		p.Barrier()
+		p.SetResult(1)
+	}
+	err := Run2Err(t, lockCfg(2, ProtoLmwI), body)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock diagnosis", err)
+	}
+}
+
+// Run2Err is a helper returning only the error.
+func Run2Err(t *testing.T, cfg Config, body func(*Proc)) error {
+	t.Helper()
+	_, err := Run(cfg, body)
+	return err
+}
+
+// TestBarProtocolsRejectFlags mirrors the lock rejection.
+func TestBarProtocolsRejectFlags(t *testing.T) {
+	body := func(p *Proc) {
+		p.SetFlag(0)
+		p.SetResult(1)
+	}
+	for _, proto := range []ProtocolKind{ProtoBarI, ProtoBarM} {
+		if _, err := Run(lockCfg(2, proto), body); err == nil {
+			t.Errorf("%v accepted flags", proto)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sort"
+
+	"godsm/internal/netsim"
+	"godsm/internal/sim"
+	"godsm/internal/trace"
+	"godsm/internal/vm"
+)
+
+// Lock synchronization for the homeless lmw protocols. This is the
+// machinery the paper holds against them: "Since lmw supports locks,
+// flags, and other non-global synchronization types, as well as programs
+// with dynamic sharing behavior, consistency information has long
+// lifetimes, and can not be discarded without explicit garbage
+// collection."
+//
+// Locks are distributed tokens. Each lock has a static manager (lock mod
+// procs) that remembers the last owner; acquires are forwarded along the
+// ownership chain, and the grant carries every interval (write notices)
+// the granter has seen that the requester has not — the lazy-release-
+// consistency transfer. The home-based bar protocols reject locks by
+// design: the paper builds them "by limiting the protocol to codes that
+// only use barrier synchronization".
+
+// lockToken is a node's local view of one lock.
+type lockToken struct {
+	hasToken bool
+	inUse    bool
+	// queued holds at most one forwarded acquire awaiting our release
+	// (the manager chains every subsequent requester behind the previous
+	// one, so no node ever queues two).
+	queued *netsim.Packet
+}
+
+// lockChain is the manager-side record: whom to forward the next acquire
+// to.
+type lockChain struct {
+	lastOwner int
+}
+
+// lockState returns (creating if needed) the local token state. The
+// manager node starts out holding the token.
+func (l *lmw) lockState(lock int) *lockToken {
+	st, ok := l.locks[lock]
+	if !ok {
+		st = &lockToken{hasToken: l.n.id == lock%l.n.clu.cfg.Procs}
+		l.locks[lock] = st
+	}
+	return st
+}
+
+func (l *lmw) chainState(lock int) *lockChain {
+	cs, ok := l.lockMgr[lock]
+	if !ok {
+		cs = &lockChain{lastOwner: lock % l.n.clu.cfg.Procs}
+		l.lockMgr[lock] = cs
+	}
+	return cs
+}
+
+// acquire implements Proc.Acquire for the lmw protocols: request the
+// token through the manager, then apply the granted consistency
+// information (invalidations for every interval we had not seen).
+func (l *lmw) acquire(lock int) {
+	n := l.n
+	n.flush()
+	n.ctr.LockAcquires++
+	n.trc(trace.LockAcquire, -1, int64(lock))
+	mgr := lock % n.clu.cfg.Procs
+	req := &lockAcq{Lock: lock, From: n.id, VC: append([]int(nil), l.vc...)}
+	n.sendRequest(mgr, mkLockAcq, 8+8*len(req.VC), req)
+	pkt := n.awaitReply()
+	if pkt.Kind != mkLockGrant {
+		n.fatal("lmw: expected lock grant, got kind %d", pkt.Kind)
+	}
+	g := pkt.Data.(*lockGrant)
+	for _, iv := range g.Intervals {
+		l.applyInterval(iv, false)
+	}
+	st := l.lockState(lock)
+	st.hasToken = true
+	st.inUse = true
+}
+
+// release implements Proc.Release: close the current interval (the
+// critical section's modifications become visible to the next acquirer)
+// and pass the token along if someone is waiting.
+func (l *lmw) release(lock int) {
+	n := l.n
+	n.flush()
+	st := l.lockState(lock)
+	if !st.inUse {
+		n.fatal("lmw: release of lock %d not held", lock)
+	}
+	l.endInterval(false)
+	st.inUse = false
+	if st.queued != nil {
+		pkt := st.queued
+		st.queued = nil
+		st.hasToken = false
+		l.grantLock(n.compute, pkt)
+	}
+}
+
+// handleLockAcq runs at the lock's manager: forward the request to the
+// last owner and chain the requester behind it.
+func (l *lmw) handleLockAcq(pkt *netsim.Packet) {
+	n := l.n
+	a := pkt.Data.(*lockAcq)
+	cs := l.chainState(a.Lock)
+	dest := cs.lastOwner
+	cs.lastOwner = a.From
+	if dest != n.id {
+		n.service.Advance(n.clu.cm.SendCPU)
+	}
+	n.clu.net.Send(n.service, dest, netsim.PortService,
+		&netsim.Packet{Kind: mkLockFwd, Size: 8 + 8*len(a.VC), Data: a})
+}
+
+// handleLockFwd runs at the (last) owner: grant immediately if the token
+// is idle here, else park the request until our release.
+func (l *lmw) handleLockFwd(pkt *netsim.Packet) {
+	n := l.n
+	a := pkt.Data.(*lockAcq)
+	st := l.lockState(a.Lock)
+	switch {
+	case st.hasToken && !st.inUse:
+		st.hasToken = false
+		l.grantLock(n.service, pkt)
+	case st.queued != nil:
+		n.fatal("lmw: two acquires queued for lock %d (manager chain broken)", a.Lock)
+	default:
+		st.queued = pkt
+	}
+}
+
+// grantLock sends the token plus every interval the requester is missing.
+// p is the execution context: the service process for idle-token grants,
+// the compute process when handing off at a release.
+func (l *lmw) grantLock(p *sim.Proc, pkt *netsim.Packet) {
+	n := l.n
+	a := pkt.Data.(*lockAcq)
+	var ivs []intervalRec
+	creators := make([]int, 0, len(l.log))
+	for c := range l.log {
+		creators = append(creators, c)
+	}
+	sort.Ints(creators)
+	for _, c := range creators {
+		if c == a.From {
+			continue
+		}
+		for _, rec := range l.log[c] {
+			if rec.Index > a.VC[c] {
+				ivs = append(ivs, rec)
+			}
+		}
+	}
+	g := &lockGrant{Lock: a.Lock, Intervals: ivs}
+	if t := n.clu.cfg.Trace; t != nil {
+		t.Add(p.Now(), n.id, trace.LockGrant, a.From, int64(a.Lock))
+	}
+	if a.From != n.id {
+		p.Advance(sim.Duration(n.clu.cm.SendCPU))
+	}
+	n.clu.net.Send(p, a.From, netsim.PortCompute,
+		&netsim.Packet{Kind: mkLockGrant, Size: 8 + sizeIntervals(ivs), Reply: true, Data: g})
+}
+
+// --- garbage collection -------------------------------------------------
+
+// maybeGC implements the explicit garbage collection homeless protocols
+// need (Config.LmwGCBarriers). At every k-th barrier each node validates
+// all of its pending pages, so no future fault can name an old diff; the
+// diff cache and interval logs covered by the snapshot are dropped one
+// barrier later, after every peer's validation requests have been served.
+func (l *lmw) maybeGC(k int) {
+	n := l.n
+	if l.gcSnap != nil {
+		// Phase 2: the validation sweep happened a barrier ago; every
+		// peer has fetched what it needed, old state can go.
+		removed := int64(0)
+		for nt := range l.cache {
+			if nt.Epoch <= l.gcSnap[nt.Creator] {
+				delete(l.cache, nt)
+				removed++
+			}
+		}
+		for c, recs := range l.log {
+			keep := recs[:0]
+			for _, rec := range recs {
+				if rec.Index > l.gcSnap[c] {
+					keep = append(keep, rec)
+				} else {
+					delete(l.ivVC, ivKey(c, rec.Index))
+				}
+			}
+			l.log[c] = keep
+		}
+		n.ctr.DiffsGCed += removed
+		l.gcSnap = nil
+	}
+	if n.barSeq%k != 0 {
+		return
+	}
+	// Phase 1: bring every invalid page up to date. This is the expense
+	// that makes GC rare in real systems: a burst of validation traffic.
+	var pages []int
+	for pg := range l.pending {
+		pages = append(pages, int(pg))
+	}
+	sort.Ints(pages)
+	for _, pg := range pages {
+		l.validate(vm.PageID(pg))
+	}
+	l.gcSnap = append([]int(nil), l.vc...)
+}

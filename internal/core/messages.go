@@ -1,0 +1,235 @@
+package core
+
+import (
+	"godsm/internal/vm"
+)
+
+// Message kinds carried in netsim.Packet.Kind. Requests are handled on the
+// destination node's service port; replies and barrier releases are
+// delivered straight to the requesting compute port.
+const (
+	// mkDiffReq (lmw) asks a writer for the diffs named by write notices.
+	mkDiffReq = iota + 1
+	// mkDiffRep answers with the requested diffs.
+	mkDiffRep
+	// mkPageReq (bar) asks a page's home for a full copy.
+	mkPageReq
+	// mkPageRep answers with page contents and the home's version index.
+	mkPageRep
+	// mkHomeFlush (bar) carries a writer's diff batch to one home;
+	// acknowledged so version indices are settled before the barrier.
+	mkHomeFlush
+	// mkHomeFlushAck acknowledges mkHomeFlush with post-apply versions.
+	mkHomeFlushAck
+	// mkUpdateFlush carries a copyset-directed diff batch to one consumer
+	// under the bar-u family, which waits for updates inside the barrier.
+	// Unacknowledged: a single message, lost copies harm only performance.
+	mkUpdateFlush
+	// mkLmwFlush carries a copyset-directed diff batch to one consumer
+	// under lmw-u. The receiver banks the diffs and validates lazily at its
+	// next segv, per the paper. Unacknowledged.
+	mkLmwFlush
+	// mkBarArrive announces barrier arrival to the manager (node 0).
+	mkBarArrive
+	// mkBarRelease releases one node from the barrier.
+	mkBarRelease
+	// mkUpdatesReady is a local service->compute signal that the expected
+	// update flushes of this epoch have all arrived.
+	mkUpdatesReady
+	// mkUpdateTimeout is a local self-addressed alarm bounding the wait
+	// for update flushes (they may be dropped).
+	mkUpdateTimeout
+	// mkHomePull (bar) is sent by a page's newly assigned home to the old
+	// home, inside the migration barrier, to take over the home role.
+	mkHomePull
+	// mkHomePullRep carries the page contents, version and copyset back.
+	// The old home serves its twin if its own next-epoch writes have
+	// already begun, so the transferred image matches the version label.
+	mkHomePullRep
+	// mkLockAcq asks a lock's manager for the lock; carries the
+	// requester's vector clock.
+	mkLockAcq
+	// mkLockFwd forwards an acquire to the lock's last owner (the
+	// distributed token chain).
+	mkLockFwd
+	// mkLockGrant hands the token to the requester, carrying every
+	// interval (write notices) the granter has seen that the requester
+	// has not — lazy release consistency's consistency transfer.
+	mkLockGrant
+	// mkFlagSet announces a set flag to its manager, carrying the
+	// setter's interval frontier.
+	mkFlagSet
+	// mkFlagWait asks the manager to be released when a flag is set.
+	mkFlagWait
+	// mkFlagRelease releases a flag waiter with the intervals it lacks.
+	mkFlagRelease
+	// mkShutdown terminates a service loop at end of run.
+	mkShutdown
+)
+
+// Modeled on-wire sizes of protocol records, in bytes. The simulated
+// network passes Go values, so these constants keep the byte accounting
+// honest (Table 1's "Data" column).
+const (
+	bytesWriteNotice = 8  // page id + creator/epoch
+	bytesVersionRec  = 12 // page id + version + flags
+	bytesCopysetRec  = 8  // page id + member
+	bytesPageReq     = 8
+	bytesDiffName    = 12 // page + creator + epoch
+	bytesUpdateCount = 8  // expected flush-batch count for one node
+	bytesMigrateRec  = 8  // page + new home
+	bytesReduceVal   = 8
+	bytesBarHeader   = 16
+)
+
+// writeNotice names one interval's modification of one page by one node.
+// Under the barrier-only bar protocols Epoch is the global barrier
+// sequence; under lmw it is the creator's own interval index (intervals
+// end at barrier arrivals and at lock releases).
+type writeNotice struct {
+	Page    vm.PageID
+	Creator int
+	Epoch   int
+}
+
+// intervalRec carries one closed interval: its creator, index, the write
+// notices it produced, and the creator's vector clock at the close (own
+// entry included). Lock grants and barrier releases move these; the VC
+// stamp lets a consumer apply causally ordered diffs of the same word in
+// happens-before order — intervals chained through a lock are totally
+// ordered, concurrent ones are disjoint in race-free programs.
+type intervalRec struct {
+	Creator int
+	Index   int
+	Notices []writeNotice
+	VC      []int
+}
+
+// lockAcq asks for a lock, with the requester's vector clock so the
+// granter can compute which intervals to send.
+type lockAcq struct {
+	Lock int
+	From int
+	VC   []int
+}
+
+// lockGrant passes the token plus the consistency information.
+type lockGrant struct {
+	Lock      int
+	Intervals []intervalRec
+}
+
+func sizeIntervals(ivs []intervalRec) int {
+	s := 0
+	for _, iv := range ivs {
+		// Header + notices + the (delta-compressible) vector clock stamp.
+		s += bytesDiffName + len(iv.Notices)*bytesWriteNotice + 2*len(iv.VC)
+	}
+	return s
+}
+
+// diffMsg is one diff tagged with its provenance.
+type diffMsg struct {
+	Notice writeNotice
+	Diff   vm.Diff
+}
+
+// diffReq asks Creator for the listed diffs of its pages.
+type diffReq struct {
+	Wants []writeNotice
+}
+
+// diffRep carries the diffs back. Missing entries (not yet created, never
+// created) are reported in Missing; the requester treats the page as
+// irrecoverable from this source and asks the home of last resort (in lmw
+// this cannot happen for correct programs).
+type diffRep struct {
+	Diffs []diffMsg
+}
+
+// pageReq asks the receiving home for a full copy of Page.
+type pageReq struct {
+	Page vm.PageID
+}
+
+// pageRep carries the page image and its version index.
+type pageRep struct {
+	Page    vm.PageID
+	Data    []byte
+	Version uint32
+}
+
+// homeFlush carries every diff a writer created this epoch for pages homed
+// at the destination.
+type homeFlush struct {
+	Epoch int
+	Diffs []diffMsg
+}
+
+// homeFlushAck reports the home's version index for each page after the
+// flushed diffs were applied.
+type homeFlushAck struct {
+	Versions []pageVersion
+}
+
+// pageVersion pairs a page with a version index.
+type pageVersion struct {
+	Page    vm.PageID
+	Version uint32
+}
+
+// updateFlush carries a writer's diff batch to one consumer. Seq orders
+// flush batches within (writer, epoch) for duplicate suppression.
+type updateFlush struct {
+	Epoch int
+	Diffs []diffMsg
+}
+
+// barArrive is the barrier arrival record.
+type barArrive struct {
+	From  int
+	Site  int // barrier call-site index within the iteration
+	Seq   int // global barrier sequence number
+	Proto any // protocol payload
+	Red   *redContrib
+}
+
+// barRelease is the barrier release record.
+type barRelease struct {
+	Seq   int
+	Proto any // protocol payload for this node
+	Red   *redResult
+}
+
+// updatesReady is the local signal payload for mkUpdatesReady.
+type updatesReady struct {
+	Epoch int
+}
+
+// updateTimeout is the local alarm payload for mkUpdateTimeout.
+type updateTimeout struct {
+	WaitSeq int
+}
+
+// homePull asks the old home to relinquish Page's home role.
+type homePull struct {
+	Page vm.PageID
+}
+
+// homePullRep hands the role over: authoritative contents, version index,
+// and the accumulated copyset.
+type homePullRep struct {
+	Page    vm.PageID
+	Data    []byte
+	Version uint32
+	Copyset copyset
+}
+
+// sizeDiffs returns the modeled wire size of a diff batch.
+func sizeDiffs(diffs []diffMsg) int {
+	s := 0
+	for _, d := range diffs {
+		s += bytesDiffName + d.Diff.WireSize()
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"godsm/internal/netsim"
+	"godsm/internal/vm"
+)
+
+// protocol is the per-node coherence engine. The compute-path hooks
+// (faults, barrier phases, iteration boundaries) run on the node's compute
+// process; handleRequest runs on its service process. The sim kernel runs
+// one process at a time, so a protocol may share state between the two
+// paths without locking — exactly as CVM's SIGIO handlers did.
+type protocol interface {
+	// readFault resolves an access to an invalid page; the page must be
+	// readable on return.
+	readFault(pg vm.PageID)
+	// writeFault resolves a store to a non-writable page; the page must be
+	// writable on return.
+	writeFault(pg vm.PageID)
+	// preBarrier runs before the barrier arrival is sent: diff creation,
+	// flushes to homes/consumers. It returns the arrival payload and its
+	// modeled wire size.
+	preBarrier(site int) (payload any, size int)
+	// onRelease processes this node's release payload: invalidations,
+	// copyset and migration news.
+	onRelease(site int, rel any)
+	// postBarrier runs before returning to the application: update
+	// waiting/application, migration transfers, overdrive arming.
+	postBarrier(site int)
+	// handleRequest services one incoming protocol request.
+	handleRequest(pkt *netsim.Packet)
+	// iterBoundary marks the end of an outer application iteration.
+	iterBoundary()
+}
+
+// locker is implemented by protocols that support lock synchronization
+// (the homeless lmw family). The bar protocols are barrier-only by
+// design: "by limiting the protocol to codes that only use barrier
+// synchronization, we can prevent any diff or consistency state from
+// living past the next barrier".
+type locker interface {
+	acquire(lock int)
+	release(lock int)
+}
+
+// flagger is implemented by protocols that support one-shot flag events
+// (pause/resume), the paper's other non-global synchronization type.
+type flagger interface {
+	setFlag(flag int)
+	waitFlag(flag int)
+}
+
+// protoManager is the barrier manager's protocol half, aggregating the
+// nodes' arrival payloads into per-node release payloads. It runs on node
+// 0's service process.
+type protoManager interface {
+	aggregate(site int, arrivals []*barArrive) (rels []any, sizes []int)
+}
+
+// newProtocol instantiates the per-node protocol for the configured kind.
+func newProtocol(n *node) protocol {
+	switch n.clu.cfg.Protocol {
+	case ProtoSeq:
+		return nil // seq mode never consults a protocol
+	case ProtoLmwI:
+		return newLmw(n, false)
+	case ProtoLmwU:
+		return newLmw(n, true)
+	case ProtoBarI:
+		return newBar(n, barModeI)
+	case ProtoBarU:
+		return newBar(n, barModeU)
+	case ProtoBarS:
+		return newBar(n, barModeS)
+	case ProtoBarM:
+		return newBar(n, barModeM)
+	}
+	panic(fmt.Sprintf("core: no protocol for %v", n.clu.cfg.Protocol))
+}
+
+// newProtoManager instantiates the manager half.
+func newProtoManager(c *cluster) protoManager {
+	switch c.cfg.Protocol {
+	case ProtoSeq:
+		return nil
+	case ProtoLmwI, ProtoLmwU:
+		return newLmwMgr(c)
+	default:
+		return newBarProtoMgr(c)
+	}
+}
+
+// initialHome is the static block distribution of page homes all nodes and
+// the manager agree on before runtime migration adjusts it.
+func initialHome(pg vm.PageID, npages, procs int) int {
+	h := int(pg) * procs / npages
+	if h >= procs {
+		h = procs - 1
+	}
+	return h
+}

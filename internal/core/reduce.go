@@ -1,0 +1,95 @@
+package core
+
+import "math"
+
+// RedOp identifies a reduction operator. Reductions are the explicit
+// support bar-i adds for the SUIF-parallelized codes (§2.2.1); they ride
+// the barrier messages, so a reduction costs no extra messages.
+type RedOp int
+
+const (
+	// RedSum adds float64 contributions in node order (deterministic).
+	RedSum RedOp = iota + 1
+	// RedMax takes the elementwise maximum.
+	RedMax
+	// RedMin takes the elementwise minimum.
+	RedMin
+	// RedXor xors uint64 contributions; used for run checksums.
+	RedXor
+)
+
+// redContrib is one node's contribution, carried on its barrier arrival.
+type redContrib struct {
+	Op RedOp
+	F  []float64
+	U  []uint64
+}
+
+// redResult is the combined result, carried on every barrier release.
+type redResult struct {
+	F []float64
+	U []uint64
+}
+
+func redSize(r *redContrib) int {
+	if r == nil {
+		return 0
+	}
+	return bytesReduceVal * (len(r.F) + len(r.U))
+}
+
+func redResultSize(r *redResult) int {
+	if r == nil {
+		return 0
+	}
+	return bytesReduceVal * (len(r.F) + len(r.U))
+}
+
+// combineReds folds the nodes' contributions in node order. All
+// contributing nodes must use the same operator and arity.
+func combineReds(contribs []*redContrib) *redResult {
+	var out *redResult
+	var op RedOp
+	for _, c := range contribs {
+		if c == nil {
+			continue
+		}
+		if out == nil {
+			op = c.Op
+			out = &redResult{F: append([]float64(nil), c.F...), U: append([]uint64(nil), c.U...)}
+			continue
+		}
+		if c.Op != op || len(c.F) != len(out.F) || len(c.U) != len(out.U) {
+			panic("core: mismatched reduction contributions across nodes")
+		}
+		switch op {
+		case RedSum:
+			for i, v := range c.F {
+				out.F[i] += v
+			}
+		case RedMax:
+			for i, v := range c.F {
+				out.F[i] = math.Max(out.F[i], v)
+			}
+		case RedMin:
+			for i, v := range c.F {
+				out.F[i] = math.Min(out.F[i], v)
+			}
+		case RedXor:
+			for i, v := range c.U {
+				out.U[i] ^= v
+			}
+		default:
+			panic("core: unknown reduction op")
+		}
+	}
+	return out
+}
+
+// reduceLocal is the uniprocessor (ProtoSeq) reduction: identity.
+func reduceLocal(c *redContrib) *redResult {
+	if c == nil {
+		return nil
+	}
+	return &redResult{F: append([]float64(nil), c.F...), U: append([]uint64(nil), c.U...)}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"godsm/internal/sim"
+	"godsm/internal/stats"
+)
+
+// Report is the outcome of one DSM run, windowed to the interval between
+// StartMeasure and StopMeasure (matching the paper's methodology of timing
+// only steady-state iterations, after home assignments settle).
+type Report struct {
+	Protocol string
+	Procs    int
+	// Elapsed is the measured wall (virtual) time: the maximum over nodes
+	// of their window length. Windows open and close at barriers, so nodes
+	// agree to within one release latency.
+	Elapsed sim.Duration
+	// PerNode holds each node's counters for the window; Total sums them.
+	PerNode []stats.Counters
+	Total   stats.Counters
+	// Breakdowns is each node's Figure-3 time split; BreakdownSum sums
+	// them (fractions of the sum are the per-app bars in Figure 3).
+	Breakdowns   []stats.Breakdown
+	BreakdownSum stats.Breakdown
+	// Checksum is the application's self-reported result (all nodes must
+	// agree); HasChecksum reports whether one was set.
+	Checksum    uint64
+	HasChecksum bool
+}
+
+// Speedup returns seq/Elapsed, the paper's speedup metric, given the
+// sequential baseline's elapsed time for the same measured work.
+func (r *Report) Speedup(seq sim.Duration) float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(seq) / float64(r.Elapsed)
+}

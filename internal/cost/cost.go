@@ -1,0 +1,182 @@
+// Package cost defines the virtual-time cost model for the simulated
+// cluster, calibrated to the microbenchmarks in §3.2 of Keleher, "Update
+// Protocols and Iterative Scientific Applications" (IPPS'98): an 8-node IBM
+// SP-2 (66 MHz POWER2, AIX) with a high-performance switch running UDP/IP.
+//
+// Paper figures reproduced by the defaults:
+//
+//	simple RPC round trip   160 µs
+//	remote page fault       939 µs  (8 KB page)
+//	segv -> user handler    128 µs
+//	mprotect (best case)     12 µs, "occasionally an order of magnitude" more
+//	link bandwidth           ~40 MB/s
+//	page size                 8 KB
+//
+// The model also encodes the paper's §4 observation that heavy, irregular
+// page-protection traffic degrades the whole operating system: per-epoch
+// mprotect volume inflates both the per-call mprotect cost and the node's
+// application computation for that epoch (the "VM stress" effect). Setting
+// the stress knobs to zero recovers an idealized OS; cmd/repro
+// ablation-stress sweeps them.
+package cost
+
+import "godsm/internal/sim"
+
+// Model is the complete virtual-time cost model. All durations are charged
+// on the path that incurs them (compute vs service/sigio).
+type Model struct {
+	// PageSize is the protection granularity in bytes (the paper uses 8 KB
+	// on AIX's 4 KB hardware pages by doubling the granularity).
+	PageSize int
+
+	// --- wire / messaging ---
+
+	// WireLatency is one-way propagation delay excluding bandwidth.
+	WireLatency sim.Duration
+	// BytesPerSec is link bandwidth; transmission time = size/BytesPerSec.
+	BytesPerSec float64
+	// SendCPU is the CPU cost of a send syscall, charged to the sender (os).
+	SendCPU sim.Duration
+	// RecvCPU is the CPU cost of a recv syscall, charged to the receiver.
+	RecvCPU sim.Duration
+	// SigioDispatch is the interrupt-dispatch overhead to enter the request
+	// handler, charged on the service path (sigio).
+	SigioDispatch sim.Duration
+	// MsgHeader is the modeled wire header size in bytes, added to every
+	// message's size for bandwidth and data-volume accounting.
+	MsgHeader int
+
+	// --- virtual memory ---
+
+	// SegvDispatch is the cost of delivering SIGSEGV to a user handler.
+	SegvDispatch sim.Duration
+	// MprotectBase is the best-case cost of one mprotect call.
+	MprotectBase sim.Duration
+	// FaultService is the extra VM bookkeeping cost of servicing a page
+	// fault on the faulting node (buffer copies, page mapping): the paper's
+	// 939 µs remote miss minus segv, RPC, transfer and home-side copy.
+	FaultService sim.Duration
+
+	// --- runtime memory operations (user-level, no kernel) ---
+
+	// MemPerByte is the cost per byte of bulk copies (twin creation, page
+	// copy-out at the home, applying full pages).
+	MemPerByte sim.Duration
+	// DiffCreatePerByte is the cost per byte of the page-length comparison
+	// that builds a diff (reads twin + current copy).
+	DiffCreatePerByte sim.Duration
+	// DiffApplyPerByte is the cost per modified byte of applying a diff.
+	DiffApplyPerByte sim.Duration
+	// UpdateBankCPU is the bookkeeping cost of banking one out-of-order
+	// update diff under lmw-u. The paper blames "the data structures used
+	// to store out-of-order updates" for lmw-u's barnes and swm
+	// regressions; bar-u avoids the structure entirely because consumers
+	// wait for updates inside the barrier and apply them in bulk.
+	UpdateBankCPU sim.Duration
+
+	// --- OS stress model (§4) ---
+
+	// MprotectStressThreshold is the number of protection changes per
+	// barrier epoch a node sustains before per-call costs escalate.
+	MprotectStressThreshold int
+	// MprotectStressMax caps the per-call escalation multiplier ("an order
+	// of magnitude" in the paper).
+	MprotectStressMax float64
+	// AppStressCoeff scales the slowdown the VM stress inflicts on the
+	// node's application computation: during an epoch with m protection
+	// changes, charged app time is multiplied by
+	// 1 + AppStressCoeff*min(m, 4*threshold)/threshold (when m > threshold).
+	// This models the paper's observation that swm does 41.7% "useful work"
+	// yet achieves speedup 1.8 instead of the implied 3.3.
+	AppStressCoeff float64
+}
+
+// Default returns the model calibrated to the paper's SP-2/AIX numbers.
+func Default() *Model {
+	return &Model{
+		PageSize: 8192,
+
+		WireLatency:   30 * sim.Microsecond,
+		BytesPerSec:   40e6,
+		SendCPU:       20 * sim.Microsecond,
+		RecvCPU:       20 * sim.Microsecond,
+		SigioDispatch: 20 * sim.Microsecond,
+		MsgHeader:     32,
+
+		SegvDispatch: 128 * sim.Microsecond,
+		MprotectBase: 12 * sim.Microsecond,
+		// 939 = 128 (segv) + 160 (rpc cpu+wire) + 206 (8 KB + header at 40
+		// MB/s) + 66 (page copy-out and copy-in at MemPerByte) + 24 (2
+		// mprotect) + FaultService.
+		FaultService: 355 * sim.Microsecond,
+
+		MemPerByte:        4 * sim.Nanosecond, // ~250 MB/s memcpy (POWER2 had strong memory bandwidth)
+		DiffCreatePerByte: 6 * sim.Nanosecond, // read twin + page, compare
+		DiffApplyPerByte:  5 * sim.Nanosecond,
+		UpdateBankCPU:     45 * sim.Microsecond,
+
+		MprotectStressThreshold: 72,
+		MprotectStressMax:       10,
+		AppStressCoeff:          0.45,
+	}
+}
+
+// Ideal returns a model with a perfectly scalable OS: VM-stress effects
+// disabled but all base costs intact. Used by the stress ablation.
+func Ideal() *Model {
+	m := Default()
+	m.MprotectStressThreshold = 1 << 30
+	m.AppStressCoeff = 0
+	return m
+}
+
+// XferTime returns wire time for a message of the given payload size
+// (header added here): propagation plus transmission.
+func (m *Model) XferTime(payload int) sim.Duration {
+	bytes := payload + m.MsgHeader
+	return m.WireLatency + sim.Duration(float64(bytes)/m.BytesPerSec*1e9)
+}
+
+// MprotectCost returns the cost of one mprotect call when it is the n-th
+// protection change of the current barrier epoch on its node (n is
+// 1-based). Below the stress threshold the base cost applies; above it the
+// per-call cost grows linearly up to MprotectStressMax times base.
+func (m *Model) MprotectCost(n int) sim.Duration {
+	if n <= m.MprotectStressThreshold || m.MprotectStressThreshold <= 0 {
+		return m.MprotectBase
+	}
+	mult := 1 + float64(n-m.MprotectStressThreshold)/float64(m.MprotectStressThreshold)
+	if mult > m.MprotectStressMax {
+		mult = m.MprotectStressMax
+	}
+	return sim.Duration(float64(m.MprotectBase) * mult)
+}
+
+// AppStress returns the multiplier applied to application compute time in
+// an epoch that performed n protection changes.
+func (m *Model) AppStress(n int) float64 {
+	t := m.MprotectStressThreshold
+	if t <= 0 || n <= t || m.AppStressCoeff == 0 {
+		return 1
+	}
+	over := n
+	if over > 4*t {
+		over = 4 * t
+	}
+	return 1 + m.AppStressCoeff*float64(over)/float64(t)
+}
+
+// CopyCost returns the bulk-copy cost for n bytes.
+func (m *Model) CopyCost(n int) sim.Duration {
+	return sim.Duration(n) * m.MemPerByte
+}
+
+// DiffCreateCost returns the cost of diffing one page of the given size.
+func (m *Model) DiffCreateCost(pageSize int) sim.Duration {
+	return sim.Duration(pageSize) * m.DiffCreatePerByte
+}
+
+// DiffApplyCost returns the cost of applying a diff with n modified bytes.
+func (m *Model) DiffApplyCost(n int) sim.Duration {
+	return sim.Duration(n) * m.DiffApplyPerByte
+}

@@ -1,0 +1,110 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+
+	"godsm/internal/sim"
+)
+
+func TestDefaultMatchesPaperMicrobenchmarks(t *testing.T) {
+	m := Default()
+	if m.PageSize != 8192 {
+		t.Errorf("page size = %d, want 8192", m.PageSize)
+	}
+	// Simple RPC: send CPU + wire + sigio/recv + reply send + wire + recv
+	// must come to the paper's 160 µs for a tiny payload.
+	rpc := m.SendCPU + m.XferTime(8) + m.SigioDispatch + m.RecvCPU +
+		m.SendCPU + m.XferTime(8) + m.RecvCPU
+	if d := rpc - 160*sim.Microsecond; d < -3*sim.Microsecond || d > 3*sim.Microsecond {
+		t.Errorf("modeled RPC = %v, want ~160µs", rpc)
+	}
+	// Remote page miss: segv + RPC CPU/wire + 8 KB transfer + copies +
+	// 2 mprotects + fault service ≈ 939 µs.
+	miss := m.SegvDispatch + m.SendCPU + m.XferTime(8) + m.SigioDispatch + m.RecvCPU +
+		m.CopyCost(m.PageSize) + m.SendCPU + m.XferTime(m.PageSize+12) + m.RecvCPU +
+		m.FaultService + m.CopyCost(m.PageSize) + 2*m.MprotectBase
+	if d := miss - 939*sim.Microsecond; d < -40*sim.Microsecond || d > 40*sim.Microsecond {
+		t.Errorf("modeled remote miss = %v, want ~939µs", miss)
+	}
+}
+
+func TestXferTimeMonotonic(t *testing.T) {
+	m := Default()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.XferTime(x) <= m.XferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMprotectCostCurve(t *testing.T) {
+	m := Default()
+	if m.MprotectCost(1) != m.MprotectBase {
+		t.Error("first mprotect of an epoch must cost the base")
+	}
+	if m.MprotectCost(m.MprotectStressThreshold) != m.MprotectBase {
+		t.Error("at-threshold mprotect must cost the base")
+	}
+	prev := sim.Duration(0)
+	for n := 1; n < 40*m.MprotectStressThreshold; n += 7 {
+		c := m.MprotectCost(n)
+		if c < prev {
+			t.Fatalf("MprotectCost not monotone at %d", n)
+		}
+		prev = c
+	}
+	cap := sim.Duration(float64(m.MprotectBase) * m.MprotectStressMax)
+	if got := m.MprotectCost(1 << 20); got != cap {
+		t.Errorf("deep-stress cost = %v, want capped %v", got, cap)
+	}
+}
+
+func TestMprotectCostZeroThreshold(t *testing.T) {
+	m := Default()
+	m.MprotectStressThreshold = 0
+	if m.MprotectCost(1000) != m.MprotectBase {
+		t.Error("zero threshold must disable escalation")
+	}
+}
+
+func TestAppStressCapped(t *testing.T) {
+	m := Default()
+	lim := 1 + m.AppStressCoeff*4
+	f := func(n uint16) bool {
+		s := m.AppStress(int(n))
+		return s >= 1 && s <= lim+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdealDisablesStressOnly(t *testing.T) {
+	i := Ideal()
+	d := Default()
+	if i.AppStress(1<<20) != 1 || i.MprotectCost(1<<20) != i.MprotectBase {
+		t.Error("ideal model still stressed")
+	}
+	if i.SegvDispatch != d.SegvDispatch || i.MprotectBase != d.MprotectBase {
+		t.Error("ideal model changed base costs")
+	}
+}
+
+func TestCopyAndDiffCosts(t *testing.T) {
+	m := Default()
+	if m.CopyCost(0) != 0 || m.DiffApplyCost(0) != 0 {
+		t.Error("zero-byte operations must be free")
+	}
+	if m.CopyCost(8192) != 8192*m.MemPerByte {
+		t.Error("CopyCost not linear")
+	}
+	if m.DiffCreateCost(8192) != 8192*m.DiffCreatePerByte {
+		t.Error("DiffCreateCost not linear")
+	}
+}

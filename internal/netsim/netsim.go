@@ -1,0 +1,135 @@
+// Package netsim provides the simulated cluster interconnect: addressed
+// endpoints on top of the sim kernel, a wire cost model (latency plus
+// bandwidth), and per-node traffic accounting.
+//
+// The model matches the paper's environment: an IBM SP-2 high-performance
+// switch carrying UDP/IP, ~40 MB/s per bidirectional link, 160 µs simple
+// RPCs. Endpoint CPU costs (send/recv syscalls, sigio dispatch) are charged
+// by the DSM engine, not here; netsim charges only wire time.
+package netsim
+
+import (
+	"fmt"
+
+	"godsm/internal/cost"
+	"godsm/internal/sim"
+)
+
+// Port distinguishes the two execution contexts of a DSM node.
+type Port int
+
+const (
+	// PortCompute is the application thread.
+	PortCompute Port = iota
+	// PortService is the protocol request handler (CVM's SIGIO context).
+	// Node 0's service also hosts the barrier manager.
+	PortService
+	numPorts
+)
+
+// Packet is the payload carried by every simulated network message.
+type Packet struct {
+	Kind     int // protocol-defined message kind
+	FromNode int
+	FromPort Port
+	Size     int  // modeled payload size in bytes (headers added by the model)
+	Reply    bool // replies/releases: excluded from the Messages count
+	Data     any
+}
+
+// Traffic counts one node's outbound network activity. Messages counts
+// requests, flushes and barrier arrivals; Replies counts replies and
+// barrier releases, matching Table 1's convention of reporting "requests
+// sent (there are an equal number of replies)". Bytes covers both.
+type Traffic struct {
+	Messages int64
+	Replies  int64
+	Bytes    int64 // payload+header bytes sent, replies included
+}
+
+// Sub returns t - o, for windowing traffic to a measurement interval.
+func (t Traffic) Sub(o Traffic) Traffic {
+	return Traffic{t.Messages - o.Messages, t.Replies - o.Replies, t.Bytes - o.Bytes}
+}
+
+// Net is the interconnect for a fixed-size cluster.
+type Net struct {
+	K       *sim.Kernel
+	Model   *cost.Model
+	nodes   int
+	procs   [][]*sim.Proc // [node][port]
+	byProc  map[int]addr  // sim proc id -> binding
+	Traffic []Traffic     // per sending node
+}
+
+type addr struct {
+	node int
+	port Port
+}
+
+// New creates an interconnect for n nodes on kernel k with the given cost
+// model. Endpoints must then be bound with Bind before k.Run.
+func New(k *sim.Kernel, n int, m *cost.Model) *Net {
+	nt := &Net{
+		K:       k,
+		Model:   m,
+		nodes:   n,
+		procs:   make([][]*sim.Proc, n),
+		byProc:  make(map[int]addr),
+		Traffic: make([]Traffic, n),
+	}
+	for i := range nt.procs {
+		nt.procs[i] = make([]*sim.Proc, numPorts)
+	}
+	return nt
+}
+
+// Nodes returns the cluster size.
+func (n *Net) Nodes() int { return n.nodes }
+
+// Bind spawns a sim process for (node, port) running body.
+func (n *Net) Bind(node int, port Port, name string, body func(p *sim.Proc)) *sim.Proc {
+	if n.procs[node][port] != nil {
+		panic(fmt.Sprintf("netsim: endpoint %d/%d bound twice", node, port))
+	}
+	p := n.K.Spawn(name, body)
+	n.procs[node][port] = p
+	n.byProc[p.ID()] = addr{node, port}
+	return p
+}
+
+// Proc returns the sim process bound to (node, port).
+func (n *Net) Proc(node int, port Port) *sim.Proc { return n.procs[node][port] }
+
+// Send transmits pkt from the given sim proc to (node, port), charging wire
+// time and recording traffic against the sending node. Local (same-node)
+// sends are free and instantaneous: they model intra-process signaling, not
+// network traffic, and are excluded from the counters.
+func (n *Net) Send(from *sim.Proc, node int, port Port, pkt *Packet) {
+	fromNode, fromPort := n.locate(from)
+	pkt.FromNode, pkt.FromPort = fromNode, fromPort
+	dst := n.procs[node][port]
+	if dst == nil {
+		panic(fmt.Sprintf("netsim: send to unbound endpoint %d/%d", node, port))
+	}
+	if node == fromNode {
+		from.Send(dst.ID(), 0, pkt)
+		return
+	}
+	if pkt.Reply {
+		n.Traffic[fromNode].Replies++
+	} else {
+		n.Traffic[fromNode].Messages++
+	}
+	n.Traffic[fromNode].Bytes += int64(pkt.Size + n.Model.MsgHeader)
+	from.Send(dst.ID(), n.Model.XferTime(pkt.Size), pkt)
+}
+
+// locate maps a sim proc back to its (node, port) binding.
+func (n *Net) locate(p *sim.Proc) (int, Port) {
+	a, ok := n.byProc[p.ID()]
+	if !ok {
+		panic("netsim: proc not bound to any endpoint")
+	}
+	return a.node, a.port
+}

@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"testing"
+
+	"godsm/internal/cost"
+	"godsm/internal/sim"
+)
+
+func TestRPCRoundTripMatchesPaper(t *testing.T) {
+	// The paper's simple RPC takes 160 µs: send CPU (20) + wire (30 + ~1 for
+	// a tiny payload) + sigio dispatch & recv (40) + reply send (20) + wire
+	// (30+1) + recv CPU (20). We charge CPU explicitly here the way the
+	// engine does and verify the total is within a microsecond of 160.
+	m := cost.Default()
+	k := sim.NewKernel()
+	n := New(k, 2, m)
+	var elapsed sim.Time
+	n.Bind(0, PortCompute, "client", func(p *sim.Proc) {
+		start := p.Now()
+		p.Advance(m.SendCPU)
+		n.Send(p, 1, PortService, &Packet{Kind: 1, Size: 8})
+		msg := p.Recv()
+		p.Advance(m.RecvCPU)
+		if msg.Payload.(*Packet).Kind != 2 {
+			t.Error("wrong reply kind")
+		}
+		elapsed = p.Now() - start
+	})
+	n.Bind(1, PortService, "server", func(p *sim.Proc) {
+		msg := p.Recv()
+		p.Advance(m.SigioDispatch + m.RecvCPU)
+		req := msg.Payload.(*Packet)
+		p.Advance(m.SendCPU)
+		n.Send(p, req.FromNode, req.FromPort, &Packet{Kind: 2, Size: 8})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Duration(160 * sim.Microsecond)
+	got := sim.Duration(elapsed)
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 3*sim.Microsecond {
+		t.Fatalf("RPC round trip = %v, want ~%v", got, want)
+	}
+}
+
+func TestBandwidthDominatesLargeTransfers(t *testing.T) {
+	m := cost.Default()
+	// 8 KB page at 40 MB/s ≈ 205 µs of transmission on top of latency.
+	x := m.XferTime(8192)
+	if x < 230*sim.Microsecond || x > 240*sim.Microsecond {
+		t.Fatalf("XferTime(8192) = %v, want ~235µs (30 latency + ~205 transmission)", x)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	m := cost.Default()
+	k := sim.NewKernel()
+	n := New(k, 2, m)
+	n.Bind(0, PortCompute, "a", func(p *sim.Proc) {
+		n.Send(p, 1, PortService, &Packet{Size: 100})
+		n.Send(p, 1, PortService, &Packet{Size: 200})
+	})
+	n.Bind(1, PortService, "b", func(p *sim.Proc) {
+		p.Recv()
+		p.Recv()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Traffic[0].Messages != 2 {
+		t.Fatalf("messages = %d, want 2", n.Traffic[0].Messages)
+	}
+	want := int64(100 + 200 + 2*m.MsgHeader)
+	if n.Traffic[0].Bytes != want {
+		t.Fatalf("bytes = %d, want %d", n.Traffic[0].Bytes, want)
+	}
+	if n.Traffic[1].Messages != 0 {
+		t.Fatal("receiver charged for traffic")
+	}
+}
+
+func TestLocalSendFreeAndUncounted(t *testing.T) {
+	m := cost.Default()
+	k := sim.NewKernel()
+	n := New(k, 1, m)
+	n.Bind(0, PortCompute, "c", func(p *sim.Proc) {
+		n.Send(p, 0, PortService, &Packet{Size: 4096})
+	})
+	var arrival sim.Time
+	n.Bind(0, PortService, "s", func(p *sim.Proc) {
+		p.Recv()
+		arrival = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrival != 0 {
+		t.Fatalf("local send took %v, want 0", arrival)
+	}
+	if n.Traffic[0].Messages != 0 {
+		t.Fatal("local send counted as network traffic")
+	}
+}
+
+func TestPacketStampedWithSource(t *testing.T) {
+	m := cost.Default()
+	k := sim.NewKernel()
+	n := New(k, 2, m)
+	n.Bind(0, PortService, "src", func(p *sim.Proc) {
+		n.Send(p, 1, PortCompute, &Packet{})
+	})
+	n.Bind(1, PortCompute, "dst", func(p *sim.Proc) {
+		pkt := p.Recv().Payload.(*Packet)
+		if pkt.FromNode != 0 || pkt.FromPort != PortService {
+			t.Errorf("stamp = %d/%d, want 0/service", pkt.FromNode, pkt.FromPort)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleBindPanics(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 1, cost.Default())
+	n.Bind(0, PortCompute, "a", func(p *sim.Proc) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double bind did not panic")
+		}
+	}()
+	n.Bind(0, PortCompute, "b", func(p *sim.Proc) {})
+}
+
+func TestMprotectStressEscalation(t *testing.T) {
+	m := cost.Default()
+	if got := m.MprotectCost(1); got != m.MprotectBase {
+		t.Fatalf("unstressed mprotect = %v, want base %v", got, m.MprotectBase)
+	}
+	base := m.MprotectCost(m.MprotectStressThreshold)
+	hot := m.MprotectCost(m.MprotectStressThreshold * 20)
+	if base != m.MprotectBase {
+		t.Fatalf("at threshold = %v, want base", base)
+	}
+	if float64(hot) < 9.9*float64(m.MprotectBase) {
+		t.Fatalf("deep stress mprotect = %v, want ~10x base (order of magnitude)", hot)
+	}
+	if float64(hot) > 10.1*float64(m.MprotectBase) {
+		t.Fatalf("stress multiplier exceeded cap: %v", hot)
+	}
+}
+
+func TestAppStress(t *testing.T) {
+	m := cost.Default()
+	if m.AppStress(m.MprotectStressThreshold) != 1 {
+		t.Fatal("app stress below threshold must be 1")
+	}
+	s := m.AppStress(m.MprotectStressThreshold * 2)
+	if s <= 1 {
+		t.Fatal("app stress above threshold must exceed 1")
+	}
+	if m.AppStress(m.MprotectStressThreshold*100) > 1+m.AppStressCoeff*4+1e-9 {
+		t.Fatal("app stress not capped")
+	}
+	ideal := cost.Ideal()
+	if ideal.AppStress(1<<20) != 1 {
+		t.Fatal("ideal model must have no app stress")
+	}
+}

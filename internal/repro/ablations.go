@@ -1,0 +1,271 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"godsm/internal/apps"
+	"godsm/internal/core"
+	"godsm/internal/cost"
+)
+
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }
+
+// StressPoint is one sample of the VM-stress ablation.
+type StressPoint struct {
+	// Coeff is the AppStressCoeff the point was run with (the default
+	// model uses 0.35; 0 is the idealized OS).
+	Coeff float64
+	// BarU and BarM are swm's speedups at this stress level.
+	BarU, BarM float64
+	// Gain is BarM/BarU.
+	Gain float64
+}
+
+// AblationStress sweeps the §4 OS-degradation model on swm (the paper's
+// poster child: 41.7% "useful work" but speedup 1.8): as the modeled
+// stress grows, bar-u degrades and bar-m's advantage widens; with an ideal
+// OS the two nearly coincide — the paper's explanation in reverse.
+func (r *Runner) AblationStress() ([]StressPoint, error) {
+	r.init()
+	var app *apps.App
+	for _, a := range r.apps {
+		if a.Name == "swm" {
+			app = a
+		}
+	}
+	if app == nil {
+		return nil, fmt.Errorf("repro: swm not in app set")
+	}
+	var pts []StressPoint
+	for _, coeff := range []float64{0, 0.1, 0.2, 0.35, 0.5, 0.7} {
+		m := cost.Default()
+		m.AppStressCoeff = coeff
+		if coeff == 0 {
+			m = cost.Ideal()
+		}
+		seq, err := app.RunSeq(m)
+		if err != nil {
+			return nil, err
+		}
+		bu, err := app.Run(r.Procs, core.ProtoBarU, m)
+		if err != nil {
+			return nil, err
+		}
+		bm, err := app.Run(r.Procs, core.ProtoBarM, m)
+		if err != nil {
+			return nil, err
+		}
+		p := StressPoint{
+			Coeff: coeff,
+			BarU:  bu.Speedup(seq.Elapsed),
+			BarM:  bm.Speedup(seq.Elapsed),
+		}
+		p.Gain = p.BarM / p.BarU
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// RenderAblationStress renders the stress sweep.
+func (r *Runner) RenderAblationStress() (string, error) {
+	pts, err := r.AblationStress()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Ablation: VM-stress model vs bar-m's gain (swm)\n")
+	fmt.Fprintf(&b, "%10s %8s %8s %8s\n", "stress", "bar-u", "bar-m", "gain")
+	for _, p := range pts {
+		label := fmt.Sprintf("%.2f", p.Coeff)
+		if p.Coeff == 0 {
+			label = "ideal"
+		}
+		fmt.Fprintf(&b, "%10s %8.2f %8.2f %7.0f%%\n", label, p.BarU, p.BarM, (p.Gain-1)*100)
+	}
+	return b.String(), nil
+}
+
+// ScalePoint is one sample of the cluster-size scaling ablation.
+type ScalePoint struct {
+	Procs    int
+	Speedups map[string]float64 // per app
+}
+
+// AblationScale measures bar-u speedups at 2, 4 and 8 nodes.
+func (r *Runner) AblationScale() ([]ScalePoint, error) {
+	r.init()
+	var pts []ScalePoint
+	for _, procs := range []int{2, 4, 8} {
+		pt := ScalePoint{Procs: procs, Speedups: map[string]float64{}}
+		for _, a := range r.apps {
+			seq, err := r.SeqTime(a)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := r.reportAt(a, core.ProtoBarU, procs)
+			if err != nil {
+				return nil, err
+			}
+			pt.Speedups[a.Name] = rep.Speedup(seq)
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// RenderAblationScale renders the scaling ablation.
+func (r *Runner) RenderAblationScale() (string, error) {
+	pts, err := r.AblationScale()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Ablation: bar-u speedup vs cluster size\n")
+	fmt.Fprintf(&b, "%-8s", "procs")
+	for _, a := range r.apps {
+		fmt.Fprintf(&b, " %8s", a.Name)
+	}
+	b.WriteString("\n")
+	for _, pt := range pts {
+		fmt.Fprintf(&b, "%-8d", pt.Procs)
+		for _, a := range r.apps {
+			fmt.Fprintf(&b, " %8.2f", pt.Speedups[a.Name])
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// HomeRow is one sample of the home-migration ablation.
+type HomeRow struct {
+	App string
+	// WithMigration and Static are bar-u speedups with runtime migration
+	// on (the paper's protocol) and off (static block homes).
+	WithMigration, Static float64
+	// StaticMisses counts the remote misses static homes leave behind.
+	StaticMisses int64
+}
+
+// AblationHome quantifies §2.2.1's runtime home assignment: bar-u with
+// migration disabled keeps flushing through badly placed homes.
+func (r *Runner) AblationHome() ([]HomeRow, error) {
+	r.init()
+	var rows []HomeRow
+	for _, a := range r.apps {
+		if a.Dynamic {
+			continue
+		}
+		seq, err := r.SeqTime(a)
+		if err != nil {
+			return nil, err
+		}
+		with, err := r.Report(a, core.ProtoBarU)
+		if err != nil {
+			return nil, err
+		}
+		m := r.Model
+		if m == nil {
+			m = cost.Default()
+		}
+		static, err := core.Run(core.Config{
+			Procs:            r.Procs,
+			Protocol:         core.ProtoBarU,
+			SegmentBytes:     a.SegmentBytes,
+			Model:            m,
+			DisableMigration: true,
+		}, a.Body)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HomeRow{
+			App:           a.Name,
+			WithMigration: with.Speedup(seq),
+			Static:        static.Speedup(seq),
+			StaticMisses:  static.Total.RemoteMisses,
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblationHome renders the home-migration ablation.
+func (r *Runner) RenderAblationHome() (string, error) {
+	rows, err := r.AblationHome()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Ablation: runtime home migration (bar-u)\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %14s\n", "", "migrated", "static", "static misses")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-8s %10.2f %10.2f %14d\n", row.App, row.WithMigration, row.Static, row.StaticMisses)
+	}
+	return b.String(), nil
+}
+
+// PageSizeRow is one sample of the protection-granularity ablation.
+type PageSizeRow struct {
+	App         string
+	Speedup4K   float64
+	Speedup8K   float64
+	Misses4K    int64
+	Misses8K    int64
+	Mprotects4K int64
+	Mprotects8K int64
+}
+
+// AblationPageSize quantifies §3.2's protection-granularity choice ("we
+// used 8k pages in CVM by the simple expedient of ensuring that all page
+// protection changes use an 8k granularity"): bar-u at 4 KB vs 8 KB pages.
+// Smaller pages mean more protection traffic and more faults but smaller
+// false-sharing domains and page transfers.
+func (r *Runner) AblationPageSize() ([]PageSizeRow, error) {
+	r.init()
+	var rows []PageSizeRow
+	for _, a := range r.apps {
+		if a.Dynamic {
+			continue
+		}
+		row := PageSizeRow{App: a.Name}
+		for _, ps := range []int{4096, 8192} {
+			m := cost.Default()
+			m.PageSize = ps
+			seq, err := a.RunSeq(m)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := a.Run(r.Procs, core.ProtoBarU, m)
+			if err != nil {
+				return nil, err
+			}
+			if ps == 4096 {
+				row.Speedup4K = rep.Speedup(seq.Elapsed)
+				row.Misses4K = rep.Total.RemoteMisses
+				row.Mprotects4K = rep.Total.Mprotects
+			} else {
+				row.Speedup8K = rep.Speedup(seq.Elapsed)
+				row.Misses8K = rep.Total.RemoteMisses
+				row.Mprotects8K = rep.Total.Mprotects
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderAblationPageSize renders the protection-granularity ablation.
+func (r *Runner) RenderAblationPageSize() (string, error) {
+	rows, err := r.AblationPageSize()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Ablation: protection granularity (bar-u, 4 KB vs the paper's 8 KB pages)\n")
+	fmt.Fprintf(&b, "%-8s %8s %8s %10s %10s %12s %12s\n", "", "4K spdup", "8K spdup", "4K misses", "8K misses", "4K mprotect", "8K mprotect")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-8s %8.2f %8.2f %10d %10d %12d %12d\n",
+			row.App, row.Speedup4K, row.Speedup8K, row.Misses4K, row.Misses8K, row.Mprotects4K, row.Mprotects8K)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,459 @@
+// Package repro regenerates every table and figure in the paper's
+// evaluation (§3-§5): the applications table, Table 1's base statistics,
+// Figure 2's 8-processor speedups, Figure 3's bar-u execution-time
+// breakdown, and Figure 4's overdrive speedups — plus three ablations the
+// design calls out (VM-stress sensitivity, cluster-size scaling, and
+// runtime home migration).
+//
+// Results are exposed both as structured values (for tests and
+// benchmarks) and as rendered text tables (for cmd/repro).
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"godsm/internal/apps"
+	"godsm/internal/core"
+	"godsm/internal/cost"
+	"godsm/internal/sim"
+)
+
+// Runner executes and caches the DSM runs behind the experiments.
+type Runner struct {
+	// Procs is the cluster size (the paper's testbed has 8 nodes).
+	Procs int
+	// Model is the cost model; nil selects cost.Default().
+	Model *cost.Model
+	// Small selects the reduced app configurations (for tests).
+	Small bool
+
+	apps  []*apps.App
+	cache map[string]*core.Report
+}
+
+// NewRunner returns a Runner for the paper's full-scale configuration.
+func NewRunner() *Runner { return &Runner{Procs: 8} }
+
+func (r *Runner) init() {
+	if r.cache == nil {
+		r.cache = make(map[string]*core.Report)
+	}
+	if r.Procs == 0 {
+		r.Procs = 8
+	}
+	if r.apps == nil {
+		if r.Small {
+			r.apps = apps.Small()
+		} else {
+			r.apps = apps.All()
+		}
+	}
+}
+
+// Apps returns the application set in presentation order.
+func (r *Runner) Apps() []*apps.App {
+	r.init()
+	return r.apps
+}
+
+// Report runs (or recalls) app under proto at the Runner's cluster size.
+func (r *Runner) Report(app *apps.App, proto core.ProtocolKind) (*core.Report, error) {
+	return r.reportAt(app, proto, r.Procs)
+}
+
+func (r *Runner) reportAt(app *apps.App, proto core.ProtocolKind, procs int) (*core.Report, error) {
+	r.init()
+	key := fmt.Sprintf("%s/%v/%d", app.Name, proto, procs)
+	if rep, ok := r.cache[key]; ok {
+		return rep, nil
+	}
+	var rep *core.Report
+	var err error
+	if proto == core.ProtoSeq {
+		rep, err = app.RunSeq(r.Model)
+	} else {
+		rep, err = app.Run(procs, proto, r.Model)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repro: %s under %v at %d procs: %w", app.Name, proto, procs, err)
+	}
+	r.cache[key] = rep
+	return rep, nil
+}
+
+// SeqTime returns the uniprocessor baseline time for app.
+func (r *Runner) SeqTime(app *apps.App) (sim.Duration, error) {
+	rep, err := r.reportAt(app, core.ProtoSeq, 1)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Elapsed, nil
+}
+
+// Speedup returns app's speedup under proto versus the sequential run.
+func (r *Runner) Speedup(app *apps.App, proto core.ProtocolKind) (float64, error) {
+	seq, err := r.SeqTime(app)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := r.Report(app, proto)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Speedup(seq), nil
+}
+
+// --- applications table (§3.1) ---------------------------------------------
+
+// AppRow is one row of the applications table.
+type AppRow struct {
+	Name        string
+	Description string
+	SegmentKB   int
+	// SyncGranularity is the average period between barriers in the
+	// measured steady state under bar-u.
+	SyncGranularity sim.Duration
+	BarriersPerIter int
+	Dynamic         bool
+}
+
+// AppsTable computes the §3.1 applications table.
+func (r *Runner) AppsTable() ([]AppRow, error) {
+	r.init()
+	var rows []AppRow
+	for _, a := range r.apps {
+		proto := core.ProtoBarU
+		if a.Dynamic {
+			proto = core.ProtoBarI
+		}
+		rep, err := r.Report(a, proto)
+		if err != nil {
+			return nil, err
+		}
+		perNodeBarriers := rep.Total.Barriers / int64(rep.Procs)
+		gran := sim.Duration(0)
+		if perNodeBarriers > 0 {
+			gran = rep.Elapsed / sim.Duration(perNodeBarriers)
+		}
+		rows = append(rows, AppRow{
+			Name:            a.Name,
+			Description:     a.Description,
+			SegmentKB:       a.SegmentBytes / 1024,
+			SyncGranularity: gran,
+			BarriersPerIter: a.BarriersPerIter,
+			Dynamic:         a.Dynamic,
+		})
+	}
+	return rows, nil
+}
+
+// RenderAppsTable renders the applications table as text.
+func (r *Runner) RenderAppsTable() (string, error) {
+	rows, err := r.AppsTable()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Applications (cluster of %d):\n", r.Procs)
+	fmt.Fprintf(&b, "%-8s %8s %12s %9s  %s\n", "App", "Seg.KB", "Sync.Gran.", "Bar/iter", "Kernel")
+	for _, row := range rows {
+		note := ""
+		if row.Dynamic {
+			note = " [dynamic]"
+		}
+		fmt.Fprintf(&b, "%-8s %8d %12v %9d  %s%s\n",
+			row.Name, row.SegmentKB, row.SyncGranularity, row.BarriersPerIter, row.Description, note)
+	}
+	return b.String(), nil
+}
+
+// --- Table 1 (base statistics) ----------------------------------------------
+
+// table1Protocols are Table 1's columns, in paper order.
+var table1Protocols = []core.ProtocolKind{core.ProtoLmwI, core.ProtoLmwU, core.ProtoBarI, core.ProtoBarU}
+
+// Table1Row is one application's Table 1 statistics: one entry per
+// protocol, in the order lmw-i, lmw-u, bar-i, bar-u.
+type Table1Row struct {
+	App      string
+	Diffs    [4]int64
+	Misses   [4]int64
+	Messages [4]int64
+	DataKB   [4]int64
+}
+
+// Table1 computes the paper's Table 1.
+func (r *Runner) Table1() ([]Table1Row, error) {
+	r.init()
+	var rows []Table1Row
+	for _, a := range r.apps {
+		row := Table1Row{App: a.Name}
+		for i, proto := range table1Protocols {
+			rep, err := r.Report(a, proto)
+			if err != nil {
+				return nil, err
+			}
+			row.Diffs[i] = rep.Total.Diffs
+			row.Misses[i] = rep.Total.RemoteMisses
+			row.Messages[i] = rep.Total.Messages
+			row.DataKB[i] = rep.Total.DataBytes / 1024
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable1 renders Table 1 as text.
+func (r *Runner) RenderTable1() (string, error) {
+	rows, err := r.Table1()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Base Statistics (%d procs; li=lmw-i lu=lmw-u bi=bar-i bu=bar-u)\n", r.Procs)
+	fmt.Fprintf(&b, "%-8s %28s %28s %28s %28s\n", "", "Diffs", "Remote Misses", "Messages", "Data (kbytes)")
+	hdr := fmt.Sprintf("%6s %6s %6s %6s", "li", "lu", "bi", "bu")
+	fmt.Fprintf(&b, "%-8s %s %s %s %s\n", "", hdr, hdr, hdr, hdr)
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-8s", row.App)
+		for _, col := range [][4]int64{row.Diffs, row.Misses, row.Messages, row.DataKB} {
+			fmt.Fprintf(&b, " %6d %6d %6d %6d", col[0], col[1], col[2], col[3])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String(), nil
+}
+
+// --- Figures 2 and 4 (speedups) ---------------------------------------------
+
+// SpeedupRow holds one application's speedups keyed by protocol name.
+type SpeedupRow struct {
+	App      string
+	Speedups map[string]float64
+}
+
+// Figure2 computes the paper's Figure 2: 8-processor speedups for lmw-i,
+// lmw-u, bar-i and bar-u across all eight applications.
+func (r *Runner) Figure2() ([]SpeedupRow, error) {
+	r.init()
+	return r.speedups(r.apps, table1Protocols)
+}
+
+// Figure4 computes the paper's Figure 4: overdrive speedups (best of the
+// two lmw protocols, bar-u, bar-s, bar-m) for the seven static
+// applications — barnes is excluded because its sharing pattern is
+// dynamic, exactly as in the paper.
+func (r *Runner) Figure4() ([]SpeedupRow, error) {
+	r.init()
+	var static []*apps.App
+	for _, a := range r.apps {
+		if !a.Dynamic {
+			static = append(static, a)
+		}
+	}
+	rows, err := r.speedups(static, []core.ProtocolKind{
+		core.ProtoLmwI, core.ProtoLmwU, core.ProtoBarU, core.ProtoBarS, core.ProtoBarM,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Collapse the two lmw protocols into "lmw" = best of the two.
+	for i := range rows {
+		s := rows[i].Speedups
+		s["lmw"] = max(s["lmw-i"], s["lmw-u"])
+		delete(s, "lmw-i")
+		delete(s, "lmw-u")
+	}
+	return rows, nil
+}
+
+func (r *Runner) speedups(list []*apps.App, protos []core.ProtocolKind) ([]SpeedupRow, error) {
+	r.init()
+	var rows []SpeedupRow
+	for _, a := range list {
+		row := SpeedupRow{App: a.Name, Speedups: map[string]float64{}}
+		for _, proto := range protos {
+			s, err := r.Speedup(a, proto)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedups[proto.String()] = s
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// renderSpeedups renders a speedup chart as text, one bar group per app.
+func renderSpeedups(title string, rows []SpeedupRow, protos []string, maxS float64) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, p := range protos {
+		fmt.Fprintf(&b, " %7s", p)
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-8s", row.App)
+		for _, p := range protos {
+			fmt.Fprintf(&b, " %7.2f", row.Speedups[p])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		for _, p := range protos {
+			s := row.Speedups[p]
+			n := int(s / maxS * 56)
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&b, "%-8s %-6s |%s %.2f\n", row.App, p, strings.Repeat("#", n), s)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure2 renders Figure 2 as text.
+func (r *Runner) RenderFigure2() (string, error) {
+	rows, err := r.Figure2()
+	if err != nil {
+		return "", err
+	}
+	return renderSpeedups(
+		fmt.Sprintf("Figure 2: %d-Proc Speedups", r.Procs),
+		rows, []string{"lmw-i", "lmw-u", "bar-i", "bar-u"}, float64(r.Procs)), nil
+}
+
+// RenderFigure4 renders Figure 4 as text.
+func (r *Runner) RenderFigure4() (string, error) {
+	rows, err := r.Figure4()
+	if err != nil {
+		return "", err
+	}
+	return renderSpeedups(
+		"Figure 4: Overdrive Speedups (lmw = best of lmw-i/lmw-u)",
+		rows, []string{"lmw", "bar-u", "bar-s", "bar-m"}, float64(r.Procs)), nil
+}
+
+// --- Figure 3 (time breakdown) ----------------------------------------------
+
+// BreakdownRow is one application's bar-u execution-time split, as
+// fractions summing to 1.
+type BreakdownRow struct {
+	App                      string
+	AppF, OSF, SigioF, WaitF float64
+}
+
+// Figure3 computes the paper's Figure 3: the four-way breakdown of bar-u
+// execution time into sigio handling, wait, OS overhead, and application
+// computation.
+func (r *Runner) Figure3() ([]BreakdownRow, error) {
+	r.init()
+	var rows []BreakdownRow
+	for _, a := range r.apps {
+		rep, err := r.Report(a, core.ProtoBarU)
+		if err != nil {
+			return nil, err
+		}
+		af, of, sf, wf := rep.BreakdownSum.Fractions()
+		rows = append(rows, BreakdownRow{App: a.Name, AppF: af, OSF: of, SigioF: sf, WaitF: wf})
+	}
+	return rows, nil
+}
+
+// RenderFigure3 renders Figure 3 as text.
+func (r *Runner) RenderFigure3() (string, error) {
+	rows, err := r.Figure3()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3: Time Breakdown for Bar-u (fractions of execution time)\n")
+	fmt.Fprintf(&b, "%-8s %7s %7s %7s %7s\n", "", "app", "os", "sigio", "wait")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-8s %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+			row.App, row.AppF*100, row.OSF*100, row.SigioF*100, row.WaitF*100)
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		bar := strings.Repeat("a", int(row.AppF*60)) + strings.Repeat("o", int(row.OSF*60)) +
+			strings.Repeat("s", int(row.SigioF*60)) + strings.Repeat("w", int(row.WaitF*60))
+		fmt.Fprintf(&b, "%-8s |%s|\n", row.App, bar)
+	}
+	b.WriteString("(a=app o=os s=sigio w=wait)\n")
+	return b.String(), nil
+}
+
+// --- summary statistics -------------------------------------------------------
+
+// Summary reproduces the paper's headline averages: bar-u's gain over the
+// better lmw protocol, bar-s's and bar-m's gains over bar-u, and the total
+// improvement of bar-m over lmw-i, each as geometric-mean speedup ratios
+// over the static applications.
+type Summary struct {
+	BarUOverLmw  float64 // paper: ~1.19
+	BarSOverBarU float64 // paper: ~1.02
+	BarMOverBarU float64 // paper: ~1.34
+	BarMOverLmwI float64 // paper: ~1.51
+}
+
+// ComputeSummary derives the headline averages.
+func (r *Runner) ComputeSummary() (*Summary, error) {
+	r.init()
+	geo := func(vals []float64) float64 {
+		p := 1.0
+		for _, v := range vals {
+			p *= v
+		}
+		return pow(p, 1/float64(len(vals)))
+	}
+	var uOverLmw, sOverU, mOverU, mOverLi []float64
+	for _, a := range r.apps {
+		if a.Dynamic {
+			continue
+		}
+		get := func(k core.ProtocolKind) float64 {
+			s, err := r.Speedup(a, k)
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}
+		li, lu := get(core.ProtoLmwI), get(core.ProtoLmwU)
+		bu, bs, bm := get(core.ProtoBarU), get(core.ProtoBarS), get(core.ProtoBarM)
+		uOverLmw = append(uOverLmw, bu/max(li, lu))
+		sOverU = append(sOverU, bs/bu)
+		mOverU = append(mOverU, bm/bu)
+		mOverLi = append(mOverLi, bm/li)
+	}
+	return &Summary{
+		BarUOverLmw:  geo(uOverLmw),
+		BarSOverBarU: geo(sOverU),
+		BarMOverBarU: geo(mOverU),
+		BarMOverLmwI: geo(mOverLi),
+	}, nil
+}
+
+// RenderSummary renders the headline comparison against the paper's
+// reported averages.
+func (r *Runner) RenderSummary() (string, error) {
+	s, err := r.ComputeSummary()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Headline averages over the 7 static applications (geometric mean):\n")
+	fmt.Fprintf(&b, "  bar-u vs best lmw : %+5.1f%%   (paper: +19%%)\n", (s.BarUOverLmw-1)*100)
+	fmt.Fprintf(&b, "  bar-s vs bar-u    : %+5.1f%%   (paper:  +2%%)\n", (s.BarSOverBarU-1)*100)
+	fmt.Fprintf(&b, "  bar-m vs bar-u    : %+5.1f%%   (paper: +34%%)\n", (s.BarMOverBarU-1)*100)
+	fmt.Fprintf(&b, "  bar-m vs lmw-i    : %+5.1f%%   (paper: +51%% overall)\n", (s.BarMOverLmwI-1)*100)
+	return b.String(), nil
+}
+
+func pow(x, y float64) float64 {
+	// Tiny wrapper to keep math imports local to one site.
+	return mathPow(x, y)
+}

@@ -1,0 +1,229 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"godsm/internal/core"
+)
+
+// smallRunner shares one cached runner across the tests in this package;
+// the experiments all draw from the same set of runs.
+var smallRunner = &Runner{Procs: 8, Small: true}
+
+func TestAppsTable(t *testing.T) {
+	rows, err := smallRunner.AppsTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.SegmentKB <= 0 || r.SyncGranularity <= 0 || r.BarriersPerIter <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.Name, r)
+		}
+	}
+	out, err := smallRunner.RenderAppsTable()
+	if err != nil || !strings.Contains(out, "swm") {
+		t.Fatalf("render: %v\n%s", err, out)
+	}
+}
+
+func TestTable1Relations(t *testing.T) {
+	rows, err := smallRunner.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		li = 0
+		lu = 1
+		bi = 2
+		bu = 3
+	)
+	for _, r := range rows {
+		// The update protocols eliminate the (vast) majority of misses.
+		if r.Misses[lu]*4 > r.Misses[li] && r.Misses[li] > 8 {
+			t.Errorf("%s: lmw-u misses %d vs lmw-i %d", r.App, r.Misses[lu], r.Misses[li])
+		}
+		// Full-scale runs are miss-free under bar-u (see EXPERIMENTS.md);
+		// the reduced grids used here leave the odd mid-epoch straggler.
+		if r.App != "barnes" && r.Misses[bu] > 2 {
+			t.Errorf("%s: bar-u misses = %d, want ~0", r.App, r.Misses[bu])
+		}
+		// The home effect: bar-i creates fewer diffs than lmw-i.
+		if r.Diffs[bi] >= r.Diffs[li] {
+			t.Errorf("%s: bar-i diffs %d !< lmw-i %d", r.App, r.Diffs[bi], r.Diffs[li])
+		}
+		// Homeless invalidate moves diffs; home-based invalidate moves
+		// whole pages, hence more data — except for fft, whose diffs are
+		// nearly full pages (the paper's Table 1 shows the same: fft li
+		// 36545 KB vs bi 37339 KB, a wash).
+		if r.App != "fft" && r.DataKB[bi] <= r.DataKB[li] {
+			t.Errorf("%s: bar-i data %d !> lmw-i %d", r.App, r.DataKB[bi], r.DataKB[li])
+		}
+	}
+	out, err := smallRunner.RenderTable1()
+	if err != nil || !strings.Contains(out, "Remote Misses") {
+		t.Fatalf("render: %v", err)
+	}
+}
+
+func TestFigure2Ordering(t *testing.T) {
+	rows, err := smallRunner.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		s := r.Speedups
+		if s["bar-u"] <= s["lmw-i"] {
+			t.Errorf("%s: bar-u (%.2f) not above lmw-i (%.2f)", r.App, s["bar-u"], s["lmw-i"])
+		}
+	}
+	if _, err := smallRunner.RenderFigure2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure3SumsToOne(t *testing.T) {
+	rows, err := smallRunner.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		sum := r.AppF + r.OSF + r.SigioF + r.WaitF
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: breakdown sums to %f", r.App, sum)
+		}
+		if r.AppF <= 0 {
+			t.Errorf("%s: app fraction %f", r.App, r.AppF)
+		}
+	}
+	if _, err := smallRunner.RenderFigure3(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure4ExcludesBarnesAndOrders(t *testing.T) {
+	rows, err := smallRunner.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want 7 (barnes excluded)", len(rows))
+	}
+	for _, r := range rows {
+		if r.App == "barnes" {
+			t.Fatal("barnes present in Figure 4")
+		}
+		s := r.Speedups
+		if _, ok := s["lmw"]; !ok {
+			t.Fatalf("%s: missing collapsed lmw entry: %v", r.App, s)
+		}
+		if s["bar-m"] < s["bar-u"] {
+			t.Errorf("%s: bar-m (%.2f) below bar-u (%.2f)", r.App, s["bar-m"], s["bar-u"])
+		}
+	}
+	if _, err := smallRunner.RenderFigure4(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryDirections(t *testing.T) {
+	s, err := smallRunner.ComputeSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BarUOverLmw <= 1 {
+		t.Errorf("bar-u/lmw = %.3f, want > 1", s.BarUOverLmw)
+	}
+	if s.BarMOverBarU <= 1 {
+		t.Errorf("bar-m/bar-u = %.3f, want > 1", s.BarMOverBarU)
+	}
+	if s.BarMOverLmwI <= s.BarUOverLmw {
+		t.Errorf("total gain %.3f not above bar-u's %.3f", s.BarMOverLmwI, s.BarUOverLmw)
+	}
+	if _, err := smallRunner.RenderSummary(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationHome(t *testing.T) {
+	rows, err := smallRunner.AblationHome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyWorse := false
+	for _, r := range rows {
+		if r.Static < r.WithMigration {
+			anyWorse = true
+		}
+	}
+	if !anyWorse {
+		t.Error("static homes never worse than migrated ones — migration buys nothing?")
+	}
+	if _, err := smallRunner.RenderAblationHome(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationScaleMonotone(t *testing.T) {
+	pts, err := smallRunner.AblationScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points, want 3", len(pts))
+	}
+	// At reduced sizes communication dominates, so strict monotonicity is
+	// not guaranteed; 2 -> 4 procs must still help for the compute-dense
+	// kernels at least somewhere.
+	improved := 0
+	for name := range pts[0].Speedups {
+		if pts[1].Speedups[name] > pts[0].Speedups[name] {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("no app improves from 2 to 4 procs")
+	}
+	if _, err := smallRunner.RenderAblationScale(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationPageSize(t *testing.T) {
+	rows, err := smallRunner.AblationPageSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		// Halving the page size cannot meaningfully reduce protection
+		// traffic (one-off warmup invalidations give a word of slack on
+		// these tiny grids).
+		if r.Mprotects4K < r.Mprotects8K-2 {
+			t.Errorf("%s: 4K mprotects %d < 8K %d", r.App, r.Mprotects4K, r.Mprotects8K)
+		}
+	}
+	if _, err := smallRunner.RenderAblationPageSize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	app := smallRunner.Apps()[5] // sor
+	a, err := smallRunner.Report(app, core.ProtoBarU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := smallRunner.Report(app, core.ProtoBarU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated Report did not hit the cache")
+	}
+}

@@ -1,0 +1,341 @@
+// Package sim implements a deterministic, cooperative discrete-event
+// simulation kernel.
+//
+// A Kernel hosts a set of Procs. Each Proc executes ordinary Go code on its
+// own goroutine, but the kernel guarantees that exactly one Proc (or the
+// kernel itself) runs at any instant: a Proc runs until it performs a
+// blocking kernel call (Advance, Recv, or returning from its body), at which
+// point control returns to the kernel, which fires the globally earliest
+// pending event and resumes the Proc that event belongs to.
+//
+// Virtual time is an int64 count of nanoseconds. A Proc's clock advances
+// only through kernel calls; computation performed between calls is free
+// unless the Proc charges for it explicitly with Advance. Because all
+// events are processed in (time, sequence) order, runs are bit-for-bit
+// deterministic.
+//
+// The kernel is the substrate for godsm's simulated cluster: higher layers
+// (netsim, core) build message passing, RPC, and the DSM protocols on top
+// of Send/Recv/Advance.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a virtual-time instant in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants for the units the
+// cost model speaks in.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+func (t Time) String() string     { return fmt.Sprintf("%.3fms", float64(t)/1e6) }
+func (d Duration) String() string { return fmt.Sprintf("%.3fµs", float64(d)/1e3) }
+
+// Seconds reports the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Message is a unit of delivery between Procs. Payload is opaque to the
+// kernel; From and Arrival are filled in by the kernel on delivery.
+type Message struct {
+	From    int // sending Proc id
+	To      int // receiving Proc id
+	Arrival Time
+	Payload any
+}
+
+// event is a heap entry: either a message delivery or a timer wakeup.
+type event struct {
+	at      Time
+	seq     uint64 // global tiebreak: FIFO among simultaneous events
+	proc    int    // destination proc id
+	msg     *Message
+	isTimer bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type procState int
+
+const (
+	stateReady procState = iota // created, not yet started
+	stateRunning
+	stateBlockedRecv  // waiting for a message
+	stateBlockedTimer // waiting for an Advance wakeup
+	stateDone
+)
+
+// Proc is a simulated process. All methods must be called only from the
+// Proc's own goroutine while it is the running process.
+type Proc struct {
+	k     *Kernel
+	id    int
+	name  string
+	now   Time
+	state procState
+
+	resume chan Time // kernel -> proc: wake at this time
+	mbox   []*Message
+
+	body func(*Proc)
+}
+
+// ID returns the Proc's kernel-assigned identifier.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the debugging name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the Proc's current virtual time.
+func (p *Proc) Now() Time { return p.now }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Kernel drives a set of Procs through virtual time.
+type Kernel struct {
+	procs  []*Proc
+	events eventHeap
+	seq    uint64
+	yield  chan struct{} // proc -> kernel: I have blocked or finished
+	live   int           // procs not yet Done
+	failed error
+}
+
+// NewKernel returns an empty kernel.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Spawn registers a new Proc executing body. Must be called before Run.
+func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs),
+		name:   name,
+		resume: make(chan Time),
+		body:   body,
+		state:  stateReady,
+	}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// NumProcs returns the number of spawned procs.
+func (k *Kernel) NumProcs() int { return len(k.procs) }
+
+// Proc returns the proc with the given id.
+func (k *Kernel) Proc(id int) *Proc { return k.procs[id] }
+
+func (k *Kernel) push(e *event) {
+	e.seq = k.seq
+	k.seq++
+	heap.Push(&k.events, e)
+}
+
+// ErrDeadlock is returned by Run when no proc can make progress.
+type ErrDeadlock struct {
+	Detail string
+}
+
+func (e *ErrDeadlock) Error() string { return "sim: deadlock: " + e.Detail }
+
+// Run starts every spawned Proc at time 0 and processes events until all
+// Procs finish. It returns a *ErrDeadlock if some Procs are blocked forever,
+// or any error recorded via Fail.
+func (k *Kernel) Run() error {
+	// Start all procs at t=0 in spawn order.
+	for _, p := range k.procs {
+		p := p
+		k.live++
+		go func() {
+			t := <-p.resume
+			p.now = t
+			p.state = stateRunning
+			p.body(p)
+			p.state = stateDone
+			k.live--
+			k.yield <- struct{}{}
+		}()
+	}
+	for _, p := range k.procs {
+		k.schedule(p, 0)
+	}
+	for k.live > 0 && k.failed == nil {
+		if len(k.events) == 0 {
+			return &ErrDeadlock{Detail: k.dump()}
+		}
+		e := heap.Pop(&k.events).(*event)
+		p := k.procs[e.proc]
+		switch {
+		case e.isTimer:
+			// Timer events are only scheduled for procs blocked in
+			// Advance (or initial start); deliver unconditionally.
+			k.schedule(p, e.at)
+		case e.msg != nil:
+			e.msg.Arrival = e.at
+			p.mbox = append(p.mbox, e.msg)
+			if p.state == stateBlockedRecv {
+				k.schedule(p, e.at)
+			}
+		}
+	}
+	return k.failed
+}
+
+// schedule resumes proc p at time t and waits for it to yield again.
+func (k *Kernel) schedule(p *Proc, t Time) {
+	if t < p.now {
+		t = p.now
+	}
+	p.resume <- t
+	<-k.yield
+}
+
+// Fail aborts the simulation with err; the currently running proc must call
+// it and then block forever (the kernel's Run returns err).
+func (k *Kernel) fail(err error) {
+	if k.failed == nil {
+		k.failed = err
+	}
+}
+
+// dump renders the blocked-proc state for deadlock reports.
+func (k *Kernel) dump() string {
+	var b strings.Builder
+	type row struct {
+		id   int
+		line string
+	}
+	var rows []row
+	for _, p := range k.procs {
+		if p.state == stateDone {
+			continue
+		}
+		st := "?"
+		switch p.state {
+		case stateBlockedRecv:
+			st = "recv"
+		case stateBlockedTimer:
+			st = "timer"
+		case stateRunning:
+			st = "running"
+		case stateReady:
+			st = "ready"
+		}
+		rows = append(rows, row{p.id, fmt.Sprintf("proc %d (%s) blocked in %s at %v, %d queued msgs", p.id, p.name, st, p.now, len(p.mbox))})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	for _, r := range rows {
+		b.WriteString(r.line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// yieldAndWait blocks the calling proc until the kernel resumes it,
+// updating the proc clock to the resume time.
+func (p *Proc) yieldAndWait() {
+	p.k.yield <- struct{}{}
+	t := <-p.resume
+	if t > p.now {
+		p.now = t
+	}
+	p.state = stateRunning
+}
+
+// Advance moves the Proc's clock forward by d, letting other procs run in
+// the meantime. Advance(0) is a no-op that does not yield.
+func (p *Proc) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative Advance(%d) by proc %d", d, p.id))
+	}
+	if d == 0 {
+		return
+	}
+	p.k.push(&event{at: p.now + Time(d), proc: p.id, isTimer: true})
+	p.state = stateBlockedTimer
+	p.yieldAndWait()
+}
+
+// Send enqueues payload for delivery to proc dst after delay. It does not
+// block or advance the sender's clock; charge transmission CPU cost with
+// Advance separately.
+func (p *Proc) Send(dst int, delay Duration, payload any) {
+	if delay < 0 {
+		panic("sim: negative send delay")
+	}
+	m := &Message{From: p.id, To: dst}
+	m.Payload = payload
+	p.k.push(&event{at: p.now + Time(delay), proc: dst, msg: m})
+}
+
+// Recv returns the next queued message, blocking in virtual time until one
+// arrives. Messages are delivered in (arrival time, send sequence) order.
+// The proc clock advances to at least the message's arrival time.
+func (p *Proc) Recv() *Message {
+	for len(p.mbox) == 0 {
+		p.state = stateBlockedRecv
+		p.yieldAndWait()
+	}
+	m := p.mbox[0]
+	copy(p.mbox, p.mbox[1:])
+	p.mbox[len(p.mbox)-1] = nil
+	p.mbox = p.mbox[:len(p.mbox)-1]
+	if m.Arrival > p.now {
+		p.now = m.Arrival
+	}
+	return m
+}
+
+// TryRecv returns the next already-delivered message, or nil without
+// blocking if none has arrived by the proc's current time.
+func (p *Proc) TryRecv() *Message {
+	if len(p.mbox) == 0 {
+		return nil
+	}
+	return p.Recv()
+}
+
+// Pending reports how many messages are queued for the proc.
+func (p *Proc) Pending() int { return len(p.mbox) }
+
+// Fail aborts the whole simulation with err. The calling proc does not
+// return; it parks forever while the kernel unwinds.
+func (p *Proc) Fail(err error) {
+	p.k.fail(err)
+	p.k.live--
+	p.state = stateDone
+	p.k.yield <- struct{}{}
+	select {} // unreachable in practice; kernel never resumes us
+}

@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvanceMovesClock(t *testing.T) {
+	k := NewKernel()
+	var end Time
+	k.Spawn("a", func(p *Proc) {
+		p.Advance(10 * Microsecond)
+		p.Advance(5 * Microsecond)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(15 * Microsecond); end != want {
+		t.Fatalf("clock = %v, want %v", end, want)
+	}
+}
+
+func TestAdvanceZeroDoesNotYield(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", func(p *Proc) {
+		p.Advance(0)
+		if p.Now() != 0 {
+			t.Errorf("Advance(0) moved clock to %v", p.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative Advance did not panic")
+			}
+		}()
+		p.Advance(-1)
+	})
+	// The panic is recovered inside the proc body, so Run completes.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvLatency(t *testing.T) {
+	k := NewKernel()
+	var got Time
+	var payload any
+	recvID := 1
+	k.Spawn("sender", func(p *Proc) {
+		p.Advance(3 * Microsecond)
+		p.Send(recvID, 7*Microsecond, "hello")
+	})
+	k.Spawn("receiver", func(p *Proc) {
+		m := p.Recv()
+		got = p.Now()
+		payload = m.Payload
+		if m.From != 0 {
+			t.Errorf("From = %d, want 0", m.From)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(10 * Microsecond); got != want {
+		t.Fatalf("recv time = %v, want %v", got, want)
+	}
+	if payload != "hello" {
+		t.Fatalf("payload = %v", payload)
+	}
+}
+
+func TestRecvDoesNotRewindClock(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("sender", func(p *Proc) {
+		p.Send(1, Microsecond, 1)
+	})
+	k.Spawn("receiver", func(p *Proc) {
+		p.Advance(100 * Microsecond)
+		p.Recv()
+		if p.Now() != Time(100*Microsecond) {
+			t.Errorf("recv of old message rewound clock to %v", p.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOAmongSimultaneous(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Spawn("sender", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Send(1, 10*Microsecond, i)
+		}
+	})
+	k.Spawn("receiver", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			m := p.Recv()
+			order = append(order, m.Payload.(int))
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestGlobalOrderAcrossProcs(t *testing.T) {
+	// Three senders with staggered latencies; receiver must see messages in
+	// global arrival-time order regardless of sender identity.
+	k := NewKernel()
+	var got []string
+	lat := []Duration{30 * Microsecond, 10 * Microsecond, 20 * Microsecond}
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("s%d", i), func(p *Proc) {
+			p.Send(3, lat[i], fmt.Sprintf("s%d", i))
+		})
+	}
+	k.Spawn("r", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, p.Recv().Payload.(string))
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"s1", "s2", "s0"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("stuck", func(p *Proc) {
+		p.Recv()
+	})
+	err := k.Run()
+	var dl *ErrDeadlock
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	if dl.Detail == "" {
+		t.Fatal("deadlock detail empty")
+	}
+}
+
+func TestFailAborts(t *testing.T) {
+	k := NewKernel()
+	boom := errors.New("boom")
+	k.Spawn("a", func(p *Proc) {
+		p.Fail(boom)
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Recv() // would deadlock, but Fail should win
+	})
+	if err := k.Run(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("sender", func(p *Proc) {
+		p.Send(1, 5*Microsecond, "x")
+	})
+	k.Spawn("receiver", func(p *Proc) {
+		if m := p.TryRecv(); m != nil {
+			t.Error("TryRecv returned message before arrival")
+		}
+		p.Advance(10 * Microsecond)
+		m := p.TryRecv()
+		if m == nil || m.Payload != "x" {
+			t.Errorf("TryRecv after arrival = %v", m)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	const rounds = 100
+	k := NewKernel()
+	var end Time
+	k.Spawn("ping", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			p.Send(1, Microsecond, i)
+			p.Recv()
+		}
+		end = p.Now()
+	})
+	k.Spawn("pong", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			m := p.Recv()
+			p.Send(0, Microsecond, m.Payload)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(2 * rounds * Microsecond); end != want {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+}
+
+// TestDeterminism runs an irregular communication pattern twice and demands
+// identical event traces.
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		var trace []string
+		k := NewKernel()
+		const n = 5
+		for i := 0; i < n; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for r := 0; r < 10; r++ {
+					dst := (i + r) % n
+					if dst != i {
+						p.Send(dst, Duration(1+(i*r)%7)*Microsecond, i*100+r)
+					}
+					p.Advance(Duration(1+r%3) * Microsecond)
+					for m := p.TryRecv(); m != nil; m = p.TryRecv() {
+						trace = append(trace, fmt.Sprintf("%d<-%d@%v:%v", i, m.From, p.Now(), m.Payload))
+					}
+				}
+				// Drain any leftovers so no messages outlive the run
+				// nondeterministically.
+				for p.Pending() > 0 {
+					m := p.Recv()
+					trace = append(trace, fmt.Sprintf("%d<-%d@%v:%v", i, m.From, p.Now(), m.Payload))
+				}
+			})
+		}
+		if err := k.Run(); err != nil && !errors.As(err, new(*ErrDeadlock)) {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any list of non-negative delays, a receiver observes
+// messages sorted by arrival time.
+func TestRecvOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		k := NewKernel()
+		k.Spawn("s", func(p *Proc) {
+			for i, d := range raw {
+				p.Send(1, Duration(d)*Nanosecond, i)
+			}
+		})
+		ok := true
+		k.Spawn("r", func(p *Proc) {
+			last := Time(-1)
+			for range raw {
+				m := p.Recv()
+				if m.Arrival < last {
+					ok = false
+				}
+				last = m.Arrival
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: N procs advancing by arbitrary positive steps never observe
+// time running backwards, and all finish with clock = sum of their steps.
+func TestAdvanceSumProperty(t *testing.T) {
+	f := func(steps [][]uint8) bool {
+		if len(steps) == 0 || len(steps) > 8 {
+			return true
+		}
+		k := NewKernel()
+		ok := true
+		for _, ss := range steps {
+			ss := ss
+			k.Spawn("p", func(p *Proc) {
+				var sum Time
+				for _, s := range ss {
+					p.Advance(Duration(s))
+					sum += Time(s)
+					if p.Now() != sum {
+						ok = false
+					}
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("ping", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Send(1, Microsecond, nil)
+			p.Recv()
+		}
+	})
+	k.Spawn("pong", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Recv()
+			p.Send(0, Microsecond, nil)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

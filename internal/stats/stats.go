@@ -1,0 +1,143 @@
+// Package stats defines the counters and the execution-time breakdown the
+// paper reports: Table 1's protocol statistics (diff creations, remote
+// misses, messages, data volume) and Figure 3's four-way split of runtime
+// into sigio handling, wait time, operating-system overhead, and
+// application computation.
+package stats
+
+import "godsm/internal/sim"
+
+// Counters aggregates the protocol events of one node (or, summed, of a
+// whole run). Fields mirror Table 1 plus the extra events §4 analyzes.
+type Counters struct {
+	// Diffs counts diff creations (zero-length diffs excluded, matching the
+	// paper's accounting: they are dropped before transmission).
+	Diffs int64
+	// EmptyDiffs counts zero-length diffs created by overdrive
+	// mispredictions (pure overhead, bar-s/bar-m only).
+	EmptyDiffs int64
+	// RemoteMisses counts page faults whose service required network
+	// traffic. Faults satisfied from locally banked updates do not count.
+	RemoteMisses int64
+	// Messages counts data and synchronization messages sent: requests,
+	// update/diff flushes, barrier arrivals and releases. Replies are not
+	// counted, following Table 1's "requests sent (there are an equal
+	// number of replies)".
+	Messages int64
+	// Replies counts reply messages (for completeness; not in Table 1).
+	Replies int64
+	// DataBytes is the total bytes sent, headers included.
+	DataBytes int64
+	// Segvs counts segmentation-violation traps taken.
+	Segvs int64
+	// Mprotects counts page-protection-change system calls.
+	Mprotects int64
+	// Twins counts twin (page snapshot) creations.
+	Twins int64
+	// PageFetches counts whole-page fetches from a home node.
+	PageFetches int64
+	// DiffFetches counts diff-request round trips (homeless protocols).
+	DiffFetches int64
+	// UpdatesSent counts copyset-directed diff flush messages.
+	UpdatesSent int64
+	// UpdatesUnneeded counts update flushes delivered to nodes that never
+	// accessed the page in the epoch (stale-copyset overhead).
+	UpdatesUnneeded int64
+	// DiffsStored is the high-water count of diffs retained in memory
+	// (homeless protocols never garbage-collect during a run).
+	DiffsStored int64
+	// HomeMigrations counts runtime page-home reassignments.
+	HomeMigrations int64
+	// LockAcquires counts lock acquisitions (lmw protocols only; the bar
+	// protocols are barrier-only by design).
+	LockAcquires int64
+	// DiffsGCed counts diffs reclaimed by the homeless protocols' explicit
+	// garbage collection.
+	DiffsGCed int64
+	// StaleSkips counts invalidations bar-m skipped in overdrive, leaving
+	// a stale-but-readable copy in place (safe only while the access
+	// pattern stays invariant — the protocol's documented risk).
+	StaleSkips int64
+	// Barriers counts barrier episodes completed.
+	Barriers int64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Diffs += o.Diffs
+	c.EmptyDiffs += o.EmptyDiffs
+	c.RemoteMisses += o.RemoteMisses
+	c.Messages += o.Messages
+	c.Replies += o.Replies
+	c.DataBytes += o.DataBytes
+	c.Segvs += o.Segvs
+	c.Mprotects += o.Mprotects
+	c.Twins += o.Twins
+	c.PageFetches += o.PageFetches
+	c.DiffFetches += o.DiffFetches
+	c.UpdatesSent += o.UpdatesSent
+	c.UpdatesUnneeded += o.UpdatesUnneeded
+	c.DiffsStored += o.DiffsStored
+	c.HomeMigrations += o.HomeMigrations
+	c.LockAcquires += o.LockAcquires
+	c.DiffsGCed += o.DiffsGCed
+	c.StaleSkips += o.StaleSkips
+	c.Barriers += o.Barriers
+}
+
+// Sub returns c - o, used to window counters to the measured interval.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Diffs:           c.Diffs - o.Diffs,
+		EmptyDiffs:      c.EmptyDiffs - o.EmptyDiffs,
+		RemoteMisses:    c.RemoteMisses - o.RemoteMisses,
+		Messages:        c.Messages - o.Messages,
+		Replies:         c.Replies - o.Replies,
+		DataBytes:       c.DataBytes - o.DataBytes,
+		Segvs:           c.Segvs - o.Segvs,
+		Mprotects:       c.Mprotects - o.Mprotects,
+		Twins:           c.Twins - o.Twins,
+		PageFetches:     c.PageFetches - o.PageFetches,
+		DiffFetches:     c.DiffFetches - o.DiffFetches,
+		UpdatesSent:     c.UpdatesSent - o.UpdatesSent,
+		UpdatesUnneeded: c.UpdatesUnneeded - o.UpdatesUnneeded,
+		DiffsStored:     c.DiffsStored - o.DiffsStored,
+		HomeMigrations:  c.HomeMigrations - o.HomeMigrations,
+		LockAcquires:    c.LockAcquires - o.LockAcquires,
+		DiffsGCed:       c.DiffsGCed - o.DiffsGCed,
+		StaleSkips:      c.StaleSkips - o.StaleSkips,
+		Barriers:        c.Barriers - o.Barriers,
+	}
+}
+
+// Breakdown is Figure 3's split of one node's elapsed execution time.
+// Wait is computed as the residual (elapsed - app - os - sigio), exactly as
+// measured breakdowns of this era were derived, so the four parts always
+// sum to the elapsed time.
+type Breakdown struct {
+	App   sim.Duration // useful application computation
+	OS    sim.Duration // kernel traps on the compute path: send/recv, mprotect, segv, fault service
+	Sigio sim.Duration // incoming-request handling
+	Wait  sim.Duration // idle: barrier release and remote data stalls
+}
+
+// Total returns the sum of all four components.
+func (b Breakdown) Total() sim.Duration { return b.App + b.OS + b.Sigio + b.Wait }
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.App += o.App
+	b.OS += o.OS
+	b.Sigio += o.Sigio
+	b.Wait += o.Wait
+}
+
+// Fractions returns the four components as fractions of the total, in the
+// order app, os, sigio, wait. A zero total yields all zeros.
+func (b Breakdown) Fractions() (app, os, sigio, wait float64) {
+	t := float64(b.Total())
+	if t == 0 {
+		return 0, 0, 0, 0
+	}
+	return float64(b.App) / t, float64(b.OS) / t, float64(b.Sigio) / t, float64(b.Wait) / t
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"godsm/internal/sim"
+)
+
+func randomCounters(rng *rand.Rand) Counters {
+	var c Counters
+	v := reflect.ValueOf(&c).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(rng.Int63n(1 << 30))
+	}
+	return c
+}
+
+// Property: (a + b) - b == a, field by field — i.e. Sub really inverts Add
+// and no field is forgotten by either (a classic source of bugs when
+// counters get added).
+func TestCountersAddSubRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCounters(rng)
+		b := randomCounters(rng)
+		sum := a
+		sum.Add(b)
+		return sum.Sub(b) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every field must change when a non-zero counter is added: catches fields
+// missing from Add.
+func TestAddCoversEveryField(t *testing.T) {
+	var a, b Counters
+	v := reflect.ValueOf(&b).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(int64(i + 1))
+	}
+	a.Add(b)
+	if a != b {
+		t.Fatalf("Add dropped a field: got %+v, want %+v", a, b)
+	}
+}
+
+func TestBreakdownTotalAndFractions(t *testing.T) {
+	b := Breakdown{App: 40, OS: 30, Sigio: 10, Wait: 20}
+	if b.Total() != 100 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	af, of, sf, wf := b.Fractions()
+	if af != 0.4 || of != 0.3 || sf != 0.1 || wf != 0.2 {
+		t.Fatalf("fractions = %v %v %v %v", af, of, sf, wf)
+	}
+}
+
+func TestBreakdownZeroTotal(t *testing.T) {
+	var b Breakdown
+	af, of, sf, wf := b.Fractions()
+	if af != 0 || of != 0 || sf != 0 || wf != 0 {
+		t.Fatal("zero breakdown must yield zero fractions")
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{App: 1 * sim.Microsecond, OS: 2, Sigio: 3, Wait: 4}
+	b := Breakdown{App: 10, OS: 20, Sigio: 30, Wait: 40}
+	a.Add(b)
+	want := Breakdown{App: 1*sim.Microsecond + 10, OS: 22, Sigio: 33, Wait: 44}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}
+
+// Property: fractions always sum to ~1 for non-degenerate breakdowns.
+func TestFractionsSumToOneProperty(t *testing.T) {
+	f := func(app, os, sigio, wait uint32) bool {
+		b := Breakdown{
+			App:   sim.Duration(app),
+			OS:    sim.Duration(os),
+			Sigio: sim.Duration(sigio),
+			Wait:  sim.Duration(wait),
+		}
+		if b.Total() == 0 {
+			return true
+		}
+		af, of, sf, wf := b.Fractions()
+		s := af + of + sf + wf
+		return s > 0.9999 && s < 1.0001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package trace records protocol events with virtual timestamps. A Log
+// attached to a run (core.Config.Trace) captures what the DSM did and
+// when — faults, protection changes, diffs, barrier episodes, lock
+// transfers, migrations — for debugging protocols and for studying their
+// behaviour the way Figure 5 of the paper does.
+//
+// Recording is bounded: once Cap events are stored, further events are
+// counted but dropped, so tracing a long run cannot exhaust memory.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"godsm/internal/sim"
+)
+
+// Kind classifies one protocol event.
+type Kind uint8
+
+// Event kinds, roughly in the order a page's life encounters them.
+const (
+	// Segv is a segmentation-violation trap (read or write).
+	Segv Kind = iota + 1
+	// Mprotect is one page-protection change; Arg is the new protection.
+	Mprotect
+	// Twin is a twin (page snapshot) creation.
+	Twin
+	// DiffCreate is a diff creation; Arg is the diff's payload bytes.
+	DiffCreate
+	// DiffApply is a diff application; Arg is the applied bytes.
+	DiffApply
+	// PageFetch is a whole-page fetch from a home; Arg is the version.
+	PageFetch
+	// DiffFetch is a diff-request round trip (homeless protocols); Arg is
+	// the creator asked.
+	DiffFetch
+	// UpdatePush is a copyset-directed flush batch; Arg is the destination.
+	UpdatePush
+	// BarrierArrive marks a barrier arrival; Arg is the barrier sequence.
+	BarrierArrive
+	// BarrierRelease marks a barrier release; Arg is the barrier sequence.
+	BarrierRelease
+	// LockAcquire marks a lock acquisition; Arg is the lock id, Page -1.
+	LockAcquire
+	// LockGrant marks a token handoff; Arg is the lock id, Page the
+	// requester.
+	LockGrant
+	// Migration marks a home-role transfer; Arg is the new home.
+	Migration
+	// OverdriveOn marks bar-s/bar-m entering steady-state overdrive.
+	OverdriveOn
+	// FlagSet marks a one-shot flag being set; Arg is the flag id.
+	FlagSet
+	// FlagWait marks a flag wait beginning; Arg is the flag id.
+	FlagWait
+	numKinds
+)
+
+var kindNames = [...]string{
+	Segv:           "segv",
+	Mprotect:       "mprotect",
+	Twin:           "twin",
+	DiffCreate:     "diff-create",
+	DiffApply:      "diff-apply",
+	PageFetch:      "page-fetch",
+	DiffFetch:      "diff-fetch",
+	UpdatePush:     "update-push",
+	BarrierArrive:  "bar-arrive",
+	BarrierRelease: "bar-release",
+	LockAcquire:    "lock-acq",
+	LockGrant:      "lock-grant",
+	Migration:      "migration",
+	OverdriveOn:    "overdrive-on",
+	FlagSet:        "flag-set",
+	FlagWait:       "flag-wait",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded protocol action.
+type Event struct {
+	T    sim.Time
+	Node int
+	Kind Kind
+	Page int   // page id, or -1 when not page-related
+	Arg  int64 // kind-specific detail
+}
+
+func (e Event) String() string {
+	if e.Page >= 0 {
+		return fmt.Sprintf("%12v n%-2d %-12s page %-5d arg %d", e.T, e.Node, e.Kind, e.Page, e.Arg)
+	}
+	return fmt.Sprintf("%12v n%-2d %-12s %17s arg %d", e.T, e.Node, e.Kind, "", e.Arg)
+}
+
+// Log is a bounded event recorder. The zero value records nothing; create
+// one with New.
+type Log struct {
+	cap     int
+	events  []Event
+	dropped int64
+}
+
+// New returns a Log that retains at most cap events.
+func New(cap int) *Log {
+	if cap <= 0 {
+		cap = 1 << 16
+	}
+	return &Log{cap: cap}
+}
+
+// Add records one event (dropped once the log is full).
+func (l *Log) Add(t sim.Time, node int, kind Kind, page int, arg int64) {
+	if l == nil {
+		return
+	}
+	if len(l.events) >= l.cap {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, Event{T: t, Node: node, Kind: kind, Page: page, Arg: arg})
+}
+
+// Events returns the recorded events in recording order (which is global
+// virtual-time order, since the simulation runs one process at a time).
+func (l *Log) Events() []Event { return l.events }
+
+// Dropped reports how many events did not fit.
+func (l *Log) Dropped() int64 { return l.dropped }
+
+// Summary counts events per kind.
+func (l *Log) Summary() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, e := range l.events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// WriteTo dumps the full log as text.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range l.events {
+		k, err := fmt.Fprintln(w, e.String())
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	if l.dropped > 0 {
+		k, err := fmt.Fprintf(w, "... %d further events dropped (cap %d)\n", l.dropped, l.cap)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// WriteSummary dumps the per-kind counts as text, in kind order.
+func (l *Log) WriteSummary(w io.Writer) (int64, error) {
+	sum := l.Summary()
+	var n int64
+	for k := Kind(1); k < numKinds; k++ {
+		if sum[k] == 0 {
+			continue
+		}
+		c, err := fmt.Fprintf(w, "%-12s %8d\n", k, sum[k])
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(1); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(200).String(), "kind(") {
+		t.Error("unknown kind did not fall back")
+	}
+}
+
+func TestLogBounded(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 10; i++ {
+		l.Add(0, 0, Segv, i, 0)
+	}
+	if len(l.Events()) != 3 {
+		t.Fatalf("stored %d events, cap 3", len(l.Events()))
+	}
+	if l.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", l.Dropped())
+	}
+	var b strings.Builder
+	if _, err := l.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "7 further events dropped") {
+		t.Error("dropped count not reported")
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Add(0, 0, Segv, 0, 0) // must not panic
+}
+
+func TestSummaryAndWriters(t *testing.T) {
+	l := New(16)
+	l.Add(10, 0, Segv, 1, 0)
+	l.Add(20, 1, Mprotect, 1, 2)
+	l.Add(30, 0, Segv, 2, 1)
+	sum := l.Summary()
+	if sum[Segv] != 2 || sum[Mprotect] != 1 {
+		t.Fatalf("summary = %v", sum)
+	}
+	var b strings.Builder
+	if _, err := l.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "segv") || !strings.Contains(b.String(), "mprotect") {
+		t.Errorf("summary text:\n%s", b.String())
+	}
+}
+
+func TestZeroCapDefaults(t *testing.T) {
+	l := New(0)
+	l.Add(0, 0, Twin, 0, 0)
+	if len(l.Events()) != 1 {
+		t.Fatal("zero-cap New unusable")
+	}
+}

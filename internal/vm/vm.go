@@ -1,0 +1,277 @@
+// Package vm simulates the virtual-memory machinery a page-based software
+// DSM is built on: a per-node copy of the shared segment, a software page
+// table with per-page protections, twin pages for multi-writer diffing, and
+// a word-granularity run-length-encoded diff codec.
+//
+// On the paper's system these are real AIX pages manipulated with
+// mprotect(2) and trapped with SIGSEGV. The Go runtime owns the real
+// address space, so godsm substitutes explicit protection checks performed
+// by the typed accessors in internal/core; every protection transition and
+// fault the real system would take occurs at the same program point here
+// and is charged its measured cost by the engine.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Prot is a page protection state.
+type Prot uint8
+
+const (
+	// None: any access faults (invalid page).
+	None Prot = iota
+	// Read: reads succeed, writes fault (write trapping armed).
+	Read
+	// ReadWrite: all accesses succeed.
+	ReadWrite
+)
+
+func (p Prot) String() string {
+	switch p {
+	case None:
+		return "none"
+	case Read:
+		return "read"
+	case ReadWrite:
+		return "rdwr"
+	}
+	return fmt.Sprintf("prot(%d)", uint8(p))
+}
+
+// PageID indexes a page within the shared segment.
+type PageID int32
+
+// AddressSpace is one node's view of the shared segment.
+type AddressSpace struct {
+	Mem      []byte // local copy of the shared segment
+	prot     []Prot
+	twins    [][]byte // per-page twin, nil when absent
+	pageSize int
+	shift    uint
+}
+
+// NewAddressSpace returns an address space of size bytes (rounded up to a
+// whole number of pages), all pages zero-filled with protection Read.
+func NewAddressSpace(size, pageSize int) *AddressSpace {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("vm: page size %d not a power of two", pageSize))
+	}
+	shift := uint(0)
+	for 1<<shift != pageSize {
+		shift++
+	}
+	npages := (size + pageSize - 1) / pageSize
+	prot := make([]Prot, npages)
+	for i := range prot {
+		prot[i] = Read
+	}
+	return &AddressSpace{
+		Mem:      make([]byte, npages*pageSize),
+		prot:     prot,
+		twins:    make([][]byte, npages),
+		pageSize: pageSize,
+		shift:    shift,
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (as *AddressSpace) PageSize() int { return as.pageSize }
+
+// NumPages returns the number of pages in the segment.
+func (as *AddressSpace) NumPages() int { return len(as.prot) }
+
+// Shift returns log2(page size), for fast address-to-page conversion.
+func (as *AddressSpace) Shift() uint { return as.shift }
+
+// PageOf returns the page containing byte offset addr.
+func (as *AddressSpace) PageOf(addr int) PageID { return PageID(addr >> as.shift) }
+
+// Prot returns the protection of page pg.
+func (as *AddressSpace) Prot(pg PageID) Prot { return as.prot[pg] }
+
+// SetProt changes the protection of page pg. Cost accounting (the mprotect
+// call) is the caller's responsibility.
+func (as *AddressSpace) SetProt(pg PageID, p Prot) { as.prot[pg] = p }
+
+// Page returns the current contents of page pg (aliasing Mem).
+func (as *AddressSpace) Page(pg PageID) []byte {
+	off := int(pg) << as.shift
+	return as.Mem[off : off+as.pageSize : off+as.pageSize]
+}
+
+// MakeTwin snapshots page pg so later modifications can be diffed. It
+// panics if a twin already exists (protocol bug).
+func (as *AddressSpace) MakeTwin(pg PageID) {
+	if as.twins[pg] != nil {
+		panic(fmt.Sprintf("vm: page %d already has a twin", pg))
+	}
+	t := make([]byte, as.pageSize)
+	copy(t, as.Page(pg))
+	as.twins[pg] = t
+}
+
+// HasTwin reports whether page pg currently has a twin.
+func (as *AddressSpace) HasTwin(pg PageID) bool { return as.twins[pg] != nil }
+
+// DiscardTwin drops page pg's twin.
+func (as *AddressSpace) DiscardTwin(pg PageID) { as.twins[pg] = nil }
+
+// Twin returns page pg's twin, or nil.
+func (as *AddressSpace) Twin(pg PageID) []byte { return as.twins[pg] }
+
+// DiffAgainstTwin builds a diff of page pg's modifications since its twin
+// was made. The twin is left in place; callers discard it separately.
+func (as *AddressSpace) DiffAgainstTwin(pg PageID) Diff {
+	t := as.twins[pg]
+	if t == nil {
+		panic(fmt.Sprintf("vm: diff of page %d without twin", pg))
+	}
+	return MakeDiff(pg, t, as.Page(pg))
+}
+
+// ApplyDiff applies d to the local copy of its page.
+func (as *AddressSpace) ApplyDiff(d Diff) {
+	d.Apply(as.Page(d.Page))
+}
+
+// CopyPageIn replaces page pg's contents with data (a full-page fetch).
+func (as *AddressSpace) CopyPageIn(pg PageID, data []byte) {
+	if len(data) != as.pageSize {
+		panic(fmt.Sprintf("vm: page-in of %d bytes, page size %d", len(data), as.pageSize))
+	}
+	copy(as.Page(pg), data)
+}
+
+// CopyPageOut returns a snapshot of page pg (for serving a page fetch).
+func (as *AddressSpace) CopyPageOut(pg PageID) []byte {
+	out := make([]byte, as.pageSize)
+	copy(out, as.Page(pg))
+	return out
+}
+
+// run is one contiguous modified range within a page.
+type run struct {
+	Off  uint16 // byte offset within the page
+	Data []byte // modified bytes
+}
+
+// Diff is a run-length encoding of the changes made to one page, built by
+// word-granularity comparison of the page against its twin.
+type Diff struct {
+	Page PageID
+	runs []run
+	size int // modified payload bytes
+}
+
+const wordSize = 8
+
+// MakeDiff compares old and cur (same length, multiple of 8) and returns
+// the run-length encoding of the 8-byte words that differ.
+func MakeDiff(pg PageID, old, cur []byte) Diff {
+	if len(old) != len(cur) {
+		panic("vm: MakeDiff length mismatch")
+	}
+	d := Diff{Page: pg}
+	i := 0
+	n := len(cur)
+	for i < n {
+		if binary.LittleEndian.Uint64(old[i:]) == binary.LittleEndian.Uint64(cur[i:]) {
+			i += wordSize
+			continue
+		}
+		start := i
+		for i < n && binary.LittleEndian.Uint64(old[i:]) != binary.LittleEndian.Uint64(cur[i:]) {
+			i += wordSize
+		}
+		data := make([]byte, i-start)
+		copy(data, cur[start:i])
+		d.runs = append(d.runs, run{Off: uint16(start), Data: data})
+		d.size += i - start
+	}
+	return d
+}
+
+// Empty reports whether the diff carries no modifications.
+func (d Diff) Empty() bool { return len(d.runs) == 0 }
+
+// Size returns the modified payload bytes carried by the diff.
+func (d Diff) Size() int { return d.size }
+
+// WireSize returns the modeled encoded size in bytes: 4 bytes page id, 2
+// bytes run count, plus 4 bytes of (offset,length) framing per run and the
+// run payloads.
+func (d Diff) WireSize() int { return 6 + 4*len(d.runs) + d.size }
+
+// NumRuns returns the number of contiguous modified ranges.
+func (d Diff) NumRuns() int { return len(d.runs) }
+
+// Apply writes the diff's modifications into page (a full-page slice).
+func (d Diff) Apply(page []byte) {
+	for _, r := range d.runs {
+		copy(page[r.Off:int(r.Off)+len(r.Data)], r.Data)
+	}
+}
+
+// Overlaps reports whether two diffs of the same page touch any common
+// word. Concurrent writers in a data-race-free program never overlap; the
+// engine uses this as an optional runtime check.
+func (d Diff) Overlaps(o Diff) bool {
+	for _, a := range d.runs {
+		for _, b := range o.runs {
+			aEnd := int(a.Off) + len(a.Data)
+			bEnd := int(b.Off) + len(b.Data)
+			if int(a.Off) < bEnd && int(b.Off) < aEnd {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Encode serializes the diff to the modeled wire format. Decode inverts it.
+// The simulated network passes Go values, so Encode/Decode exist for size
+// accounting honesty and are exercised by tests.
+func (d Diff) Encode() []byte {
+	buf := make([]byte, 0, d.WireSize())
+	var hdr [6]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(d.Page))
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(d.runs)))
+	buf = append(buf, hdr[:]...)
+	for _, r := range d.runs {
+		var rh [4]byte
+		binary.LittleEndian.PutUint16(rh[0:], r.Off)
+		binary.LittleEndian.PutUint16(rh[2:], uint16(len(r.Data)))
+		buf = append(buf, rh[:]...)
+		buf = append(buf, r.Data...)
+	}
+	return buf
+}
+
+// DecodeDiff parses the wire format produced by Encode.
+func DecodeDiff(buf []byte) (Diff, error) {
+	if len(buf) < 6 {
+		return Diff{}, fmt.Errorf("vm: diff truncated header (%d bytes)", len(buf))
+	}
+	d := Diff{Page: PageID(binary.LittleEndian.Uint32(buf[0:]))}
+	n := int(binary.LittleEndian.Uint16(buf[4:]))
+	p := 6
+	for i := 0; i < n; i++ {
+		if len(buf) < p+4 {
+			return Diff{}, fmt.Errorf("vm: diff truncated run header at %d", p)
+		}
+		off := binary.LittleEndian.Uint16(buf[p:])
+		l := int(binary.LittleEndian.Uint16(buf[p+2:]))
+		p += 4
+		if len(buf) < p+l {
+			return Diff{}, fmt.Errorf("vm: diff truncated run payload at %d", p)
+		}
+		data := make([]byte, l)
+		copy(data, buf[p:p+l])
+		p += l
+		d.runs = append(d.runs, run{Off: off, Data: data})
+		d.size += l
+	}
+	return d, nil
+}

@@ -1,0 +1,345 @@
+package vm
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAddressSpace(t *testing.T) {
+	as := NewAddressSpace(100, 64)
+	if as.NumPages() != 2 {
+		t.Fatalf("NumPages = %d, want 2 (rounded up)", as.NumPages())
+	}
+	if len(as.Mem) != 128 {
+		t.Fatalf("len(Mem) = %d, want 128", len(as.Mem))
+	}
+	for pg := PageID(0); int(pg) < as.NumPages(); pg++ {
+		if as.Prot(pg) != Read {
+			t.Fatalf("page %d initial prot = %v, want Read", pg, as.Prot(pg))
+		}
+	}
+}
+
+func TestBadPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two page size")
+		}
+	}()
+	NewAddressSpace(100, 100)
+}
+
+func TestPageOf(t *testing.T) {
+	as := NewAddressSpace(4096, 1024)
+	cases := []struct {
+		addr int
+		want PageID
+	}{{0, 0}, {1023, 0}, {1024, 1}, {4095, 3}}
+	for _, c := range cases {
+		if got := as.PageOf(c.addr); got != c.want {
+			t.Errorf("PageOf(%d) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestProtTransitions(t *testing.T) {
+	as := NewAddressSpace(1024, 1024)
+	as.SetProt(0, None)
+	if as.Prot(0) != None {
+		t.Fatal("SetProt(None) ignored")
+	}
+	as.SetProt(0, ReadWrite)
+	if as.Prot(0) != ReadWrite {
+		t.Fatal("SetProt(ReadWrite) ignored")
+	}
+}
+
+func TestProtString(t *testing.T) {
+	if None.String() != "none" || Read.String() != "read" || ReadWrite.String() != "rdwr" {
+		t.Fatal("Prot.String mismatch")
+	}
+}
+
+func TestTwinLifecycle(t *testing.T) {
+	as := NewAddressSpace(1024, 1024)
+	if as.HasTwin(0) {
+		t.Fatal("fresh page has twin")
+	}
+	as.Mem[8] = 42
+	as.MakeTwin(0)
+	if !as.HasTwin(0) {
+		t.Fatal("MakeTwin did not record twin")
+	}
+	if as.Twin(0)[8] != 42 {
+		t.Fatal("twin is not a snapshot of current contents")
+	}
+	as.Mem[8] = 99
+	if as.Twin(0)[8] != 42 {
+		t.Fatal("twin aliases the live page")
+	}
+	as.DiscardTwin(0)
+	if as.HasTwin(0) {
+		t.Fatal("DiscardTwin did not drop twin")
+	}
+}
+
+func TestDoubleTwinPanics(t *testing.T) {
+	as := NewAddressSpace(1024, 1024)
+	as.MakeTwin(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second MakeTwin did not panic")
+		}
+	}()
+	as.MakeTwin(0)
+}
+
+func TestDiffWithoutTwinPanics(t *testing.T) {
+	as := NewAddressSpace(1024, 1024)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DiffAgainstTwin without twin did not panic")
+		}
+	}()
+	as.DiffAgainstTwin(0)
+}
+
+func TestDiffRoundTrip(t *testing.T) {
+	old := make([]byte, 256)
+	cur := make([]byte, 256)
+	copy(cur, old)
+	// Two separated modified words.
+	cur[16] = 1
+	cur[200] = 7
+	d := MakeDiff(3, old, cur)
+	if d.Empty() {
+		t.Fatal("diff of modified page is empty")
+	}
+	if d.NumRuns() != 2 {
+		t.Fatalf("NumRuns = %d, want 2", d.NumRuns())
+	}
+	if d.Size() != 16 {
+		t.Fatalf("Size = %d, want 16 (two words)", d.Size())
+	}
+	got := make([]byte, 256)
+	copy(got, old)
+	d.Apply(got)
+	if !bytes.Equal(got, cur) {
+		t.Fatal("apply(diff(old,cur), old) != cur")
+	}
+}
+
+func TestDiffMergesAdjacentWords(t *testing.T) {
+	old := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[8], cur[16], cur[17] = 1, 2, 3 // words 1 and 2 contiguous
+	d := MakeDiff(0, old, cur)
+	if d.NumRuns() != 1 {
+		t.Fatalf("NumRuns = %d, want 1 contiguous run", d.NumRuns())
+	}
+	if d.Size() != 16 {
+		t.Fatalf("Size = %d, want 16", d.Size())
+	}
+}
+
+func TestEmptyDiff(t *testing.T) {
+	page := make([]byte, 128)
+	d := MakeDiff(0, page, page)
+	if !d.Empty() || d.Size() != 0 || d.WireSize() != 6 {
+		t.Fatalf("empty diff: empty=%v size=%d wire=%d", d.Empty(), d.Size(), d.WireSize())
+	}
+}
+
+func TestDiffOverlaps(t *testing.T) {
+	old := make([]byte, 64)
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	a[0] = 1
+	b[8] = 1
+	da := MakeDiff(0, old, a)
+	db := MakeDiff(0, old, b)
+	if da.Overlaps(db) {
+		t.Fatal("disjoint diffs report overlap")
+	}
+	b[0] = 2
+	db = MakeDiff(0, old, b)
+	if !da.Overlaps(db) {
+		t.Fatal("overlapping diffs report disjoint")
+	}
+}
+
+func TestDiffEncodeDecode(t *testing.T) {
+	old := make([]byte, 128)
+	cur := make([]byte, 128)
+	cur[0], cur[64], cur[120] = 9, 8, 7
+	d := MakeDiff(11, old, cur)
+	enc := d.Encode()
+	if len(enc) != d.WireSize() {
+		t.Fatalf("len(Encode) = %d, WireSize = %d", len(enc), d.WireSize())
+	}
+	got, err := DecodeDiff(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("decode mismatch:\n got %+v\nwant %+v", got, d)
+	}
+}
+
+func TestDecodeDiffTruncated(t *testing.T) {
+	old := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[8] = 1
+	enc := MakeDiff(0, old, cur).Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeDiff(enc[:cut]); err == nil {
+			t.Fatalf("DecodeDiff accepted %d/%d bytes", cut, len(enc))
+		}
+	}
+}
+
+// Property: for random page mutations, diff/apply reconstructs the page.
+func TestDiffRoundTripProperty(t *testing.T) {
+	const pageSize = 512
+	f := func(seed int64, nmuts uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		old := make([]byte, pageSize)
+		rng.Read(old)
+		cur := make([]byte, pageSize)
+		copy(cur, old)
+		for i := 0; i < int(nmuts); i++ {
+			cur[rng.Intn(pageSize)] = byte(rng.Int())
+		}
+		d := MakeDiff(0, old, cur)
+		rebuilt := make([]byte, pageSize)
+		copy(rebuilt, old)
+		d.Apply(rebuilt)
+		if !bytes.Equal(rebuilt, cur) {
+			return false
+		}
+		// And the codec round-trips.
+		dec, err := DecodeDiff(d.Encode())
+		if err != nil {
+			return false
+		}
+		rebuilt2 := make([]byte, pageSize)
+		copy(rebuilt2, old)
+		dec.Apply(rebuilt2)
+		return bytes.Equal(rebuilt2, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concurrent disjoint diffs merge to the union of modifications
+// regardless of application order (the multi-writer merge guarantee).
+func TestDisjointDiffMergeProperty(t *testing.T) {
+	const pageSize = 256
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]byte, pageSize)
+		rng.Read(base)
+		// Writer A mutates even words, writer B odd words.
+		a := append([]byte(nil), base...)
+		b := append([]byte(nil), base...)
+		for w := 0; w < pageSize/8; w++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			if w%2 == 0 {
+				a[w*8] ^= 0xff
+			} else {
+				b[w*8] ^= 0xff
+			}
+		}
+		da := MakeDiff(0, base, a)
+		db := MakeDiff(0, base, b)
+		if da.Overlaps(db) {
+			return false
+		}
+		m1 := append([]byte(nil), base...)
+		da.Apply(m1)
+		db.Apply(m1)
+		m2 := append([]byte(nil), base...)
+		db.Apply(m2)
+		da.Apply(m2)
+		return bytes.Equal(m1, m2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyPageInOut(t *testing.T) {
+	as := NewAddressSpace(2048, 1024)
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	as.CopyPageIn(1, data)
+	if !bytes.Equal(as.Page(1), data) {
+		t.Fatal("CopyPageIn mismatch")
+	}
+	out := as.CopyPageOut(1)
+	if !bytes.Equal(out, data) {
+		t.Fatal("CopyPageOut mismatch")
+	}
+	out[0] = 0xFF
+	if as.Page(1)[0] == 0xFF {
+		t.Fatal("CopyPageOut aliases the page")
+	}
+}
+
+func TestCopyPageInWrongSizePanics(t *testing.T) {
+	as := NewAddressSpace(1024, 1024)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong-size page-in")
+		}
+	}()
+	as.CopyPageIn(0, make([]byte, 100))
+}
+
+func TestApplyDiffViaAddressSpace(t *testing.T) {
+	as := NewAddressSpace(1024, 1024)
+	as.MakeTwin(0)
+	as.Mem[40] = 5
+	d := as.DiffAgainstTwin(0)
+	other := NewAddressSpace(1024, 1024)
+	other.ApplyDiff(d)
+	if other.Mem[40] != 5 {
+		t.Fatal("ApplyDiff did not propagate modification")
+	}
+}
+
+func BenchmarkMakeDiff8K(b *testing.B) {
+	old := make([]byte, 8192)
+	cur := make([]byte, 8192)
+	for i := 0; i < 8192; i += 512 {
+		cur[i] = byte(i)
+	}
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MakeDiff(0, old, cur)
+	}
+}
+
+func BenchmarkApplyDiff8K(b *testing.B) {
+	old := make([]byte, 8192)
+	cur := make([]byte, 8192)
+	for i := 0; i < 8192; i += 64 {
+		cur[i] = byte(i + 1)
+	}
+	d := MakeDiff(0, old, cur)
+	page := make([]byte, 8192)
+	b.SetBytes(int64(d.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Apply(page)
+	}
+}
