@@ -17,7 +17,9 @@ import (
 	"godsm/internal/apps"
 	"godsm/internal/core"
 	"godsm/internal/cost"
+	"godsm/internal/obs"
 	"godsm/internal/repro"
+	"godsm/internal/vm"
 )
 
 const benchProcs = 8
@@ -259,5 +261,34 @@ func BenchmarkAblationPageSize(b *testing.B) {
 				b.ReportMetric(float64(rep.Total.Mprotects), "mprotects")
 			})
 		}
+	}
+}
+
+// BenchmarkPageStatsDisabled pins the observability acceptance criterion:
+// with per-page attribution off (the default), the recording hooks that
+// sit on the fault/diff/flush hot paths are nil-receiver no-ops costing
+// nothing — guarded so the benchmark fails outright if an allocation ever
+// creeps in.
+func BenchmarkPageStatsDisabled(b *testing.B) {
+	var ps *obs.PageStats
+	if allocs := testing.AllocsPerRun(100, func() {
+		ps.Fault(1)
+		ps.Diff(2)
+		ps.PageFetch(3)
+		ps.DiffFetch(4)
+		ps.UpdatePush(5)
+		ps.Migration(6)
+	}); allocs != 0 {
+		b.Fatalf("disabled page stats allocate %.1f per op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pg := vm.PageID(i & 63)
+		ps.Fault(pg)
+		ps.Diff(pg)
+		ps.PageFetch(pg)
+		ps.DiffFetch(pg)
+		ps.UpdatePush(pg)
+		ps.Migration(pg)
 	}
 }

@@ -4,31 +4,56 @@
 // Usage:
 //
 //	dsmrun -app jacobi -proto bar-u -procs 8
+//
+// Observability flags: -json emits the full machine-readable report
+// (including the per-epoch timeline) to stdout; -chrome-trace FILE streams
+// the protocol events as a Chrome trace_event document loadable in
+// Perfetto; -timeline prints the per-epoch statistics table; -pagestats N
+// prints the N hottest pages; -trace N records up to N events (-trace-tail
+// keeps the newest instead of the oldest when the cap overflows).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"godsm/internal/apps"
 	"godsm/internal/core"
-	"godsm/internal/cost"
+	"godsm/internal/obs"
+	"godsm/internal/sim"
 	"godsm/internal/trace"
 )
 
 func main() {
-	appName := flag.String("app", "jacobi", "application: barnes expl fft jacobi shallow sor swm tomcat")
-	protoName := flag.String("proto", "bar-u", "protocol: seq lmw-i lmw-u bar-i bar-u bar-s bar-m")
-	procs := flag.Int("procs", 8, "cluster size")
-	small := flag.Bool("small", false, "use the reduced application size")
-	traceN := flag.Int("trace", 0, "record up to N protocol events and print a summary plus the last 40")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment abstracted, so tests can drive the
+// full flag surface in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsmrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appName := fs.String("app", "jacobi", "application: barnes expl fft jacobi shallow sor swm tomcat")
+	protoName := fs.String("proto", "bar-u", "protocol: seq lmw-i lmw-u bar-i bar-u bar-s bar-m")
+	procs := fs.Int("procs", 8, "cluster size")
+	small := fs.Bool("small", false, "use the reduced application size")
+	traceN := fs.Int("trace", 0, "record up to N protocol events and print a summary plus the last 40")
+	traceTail := fs.Bool("trace-tail", false, "with -trace, keep the newest N events instead of the oldest")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable report (with per-epoch timeline) as JSON")
+	chromePath := fs.String("chrome-trace", "", "write protocol events to `file` in Chrome trace_event format")
+	timeline := fs.Bool("timeline", false, "print the per-epoch statistics table")
+	pageStatsN := fs.Int("pagestats", 0, "print the N hottest pages by protocol activity")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	proto, err := core.ParseProtocol(*protoName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	var app *apps.App
 	list := apps.All()
@@ -41,69 +66,132 @@ func main() {
 		}
 	}
 	if app == nil {
-		fmt.Fprintf(os.Stderr, "dsmrun: unknown application %q\n", *appName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dsmrun: unknown application %q\n", *appName)
+		return 2
+	}
+
+	opts := apps.RunOpts{
+		Timeline:  *jsonOut || *timeline,
+		PageStats: *pageStatsN > 0,
+	}
+	var log *trace.Log
+	if *traceN > 0 {
+		if *traceTail {
+			log = trace.NewTail(*traceN)
+		} else {
+			log = trace.New(*traceN)
+		}
+		opts.Trace = log
+	}
+	var chrome *obs.ChromeSink
+	if *chromePath != "" {
+		f, err := os.Create(*chromePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		chrome = obs.NewChromeSink(f)
+		opts.Sinks = append(opts.Sinks, chrome)
 	}
 
 	seq, err := app.RunSeq(nil)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	if proto == core.ProtoSeq {
-		printReport(app, seq, seq)
-		return
-	}
-	var log *trace.Log
 	var rep *core.Report
-	if *traceN > 0 {
-		log = trace.New(*traceN)
-		rep, err = core.Run(core.Config{
-			Procs:        *procs,
-			Protocol:     proto,
-			SegmentBytes: app.SegmentBytes,
-			Model:        cost.Default(),
-			Trace:        log,
-		}, app.Body)
+	if proto == core.ProtoSeq {
+		if opts.Trace == nil && opts.Sinks == nil && !opts.Timeline && !opts.PageStats {
+			rep = seq
+		} else {
+			rep, err = app.RunSeqWith(opts)
+		}
 	} else {
-		rep, err = app.Run(*procs, proto, nil)
+		rep, err = app.RunWith(*procs, proto, opts)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	printReport(app, rep, seq)
+	if chrome != nil {
+		if err := chrome.Close(); err != nil {
+			fmt.Fprintf(stderr, "dsmrun: chrome trace: %v\n", err)
+			return 1
+		}
+	}
+
+	if *jsonOut {
+		return printJSON(stdout, stderr, app, rep, seq)
+	}
+	printReport(stdout, app, rep, seq)
+	if *timeline && rep.Timeline != nil {
+		fmt.Fprintf(stdout, "\n  per-epoch timeline (%d epochs):\n", len(rep.Timeline.Epochs))
+		rep.Timeline.WriteTable(stdout)
+	}
+	if *pageStatsN > 0 && rep.PageStats != nil {
+		fmt.Fprintf(stdout, "\n  hottest pages:\n")
+		rep.PageStats.WriteTop(stdout, *pageStatsN)
+	}
 	if log != nil {
-		fmt.Printf("\n  protocol event summary (%d recorded, %d dropped):\n", len(log.Events()), log.Dropped())
-		log.WriteSummary(os.Stdout)
-		ev := log.Events()
-		if len(ev) > 40 {
-			ev = ev[len(ev)-40:]
+		mode := "oldest kept"
+		if *traceTail {
+			mode = "newest kept"
 		}
-		fmt.Println("\n  last events:")
+		fmt.Fprintf(stdout, "\n  protocol event summary (%d recorded, %d dropped, %s):\n",
+			len(log.Events()), log.Dropped(), mode)
+		log.WriteSummary(stdout)
+		ev := log.Tail(40)
+		fmt.Fprintln(stdout, "\n  last events:")
 		for _, e := range ev {
-			fmt.Println("   ", e)
+			fmt.Fprintln(stdout, "   ", e)
 		}
 	}
+	return 0
 }
 
-func printReport(app *apps.App, r, seq *core.Report) {
-	fmt.Printf("%s under %s, %d procs\n", app.Name, r.Protocol, r.Procs)
-	fmt.Printf("  %s\n\n", app.Description)
-	fmt.Printf("  elapsed (measured)   %v\n", r.Elapsed)
-	fmt.Printf("  sequential baseline  %v\n", seq.Elapsed)
-	fmt.Printf("  speedup              %.2f\n", r.Speedup(seq.Elapsed))
-	fmt.Printf("  checksum             %#016x\n\n", r.Checksum)
+// jsonReport is the -json document: the run's Report (timeline included)
+// plus the sequential baseline and derived speedup.
+type jsonReport struct {
+	App        string
+	SeqElapsed sim.Duration
+	Speedup    float64
+	*core.Report
+}
+
+func printJSON(stdout, stderr io.Writer, app *apps.App, rep, seq *core.Report) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	err := enc.Encode(jsonReport{
+		App:        app.Name,
+		SeqElapsed: seq.Elapsed,
+		Speedup:    rep.Speedup(seq.Elapsed),
+		Report:     rep,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "dsmrun: json: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func printReport(w io.Writer, app *apps.App, r, seq *core.Report) {
+	fmt.Fprintf(w, "%s under %s, %d procs\n", app.Name, r.Protocol, r.Procs)
+	fmt.Fprintf(w, "  %s\n\n", app.Description)
+	fmt.Fprintf(w, "  elapsed (measured)   %v\n", r.Elapsed)
+	fmt.Fprintf(w, "  sequential baseline  %v\n", seq.Elapsed)
+	fmt.Fprintf(w, "  speedup              %.2f\n", r.Speedup(seq.Elapsed))
+	fmt.Fprintf(w, "  checksum             %#016x\n\n", r.Checksum)
 	t := r.Total
-	fmt.Printf("  diffs %d (empty %d)  remote misses %d  page fetches %d  diff fetches %d\n",
+	fmt.Fprintf(w, "  diffs %d (empty %d)  remote misses %d  page fetches %d  diff fetches %d\n",
 		t.Diffs, t.EmptyDiffs, t.RemoteMisses, t.PageFetches, t.DiffFetches)
-	fmt.Printf("  messages %d  replies %d  data %d KB\n", t.Messages, t.Replies, t.DataBytes/1024)
-	fmt.Printf("  segvs %d  mprotects %d  twins %d\n", t.Segvs, t.Mprotects, t.Twins)
-	fmt.Printf("  updates sent %d (unneeded %d)  diffs stored %d  migrations %d  barriers %d\n\n",
+	fmt.Fprintf(w, "  messages %d  replies %d  data %d KB\n", t.Messages, t.Replies, t.DataBytes/1024)
+	fmt.Fprintf(w, "  segvs %d  mprotects %d  twins %d\n", t.Segvs, t.Mprotects, t.Twins)
+	fmt.Fprintf(w, "  updates sent %d (unneeded %d)  diffs stored %d  migrations %d  barriers %d\n\n",
 		t.UpdatesSent, t.UpdatesUnneeded, t.DiffsStored, t.HomeMigrations, t.Barriers)
-	fmt.Printf("  time breakdown per node (app/os/sigio/wait):\n")
+	fmt.Fprintf(w, "  time breakdown per node (app/os/sigio/wait):\n")
 	for i, bd := range r.Breakdowns {
 		af, of, sf, wf := bd.Fractions()
-		fmt.Printf("    node %d: %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n", i, af*100, of*100, sf*100, wf*100)
+		fmt.Fprintf(w, "    node %d: %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n", i, af*100, of*100, sf*100, wf*100)
 	}
 }

@@ -21,6 +21,7 @@ import (
 func main() {
 	procs := flag.Int("procs", 8, "cluster size (the paper's testbed has 8 nodes)")
 	small := flag.Bool("small", false, "use reduced application sizes (quick check)")
+	jsonl := flag.Bool("jsonl", false, "emit machine-readable JSONL records instead of rendered tables")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [flags] <experiment>\n\n")
 		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary ablation-stress ablation-scale ablation-home ablation-pagesize all\n\nflags:\n")
@@ -32,6 +33,19 @@ func main() {
 		os.Exit(2)
 	}
 	r := &repro.Runner{Procs: *procs, Small: *small}
+	want := flag.Arg(0)
+
+	if *jsonl {
+		var exps []string
+		if want != "all" {
+			exps = []string{want}
+		}
+		if err := r.ExportJSONL(os.Stdout, exps); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	type experiment struct {
 		name   string
@@ -49,7 +63,6 @@ func main() {
 		{"ablation-home", r.RenderAblationHome},
 		{"ablation-pagesize", r.RenderAblationPageSize},
 	}
-	want := flag.Arg(0)
 	ran := false
 	for _, e := range exps {
 		if e.name == want || want == "all" {

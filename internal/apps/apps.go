@@ -25,6 +25,7 @@ import (
 	"godsm/internal/core"
 	"godsm/internal/cost"
 	"godsm/internal/sim"
+	"godsm/internal/trace"
 )
 
 // App describes one benchmark application.
@@ -50,8 +51,33 @@ type App struct {
 	BarriersPerIter int
 }
 
+// RunOpts carries the run options that compose with an App's own
+// configuration (segment size, body, dynamic-pattern checks). Callers that
+// previously hand-built a core.Config to attach tracing — and silently
+// dropped the app-level checks — should use RunWith instead.
+type RunOpts struct {
+	// Model is the virtual-time cost model; nil selects cost.Default().
+	Model *cost.Model
+	// Trace, when non-nil, records protocol events into the bounded log.
+	Trace *trace.Log
+	// Sinks receive every trace event (streaming exporters; internal/obs).
+	Sinks []trace.Sink
+	// Timeline attaches the per-epoch statistics history to the Report.
+	Timeline bool
+	// PageStats attaches per-page attribution to the Report.
+	PageStats bool
+	// Configure, when non-nil, runs last over the assembled core.Config,
+	// an escape hatch for options RunOpts does not name.
+	Configure func(*core.Config)
+}
+
 // Run executes the app under the given protocol and cluster size.
 func (a *App) Run(procs int, proto core.ProtocolKind, model *cost.Model) (*core.Report, error) {
+	return a.RunWith(procs, proto, RunOpts{Model: model})
+}
+
+// RunWith executes the app with full observability options.
+func (a *App) RunWith(procs int, proto core.ProtocolKind, opts RunOpts) (*core.Report, error) {
 	if a.Dynamic && (proto == core.ProtoBarS || proto == core.ProtoBarM) {
 		return nil, fmt.Errorf("apps: %s has a dynamic sharing pattern; %v would abort (the paper excludes it)", a.Name, proto)
 	}
@@ -59,7 +85,14 @@ func (a *App) Run(procs int, proto core.ProtocolKind, model *cost.Model) (*core.
 		Procs:        procs,
 		Protocol:     proto,
 		SegmentBytes: a.SegmentBytes,
-		Model:        model,
+		Model:        opts.Model,
+		Trace:        opts.Trace,
+		Sinks:        opts.Sinks,
+		Timeline:     opts.Timeline,
+		PageStats:    opts.PageStats,
+	}
+	if opts.Configure != nil {
+		opts.Configure(&cfg)
 	}
 	return core.Run(cfg, a.Body)
 }
@@ -67,6 +100,11 @@ func (a *App) Run(procs int, proto core.ProtocolKind, model *cost.Model) (*core.
 // RunSeq executes the uniprocessor baseline (synchronization nulled out).
 func (a *App) RunSeq(model *cost.Model) (*core.Report, error) {
 	return a.Run(1, core.ProtoSeq, model)
+}
+
+// RunSeqWith executes the uniprocessor baseline with observability options.
+func (a *App) RunSeqWith(opts RunOpts) (*core.Report, error) {
+	return a.RunWith(1, core.ProtoSeq, opts)
 }
 
 // All returns the paper's eight applications at paper-like scale, in

@@ -215,6 +215,7 @@ func (b *bar) fetchPage(pg vm.PageID) {
 	}
 	n.ctr.RemoteMisses++
 	n.ctr.PageFetches++
+	n.ps.PageFetch(pg)
 	n.sendRequest(b.home[pg], mkPageReq, bytesPageReq, &pageReq{Page: pg})
 	pkt := n.awaitReply()
 	if pkt.Kind != mkPageRep {
@@ -297,6 +298,7 @@ func (b *bar) preBarrier(int) (any, int) {
 			continue
 		}
 		n.ctr.Diffs++
+		n.ps.Diff(pg)
 		n.trc(trace.DiffCreate, int(pg), int64(d.Size()))
 		dm := diffMsg{Notice: writeNotice{Page: pg, Creator: n.id, Epoch: epoch}, Diff: d}
 		if b.home[pg] == n.id {
@@ -319,6 +321,7 @@ func (b *bar) preBarrier(int) (any, int) {
 				m := cs.lowest()
 				cs = cs.without(m)
 				updFlushes[m] = append(updFlushes[m], dm)
+				n.ps.UpdatePush(pg)
 			}
 			if !b.selfPushed[pg] {
 				b.selfPushed[pg] = true
@@ -376,6 +379,7 @@ func (b *bar) onRelease(_ int, rel any) {
 		b.home[mg.Page] = mg.NewHome
 		if mg.NewHome == n.id {
 			n.ctr.HomeMigrations++
+			n.ps.Migration(mg.Page)
 			b.owedPulls = append(b.owedPulls, mg)
 			// Third-party requests racing the install queue here.
 			if b.installing[mg.Page] == nil {

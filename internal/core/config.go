@@ -119,6 +119,22 @@ type Config struct {
 	// changes, diffs, barriers, lock transfers, migrations) with virtual
 	// timestamps. See internal/trace and cmd/dsmrun's -trace flag.
 	Trace *trace.Log
+	// Sinks receive every trace event alongside Trace: attach streaming
+	// exporters here (internal/obs's JSONL and Chrome trace_event sinks)
+	// to observe a run without bounding it in memory. The engine never
+	// closes sinks; flush them after Run returns.
+	Sinks []trace.Sink
+	// Timeline, when set, snapshots every node's counters and time
+	// breakdown at each barrier completion and attaches the per-epoch
+	// history to the Report (Report.Timeline). The timeline covers the
+	// whole run, not just the measurement window, so migration and
+	// overdrive transitions are visible.
+	Timeline bool
+	// PageStats, when set, attributes faults, diffs, fetches, update
+	// pushes and migrations to individual pages (Report.PageStats). Off by
+	// default; when off the per-page path costs nothing and allocates
+	// nothing.
+	PageStats bool
 	// DisableMigration turns off the bar protocols' runtime home
 	// migration, leaving the static block distribution in place. Used by
 	// the home-assignment ablation to quantify what §2.2.1's runtime

@@ -6,6 +6,7 @@ import (
 
 	"godsm/internal/cost"
 	"godsm/internal/netsim"
+	"godsm/internal/obs"
 	"godsm/internal/sim"
 	"godsm/internal/stats"
 	"godsm/internal/trace"
@@ -28,6 +29,12 @@ type cluster struct {
 	pmgr  protoManager
 	body  func(*Proc)
 	seq   bool // ProtoSeq: synchronization nulled out
+
+	// sinks is the fan-out list every trace event goes to: cfg.Trace (if
+	// any) plus cfg.Sinks. Empty means tracing is off.
+	sinks []trace.Sink
+	// tc collects per-epoch statistics when cfg.Timeline is set.
+	tc *obs.TimelineCollector
 }
 
 // node is one DSM process: an address space, a protocol instance, and a
@@ -49,6 +56,12 @@ type node struct {
 	bd           stats.Breakdown
 	ctr          stats.Counters
 	protChanges  int // protection changes this epoch (stress input)
+
+	// --- observability (see internal/obs) ---
+	ps       *obs.PageStats // per-page attribution; nil when disabled
+	epochCtr stats.Counters // counters as of the last barrier completion
+	epochBd  stats.Breakdown
+	epochT   sim.Time
 
 	// --- measurement window ---
 	measuring bool
@@ -105,6 +118,13 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 	}
 	clu.net = netsim.New(clu.kern, cfg.Procs, clu.cm)
 	clu.mgr = newBarMgr(clu)
+	if cfg.Trace != nil {
+		clu.sinks = append(clu.sinks, cfg.Trace)
+	}
+	clu.sinks = append(clu.sinks, cfg.Sinks...)
+	if cfg.Timeline {
+		clu.tc = obs.NewTimelineCollector(cfg.Procs)
+	}
 	for i := 0; i < cfg.Procs; i++ {
 		n := &node{
 			id:           i,
@@ -114,6 +134,9 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 			stressFactor: 1,
 			bank:         make(map[int][]diffMsg),
 			bankBatches:  make(map[int]int),
+		}
+		if cfg.PageStats {
+			n.ps = obs.NewPageStats(n.as.NumPages())
 		}
 		if clu.seq {
 			for pg := 0; pg < n.as.NumPages(); pg++ {
@@ -246,15 +269,25 @@ func (n *node) segv() {
 
 // trc records a trace event stamped with the compute clock.
 func (n *node) trc(kind trace.Kind, page int, arg int64) {
-	if t := n.clu.cfg.Trace; t != nil {
-		t.Add(n.compute.Now(), n.id, kind, page, arg)
-	}
+	n.emitTrace(n.compute.Now(), kind, page, arg)
 }
 
 // trcSvc records a trace event stamped with the service clock.
 func (n *node) trcSvc(kind trace.Kind, page int, arg int64) {
-	if t := n.clu.cfg.Trace; t != nil {
-		t.Add(n.service.Now(), n.id, kind, page, arg)
+	n.emitTrace(n.service.Now(), kind, page, arg)
+}
+
+// emitTrace fans one event out to every attached sink (the bounded Log
+// and any streaming exporters). Events reach sinks in global virtual-time
+// order because the simulation runs one process at a time.
+func (n *node) emitTrace(t sim.Time, kind trace.Kind, page int, arg int64) {
+	sinks := n.clu.sinks
+	if len(sinks) == 0 {
+		return
+	}
+	e := trace.Event{T: t, Node: n.id, Kind: kind, Page: page, Arg: arg}
+	for _, s := range sinks {
+		s.Emit(e)
 	}
 }
 
@@ -277,6 +310,7 @@ func (n *node) fatal(format string, args ...any) {
 func (n *node) readFault(pg vm.PageID) {
 	n.flush()
 	n.segv()
+	n.ps.Fault(pg)
 	n.trc(trace.Segv, int(pg), 0)
 	n.proto.readFault(pg)
 	if n.as.Prot(pg) == vm.None {
@@ -287,6 +321,7 @@ func (n *node) readFault(pg vm.PageID) {
 func (n *node) writeFault(pg vm.PageID) {
 	n.flush()
 	n.segv()
+	n.ps.Fault(pg)
 	n.trc(trace.Segv, int(pg), 1)
 	n.proto.writeFault(pg)
 	if n.as.Prot(pg) != vm.ReadWrite {
@@ -366,6 +401,7 @@ func (n *node) barrier(red *redContrib) *redResult {
 	n.flush()
 	if n.clu.seq {
 		n.ctr.Barriers++
+		n.sampleEpoch()
 		return reduceLocal(red)
 	}
 	site := n.siteIdx
@@ -385,7 +421,36 @@ func (n *node) barrier(red *redContrib) *redResult {
 	n.proto.onRelease(site, rel.Proto)
 	n.proto.postBarrier(site)
 	n.ctr.Barriers++
+	n.sampleEpoch()
 	return rel.Red
+}
+
+// sampleEpoch records this node's counter and breakdown deltas for the
+// epoch that just ended at a barrier completion. Wait is the residual, the
+// same derivation the end-of-run report uses.
+func (n *node) sampleEpoch() {
+	tc := n.clu.tc
+	if tc == nil {
+		return
+	}
+	now := n.compute.Now()
+	ctr := n.ctr
+	tr := n.clu.net.Traffic[n.id]
+	ctr.Messages, ctr.Replies, ctr.DataBytes = tr.Messages, tr.Replies, tr.Bytes
+	d := ctr.Sub(n.epochCtr)
+	bd := stats.Breakdown{
+		App:   n.bd.App - n.epochBd.App,
+		OS:    n.bd.OS - n.epochBd.OS,
+		Sigio: n.bd.Sigio - n.epochBd.Sigio,
+	}
+	bd.Wait = sim.Duration(now-n.epochT) - bd.App - bd.OS - bd.Sigio
+	if bd.Wait < 0 {
+		bd.Wait = 0
+	}
+	tc.Record(n.id, n.epochT, now, d, bd)
+	n.epochCtr = ctr
+	n.epochBd = n.bd
+	n.epochT = now
 }
 
 func (n *node) awaitRelease(seq int) *barRelease {
@@ -499,6 +564,14 @@ func (c *cluster) report() (*Report, error) {
 	r := &Report{
 		Protocol: c.cfg.Protocol.String(),
 		Procs:    c.cfg.Procs,
+		Timeline: c.tc.Build(),
+	}
+	if c.cfg.PageStats {
+		merged := obs.NewPageStats(c.nodes[0].as.NumPages())
+		for _, n := range c.nodes {
+			merged.Merge(n.ps)
+		}
+		r.PageStats = merged
 	}
 	for i, n := range c.nodes {
 		if !n.windowed {

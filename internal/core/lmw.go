@@ -152,6 +152,7 @@ func (l *lmw) validate(pg vm.PageID) {
 		sort.Ints(creators)
 		for _, c := range creators {
 			n.ctr.DiffFetches++
+			n.ps.DiffFetch(pg)
 			n.trc(trace.DiffFetch, int(pg), int64(c))
 			n.sendRequest(c, mkDiffReq, len(byCreator[c])*bytesDiffName, &diffReq{Wants: byCreator[c]})
 		}
@@ -229,6 +230,7 @@ func (l *lmw) endInterval(flushUpdates bool) []writeNotice {
 			continue
 		}
 		n.ctr.Diffs++
+		n.ps.Diff(pg)
 		n.trc(trace.DiffCreate, int(pg), int64(d.Size()))
 		nt := writeNotice{Page: pg, Creator: n.id, Epoch: idx}
 		l.cacheDiff(nt, d)
@@ -242,6 +244,7 @@ func (l *lmw) endInterval(flushUpdates bool) []writeNotice {
 					flushes = make(map[int][]diffMsg)
 				}
 				flushes[m] = append(flushes[m], diffMsg{Notice: nt, Diff: d})
+				n.ps.UpdatePush(pg)
 			}
 		}
 	}

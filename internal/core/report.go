@@ -1,6 +1,7 @@
 package core
 
 import (
+	"godsm/internal/obs"
 	"godsm/internal/sim"
 	"godsm/internal/stats"
 )
@@ -26,6 +27,12 @@ type Report struct {
 	// agree); HasChecksum reports whether one was set.
 	Checksum    uint64
 	HasChecksum bool
+	// Timeline is the per-epoch statistics history, one entry per barrier
+	// over the whole run (warm-up included). Nil unless Config.Timeline.
+	Timeline *obs.Timeline `json:",omitempty"`
+	// PageStats attributes protocol activity to individual pages, merged
+	// across nodes and covering the whole run. Nil unless Config.PageStats.
+	PageStats *obs.PageStats `json:",omitempty"`
 }
 
 // Speedup returns seq/Elapsed, the paper's speedup metric, given the

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"godsm/internal/sim"
+	"godsm/internal/trace"
+)
+
+// ChromeSink streams trace events as a Chrome trace_event JSON object
+// loadable in Perfetto or chrome://tracing. The whole cluster is one
+// "process"; each DSM node is rendered as a thread. Barrier episodes
+// become duration slices (arrival to release, the time the node spent in
+// the barrier), so epochs read as frames along each node's track; every
+// other protocol event is a thread-scoped instant.
+//
+// The file is written incrementally; Close writes the closing bracket and
+// flushes. The caller owns the underlying writer.
+type ChromeSink struct {
+	w     *bufio.Writer
+	count int64
+	err   error
+	first bool
+	named map[int]bool     // nodes whose thread_name metadata is out
+	barAt map[int]sim.Time // node -> pending barrier arrival time
+}
+
+// NewChromeSink returns a sink writing Chrome trace-event JSON to w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{
+		w:     bufio.NewWriter(w),
+		first: true,
+		named: make(map[int]bool),
+		barAt: make(map[int]sim.Time),
+	}
+}
+
+// emit writes one raw trace-event object, handling commas and the header.
+func (s *ChromeSink) emit(obj string) {
+	if s.err != nil {
+		return
+	}
+	if s.first {
+		_, s.err = s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+		if s.err != nil {
+			return
+		}
+		s.first = false
+	} else {
+		if _, s.err = s.w.WriteString(",\n"); s.err != nil {
+			return
+		}
+	}
+	_, s.err = s.w.WriteString(obj)
+}
+
+// us converts virtual time to the trace format's microsecond timestamps.
+func us(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// Emit implements trace.Sink.
+func (s *ChromeSink) Emit(e trace.Event) {
+	if s.err != nil {
+		return
+	}
+	if !s.named[e.Node] {
+		s.named[e.Node] = true
+		s.emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"node %d"}}`,
+			e.Node, e.Node))
+	}
+	switch e.Kind {
+	case trace.BarrierArrive:
+		// Held until the matching release closes the slice.
+		s.barAt[e.Node] = e.T
+	case trace.BarrierRelease:
+		arr, ok := s.barAt[e.Node]
+		if !ok {
+			arr = e.T
+		}
+		delete(s.barAt, e.Node)
+		s.emit(fmt.Sprintf(`{"name":"barrier %d","cat":"barrier","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d}`,
+			e.Arg, us(arr), us(e.T)-us(arr), e.Node))
+		s.count++
+	default:
+		s.emit(fmt.Sprintf(`{"name":%q,"cat":"proto","ph":"i","s":"t","ts":%.3f,"pid":0,"tid":%d,"args":{"page":%d,"arg":%d}}`,
+			e.Kind.String(), us(e.T), e.Node, e.Page, e.Arg))
+		s.count++
+	}
+}
+
+// Count reports how many trace-event objects were written (metadata
+// records excluded; arrive/release pairs count once).
+func (s *ChromeSink) Count() int64 { return s.count }
+
+// Close terminates the JSON document and flushes. Unclosed barrier
+// arrivals (a run that ended mid-episode) are emitted as instants first.
+func (s *ChromeSink) Close() error {
+	nodes := make([]int, 0, len(s.barAt))
+	for node := range s.barAt {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		s.emit(fmt.Sprintf(`{"name":"barrier (unreleased)","cat":"barrier","ph":"i","s":"t","ts":%.3f,"pid":0,"tid":%d}`,
+			us(s.barAt[node]), node))
+	}
+	if s.first && s.err == nil {
+		// No events at all: still produce a valid document.
+		_, s.err = s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	}
+	if s.err == nil {
+		_, s.err = s.w.WriteString("\n]}\n")
+	}
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}

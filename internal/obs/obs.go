@@ -1,0 +1,65 @@
+// Package obs is the streaming observability layer over the DSM engine:
+// machine-readable trace sinks (JSONL and Chrome trace_event), per-epoch
+// statistics timelines, and optional per-page attribution of protocol
+// activity.
+//
+// The paper's whole argument rests on measured protocol behaviour — Table
+// 1's counters, Figure 3's time breakdowns, Figure 5's per-epoch event
+// patterns. End-of-run totals hide exactly the dynamics those figures
+// show: home migrations settling, overdrive engaging, update traffic
+// stabilizing. This package makes them visible: attach sinks and
+// collectors through core.Config (Sinks, Timeline, PageStats) and read the
+// results from the Report or from the exported files.
+//
+// obs sits beside internal/trace and internal/stats and below
+// internal/core: core imports obs, never the reverse.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"godsm/internal/trace"
+)
+
+// JSONLSink streams every trace event as one JSON object per line, the
+// natural format for jq pipelines and for appending across runs. Events
+// appear in global virtual-time order (the simulation runs one process at
+// a time). Close flushes; the caller owns the underlying writer.
+type JSONLSink struct {
+	w     *bufio.Writer
+	count int64
+	err   error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Emit implements trace.Sink. The first write error sticks and silences
+// the sink; Close reports it.
+func (s *JSONLSink) Emit(e trace.Event) {
+	if s.err != nil {
+		return
+	}
+	// Hand-rolled marshalling: the schema is five fixed fields, and
+	// encoding/json reflection per event would dominate tracing cost.
+	_, s.err = fmt.Fprintf(s.w, `{"t":%d,"node":%d,"kind":%q,"page":%d,"arg":%d}`+"\n",
+		int64(e.T), e.Node, e.Kind.String(), e.Page, e.Arg)
+	if s.err == nil {
+		s.count++
+	}
+}
+
+// Count reports how many events were written.
+func (s *JSONLSink) Count() int64 { return s.count }
+
+// Close flushes buffered output and returns the first error encountered.
+func (s *JSONLSink) Close() error {
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}

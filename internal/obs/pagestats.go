@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"godsm/internal/vm"
+)
+
+// PageCounters attributes protocol activity to one page, the resolution of
+// the paper's Figure-5 analysis ("the event patterns of a representative
+// page").
+type PageCounters struct {
+	// Faults counts segv traps (read and write) taken on the page.
+	Faults int64
+	// Diffs counts non-empty diffs created for the page.
+	Diffs int64
+	// PageFetches counts whole-page fetches (home-based protocols).
+	PageFetches int64
+	// DiffFetches counts diff-request round trips (homeless protocols).
+	DiffFetches int64
+	// UpdatePushes counts copyset-directed update diffs sent, one per
+	// destination.
+	UpdatePushes int64
+	// Migrations counts home-role transfers of the page.
+	Migrations int64
+}
+
+// add accumulates o into c.
+func (c *PageCounters) add(o PageCounters) {
+	c.Faults += o.Faults
+	c.Diffs += o.Diffs
+	c.PageFetches += o.PageFetches
+	c.DiffFetches += o.DiffFetches
+	c.UpdatePushes += o.UpdatePushes
+	c.Migrations += o.Migrations
+}
+
+// Activity is the page's total event count, the hot-page ranking key.
+func (c PageCounters) Activity() int64 {
+	return c.Faults + c.Diffs + c.PageFetches + c.DiffFetches + c.UpdatePushes + c.Migrations
+}
+
+// PageStats holds per-page counters for one node (or, merged, for a whole
+// run). A nil *PageStats is the disabled state: every recording method is
+// a nil-guarded no-op that performs no allocation, so the engine can call
+// them unconditionally on the fault path.
+type PageStats struct {
+	Pages []PageCounters
+}
+
+// NewPageStats returns counters for an np-page segment.
+func NewPageStats(np int) *PageStats {
+	return &PageStats{Pages: make([]PageCounters, np)}
+}
+
+// Fault records one segv trap on pg.
+func (s *PageStats) Fault(pg vm.PageID) {
+	if s == nil {
+		return
+	}
+	s.Pages[pg].Faults++
+}
+
+// Diff records one non-empty diff creation for pg.
+func (s *PageStats) Diff(pg vm.PageID) {
+	if s == nil {
+		return
+	}
+	s.Pages[pg].Diffs++
+}
+
+// PageFetch records one whole-page fetch of pg.
+func (s *PageStats) PageFetch(pg vm.PageID) {
+	if s == nil {
+		return
+	}
+	s.Pages[pg].PageFetches++
+}
+
+// DiffFetch records one diff-request round trip for pg.
+func (s *PageStats) DiffFetch(pg vm.PageID) {
+	if s == nil {
+		return
+	}
+	s.Pages[pg].DiffFetches++
+}
+
+// UpdatePush records one update diff for pg sent to one destination.
+func (s *PageStats) UpdatePush(pg vm.PageID) {
+	if s == nil {
+		return
+	}
+	s.Pages[pg].UpdatePushes++
+}
+
+// Migration records one home-role transfer of pg.
+func (s *PageStats) Migration(pg vm.PageID) {
+	if s == nil {
+		return
+	}
+	s.Pages[pg].Migrations++
+}
+
+// Merge accumulates o into s. Merging a nil or differently-sized o is a
+// no-op for the missing part.
+func (s *PageStats) Merge(o *PageStats) {
+	if s == nil || o == nil {
+		return
+	}
+	for pg := range o.Pages {
+		if pg >= len(s.Pages) {
+			break
+		}
+		s.Pages[pg].add(o.Pages[pg])
+	}
+}
+
+// HotPage pairs a page id with its counters, for top-N reports.
+type HotPage struct {
+	Page int
+	PageCounters
+}
+
+// Top returns the n most active pages, most active first; pages with zero
+// activity are excluded. Ties break toward the lower page id so output is
+// deterministic.
+func (s *PageStats) Top(n int) []HotPage {
+	if s == nil {
+		return nil
+	}
+	hot := make([]HotPage, 0, len(s.Pages))
+	for pg, c := range s.Pages {
+		if c.Activity() == 0 {
+			continue
+		}
+		hot = append(hot, HotPage{Page: pg, PageCounters: c})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		ai, aj := hot[i].Activity(), hot[j].Activity()
+		if ai != aj {
+			return ai > aj
+		}
+		return hot[i].Page < hot[j].Page
+	})
+	if n >= 0 && n < len(hot) {
+		hot = hot[:n]
+	}
+	return hot
+}
+
+// WriteTop renders the top-n hot pages as an ASCII table.
+func (s *PageStats) WriteTop(w io.Writer, n int) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %8s %8s %8s %8s %8s %8s %8s\n",
+		"page", "activity", "faults", "diffs", "fetches", "dfetch", "updates", "migr")
+	for _, h := range s.Top(n) {
+		fmt.Fprintf(&b, "%6d %8d %8d %8d %8d %8d %8d %8d\n",
+			h.Page, h.Activity(), h.Faults, h.Diffs, h.PageFetches,
+			h.DiffFetches, h.UpdatePushes, h.Migrations)
+	}
+	k, err := io.WriteString(w, b.String())
+	return int64(k), err
+}

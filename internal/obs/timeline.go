@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"godsm/internal/sim"
+	"godsm/internal/stats"
+)
+
+// NodeEpoch is one node's activity during one barrier epoch: the counter
+// and time-breakdown deltas between consecutive barrier completions.
+type NodeEpoch struct {
+	Node  int
+	Start sim.Time // completion of the previous barrier (0 for epoch 0)
+	End   sim.Time // completion of this barrier
+	Ctr   stats.Counters
+	Bd    stats.Breakdown
+}
+
+// Epoch aggregates one barrier epoch across the cluster.
+type Epoch struct {
+	// Epoch is the barrier sequence number ending the epoch.
+	Epoch int
+	// Start and End bound the epoch: the earliest node start and latest
+	// node end.
+	Start, End sim.Time
+	// Total sums the per-node counter deltas; BdSum the breakdowns.
+	Total stats.Counters
+	BdSum stats.Breakdown
+	// PerNode holds each node's sample, in node order.
+	PerNode []NodeEpoch
+}
+
+// Timeline is a run's full per-epoch history, one Epoch per barrier, in
+// barrier order. Unlike the Report's windowed counters it covers the whole
+// run — warm-up, migration and overdrive transitions included — because
+// the transitions are exactly what it exists to show.
+type Timeline struct {
+	Epochs []Epoch
+}
+
+// TimelineCollector accumulates per-node epoch samples during a run. The
+// engine owns one when Config.Timeline is set and records each node's
+// deltas at every barrier completion; the simulation kernel runs one
+// process at a time, so no locking is needed.
+type TimelineCollector struct {
+	perNode [][]NodeEpoch
+}
+
+// NewTimelineCollector returns a collector for a procs-node run.
+func NewTimelineCollector(procs int) *TimelineCollector {
+	return &TimelineCollector{perNode: make([][]NodeEpoch, procs)}
+}
+
+// Record appends node's sample for the epoch ending at end. Samples must
+// arrive in epoch order per node (they do: barriers are totally ordered).
+func (tc *TimelineCollector) Record(node int, start, end sim.Time, ctr stats.Counters, bd stats.Breakdown) {
+	if tc == nil {
+		return
+	}
+	tc.perNode[node] = append(tc.perNode[node], NodeEpoch{
+		Node: node, Start: start, End: end, Ctr: ctr, Bd: bd,
+	})
+}
+
+// Build assembles the recorded samples into a Timeline. All nodes perform
+// identical barrier sequences (SPMD), so per-node sample counts agree; if
+// a run aborted mid-barrier the timeline is truncated to the epochs every
+// node completed.
+func (tc *TimelineCollector) Build() *Timeline {
+	if tc == nil {
+		return nil
+	}
+	n := -1
+	for _, s := range tc.perNode {
+		if n < 0 || len(s) < n {
+			n = len(s)
+		}
+	}
+	if n <= 0 {
+		return &Timeline{}
+	}
+	tl := &Timeline{Epochs: make([]Epoch, n)}
+	for e := 0; e < n; e++ {
+		row := Epoch{Epoch: e}
+		for node, samples := range tc.perNode {
+			s := samples[e]
+			if node == 0 || s.Start < row.Start {
+				row.Start = s.Start
+			}
+			if s.End > row.End {
+				row.End = s.End
+			}
+			row.Total.Add(s.Ctr)
+			row.BdSum.Add(s.Bd)
+			row.PerNode = append(row.PerNode, s)
+		}
+		tl.Epochs[e] = row
+	}
+	return tl
+}
+
+// WriteTable renders the timeline as an ASCII per-epoch table: one row per
+// barrier with the cluster-wide deltas that expose the paper's dynamics —
+// remote misses and page fetches collapsing once homes migrate, update
+// pushes stabilizing, segv/mprotect traffic vanishing when overdrive
+// engages.
+func (tl *Timeline) WriteTable(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s %12s %8s %7s %7s %7s %7s %7s %7s %7s %6s\n",
+		"epoch", "end", "dur", "miss", "fetch", "diffs", "upd", "segv", "mprot", "migr", "wait%")
+	for _, e := range tl.Epochs {
+		wf := 0.0
+		if t := e.BdSum.Total(); t > 0 {
+			wf = float64(e.BdSum.Wait) / float64(t)
+		}
+		fmt.Fprintf(&b, "%5d %12v %8v %7d %7d %7d %7d %7d %7d %7d %5.1f%%\n",
+			e.Epoch, e.End, sim.Duration(e.End-e.Start),
+			e.Total.RemoteMisses, e.Total.PageFetches, e.Total.Diffs,
+			e.Total.UpdatesSent, e.Total.Segvs, e.Total.Mprotects,
+			e.Total.HomeMigrations, wf*100)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

@@ -1,0 +1,231 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Record is one machine-readable experiment result: one JSON line of the
+// export stream. Metrics keys are experiment-specific; encoding/json
+// renders map keys sorted, so output is deterministic.
+type Record struct {
+	Experiment string             `json:"experiment"`
+	App        string             `json:"app,omitempty"`
+	Protocol   string             `json:"protocol,omitempty"`
+	Procs      int                `json:"procs,omitempty"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// ExportExperiments lists the experiment names Records understands, in
+// presentation order.
+func ExportExperiments() []string {
+	return []string{
+		"apps", "table1", "fig2", "fig3", "fig4", "summary",
+		"ablation-stress", "ablation-scale", "ablation-home", "ablation-pagesize",
+	}
+}
+
+// Records computes one experiment and flattens it into records.
+func (r *Runner) Records(experiment string) ([]Record, error) {
+	r.init()
+	switch experiment {
+	case "apps":
+		rows, err := r.AppsTable()
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, row := range rows {
+			dyn := 0.0
+			if row.Dynamic {
+				dyn = 1
+			}
+			recs = append(recs, Record{
+				Experiment: experiment, App: row.Name, Procs: r.Procs,
+				Metrics: map[string]float64{
+					"segment_kb":        float64(row.SegmentKB),
+					"sync_gran_us":      row.SyncGranularity.Seconds() * 1e6,
+					"barriers_per_iter": float64(row.BarriersPerIter),
+					"dynamic":           dyn,
+				},
+			})
+		}
+		return recs, nil
+	case "table1":
+		rows, err := r.Table1()
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, row := range rows {
+			for i, proto := range table1Protocols {
+				recs = append(recs, Record{
+					Experiment: experiment, App: row.App, Protocol: proto.String(), Procs: r.Procs,
+					Metrics: map[string]float64{
+						"diffs":    float64(row.Diffs[i]),
+						"misses":   float64(row.Misses[i]),
+						"messages": float64(row.Messages[i]),
+						"data_kb":  float64(row.DataKB[i]),
+					},
+				})
+			}
+		}
+		return recs, nil
+	case "fig2", "fig4":
+		var rows []SpeedupRow
+		var err error
+		if experiment == "fig2" {
+			rows, err = r.Figure2()
+		} else {
+			rows, err = r.Figure4()
+		}
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, row := range rows {
+			for proto, s := range row.Speedups {
+				recs = append(recs, Record{
+					Experiment: experiment, App: row.App, Protocol: proto, Procs: r.Procs,
+					Metrics: map[string]float64{"speedup": s},
+				})
+			}
+		}
+		sortRecords(recs)
+		return recs, nil
+	case "fig3":
+		rows, err := r.Figure3()
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, row := range rows {
+			recs = append(recs, Record{
+				Experiment: experiment, App: row.App, Protocol: "bar-u", Procs: r.Procs,
+				Metrics: map[string]float64{
+					"app_frac": row.AppF, "os_frac": row.OSF,
+					"sigio_frac": row.SigioF, "wait_frac": row.WaitF,
+				},
+			})
+		}
+		return recs, nil
+	case "summary":
+		s, err := r.ComputeSummary()
+		if err != nil {
+			return nil, err
+		}
+		return []Record{{
+			Experiment: experiment, Procs: r.Procs,
+			Metrics: map[string]float64{
+				"bar_u_over_lmw":   s.BarUOverLmw,
+				"bar_s_over_bar_u": s.BarSOverBarU,
+				"bar_m_over_bar_u": s.BarMOverBarU,
+				"bar_m_over_lmw_i": s.BarMOverLmwI,
+			},
+		}}, nil
+	case "ablation-stress":
+		pts, err := r.AblationStress()
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, p := range pts {
+			recs = append(recs, Record{
+				Experiment: experiment, App: "swm", Procs: r.Procs,
+				Metrics: map[string]float64{
+					"stress_coeff": p.Coeff, "bar_u": p.BarU, "bar_m": p.BarM, "gain": p.Gain,
+				},
+			})
+		}
+		return recs, nil
+	case "ablation-scale":
+		pts, err := r.AblationScale()
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, pt := range pts {
+			for _, a := range r.apps {
+				s, ok := pt.Speedups[a.Name]
+				if !ok {
+					continue
+				}
+				recs = append(recs, Record{
+					Experiment: experiment, App: a.Name, Protocol: "bar-u", Procs: pt.Procs,
+					Metrics: map[string]float64{"speedup": s},
+				})
+			}
+		}
+		return recs, nil
+	case "ablation-home":
+		rows, err := r.AblationHome()
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, row := range rows {
+			recs = append(recs, Record{
+				Experiment: experiment, App: row.App, Protocol: "bar-u", Procs: r.Procs,
+				Metrics: map[string]float64{
+					"speedup_migrated": row.WithMigration,
+					"speedup_static":   row.Static,
+					"static_misses":    float64(row.StaticMisses),
+				},
+			})
+		}
+		return recs, nil
+	case "ablation-pagesize":
+		rows, err := r.AblationPageSize()
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, row := range rows {
+			recs = append(recs, Record{
+				Experiment: experiment, App: row.App, Protocol: "bar-u", Procs: r.Procs,
+				Metrics: map[string]float64{
+					"speedup_4k": row.Speedup4K, "speedup_8k": row.Speedup8K,
+					"misses_4k": float64(row.Misses4K), "misses_8k": float64(row.Misses8K),
+					"mprotects_4k": float64(row.Mprotects4K), "mprotects_8k": float64(row.Mprotects8K),
+				},
+			})
+		}
+		return recs, nil
+	}
+	return nil, fmt.Errorf("repro: unknown experiment %q", experiment)
+}
+
+// ExportJSONL writes the named experiments (all of them when the list is
+// empty) as one JSON record per line — the BENCH-trajectory format, ready
+// for jq or for appending across commits.
+func (r *Runner) ExportJSONL(w io.Writer, experiments []string) error {
+	if len(experiments) == 0 {
+		experiments = ExportExperiments()
+	}
+	enc := json.NewEncoder(w)
+	for _, exp := range experiments {
+		recs, err := r.Records(exp)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sortRecords orders records by (app, protocol) for deterministic output
+// from map-backed sources.
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].App != recs[j].App {
+			return recs[i].App < recs[j].App
+		}
+		return recs[i].Protocol < recs[j].Protocol
+	})
+}

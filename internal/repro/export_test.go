@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestExportJSONL round-trips every experiment through the JSONL export:
+// each line must parse back into a Record, carry at least one metric, and
+// name a known experiment.
+func TestExportJSONL(t *testing.T) {
+	r := &Runner{Procs: 4, Small: true}
+	var buf bytes.Buffer
+	if err := r.ExportJSONL(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, e := range ExportExperiments() {
+		known[e] = true
+	}
+	seen := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if !known[rec.Experiment] {
+			t.Fatalf("record names unknown experiment %q", rec.Experiment)
+		}
+		if len(rec.Metrics) == 0 {
+			t.Fatalf("record for %s/%s has no metrics", rec.Experiment, rec.App)
+		}
+		seen[rec.Experiment]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ExportExperiments() {
+		if seen[e] == 0 {
+			t.Errorf("experiment %s produced no records", e)
+		}
+	}
+	// Spot-check shapes: table1 is apps x 4 protocols; summary is 1 line.
+	if seen["table1"] != len(r.Apps())*len(table1Protocols) {
+		t.Errorf("table1 produced %d records, want %d", seen["table1"], len(r.Apps())*len(table1Protocols))
+	}
+	if seen["summary"] != 1 {
+		t.Errorf("summary produced %d records, want 1", seen["summary"])
+	}
+}
+
+// TestRecordsUnknownExperiment pins the error path.
+func TestRecordsUnknownExperiment(t *testing.T) {
+	r := &Runner{Procs: 2, Small: true}
+	if _, err := r.Records("fig99"); err == nil {
+		t.Fatal("expected an error for an unknown experiment")
+	}
+}

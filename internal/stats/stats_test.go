@@ -49,6 +49,30 @@ func TestAddCoversEveryField(t *testing.T) {
 	}
 }
 
+// Every field must reach zero when a counter is subtracted from itself:
+// catches fields missing from Sub independently of Add (the round-trip
+// property alone cannot tell which of the two dropped a field — or both).
+func TestSubCoversEveryField(t *testing.T) {
+	var b Counters
+	v := reflect.ValueOf(&b).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(int64(i + 1))
+	}
+	d := b.Sub(b)
+	dv := reflect.ValueOf(d)
+	for i := 0; i < dv.NumField(); i++ {
+		if dv.Field(i).Int() != 0 {
+			t.Errorf("Sub dropped field %s: %d, want 0",
+				dv.Type().Field(i).Name, dv.Field(i).Int())
+		}
+	}
+	// And subtracting zero must leave every field intact.
+	var zero Counters
+	if got := b.Sub(zero); got != b {
+		t.Fatalf("Sub(zero) = %+v, want %+v", got, b)
+	}
+}
+
 func TestBreakdownTotalAndFractions(t *testing.T) {
 	b := Breakdown{App: 40, OS: 30, Sigio: 10, Wait: 20}
 	if b.Total() != 100 {

@@ -5,7 +5,12 @@
 // behaviour the way Figure 5 of the paper does.
 //
 // Recording is bounded: once Cap events are stored, further events are
-// counted but dropped, so tracing a long run cannot exhaust memory.
+// counted but dropped (head retention, New) or evict the oldest event
+// (ring retention, NewTail), so tracing a long run cannot exhaust memory.
+//
+// A Log is one implementation of the Sink interface; the engine fans every
+// event out to any number of Sinks, so the same run can fill a bounded Log
+// and stream to machine-readable exporters (see internal/obs) at once.
 package trace
 
 import (
@@ -99,15 +104,27 @@ func (e Event) String() string {
 	return fmt.Sprintf("%12v n%-2d %-12s %17s arg %d", e.T, e.Node, e.Kind, "", e.Arg)
 }
 
-// Log is a bounded event recorder. The zero value records nothing; create
-// one with New.
+// Sink consumes a stream of protocol events. Implementations must not
+// retain e beyond the call unless they copy it (Event is a value type, so
+// ordinary storage is a copy). Sinks that buffer output should expose a
+// Close or Flush of their own; the engine never closes sinks it is handed.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Log is a bounded event recorder and the package's reference Sink. The
+// zero value records nothing; create one with New (keep the first cap
+// events) or NewTail (keep the last cap events).
 type Log struct {
 	cap     int
+	ring    bool
 	events  []Event
+	next    int // ring mode: index the next event overwrites
 	dropped int64
 }
 
-// New returns a Log that retains at most cap events.
+// New returns a Log that retains the first cap events; once full, further
+// events are counted but dropped. Head retention shows a run's warm-up.
 func New(cap int) *Log {
 	if cap <= 0 {
 		cap = 1 << 16
@@ -115,23 +132,60 @@ func New(cap int) *Log {
 	return &Log{cap: cap}
 }
 
-// Add records one event (dropped once the log is full).
+// NewTail returns a Log that retains the last cap events, evicting the
+// oldest once full (Dropped counts evictions). Tail retention shows a long
+// run's steady state instead of its warm-up.
+func NewTail(cap int) *Log {
+	l := New(cap)
+	l.ring = true
+	return l
+}
+
+// Add records one event. Head logs drop it once full; tail logs evict the
+// oldest recorded event instead.
 func (l *Log) Add(t sim.Time, node int, kind Kind, page int, arg int64) {
 	if l == nil {
 		return
 	}
-	if len(l.events) >= l.cap {
-		l.dropped++
+	e := Event{T: t, Node: node, Kind: kind, Page: page, Arg: arg}
+	if len(l.events) < l.cap {
+		l.events = append(l.events, e)
 		return
 	}
-	l.events = append(l.events, Event{T: t, Node: node, Kind: kind, Page: page, Arg: arg})
+	l.dropped++
+	if l.ring {
+		l.events[l.next] = e
+		l.next = (l.next + 1) % l.cap
+	}
 }
+
+// Emit implements Sink.
+func (l *Log) Emit(e Event) { l.Add(e.T, e.Node, e.Kind, e.Page, e.Arg) }
 
 // Events returns the recorded events in recording order (which is global
 // virtual-time order, since the simulation runs one process at a time).
-func (l *Log) Events() []Event { return l.events }
+// For a wrapped tail log this rebuilds the order, so the slice is fresh.
+func (l *Log) Events() []Event {
+	if !l.ring || l.next == 0 {
+		return l.events
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.next:]...)
+	return append(out, l.events[:l.next]...)
+}
 
-// Dropped reports how many events did not fit.
+// Tail returns the last n recorded events in recording order (all of them
+// if fewer are held).
+func (l *Log) Tail(n int) []Event {
+	ev := l.Events()
+	if n < len(ev) {
+		ev = ev[len(ev)-n:]
+	}
+	return ev
+}
+
+// Dropped reports how many events did not fit: never-recorded events for a
+// head log, evicted ones for a tail log.
 func (l *Log) Dropped() int64 { return l.dropped }
 
 // Summary counts events per kind.
@@ -146,7 +200,7 @@ func (l *Log) Summary() map[Kind]int {
 // WriteTo dumps the full log as text.
 func (l *Log) WriteTo(w io.Writer) (int64, error) {
 	var n int64
-	for _, e := range l.events {
+	for _, e := range l.Events() {
 		k, err := fmt.Fprintln(w, e.String())
 		n += int64(k)
 		if err != nil {
@@ -154,7 +208,11 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	if l.dropped > 0 {
-		k, err := fmt.Fprintf(w, "... %d further events dropped (cap %d)\n", l.dropped, l.cap)
+		verb := "dropped"
+		if l.ring {
+			verb = "evicted"
+		}
+		k, err := fmt.Fprintf(w, "... %d further events %s (cap %d)\n", l.dropped, verb, l.cap)
 		n += int64(k)
 		if err != nil {
 			return n, err

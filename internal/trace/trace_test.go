@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"godsm/internal/sim"
+
 	"strings"
 	"testing"
 )
@@ -64,5 +66,55 @@ func TestZeroCapDefaults(t *testing.T) {
 	l.Add(0, 0, Twin, 0, 0)
 	if len(l.Events()) != 1 {
 		t.Fatal("zero-cap New unusable")
+	}
+}
+
+func TestTailLogKeepsNewest(t *testing.T) {
+	l := NewTail(3)
+	for i := 0; i < 10; i++ {
+		l.Add(sim.Time(i), 0, Segv, i, 0)
+	}
+	ev := l.Events()
+	if len(ev) != 3 {
+		t.Fatalf("stored %d events, cap 3", len(ev))
+	}
+	for i, want := range []int{7, 8, 9} {
+		if ev[i].Page != want {
+			t.Fatalf("events = %v, want pages 7 8 9", ev)
+		}
+	}
+	if l.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7 evictions", l.Dropped())
+	}
+	var b strings.Builder
+	if _, err := l.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "7 further events evicted") {
+		t.Errorf("eviction count not reported:\n%s", b.String())
+	}
+}
+
+func TestTailAccessor(t *testing.T) {
+	for _, l := range []*Log{New(8), NewTail(8)} {
+		for i := 0; i < 5; i++ {
+			l.Add(sim.Time(i), 0, Twin, i, 0)
+		}
+		got := l.Tail(2)
+		if len(got) != 2 || got[0].Page != 3 || got[1].Page != 4 {
+			t.Fatalf("Tail(2) = %v", got)
+		}
+		if len(l.Tail(100)) != 5 {
+			t.Fatalf("Tail(100) should return all 5 events")
+		}
+	}
+}
+
+func TestLogIsSink(t *testing.T) {
+	var s Sink = New(4)
+	s.Emit(Event{T: 1, Node: 2, Kind: Segv, Page: 3, Arg: 4})
+	l := s.(*Log)
+	if len(l.Events()) != 1 || l.Events()[0].Page != 3 {
+		t.Fatalf("Emit did not record: %v", l.Events())
 	}
 }
