@@ -19,9 +19,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"godsm/internal/apps"
 	"godsm/internal/core"
+	"godsm/internal/netsim"
 	"godsm/internal/obs"
 	"godsm/internal/sim"
 	"godsm/internal/trace"
@@ -46,6 +50,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	chromePath := fs.String("chrome-trace", "", "write protocol events to `file` in Chrome trace_event format")
 	timeline := fs.Bool("timeline", false, "print the per-epoch statistics table")
 	pageStatsN := fs.Int("pagestats", 0, "print the N hottest pages by protocol activity")
+	loss := fs.Float64("loss", 0, "fault injection: drop this fraction of remote packets")
+	dup := fs.Float64("dup", 0, "fault injection: duplicate this fraction of remote packets")
+	reorder := fs.Float64("reorder", 0, "fault injection: delay (reorder) this fraction of remote packets")
+	delay := fs.Duration("delay", 0, "fault injection: maximum extra latency for -reorder (0 = 500µs); with -reorder 0, delay every packet by up to this")
+	straggler := fs.String("straggler", "", "fault injection: slow one node, as node:factor[:fromEpoch[:toEpoch]]")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault-injection schedule")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -74,6 +84,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Timeline:  *jsonOut || *timeline,
 		PageStats: *pageStatsN > 0,
 	}
+	plan, err := buildFaultPlan(*loss, *dup, *reorder, *delay, *straggler, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	opts.Faults = plan
 	var log *trace.Log
 	if *traceN > 0 {
 		if *traceTail {
@@ -150,6 +166,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// buildFaultPlan assembles a netsim.FaultPlan from the fault-injection
+// flags; nil when every knob is off.
+func buildFaultPlan(loss, dup, reorder float64, delay time.Duration, straggler string, seed int64) (*netsim.FaultPlan, error) {
+	if loss == 0 && dup == 0 && reorder == 0 && delay == 0 && straggler == "" {
+		return nil, nil
+	}
+	plan := &netsim.FaultPlan{Seed: seed}
+	if loss > 0 || dup > 0 || reorder > 0 || delay > 0 {
+		if reorder == 0 && delay > 0 {
+			// -delay alone means "add latency to every packet".
+			reorder = 1
+		}
+		plan.Rules = append(plan.Rules, netsim.FaultRule{
+			From:    netsim.AnyNode,
+			To:      netsim.AnyNode,
+			Drop:    loss,
+			Dup:     dup,
+			Reorder: reorder,
+			Delay:   sim.Duration(delay.Nanoseconds()),
+		})
+	}
+	if straggler != "" {
+		sr, err := parseStraggler(straggler)
+		if err != nil {
+			return nil, err
+		}
+		plan.Stragglers = append(plan.Stragglers, sr)
+	}
+	return plan, nil
+}
+
+// parseStraggler parses "node:factor[:fromEpoch[:toEpoch]]".
+func parseStraggler(s string) (netsim.StragglerRule, error) {
+	var sr netsim.StragglerRule
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 4 {
+		return sr, fmt.Errorf("dsmrun: -straggler wants node:factor[:fromEpoch[:toEpoch]], got %q", s)
+	}
+	node, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return sr, fmt.Errorf("dsmrun: -straggler node: %v", err)
+	}
+	factor, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return sr, fmt.Errorf("dsmrun: -straggler factor: %v", err)
+	}
+	sr = netsim.StragglerRule{Node: node, Factor: factor}
+	if len(parts) >= 3 {
+		if sr.FromEpoch, err = strconv.Atoi(parts[2]); err != nil {
+			return sr, fmt.Errorf("dsmrun: -straggler fromEpoch: %v", err)
+		}
+	}
+	if len(parts) == 4 {
+		if sr.ToEpoch, err = strconv.Atoi(parts[3]); err != nil {
+			return sr, fmt.Errorf("dsmrun: -straggler toEpoch: %v", err)
+		}
+	}
+	return sr, nil
+}
+
 // jsonReport is the -json document: the run's Report (timeline included)
 // plus the sequential baseline and derived speedup.
 type jsonReport struct {
@@ -187,8 +263,13 @@ func printReport(w io.Writer, app *apps.App, r, seq *core.Report) {
 		t.Diffs, t.EmptyDiffs, t.RemoteMisses, t.PageFetches, t.DiffFetches)
 	fmt.Fprintf(w, "  messages %d  replies %d  data %d KB\n", t.Messages, t.Replies, t.DataBytes/1024)
 	fmt.Fprintf(w, "  segvs %d  mprotects %d  twins %d\n", t.Segvs, t.Mprotects, t.Twins)
-	fmt.Fprintf(w, "  updates sent %d (unneeded %d)  diffs stored %d  migrations %d  barriers %d\n\n",
+	fmt.Fprintf(w, "  updates sent %d (unneeded %d)  diffs stored %d  migrations %d  barriers %d\n",
 		t.UpdatesSent, t.UpdatesUnneeded, t.DiffsStored, t.HomeMigrations, t.Barriers)
+	if t.NetDrops+t.NetDups+t.NetDelays+t.Retransmits+t.DupSuppressed > 0 {
+		fmt.Fprintf(w, "  faults: drops %d  dups %d  delays %d  retransmits %d  dups suppressed %d\n",
+			t.NetDrops, t.NetDups, t.NetDelays, t.Retransmits, t.DupSuppressed)
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintf(w, "  time breakdown per node (app/os/sigio/wait):\n")
 	for i, bd := range r.Breakdowns {
 		af, of, sf, wf := bd.Fractions()

@@ -7,7 +7,7 @@
 //	repro [flags] <experiment>
 //
 // Experiments: apps, table1, fig2, fig3, fig4, summary,
-// ablation-stress, ablation-scale, ablation-home, all.
+// ablation-stress, ablation-scale, ablation-home, chaos-loss, all.
 package main
 
 import (
@@ -24,7 +24,7 @@ func main() {
 	jsonl := flag.Bool("jsonl", false, "emit machine-readable JSONL records instead of rendered tables")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [flags] <experiment>\n\n")
-		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary ablation-stress ablation-scale ablation-home ablation-pagesize all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary ablation-stress ablation-scale ablation-home ablation-pagesize chaos-loss all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,6 +62,7 @@ func main() {
 		{"ablation-scale", r.RenderAblationScale},
 		{"ablation-home", r.RenderAblationHome},
 		{"ablation-pagesize", r.RenderAblationPageSize},
+		{"chaos-loss", r.RenderLossSweep},
 	}
 	ran := false
 	for _, e := range exps {

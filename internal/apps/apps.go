@@ -24,6 +24,7 @@ import (
 
 	"godsm/internal/core"
 	"godsm/internal/cost"
+	"godsm/internal/netsim"
 	"godsm/internal/sim"
 	"godsm/internal/trace"
 )
@@ -66,6 +67,9 @@ type RunOpts struct {
 	Timeline bool
 	// PageStats attaches per-page attribution to the Report.
 	PageStats bool
+	// Faults, when non-nil, arms deterministic network fault injection and
+	// the core reliability layer (see netsim.FaultPlan).
+	Faults *netsim.FaultPlan
 	// Configure, when non-nil, runs last over the assembled core.Config,
 	// an escape hatch for options RunOpts does not name.
 	Configure func(*core.Config)
@@ -90,6 +94,7 @@ func (a *App) RunWith(procs int, proto core.ProtocolKind, opts RunOpts) (*core.R
 		Sinks:        opts.Sinks,
 		Timeline:     opts.Timeline,
 		PageStats:    opts.PageStats,
+		Faults:       opts.Faults,
 	}
 	if opts.Configure != nil {
 		opts.Configure(&cfg)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"godsm/internal/netsim"
+	"godsm/internal/trace"
 )
 
 // barMgr is the centralized barrier manager, hosted by node 0's service
@@ -9,24 +10,61 @@ import (
 // reduction contributions; the release fan-out carries per-node protocol
 // payloads (write notices, version maps, copyset and migration notices,
 // expected-update counts) and the combined reduction result.
+//
+// Under fault injection the manager is retransmit-aware: replayed arrivals
+// for the episode in progress are absorbed, and arrivals for an episode
+// already released (the node's release was lost, so it retransmitted) are
+// answered by re-sending that node's cached release.
 type barMgr struct {
 	clu      *cluster
 	arrivals []*barArrive
 	count    int
+
+	relSeq  int              // newest released barrier sequence (-1 = none)
+	arrRids []int64          // per node: rid of the current episode's arrival
+	cached  []*netsim.Packet // per node: release packet of episode relSeq
 }
 
 func newBarMgr(c *cluster) *barMgr {
-	return &barMgr{clu: c, arrivals: make([]*barArrive, c.cfg.Procs)}
+	return &barMgr{
+		clu:      c,
+		arrivals: make([]*barArrive, c.cfg.Procs),
+		relSeq:   -1,
+		arrRids:  make([]int64, c.cfg.Procs),
+		cached:   make([]*netsim.Packet, c.cfg.Procs),
+	}
 }
 
 // handle processes one arrival on node 0's service path. When the last
 // node arrives it aggregates and releases everyone.
 func (m *barMgr) handle(n0 *node, pkt *netsim.Packet) {
 	a := pkt.Data.(*barArrive)
+	if m.clu.faultsOn {
+		if prev := m.arrivals[a.From]; prev != nil && prev.Seq == a.Seq {
+			// Replay of an arrival already recorded for this episode.
+			n0.ctr.DupSuppressed++
+			n0.trcSvc(trace.DupSuppress, -1, int64(mkBarArrive))
+			return
+		}
+		if a.Seq <= m.relSeq {
+			// Arrival for an episode already released: the node never got
+			// its release and is retransmitting. Re-send the cached one.
+			n0.ctr.DupSuppressed++
+			n0.trcSvc(trace.DupSuppress, -1, int64(mkBarArrive))
+			if c := m.cached[a.From]; c != nil && c.Data.(*barRelease).Seq == a.Seq {
+				if a.From != n0.id {
+					n0.service.Advance(m.clu.cm.SendCPU)
+				}
+				m.clu.net.Send(n0.service, a.From, netsim.PortCompute, c)
+			}
+			return
+		}
+	}
 	if m.arrivals[a.From] != nil {
 		n0.fatal("double barrier arrival from node %d", a.From)
 	}
 	m.arrivals[a.From] = a
+	m.arrRids[a.From] = pkt.Rid
 	m.count++
 	if m.count < m.clu.cfg.Procs {
 		return
@@ -48,14 +86,20 @@ func (m *barMgr) handle(n0 *node, pkt *netsim.Packet) {
 	m.count = 0
 	for i := 0; i < m.clu.cfg.Procs; i++ {
 		rel := &barRelease{Seq: seq, Proto: rels[i], Red: red}
-		if i != n0.id {
-			n0.service.Advance(m.clu.cm.SendCPU)
-		}
-		m.clu.net.Send(n0.service, i, netsim.PortCompute, &netsim.Packet{
+		rpkt := &netsim.Packet{
 			Kind:  mkBarRelease,
 			Size:  bytesBarHeader + sizes[i] + redResultSize(red),
 			Reply: true,
+			Rid:   m.arrRids[i],
 			Data:  rel,
-		})
+		}
+		if m.clu.faultsOn {
+			m.cached[i] = rpkt
+		}
+		if i != n0.id {
+			n0.service.Advance(m.clu.cm.SendCPU)
+		}
+		m.clu.net.Send(n0.service, i, netsim.PortCompute, rpkt)
 	}
+	m.relSeq = seq
 }

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"godsm/internal/netsim"
+	"godsm/internal/sim"
+)
+
+// Chaos harness: every protocol must produce bit-identical application
+// results under any seeded schedule of packet loss, duplication,
+// reordering and stragglers — graceful degradation means only virtual
+// time and traffic may change. The CI chaos job runs these tests across
+// fixed seeds with the race detector.
+
+// chaosPlan is the standard chaos schedule: drop/duplicate/reorder every
+// remote packet with moderate probability, plus one straggling node.
+//
+// protectFlushes shields mkUpdateFlush from Drop (duplication and
+// reordering still apply) and must be set for the overdrive protocols:
+// bar-s/bar-m write-enable predicted pages without refetching, so unlike
+// every other protocol they have no invalidation fallback for a lost
+// update flush — the paper's "lost flushes harm only performance" claim
+// holds only while write trapping is on. Overdrive over a genuinely lossy
+// transport would need acknowledged flushes; injecting that loss today
+// would (correctly) produce stale reads, which is exactly what this
+// harness must prove never happens for the supported schedules.
+func chaosPlan(seed int64, protectFlushes bool) *netsim.FaultPlan {
+	plan := &netsim.FaultPlan{Seed: seed}
+	if protectFlushes {
+		plan.Rules = append(plan.Rules, netsim.FaultRule{
+			Kinds:   []int{mkUpdateFlush},
+			From:    netsim.AnyNode,
+			To:      netsim.AnyNode,
+			Dup:     0.08,
+			Reorder: 0.25,
+			Delay:   300 * sim.Microsecond,
+		})
+	}
+	plan.Rules = append(plan.Rules, netsim.FaultRule{
+		From:    netsim.AnyNode,
+		To:      netsim.AnyNode,
+		Drop:    0.08,
+		Dup:     0.08,
+		Reorder: 0.25,
+		Delay:   300 * sim.Microsecond,
+	})
+	plan.Stragglers = []netsim.StragglerRule{{Node: 1, Factor: 2.5, FromEpoch: 3, ToEpoch: 9}}
+	return plan
+}
+
+// TestChaosProperty is the central robustness property: for every
+// protocol, a seeded schedule mixing loss, duplication, reordering and a
+// straggler yields the fault-free checksum, with fault and recovery
+// counters proving the schedule actually fired.
+func TestChaosProperty(t *testing.T) {
+	for _, proto := range Protocols() {
+		want := runStencil(t, 4, proto).Checksum
+		overdrive := proto == ProtoBarS || proto == ProtoBarM
+		for _, seed := range []int64{1, 2, 3} {
+			cfg := stencilConfig(4, proto)
+			cfg.Faults = chaosPlan(seed, overdrive)
+			r, err := Run(cfg, miniStencil(64, 128, 8, 5))
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", proto, seed, err)
+			}
+			if r.Checksum != want {
+				t.Errorf("%v seed %d: checksum %#x, want fault-free %#x", proto, seed, r.Checksum, want)
+			}
+			tot := r.Total
+			if tot.NetDrops == 0 {
+				t.Errorf("%v seed %d: no injected drops in the measured window", proto, seed)
+			}
+			if tot.Retransmits == 0 {
+				t.Errorf("%v seed %d: no retransmissions — faults were not recovered, they were missed", proto, seed)
+			}
+			if tot.NetDups+tot.DupSuppressed == 0 {
+				t.Errorf("%v seed %d: no duplication activity", proto, seed)
+			}
+		}
+	}
+}
+
+// TestChaosLocksAndFlags runs the migratory-counter + flag workload (the
+// non-barrier synchronization only lmw supports) under chaos: the lock
+// chain (acquire, forward, grant), flag set/wait and diff fetches must all
+// recover from loss and duplication with an unchanged result.
+func TestChaosLocksAndFlags(t *testing.T) {
+	const perNode = 10
+	body := func(p *Proc) {
+		ctr := p.AllocF64(1)
+		p.Barrier()
+		if p.ID() == 0 {
+			ctr.Set(0, 1)
+			p.SetFlag(7)
+		} else {
+			p.WaitFlag(7)
+			if ctr.Get(0) != 1 {
+				p.n.fatal("flag wait did not deliver the setter's write")
+			}
+		}
+		p.Barrier()
+		for i := 0; i < perNode; i++ {
+			p.Acquire(3)
+			ctr.Set(0, ctr.Get(0)+1)
+			p.Charge(20 * sim.Microsecond)
+			p.Release(3)
+		}
+		p.Barrier()
+		p.SetResult(uint64(ctr.Get(0)))
+	}
+	for _, proto := range []ProtocolKind{ProtoLmwI, ProtoLmwU} {
+		for _, seed := range []int64{1, 2, 3} {
+			cfg := lockCfg(4, proto)
+			cfg.Faults = chaosPlan(seed, false)
+			r, err := Run(cfg, body)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", proto, seed, err)
+			}
+			if want := uint64(1 + 4*perNode); r.Checksum != want {
+				t.Errorf("%v seed %d: counter %d, want %d", proto, seed, r.Checksum, want)
+			}
+			if r.Total.Retransmits == 0 {
+				t.Errorf("%v seed %d: no retransmissions", proto, seed)
+			}
+			if r.Total.LockAcquires != int64(4*perNode) {
+				t.Errorf("%v seed %d: %d acquires, want %d", proto, seed, r.Total.LockAcquires, 4*perNode)
+			}
+		}
+	}
+}
+
+// TestChaosDeterministicReports: the same fault seed must yield a
+// bit-identical Report — virtual time, traffic, every counter — across
+// two runs. Fault injection may never introduce nondeterminism.
+func TestChaosDeterministicReports(t *testing.T) {
+	for _, proto := range []ProtocolKind{ProtoLmwU, ProtoBarU} {
+		run := func() *Report {
+			cfg := stencilConfig(4, proto)
+			cfg.Faults = chaosPlan(7, false)
+			r, err := Run(cfg, miniStencil(64, 128, 8, 5))
+			if err != nil {
+				t.Fatalf("%v: %v", proto, err)
+			}
+			return r
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: same seed, different reports:\n a: %v %+v\n b: %v %+v",
+				proto, a.Elapsed, a.Total, b.Elapsed, b.Total)
+		}
+	}
+}
+
+// TestBarrierArriveDropRecovers drops exactly one barrier arrival inside
+// the measured window: the arriving node's retransmission must complete
+// the barrier with the fault-free result.
+func TestBarrierArriveDropRecovers(t *testing.T) {
+	want := runStencil(t, 4, ProtoBarI).Checksum
+	cfg := stencilConfig(4, ProtoBarI)
+	cfg.Faults = &netsim.FaultPlan{
+		Seed: 1,
+		Rules: []netsim.FaultRule{{
+			Kinds:     []int{mkBarArrive},
+			From:      2,
+			To:        netsim.AnyNode,
+			FromEpoch: 14,
+			Drop:      1,
+			MaxCount:  1,
+		}},
+	}
+	r, err := Run(cfg, miniStencil(64, 128, 8, 5))
+	if err != nil {
+		t.Fatalf("dropped arrival wedged the run: %v", err)
+	}
+	if r.Checksum != want {
+		t.Errorf("checksum %#x, want %#x", r.Checksum, want)
+	}
+	if r.Total.NetDrops != 1 {
+		t.Errorf("NetDrops = %d, want exactly 1", r.Total.NetDrops)
+	}
+	if r.Total.Retransmits < 1 {
+		t.Errorf("Retransmits = %d, want >= 1", r.Total.Retransmits)
+	}
+}
+
+// TestBarrierReleaseDropRecovers drops exactly one barrier release: the
+// stranded node's retransmitted arrival must make the manager re-send the
+// cached release for the already-released episode.
+func TestBarrierReleaseDropRecovers(t *testing.T) {
+	want := runStencil(t, 4, ProtoBarI).Checksum
+	cfg := stencilConfig(4, ProtoBarI)
+	cfg.Faults = &netsim.FaultPlan{
+		Seed: 1,
+		Rules: []netsim.FaultRule{{
+			Kinds:     []int{mkBarRelease},
+			From:      0,
+			To:        2,
+			FromEpoch: 14,
+			Drop:      1,
+			MaxCount:  1,
+		}},
+	}
+	r, err := Run(cfg, miniStencil(64, 128, 8, 5))
+	if err != nil {
+		t.Fatalf("dropped release wedged the run: %v", err)
+	}
+	if r.Checksum != want {
+		t.Errorf("checksum %#x, want %#x", r.Checksum, want)
+	}
+	if r.Total.NetDrops != 1 {
+		t.Errorf("NetDrops = %d, want exactly 1", r.Total.NetDrops)
+	}
+	if r.Total.Retransmits < 1 {
+		t.Errorf("Retransmits = %d, want >= 1", r.Total.Retransmits)
+	}
+	if r.Total.DupSuppressed < 1 {
+		t.Errorf("DupSuppressed = %d, want >= 1 (manager must absorb the replayed arrival)", r.Total.DupSuppressed)
+	}
+}
+
+// TestZeroFaultConfigUnchanged: a nil FaultPlan must leave the engine on
+// its exact legacy path — no reliability state, no request ids on the
+// wire, reports identical to a pre-fault-injection run.
+func TestZeroFaultConfigUnchanged(t *testing.T) {
+	a := runStencil(t, 4, ProtoBarU)
+	b := runStencil(t, 4, ProtoBarU)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("zero-fault runs differ")
+	}
+	if a.Total.Retransmits != 0 || a.Total.DupSuppressed != 0 ||
+		a.Total.NetDrops != 0 || a.Total.NetDups != 0 || a.Total.NetDelays != 0 {
+		t.Fatalf("zero-fault run shows fault activity: %+v", a.Total)
+	}
+}

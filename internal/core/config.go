@@ -16,6 +16,8 @@ import (
 	"fmt"
 
 	"godsm/internal/cost"
+	"godsm/internal/netsim"
+	"godsm/internal/sim"
 	"godsm/internal/trace"
 )
 
@@ -97,9 +99,32 @@ type Config struct {
 	// (lmw-u and bar-u consumer updates), deterministically from Seed.
 	// The paper argues lost flushes cost only performance, never
 	// correctness; tests inject loss to verify that claim.
+	//
+	// Deprecated: this knob is a shim over the general fault-injection
+	// layer — fill() folds it into Faults as a drop rule on the two
+	// unacknowledged flush kinds. New code should build a
+	// netsim.FaultPlan directly.
 	UpdateLossRate float64
 	// Seed feeds the loss-injection generator.
+	//
+	// Deprecated: used only by the UpdateLossRate shim; it becomes the
+	// synthesized FaultPlan's Seed. New code should set FaultPlan.Seed.
 	Seed int64
+	// Faults, when non-nil, arms deterministic network fault injection
+	// (drop/duplicate/delay by kind, node pair or epoch window, plus
+	// straggler slowdowns) and with it the reliability layer: tracked,
+	// retransmitted requests and idempotent, replay-suppressing services.
+	// Nil (the default) leaves the interconnect perfectly reliable and
+	// every reliability hook a no-op.
+	Faults *netsim.FaultPlan
+	// UpdateWaitTimeout bounds how long a bar-u consumer waits inside the
+	// barrier for update flushes when the network is lossy. Zero selects
+	// 20ms — generous relative to any wire time, so it only fires for
+	// genuinely lost flushes.
+	UpdateWaitTimeout sim.Duration
+	// RetryTimeout is the reliability layer's base retransmission timeout;
+	// it doubles per retry (capped at 128x). Zero selects 5ms.
+	RetryTimeout sim.Duration
 	// CheckOverdrive enables the (zero-virtual-cost) divergence checker
 	// that verifies bar-m's unsound assumption: every steady-state write
 	// hits a predicted page. Violations abort the run, mirroring the
@@ -154,6 +179,29 @@ func (c *Config) fill() error {
 	}
 	if c.LearnIters == 0 {
 		c.LearnIters = 2
+	}
+	if c.UpdateWaitTimeout == 0 {
+		c.UpdateWaitTimeout = 20 * sim.Millisecond
+	}
+	if c.RetryTimeout == 0 {
+		c.RetryTimeout = 5 * sim.Millisecond
+	}
+	if c.UpdateLossRate > 0 {
+		// Legacy shim: express the old flush-loss knob as a fault rule so
+		// there is exactly one loss mechanism. The caller's plan (if any)
+		// is copied, not mutated.
+		plan := netsim.FaultPlan{Seed: c.Seed}
+		if c.Faults != nil {
+			plan = *c.Faults
+			plan.Rules = append([]netsim.FaultRule(nil), c.Faults.Rules...)
+		}
+		plan.Rules = append(plan.Rules, netsim.FaultRule{
+			Kinds: []int{mkUpdateFlush, mkLmwFlush},
+			From:  netsim.AnyNode,
+			To:    netsim.AnyNode,
+			Drop:  c.UpdateLossRate,
+		})
+		c.Faults = &plan
 	}
 	return nil
 }

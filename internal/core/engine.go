@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"godsm/internal/cost"
 	"godsm/internal/netsim"
@@ -13,22 +12,20 @@ import (
 	"godsm/internal/vm"
 )
 
-// updateWaitTimeout bounds how long a bar-u consumer waits for update
-// flushes when loss injection is enabled. Generous relative to any wire
-// time, so it only fires for genuinely lost flushes.
-const updateWaitTimeout = 20 * sim.Millisecond
-
 // cluster is one simulated DSM run: kernel, interconnect, and nodes.
 type cluster struct {
-	cfg   Config
-	cm    *cost.Model
-	kern  *sim.Kernel
-	net   *netsim.Net
-	nodes []*node
-	mgr   *barMgr
-	pmgr  protoManager
-	body  func(*Proc)
-	seq   bool // ProtoSeq: synchronization nulled out
+	cfg      Config
+	cm       *cost.Model
+	kern     *sim.Kernel
+	net      *netsim.Net
+	nodes    []*node
+	mgr      *barMgr
+	pmgr     protoManager
+	body     func(*Proc)
+	seq      bool // ProtoSeq: synchronization nulled out
+	faultsOn bool // cfg.Faults armed: reliability layer active
+	doneSeen []bool // teardown: nodes whose compute body has finished
+	doneLeft int    // teardown: nodes still running
 
 	// sinks is the fan-out list every trace event goes to: cfg.Trace (if
 	// any) plus cfg.Sinks. Empty means tracing is off.
@@ -47,7 +44,7 @@ type node struct {
 	proto   protocol
 	compute *sim.Proc
 	service *sim.Proc
-	lossRng *rand.Rand
+	rel     *reliability // retransmit/dedup state; nil when faults are off
 
 	// --- time accounting ---
 	pendingApp   sim.Duration // charged, unflushed application compute
@@ -70,10 +67,12 @@ type node struct {
 	mStartBd  stats.Breakdown
 	mStartCtr stats.Counters
 	mStartTr  netsim.Traffic
+	mStartFs  netsim.FaultStats
 	mStop     sim.Time
 	mStopBd   stats.Breakdown
 	mStopCtr  stats.Counters
 	mStopTr   netsim.Traffic
+	mStopFs   netsim.FaultStats
 
 	// --- barrier state ---
 	barSeq  int
@@ -125,15 +124,26 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 	if cfg.Timeline {
 		clu.tc = obs.NewTimelineCollector(cfg.Procs)
 	}
+	if cfg.Faults != nil {
+		clu.faultsOn = true
+		clu.doneSeen = make([]bool, cfg.Procs)
+		clu.doneLeft = cfg.Procs
+		clu.net.SetFaults(cfg.Faults)
+		if len(clu.sinks) > 0 {
+			clu.net.OnFault = clu.emitFault
+		}
+	}
 	for i := 0; i < cfg.Procs; i++ {
 		n := &node{
 			id:           i,
 			clu:          clu,
 			as:           vm.NewAddressSpace(cfg.SegmentBytes, clu.cm.PageSize),
-			lossRng:      rand.New(rand.NewSource(cfg.Seed ^ int64(i*0x9e3779b9))),
 			stressFactor: 1,
 			bank:         make(map[int][]diffMsg),
 			bankBatches:  make(map[int]int),
+		}
+		if clu.faultsOn {
+			n.rel = newReliability()
 		}
 		if cfg.PageStats {
 			n.ps = obs.NewPageStats(n.as.NumPages())
@@ -172,7 +182,46 @@ func (n *node) computeBody(p *sim.Proc) {
 		n.windowed = true
 		n.snapshotStop()
 	}
+	if n.clu.faultsOn {
+		// Reliable teardown: a peer whose final barrier release was lost
+		// recovers by retransmitting its arrival to the manager, so no
+		// service may die while any compute body is still running. Report
+		// done to the master and shut down only on its release (both
+		// fault-exempt control-plane messages; see mkDone).
+		n.clu.net.Send(p, 0, netsim.PortService,
+			&netsim.Packet{Kind: mkDone, NoFault: true, Data: &doneMsg{From: n.id}})
+		for {
+			pkt := p.Recv().Payload.(*netsim.Packet)
+			if pkt.Kind == mkDoneRelease {
+				break
+			}
+			// Absorb retry alarms and late duplicate replies still in
+			// flight; everything this node asked for is already settled.
+			n.filterCompute(pkt)
+		}
+	}
 	n.clu.net.Send(p, n.id, netsim.PortService, &netsim.Packet{Kind: mkShutdown})
+}
+
+// handleDone runs on the master's service: once every compute body has
+// reported done, release them all to tear their services down.
+func (c *cluster) handleDone(n0 *node, pkt *netsim.Packet) {
+	d := pkt.Data.(*doneMsg)
+	if c.doneSeen[d.From] {
+		return
+	}
+	c.doneSeen[d.From] = true
+	c.doneLeft--
+	if c.doneLeft > 0 {
+		return
+	}
+	for i := 0; i < c.cfg.Procs; i++ {
+		if i != n0.id {
+			n0.service.Advance(c.cm.SendCPU)
+		}
+		c.net.Send(n0.service, i, netsim.PortCompute,
+			&netsim.Packet{Kind: mkDoneRelease, Reply: true, NoFault: true})
+	}
 }
 
 func (n *node) serviceBody(p *sim.Proc) {
@@ -192,8 +241,14 @@ func (n *node) serviceBody(p *sim.Proc) {
 			n.clu.mgr.handle(n, pkt)
 		case mkUpdateFlush:
 			n.handleUpdateFlush(pkt)
+		case mkDone:
+			n.clu.handleDone(n, pkt)
 		default:
-			n.proto.handleRequest(pkt)
+			// The barrier manager and the flush banker above do their own
+			// replay suppression; everything else gets the generic dedup.
+			if !n.dedupServe(pkt) {
+				n.proto.handleRequest(pkt)
+			}
 		}
 		d := sim.Duration(p.Now() - start)
 		n.bd.Sigio += d
@@ -207,12 +262,18 @@ func (n *node) serviceBody(p *sim.Proc) {
 func (n *node) charge(d sim.Duration) { n.pendingApp += d }
 
 // flush converts pending application time (inflated by the current VM
-// stress factor) and stolen service time into simulated elapsed time.
+// stress factor and any injected straggler slowdown) and stolen service
+// time into simulated elapsed time.
 func (n *node) flush() {
 	if n.pendingApp > 0 {
 		d := n.pendingApp
 		if n.stressFactor != 1 {
 			d = sim.Duration(float64(d) * n.stressFactor)
+		}
+		if n.clu.faultsOn {
+			if f := n.clu.net.StragglerFactor(n.id); f > 1 {
+				d = sim.Duration(float64(d) * f)
+			}
 		}
 		n.bd.App += d
 		n.pendingApp = 0
@@ -291,6 +352,24 @@ func (n *node) emitTrace(t sim.Time, kind trace.Kind, page int, arg int64) {
 	}
 }
 
+// emitFault forwards one injected network fault to the trace sinks,
+// attributed to the sending node.
+func (c *cluster) emitFault(t sim.Time, from, to, kind int, class netsim.FaultClass) {
+	var k trace.Kind
+	switch class {
+	case netsim.FaultDrop:
+		k = trace.NetDrop
+	case netsim.FaultDup:
+		k = trace.NetDup
+	default:
+		k = trace.NetDelay
+	}
+	e := trace.Event{T: t, Node: from, Kind: k, Page: -1, Arg: int64(kind)}
+	for _, s := range c.sinks {
+		s.Emit(e)
+	}
+}
+
 // makeTwin snapshots a page for later diffing, with accounting and trace.
 func (n *node) makeTwin(pg vm.PageID) {
 	n.as.MakeTwin(pg)
@@ -333,18 +412,21 @@ func (n *node) writeFault(pg vm.PageID) {
 
 // sendRequest transmits a request to dst's service port. The caller pairs
 // it with awaitReply (possibly batched: send k requests, await k replies).
+// Under fault injection the request is tracked and retransmitted until its
+// reply arrives.
 func (n *node) sendRequest(dst int, kind, size int, data any) {
 	n.osCharge(n.clu.cm.SendCPU)
-	n.clu.net.Send(n.compute, dst, netsim.PortService, &netsim.Packet{Kind: kind, Size: size, Data: data})
+	pkt := &netsim.Packet{Kind: kind, Size: size, Data: data}
+	n.trackRequest(dst, pkt)
+	n.clu.net.Send(n.compute, dst, netsim.PortService, pkt)
 }
 
-// sendFlush transmits an unacknowledged flush (update) message; subject to
-// loss injection.
+// sendFlush transmits an unacknowledged flush (update) message. Loss is
+// injected by the netsim fault plan (Config.Faults; the legacy
+// UpdateLossRate knob is folded into it by Config.fill): a lost flush
+// harms only performance, so flushes are never tracked or retransmitted.
 func (n *node) sendFlush(dst int, kind, size int, data any) {
 	n.osCharge(n.clu.cm.SendCPU)
-	if r := n.clu.cfg.UpdateLossRate; r > 0 && n.lossRng.Float64() < r {
-		return // dropped on the wire; cost already paid by the sender
-	}
 	n.clu.net.Send(n.compute, dst, netsim.PortService, &netsim.Packet{Kind: kind, Size: size, Data: data})
 }
 
@@ -358,6 +440,9 @@ func (n *node) awaitReply() *netsim.Packet {
 		pkt := m.Payload.(*netsim.Packet)
 		if pkt.Kind == mkUpdateTimeout {
 			continue // stale alarm from an earlier satisfied wait
+		}
+		if n.filterCompute(pkt) {
+			continue // retry alarm, ack, or duplicate reply
 		}
 		n.absorbWait(start)
 		if pkt.FromNode != n.id {
@@ -391,7 +476,9 @@ func (n *node) replyFrom(p *sim.Proc, req *netsim.Packet, kind, size int, data a
 	if req.FromNode != n.id {
 		p.Advance(n.clu.cm.SendCPU)
 	}
-	n.clu.net.Send(p, req.FromNode, req.FromPort, &netsim.Packet{Kind: kind, Size: size, Reply: true, Data: data})
+	pkt := &netsim.Packet{Kind: kind, Size: size, Reply: true, Rid: req.Rid, Data: data}
+	n.recordReply(req, req.FromNode, req.FromPort, pkt)
+	n.clu.net.Send(p, req.FromNode, req.FromPort, pkt)
 }
 
 // --- barrier --------------------------------------------------------------
@@ -413,9 +500,12 @@ func (n *node) barrier(red *redContrib) *redResult {
 	n.protChanges = 0
 	arr := &barArrive{From: n.id, Site: site, Seq: seq, Proto: payload, Red: red}
 	n.trc(trace.BarrierArrive, -1, int64(seq))
-	n.osCharge(n.clu.cm.SendCPU)
-	n.clu.net.Send(n.compute, 0, netsim.PortService,
-		&netsim.Packet{Kind: mkBarArrive, Size: bytesBarHeader + psize + redSize(red), Data: arr})
+	if n.clu.faultsOn {
+		// Epoch advances at barrier entry: while waiting for barrier seq,
+		// the node is in epoch seq+1 for fault-rule windows.
+		n.clu.net.SetEpoch(n.id, n.barSeq)
+	}
+	n.sendRequest(0, mkBarArrive, bytesBarHeader+psize+redSize(red), arr)
 	rel := n.awaitRelease(seq)
 	n.trc(trace.BarrierRelease, -1, int64(seq))
 	n.proto.onRelease(site, rel.Proto)
@@ -437,6 +527,10 @@ func (n *node) sampleEpoch() {
 	ctr := n.ctr
 	tr := n.clu.net.Traffic[n.id]
 	ctr.Messages, ctr.Replies, ctr.DataBytes = tr.Messages, tr.Replies, tr.Bytes
+	if fs := n.clu.net.FaultStats; fs != nil {
+		f := fs[n.id]
+		ctr.NetDrops, ctr.NetDups, ctr.NetDelays = f.Drops, f.Dups, f.Delays
+	}
 	d := ctr.Sub(n.epochCtr)
 	bd := stats.Breakdown{
 		App:   n.bd.App - n.epochBd.App,
@@ -482,6 +576,16 @@ func (n *node) iterationBoundary() {
 
 func (n *node) handleUpdateFlush(pkt *netsim.Packet) {
 	uf := pkt.Data.(*updateFlush)
+	if n.dupFlush(pkt.FromNode, uf.Epoch) {
+		return
+	}
+	if rel := n.rel; rel != nil && uf.Epoch <= rel.updEpochDone {
+		// The flush was delayed past its epoch's consumption (the consumer
+		// timed out and fell back to invalidation); banking it now would
+		// pair diffs with no version news. Count it as pure overhead.
+		n.ctr.UpdatesUnneeded += int64(len(uf.Diffs))
+		return
+	}
 	n.bank[uf.Epoch] = append(n.bank[uf.Epoch], uf.Diffs...)
 	n.bankBatches[uf.Epoch]++
 	if n.waitingUpd && n.waitEpoch == uf.Epoch && n.bankBatches[uf.Epoch] >= n.expUpdates {
@@ -501,10 +605,10 @@ func (n *node) waitUpdates(epoch, expected int) bool {
 	}
 	n.waitingUpd = true
 	n.waitEpoch = epoch
-	lossy := n.clu.cfg.UpdateLossRate > 0
+	lossy := n.clu.faultsOn
 	if lossy {
 		n.waitSeq++
-		n.compute.Send(n.compute.ID(), sim.Duration(updateWaitTimeout), &netsim.Packet{
+		n.compute.Send(n.compute.ID(), n.clu.cfg.UpdateWaitTimeout, &netsim.Packet{
 			Kind: mkUpdateTimeout, FromNode: n.id, Data: &updateTimeout{WaitSeq: n.waitSeq},
 		})
 	}
@@ -527,6 +631,9 @@ func (n *node) waitUpdates(epoch, expected int) bool {
 			n.absorbWait(start)
 			return false
 		default:
+			if n.filterCompute(pkt) {
+				continue // retry alarm, ack, or duplicate reply
+			}
 			n.fatal("unexpected packet kind %d while waiting for updates", pkt.Kind)
 		}
 	}
@@ -534,6 +641,9 @@ func (n *node) waitUpdates(epoch, expected int) bool {
 
 // takeBankedUpdates removes and returns epoch's banked update diffs.
 func (n *node) takeBankedUpdates(epoch int) []diffMsg {
+	if rel := n.rel; rel != nil && epoch > rel.updEpochDone {
+		rel.updEpochDone = epoch
+	}
 	d := n.bank[epoch]
 	delete(n.bank, epoch)
 	delete(n.bankBatches, epoch)
@@ -549,6 +659,9 @@ func (n *node) snapshotStart() {
 	n.mStartBd = n.bd
 	n.mStartCtr = n.ctr
 	n.mStartTr = n.clu.net.Traffic[n.id]
+	if fs := n.clu.net.FaultStats; fs != nil {
+		n.mStartFs = fs[n.id]
+	}
 }
 
 func (n *node) snapshotStop() {
@@ -557,6 +670,9 @@ func (n *node) snapshotStop() {
 	n.mStopBd = n.bd
 	n.mStopCtr = n.ctr
 	n.mStopTr = n.clu.net.Traffic[n.id]
+	if fs := n.clu.net.FaultStats; fs != nil {
+		n.mStopFs = fs[n.id]
+	}
 }
 
 // report assembles the run's statistics from the measurement windows.
@@ -586,6 +702,8 @@ func (c *cluster) report() (*Report, error) {
 		ctr.Messages = tr.Messages
 		ctr.Replies = tr.Replies
 		ctr.DataBytes = tr.Bytes
+		fs := n.mStopFs.Sub(n.mStartFs)
+		ctr.NetDrops, ctr.NetDups, ctr.NetDelays = fs.Drops, fs.Dups, fs.Delays
 		bd := stats.Breakdown{
 			App:   n.mStopBd.App - n.mStartBd.App,
 			OS:    n.mStopBd.OS - n.mStartBd.OS,

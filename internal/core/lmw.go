@@ -343,6 +343,9 @@ func (l *lmw) handleRequest(pkt *netsim.Packet) {
 		n.serviceReply(pkt, mkDiffRep, sizeDiffs(rep.Diffs), rep)
 	case mkLmwFlush:
 		uf := pkt.Data.(*updateFlush)
+		if n.dupFlush(pkt.FromNode, uf.Epoch) {
+			return
+		}
 		for _, dm := range uf.Diffs {
 			// Banking out-of-order updates costs real bookkeeping in CVM's
 			// data structures — the paper blames this for lmw-u's barnes

@@ -112,6 +112,12 @@ func (l *lmw) flagStateFor(flag int) *flagState {
 func (l *lmw) handleFlagSet(pkt *netsim.Packet) {
 	fsm := pkt.Data.(*flagSet)
 	l.flagSetLocal(l.n.service, fsm.Flag, fsm.Ivs)
+	if pkt.Rid != 0 {
+		// Under fault injection the set is tracked: acknowledge it so the
+		// setter's retransmission tracking can settle (the ack is absorbed
+		// by the compute-side filter; the setter never blocks on it).
+		l.n.serviceReply(pkt, mkFlagSetAck, 0, nil)
+	}
 }
 
 // handleFlagWait runs at the manager's service: release immediately if the
@@ -140,12 +146,15 @@ func (l *lmw) releaseWaiter(p *sim.Proc, pkt *netsim.Packet, ivs []intervalRec) 
 	if w.From != n.id {
 		p.Advance(n.clu.cm.SendCPU)
 	}
-	n.clu.net.Send(p, w.From, netsim.PortCompute, &netsim.Packet{
+	rpkt := &netsim.Packet{
 		Kind:  mkFlagRelease,
 		Size:  sizeIntervals(missing),
 		Reply: true,
+		Rid:   pkt.Rid,
 		Data:  &flagRelease{Flag: w.Flag, Ivs: missing},
-	})
+	}
+	n.recordReply(pkt, w.From, netsim.PortCompute, rpkt)
+	n.clu.net.Send(p, w.From, netsim.PortCompute, rpkt)
 }
 
 func sortedLogCreators(log map[int][]intervalRec) []int {

@@ -28,16 +28,27 @@ import (
 type lockToken struct {
 	hasToken bool
 	inUse    bool
-	// queued holds at most one forwarded acquire awaiting our release
-	// (the manager chains every subsequent requester behind the previous
-	// one, so no node ever queues two).
-	queued *netsim.Packet
+	// episode is the chain sequence number of the acquire our current
+	// token claim corresponds to (0 for the manager's initial claim). An
+	// owner may appear at several positions of the ownership chain at
+	// once, each position with its own incoming forward; the episode tells
+	// which of them the token in hand must serve next.
+	episode int
+	// pending parks forwarded acquires by their predecessor episode. Only
+	// pending[episode] may be granted: a forward for a later episode of
+	// ours arriving first (its predecessor's forward was lost and is still
+	// being retransmitted) must wait, or the token would skip ahead of the
+	// chain and strand every requester between.
+	pending map[int]*netsim.Packet
 }
 
 // lockChain is the manager-side record: whom to forward the next acquire
-// to.
+// to, and the chain sequence numbering that keeps grants in chain order
+// under retransmission.
 type lockChain struct {
 	lastOwner int
+	lastSeq   int // chain seq of lastOwner's acquire (0 = initial claim)
+	nextSeq   int
 }
 
 // lockState returns (creating if needed) the local token state. The
@@ -45,7 +56,10 @@ type lockChain struct {
 func (l *lmw) lockState(lock int) *lockToken {
 	st, ok := l.locks[lock]
 	if !ok {
-		st = &lockToken{hasToken: l.n.id == lock%l.n.clu.cfg.Procs}
+		st = &lockToken{
+			hasToken: l.n.id == lock%l.n.clu.cfg.Procs,
+			pending:  make(map[int]*netsim.Packet),
+		}
 		l.locks[lock] = st
 	}
 	return st
@@ -54,7 +68,7 @@ func (l *lmw) lockState(lock int) *lockToken {
 func (l *lmw) chainState(lock int) *lockChain {
 	cs, ok := l.lockMgr[lock]
 	if !ok {
-		cs = &lockChain{lastOwner: lock % l.n.clu.cfg.Procs}
+		cs = &lockChain{lastOwner: lock % l.n.clu.cfg.Procs, nextSeq: 1}
 		l.lockMgr[lock] = cs
 	}
 	return cs
@@ -82,6 +96,7 @@ func (l *lmw) acquire(lock int) {
 	st := l.lockState(lock)
 	st.hasToken = true
 	st.inUse = true
+	st.episode = g.Seq
 }
 
 // release implements Proc.Release: close the current interval (the
@@ -96,44 +111,68 @@ func (l *lmw) release(lock int) {
 	}
 	l.endInterval(false)
 	st.inUse = false
-	if st.queued != nil {
-		pkt := st.queued
-		st.queued = nil
-		st.hasToken = false
-		l.grantLock(n.compute, pkt)
-	}
+	l.maybeGrant(n.compute, st)
 }
 
 // handleLockAcq runs at the lock's manager: forward the request to the
-// last owner and chain the requester behind it.
+// last owner and chain the requester behind it. Under fault injection a
+// replayed acquire re-fires the same forward (the chain already advanced),
+// so a lost forward or grant is always recoverable via the origin's
+// retransmissions.
 func (l *lmw) handleLockAcq(pkt *netsim.Packet) {
-	n := l.n
 	a := pkt.Data.(*lockAcq)
 	cs := l.chainState(a.Lock)
+	f := &lockFwd{Acq: a, Seq: cs.nextSeq, Pred: cs.lastSeq}
 	dest := cs.lastOwner
-	cs.lastOwner = a.From
+	cs.lastOwner, cs.lastSeq = a.From, cs.nextSeq
+	cs.nextSeq++
+	l.forwardLock(dest, f, pkt)
+	if e := l.n.dedupEntryFor(pkt); e != nil {
+		e.refire = func() { l.forwardLock(dest, f, pkt) }
+	}
+}
+
+// forwardLock relays an acquire to the owner under the original request's
+// identity, so the owner's dedup and the eventual grant settle the
+// origin's retransmission tracking.
+func (l *lmw) forwardLock(dest int, f *lockFwd, pkt *netsim.Packet) {
+	n := l.n
 	if dest != n.id {
 		n.service.Advance(n.clu.cm.SendCPU)
 	}
 	n.clu.net.Send(n.service, dest, netsim.PortService,
-		&netsim.Packet{Kind: mkLockFwd, Size: 8 + 8*len(a.VC), Data: a})
+		&netsim.Packet{Kind: mkLockFwd, Size: 8 + 8*len(f.Acq.VC), Rid: pkt.Rid, Orig: pkt.Orig, Data: f})
 }
 
-// handleLockFwd runs at the (last) owner: grant immediately if the token
-// is idle here, else park the request until our release.
+// handleLockFwd runs at the (last) owner: park the forward under its
+// predecessor episode and grant it if the token is idle here for exactly
+// that episode. A forward for a later episode of ours — possible only when
+// its predecessor's forward was lost and is still being retransmitted —
+// waits for the chain to catch up.
 func (l *lmw) handleLockFwd(pkt *netsim.Packet) {
 	n := l.n
-	a := pkt.Data.(*lockAcq)
-	st := l.lockState(a.Lock)
-	switch {
-	case st.hasToken && !st.inUse:
-		st.hasToken = false
-		l.grantLock(n.service, pkt)
-	case st.queued != nil:
-		n.fatal("lmw: two acquires queued for lock %d (manager chain broken)", a.Lock)
-	default:
-		st.queued = pkt
+	f := pkt.Data.(*lockFwd)
+	st := l.lockState(f.Acq.Lock)
+	if f.Pred < st.episode {
+		return // stale replay of an episode already served
 	}
+	st.pending[f.Pred] = pkt
+	l.maybeGrant(n.service, st)
+}
+
+// maybeGrant passes the token to the current episode's successor, if the
+// token is idle here and that successor's forward has arrived.
+func (l *lmw) maybeGrant(p *sim.Proc, st *lockToken) {
+	if !st.hasToken || st.inUse {
+		return
+	}
+	pkt := st.pending[st.episode]
+	if pkt == nil {
+		return
+	}
+	delete(st.pending, st.episode)
+	st.hasToken = false
+	l.grantLock(p, pkt)
 }
 
 // grantLock sends the token plus every interval the requester is missing.
@@ -141,7 +180,8 @@ func (l *lmw) handleLockFwd(pkt *netsim.Packet) {
 // the compute process when handing off at a release.
 func (l *lmw) grantLock(p *sim.Proc, pkt *netsim.Packet) {
 	n := l.n
-	a := pkt.Data.(*lockAcq)
+	f := pkt.Data.(*lockFwd)
+	a := f.Acq
 	var ivs []intervalRec
 	creators := make([]int, 0, len(l.log))
 	for c := range l.log {
@@ -158,15 +198,16 @@ func (l *lmw) grantLock(p *sim.Proc, pkt *netsim.Packet) {
 			}
 		}
 	}
-	g := &lockGrant{Lock: a.Lock, Intervals: ivs}
+	g := &lockGrant{Lock: a.Lock, Seq: f.Seq, Intervals: ivs}
 	if t := n.clu.cfg.Trace; t != nil {
 		t.Add(p.Now(), n.id, trace.LockGrant, a.From, int64(a.Lock))
 	}
 	if a.From != n.id {
 		p.Advance(sim.Duration(n.clu.cm.SendCPU))
 	}
-	n.clu.net.Send(p, a.From, netsim.PortCompute,
-		&netsim.Packet{Kind: mkLockGrant, Size: 8 + sizeIntervals(ivs), Reply: true, Data: g})
+	gpkt := &netsim.Packet{Kind: mkLockGrant, Size: 8 + sizeIntervals(ivs), Reply: true, Rid: pkt.Rid, Data: g}
+	n.recordReply(pkt, a.From, netsim.PortCompute, gpkt)
+	n.clu.net.Send(p, a.From, netsim.PortCompute, gpkt)
 }
 
 // --- garbage collection -------------------------------------------------

@@ -65,6 +65,25 @@ const (
 	mkFlagRelease
 	// mkShutdown terminates a service loop at end of run.
 	mkShutdown
+	// mkRetryTimer is a local self-addressed alarm firing a retransmission
+	// check for one tracked request. Only used under fault injection.
+	mkRetryTimer
+	// mkFlagSetAck acknowledges mkFlagSet under fault injection so the
+	// setter's retransmission tracking can settle; it is absorbed by the
+	// compute-side reliability filter.
+	mkFlagSetAck
+	// mkDone reports a finished compute body to the master's service (only
+	// used under fault injection). Services must outlive every compute body
+	// — a node whose final barrier release was lost recovers by
+	// retransmitting to the manager — so teardown is coordinated: the
+	// master releases it only once every node has reported done.
+	mkDone
+	// mkDoneRelease lets a compute shut its local service down. Like
+	// mkDone it is fault-exempt (netsim.Packet.NoFault): teardown is
+	// control plane, not the protocol under test, and an unacknowledged
+	// lost release would leave the cluster unable to ever quiesce (the
+	// two-generals problem).
+	mkDoneRelease
 )
 
 // Modeled on-wire sizes of protocol records, in bytes. The simulated
@@ -113,9 +132,23 @@ type lockAcq struct {
 	VC   []int
 }
 
-// lockGrant passes the token plus the consistency information.
+// lockFwd relays an acquire to the lock's last owner. Seq is the
+// acquire's position in the manager's chain ordering; Pred is the
+// position of the destination's own acquire (0 for the manager's initial
+// claim) — the ownership episode this forward is the successor of. The
+// explicit numbering keeps grants in chain order even when forwards are
+// lost and retransmitted out of order.
+type lockFwd struct {
+	Acq  *lockAcq
+	Seq  int
+	Pred int
+}
+
+// lockGrant passes the token plus the consistency information. Seq echoes
+// the granted acquire's chain position, becoming the new owner's episode.
 type lockGrant struct {
 	Lock      int
+	Seq       int
 	Intervals []intervalRec
 }
 
@@ -209,6 +242,16 @@ type updatesReady struct {
 // updateTimeout is the local alarm payload for mkUpdateTimeout.
 type updateTimeout struct {
 	WaitSeq int
+}
+
+// retryTimer is the local alarm payload for mkRetryTimer.
+type retryTimer struct {
+	Rid int64
+}
+
+// doneMsg reports one finished compute body for teardown coordination.
+type doneMsg struct {
+	From int
 }
 
 // homePull asks the old home to relinquish Page's home role.

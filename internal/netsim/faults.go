@@ -1,0 +1,250 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"godsm/internal/sim"
+)
+
+// Fault injection: a seeded, deterministic plan of network misbehaviour.
+// The paper's protocols ran over raw UDP/IP on the SP-2; a FaultPlan lets
+// the simulated interconnect misbehave the way that network could — drop,
+// duplicate and delay (reorder) any remote packet — plus per-node compute
+// slowdowns (stragglers). Faults apply only to remote sends: same-node
+// delivery models intra-process signaling, which cannot be lost.
+//
+// Determinism: all randomness comes from per-sending-node generators seeded
+// from FaultPlan.Seed, and the sim kernel processes events in a total
+// order, so the same plan against the same run yields a bit-identical
+// fault schedule — and, with the core reliability layer recovering every
+// fault, a bit-identical application result.
+
+// AnyNode is the wildcard for FaultRule.From/To and may be used for
+// StragglerRule.Node. Note that the zero value of From/To names node 0,
+// not the wildcard — rules built by hand must set AnyNode explicitly.
+const AnyNode = -1
+
+// FaultRule describes one class of faults. A packet is judged by the first
+// rule that matches its kind, sender, receiver and the sender's current
+// epoch (see Net.SetEpoch); later rules are not consulted, so a leading
+// rule with zero probabilities shields a message class from the rules
+// below it.
+type FaultRule struct {
+	// Kinds restricts the rule to these Packet.Kind values; empty matches
+	// every kind.
+	Kinds []int
+	// From and To restrict the rule to a sender/receiver node; AnyNode
+	// (negative) matches all. The zero value matches only node 0.
+	From, To int
+	// FromEpoch and ToEpoch bound the sender's epoch window. The rule
+	// applies when epoch >= FromEpoch and (ToEpoch == 0 or epoch <=
+	// ToEpoch); the zero values cover the whole run.
+	FromEpoch, ToEpoch int
+	// Drop is the probability the packet is silently discarded.
+	Drop float64
+	// Dup is the probability a second copy is delivered slightly later.
+	Dup float64
+	// Reorder is the probability the packet is held back by a random
+	// extra latency in (0, Delay], letting later packets overtake it.
+	Reorder float64
+	// Delay is the maximum extra latency for Reorder; zero selects a
+	// default of 500µs.
+	Delay sim.Duration
+	// MaxCount, when positive, retires the rule after it has injected
+	// faults into that many packets — the deterministic way to hit one
+	// targeted message (e.g. "drop exactly one barrier arrival") without
+	// also killing its retransmissions.
+	MaxCount int
+}
+
+// matches reports whether the rule applies to a packet.
+func (r *FaultRule) matches(kind, from, to, epoch int) bool {
+	if len(r.Kinds) > 0 {
+		ok := false
+		for _, k := range r.Kinds {
+			if k == kind {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if r.From >= 0 && r.From != from {
+		return false
+	}
+	if r.To >= 0 && r.To != to {
+		return false
+	}
+	if epoch < r.FromEpoch {
+		return false
+	}
+	if r.ToEpoch > 0 && epoch > r.ToEpoch {
+		return false
+	}
+	return true
+}
+
+// StragglerRule slows one node's application compute by Factor for the
+// epochs in [FromEpoch, ToEpoch] (same window convention as FaultRule).
+type StragglerRule struct {
+	// Node is the straggling node; AnyNode slows every node.
+	Node int
+	// Factor multiplies application compute time; values <= 1 are inert.
+	Factor float64
+	// FromEpoch and ToEpoch bound the epoch window (ToEpoch 0 = open).
+	FromEpoch, ToEpoch int
+}
+
+// FaultPlan is a run's complete fault schedule: matching rules plus the
+// seed all injection randomness derives from.
+type FaultPlan struct {
+	// Seed feeds the per-node injection generators.
+	Seed int64
+	// Rules are consulted in order; the first match judges a packet.
+	Rules []FaultRule
+	// Stragglers slow chosen nodes' compute for chosen epochs.
+	Stragglers []StragglerRule
+}
+
+// FaultStats counts the faults injected against one node's outbound
+// packets.
+type FaultStats struct {
+	Drops  int64
+	Dups   int64
+	Delays int64
+}
+
+// Sub returns f - o, for windowing fault counts to a measurement interval.
+func (f FaultStats) Sub(o FaultStats) FaultStats {
+	return FaultStats{f.Drops - o.Drops, f.Dups - o.Dups, f.Delays - o.Delays}
+}
+
+// FaultClass labels one injected fault for the OnFault callback.
+type FaultClass int
+
+const (
+	FaultDrop FaultClass = iota
+	FaultDup
+	FaultDelay
+)
+
+// defaultReorderDelay is the Reorder latency bound when a rule leaves
+// Delay zero: a few wire times, enough to overtake neighbouring packets.
+const defaultReorderDelay = 500 * sim.Microsecond
+
+// dupJitterMax bounds the extra latency of a duplicated copy.
+const dupJitterMax = 50 * sim.Microsecond
+
+// faultInjector is the per-run injection state behind a FaultPlan.
+type faultInjector struct {
+	plan  FaultPlan
+	rngs  []*rand.Rand // per sending node
+	fired []int        // per rule: packets faulted (MaxCount bookkeeping)
+	epoch []int        // per node: current epoch (Net.SetEpoch)
+}
+
+func newFaultInjector(plan *FaultPlan, nodes int) *faultInjector {
+	fi := &faultInjector{
+		plan:  *plan,
+		rngs:  make([]*rand.Rand, nodes),
+		fired: make([]int, len(plan.Rules)),
+		epoch: make([]int, nodes),
+	}
+	fi.plan.Rules = append([]FaultRule(nil), plan.Rules...)
+	fi.plan.Stragglers = append([]StragglerRule(nil), plan.Stragglers...)
+	for i := range fi.rngs {
+		// Per-node streams derived from one seed; the multiply is done in
+		// int64 so the derivation is identical on 32-bit platforms.
+		fi.rngs[i] = rand.New(rand.NewSource(plan.Seed ^ (int64(i) * 0x9e3779b9)))
+	}
+	return fi
+}
+
+// judge decides one remote packet's fate. The draw sequence per judged
+// packet is fixed (drop, dup, reorder, then magnitude draws only for the
+// faults that fired), so schedules stay deterministic.
+func (fi *faultInjector) judge(kind, from, to int) (drop, dup bool, extra sim.Duration) {
+	var rule *FaultRule
+	ri := -1
+	for i := range fi.plan.Rules {
+		r := &fi.plan.Rules[i]
+		if r.MaxCount > 0 && fi.fired[i] >= r.MaxCount {
+			continue
+		}
+		if r.matches(kind, from, to, fi.epoch[from]) {
+			rule, ri = r, i
+			break
+		}
+	}
+	if rule == nil {
+		return false, false, 0
+	}
+	rng := fi.rngs[from]
+	d1, d2, d3 := rng.Float64(), rng.Float64(), rng.Float64()
+	drop = d1 < rule.Drop
+	dup = !drop && d2 < rule.Dup
+	if !drop && d3 < rule.Reorder {
+		bound := rule.Delay
+		if bound <= 0 {
+			bound = defaultReorderDelay
+		}
+		extra = sim.Duration(1 + rng.Int63n(int64(bound)))
+	}
+	if drop || dup || extra > 0 {
+		fi.fired[ri]++
+	}
+	return drop, dup, extra
+}
+
+// dupJitter draws the extra latency separating a duplicate from its
+// original, so the copies do not arrive as an indistinguishable pair.
+func (fi *faultInjector) dupJitter(from int) sim.Duration {
+	return sim.Duration(1 + fi.rngs[from].Int63n(int64(dupJitterMax)))
+}
+
+// stragglerFactor returns the compute slowdown for node at its current
+// epoch (1 when no rule applies).
+func (fi *faultInjector) stragglerFactor(node int) float64 {
+	e := fi.epoch[node]
+	for _, s := range fi.plan.Stragglers {
+		if s.Node >= 0 && s.Node != node {
+			continue
+		}
+		if e < s.FromEpoch || (s.ToEpoch > 0 && e > s.ToEpoch) {
+			continue
+		}
+		if s.Factor > 1 {
+			return s.Factor
+		}
+	}
+	return 1
+}
+
+// SetFaults arms fault injection with a copy of plan. Call before the
+// kernel runs; a nil plan leaves the network reliable.
+func (n *Net) SetFaults(plan *FaultPlan) {
+	if plan == nil {
+		return
+	}
+	n.fi = newFaultInjector(plan, n.nodes)
+	n.FaultStats = make([]FaultStats, n.nodes)
+}
+
+// SetEpoch advances one node's epoch for rule windows (the DSM engine
+// calls it at each barrier entry). No-op when faults are off.
+func (n *Net) SetEpoch(node, epoch int) {
+	if n.fi != nil {
+		n.fi.epoch[node] = epoch
+	}
+}
+
+// StragglerFactor reports the plan's compute slowdown for node at its
+// current epoch; 1 when faults are off or no straggler rule applies.
+func (n *Net) StragglerFactor(node int) float64 {
+	if n.fi == nil {
+		return 1
+	}
+	return n.fi.stragglerFactor(node)
+}

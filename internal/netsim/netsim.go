@@ -34,7 +34,14 @@ type Packet struct {
 	FromPort Port
 	Size     int  // modeled payload size in bytes (headers added by the model)
 	Reply    bool // replies/releases: excluded from the Messages count
-	Data     any
+	Rid      int64 // request id for retransmit/dedup; 0 = untracked
+	Orig     int   // node whose reliability layer issued Rid
+	// NoFault exempts the packet from fault injection. Reserved for
+	// teardown control-plane messages, where an unacknowledged loss would
+	// make quiescing the cluster impossible (the two-generals problem);
+	// everything the protocols send during a run stays injectable.
+	NoFault bool
+	Data    any
 }
 
 // Traffic counts one node's outbound network activity. Messages counts
@@ -60,6 +67,13 @@ type Net struct {
 	procs   [][]*sim.Proc // [node][port]
 	byProc  map[int]addr  // sim proc id -> binding
 	Traffic []Traffic     // per sending node
+
+	fi *faultInjector
+	// FaultStats counts injected faults per sending node; nil until
+	// SetFaults arms a plan.
+	FaultStats []FaultStats
+	// OnFault, when set, observes each injected fault (for tracing).
+	OnFault func(t sim.Time, from, to, kind int, class FaultClass)
 }
 
 type addr struct {
@@ -116,13 +130,46 @@ func (n *Net) Send(from *sim.Proc, node int, port Port, pkt *Packet) {
 		from.Send(dst.ID(), 0, pkt)
 		return
 	}
+	d := n.Model.XferTime(pkt.Size)
+	if n.fi != nil && !pkt.NoFault {
+		drop, dup, extra := n.fi.judge(pkt.Kind, fromNode, node)
+		if drop {
+			// Dropped packets never reach the wire model: like the legacy
+			// UpdateLossRate path, they are excluded from Traffic.
+			n.FaultStats[fromNode].Drops++
+			n.fault(from, fromNode, node, pkt, FaultDrop)
+			return
+		}
+		if extra > 0 {
+			n.FaultStats[fromNode].Delays++
+			n.fault(from, fromNode, node, pkt, FaultDelay)
+			d += extra
+		}
+		if dup {
+			n.FaultStats[fromNode].Dups++
+			n.fault(from, fromNode, node, pkt, FaultDup)
+			n.count(fromNode, pkt)
+			from.Send(dst.ID(), d+n.fi.dupJitter(fromNode), pkt)
+		}
+	}
+	n.count(fromNode, pkt)
+	from.Send(dst.ID(), d, pkt)
+}
+
+// count records one transmitted copy of pkt against the sending node.
+func (n *Net) count(fromNode int, pkt *Packet) {
 	if pkt.Reply {
 		n.Traffic[fromNode].Replies++
 	} else {
 		n.Traffic[fromNode].Messages++
 	}
 	n.Traffic[fromNode].Bytes += int64(pkt.Size + n.Model.MsgHeader)
-	from.Send(dst.ID(), n.Model.XferTime(pkt.Size), pkt)
+}
+
+func (n *Net) fault(from *sim.Proc, fromNode, to int, pkt *Packet, class FaultClass) {
+	if n.OnFault != nil {
+		n.OnFault(from.Now(), fromNode, to, pkt.Kind, class)
+	}
 }
 
 // locate maps a sim proc back to its (node, port) binding.

@@ -1,0 +1,42 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLossSweep(t *testing.T) {
+	pts, err := smallRunner.LossSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(lossSweepRates) {
+		t.Fatalf("%d points, want %d", len(pts), len(lossSweepRates))
+	}
+	base := pts[0]
+	if base.NetDrops != 0 || base.Retransmits != 0 {
+		t.Fatalf("fault-free point injected faults: %+v", base)
+	}
+	var drops, retrans int64
+	for _, p := range pts[1:] {
+		// LossSweep itself fails on checksum divergence; re-check the
+		// masking evidence here.
+		if p.Checksum != base.Checksum {
+			t.Errorf("rate %g: checksum %#x != %#x", p.Rate, p.Checksum, base.Checksum)
+		}
+		if p.Elapsed < base.Elapsed {
+			t.Errorf("rate %g: elapsed %v faster than fault-free %v", p.Rate, p.Elapsed, base.Elapsed)
+		}
+		drops += p.NetDrops
+		retrans += p.Retransmits
+	}
+	// The reduced grid sends so few messages that the lowest rates may
+	// draw zero drops; the sweep as a whole must still exercise recovery.
+	if drops == 0 || retrans == 0 {
+		t.Errorf("sweep injected %d drops, %d retransmissions; want both > 0", drops, retrans)
+	}
+	out, err := smallRunner.RenderLossSweep()
+	if err != nil || !strings.Contains(out, "masked") {
+		t.Fatalf("render: %v\n%s", err, out)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"godsm/internal/sim"
 )
 
 // Record is one machine-readable experiment result: one JSON line of the
@@ -24,6 +26,7 @@ func ExportExperiments() []string {
 	return []string{
 		"apps", "table1", "fig2", "fig3", "fig4", "summary",
 		"ablation-stress", "ablation-scale", "ablation-home", "ablation-pagesize",
+		"chaos-loss",
 	}
 }
 
@@ -125,6 +128,24 @@ func (r *Runner) Records(experiment string) ([]Record, error) {
 				"bar_m_over_lmw_i": s.BarMOverLmwI,
 			},
 		}}, nil
+	case "chaos-loss":
+		pts, err := r.LossSweep()
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, p := range pts {
+			recs = append(recs, Record{
+				Experiment: experiment, App: "jacobi", Protocol: "bar-u", Procs: r.Procs,
+				Metrics: map[string]float64{
+					"loss_rate": p.Rate, "elapsed_us": float64(p.Elapsed) / float64(sim.Microsecond),
+					"slowdown": p.Slowdown, "net_drops": float64(p.NetDrops),
+					"retransmits": float64(p.Retransmits), "dup_suppressed": float64(p.DupSuppressed),
+					"messages": float64(p.Messages),
+				},
+			})
+		}
+		return recs, nil
 	case "ablation-stress":
 		pts, err := r.AblationStress()
 		if err != nil {

@@ -60,6 +60,19 @@ type Counters struct {
 	StaleSkips int64
 	// Barriers counts barrier episodes completed.
 	Barriers int64
+	// Retransmits counts timed-out requests re-sent by the reliability
+	// layer (fault injection only; zero on a reliable network).
+	Retransmits int64
+	// DupSuppressed counts duplicate requests and replies detected and
+	// discarded by the reliability layer.
+	DupSuppressed int64
+	// NetDrops counts packets the fault plan discarded on this node's
+	// outbound wire.
+	NetDrops int64
+	// NetDups counts packets the fault plan duplicated.
+	NetDups int64
+	// NetDelays counts packets the fault plan delayed (reordered).
+	NetDelays int64
 }
 
 // Add accumulates o into c.
@@ -83,6 +96,11 @@ func (c *Counters) Add(o Counters) {
 	c.DiffsGCed += o.DiffsGCed
 	c.StaleSkips += o.StaleSkips
 	c.Barriers += o.Barriers
+	c.Retransmits += o.Retransmits
+	c.DupSuppressed += o.DupSuppressed
+	c.NetDrops += o.NetDrops
+	c.NetDups += o.NetDups
+	c.NetDelays += o.NetDelays
 }
 
 // Sub returns c - o, used to window counters to the measured interval.
@@ -107,6 +125,11 @@ func (c Counters) Sub(o Counters) Counters {
 		DiffsGCed:       c.DiffsGCed - o.DiffsGCed,
 		StaleSkips:      c.StaleSkips - o.StaleSkips,
 		Barriers:        c.Barriers - o.Barriers,
+		Retransmits:     c.Retransmits - o.Retransmits,
+		DupSuppressed:   c.DupSuppressed - o.DupSuppressed,
+		NetDrops:        c.NetDrops - o.NetDrops,
+		NetDups:         c.NetDups - o.NetDups,
+		NetDelays:       c.NetDelays - o.NetDelays,
 	}
 }
 

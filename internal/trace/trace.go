@@ -59,6 +59,17 @@ const (
 	FlagSet
 	// FlagWait marks a flag wait beginning; Arg is the flag id.
 	FlagWait
+	// NetDrop marks an injected packet drop; Arg is the message kind.
+	NetDrop
+	// NetDup marks an injected packet duplication; Arg is the message kind.
+	NetDup
+	// NetDelay marks an injected packet delay; Arg is the message kind.
+	NetDelay
+	// Retransmit marks a timed-out request re-send; Arg is the message kind.
+	Retransmit
+	// DupSuppress marks a duplicate request/reply detected and dropped by
+	// the reliability layer; Arg is the message kind.
+	DupSuppress
 	numKinds
 )
 
@@ -79,6 +90,11 @@ var kindNames = [...]string{
 	OverdriveOn:    "overdrive-on",
 	FlagSet:        "flag-set",
 	FlagWait:       "flag-wait",
+	NetDrop:        "net-drop",
+	NetDup:         "net-dup",
+	NetDelay:       "net-delay",
+	Retransmit:     "retransmit",
+	DupSuppress:    "dup-suppress",
 }
 
 func (k Kind) String() string {
