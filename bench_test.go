@@ -264,6 +264,64 @@ func BenchmarkAblationPageSize(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepFigure2 times the Figure 2 sweep end to end through the
+// parallel scheduler: one sub-benchmark per worker count, each iteration
+// warming a fresh Runner's cache via Prefetch. On a multi-core machine the
+// gomaxprocs variant should show the sweep fanning out; the rendered
+// output is byte-identical either way (asserted by the repro tests).
+func BenchmarkSweepFigure2(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		parallel int
+	}{
+		{"serial", 1},
+		{"gomaxprocs", 0},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := &repro.Runner{Procs: benchProcs, Small: true, Parallel: tc.parallel}
+				if err := r.Prefetch("fig2"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiffCodec pins the allocation diet: MakeDiff builds a diff in
+// at most two allocations (the run slice plus one shared payload backing)
+// and AppendEncode into a reused buffer allocates nothing. Guarded like
+// BenchmarkPageStatsDisabled — the benchmark fails outright if a
+// regression creeps in, rather than silently reporting a worse number.
+func BenchmarkDiffCodec(b *testing.B) {
+	old := make([]byte, 8192)
+	cur := make([]byte, 8192)
+	for i := 0; i < len(cur); i += 512 {
+		cur[i] = byte(i/512 + 1)
+	}
+	d := vm.MakeDiff(0, old, cur)
+	buf := make([]byte, 0, d.WireSize())
+	if allocs := testing.AllocsPerRun(100, func() {
+		d = vm.MakeDiff(0, old, cur)
+	}); allocs > 2 {
+		b.Fatalf("MakeDiff allocates %.1f per op, want at most 2", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = d.AppendEncode(buf[:0])
+	}); allocs != 0 {
+		b.Fatalf("AppendEncode into a sized buffer allocates %.1f per op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d = vm.MakeDiff(0, old, cur)
+		buf = d.AppendEncode(buf[:0])
+	}
+	if len(buf) != d.WireSize() {
+		b.Fatalf("encoded %d bytes, want WireSize %d", len(buf), d.WireSize())
+	}
+}
+
 // BenchmarkPageStatsDisabled pins the observability acceptance criterion:
 // with per-page attribution off (the default), the recording hooks that
 // sit on the fault/diff/flush hot paths are nil-receiver no-ops costing

@@ -60,6 +60,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Reject nonsensical configurations before running anything: a negative
+	// loss rate, an inert straggler factor, or a probability above 1 would
+	// otherwise be silently clamped or ignored by the fault injector, and
+	// the run would measure something other than what was asked for.
+	if *procs < 1 {
+		fmt.Fprintf(stderr, "dsmrun: -procs %d: cluster needs at least 1 node\n", *procs)
+		return 2
+	}
+	for _, p := range []struct {
+		name string
+		val  float64
+	}{{"loss", *loss}, {"dup", *dup}, {"reorder", *reorder}} {
+		if p.val < 0 || p.val > 1 {
+			fmt.Fprintf(stderr, "dsmrun: -%s %g: must be a probability in [0, 1]\n", p.name, p.val)
+			return 2
+		}
+	}
+	if *delay < 0 {
+		fmt.Fprintf(stderr, "dsmrun: -delay %v: extra latency cannot be negative\n", *delay)
+		return 2
+	}
+
 	proto, err := core.ParseProtocol(*protoName)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -84,7 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Timeline:  *jsonOut || *timeline,
 		PageStats: *pageStatsN > 0,
 	}
-	plan, err := buildFaultPlan(*loss, *dup, *reorder, *delay, *straggler, *faultSeed)
+	plan, err := buildFaultPlan(*loss, *dup, *reorder, *delay, *straggler, *faultSeed, *procs)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -168,7 +190,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // buildFaultPlan assembles a netsim.FaultPlan from the fault-injection
 // flags; nil when every knob is off.
-func buildFaultPlan(loss, dup, reorder float64, delay time.Duration, straggler string, seed int64) (*netsim.FaultPlan, error) {
+func buildFaultPlan(loss, dup, reorder float64, delay time.Duration, straggler string, seed int64, procs int) (*netsim.FaultPlan, error) {
 	if loss == 0 && dup == 0 && reorder == 0 && delay == 0 && straggler == "" {
 		return nil, nil
 	}
@@ -188,7 +210,7 @@ func buildFaultPlan(loss, dup, reorder float64, delay time.Duration, straggler s
 		})
 	}
 	if straggler != "" {
-		sr, err := parseStraggler(straggler)
+		sr, err := parseStraggler(straggler, procs)
 		if err != nil {
 			return nil, err
 		}
@@ -197,8 +219,10 @@ func buildFaultPlan(loss, dup, reorder float64, delay time.Duration, straggler s
 	return plan, nil
 }
 
-// parseStraggler parses "node:factor[:fromEpoch[:toEpoch]]".
-func parseStraggler(s string) (netsim.StragglerRule, error) {
+// parseStraggler parses and validates "node:factor[:fromEpoch[:toEpoch]]".
+// A rule the injector would silently ignore — a factor at or below 1, or a
+// node outside the cluster — is an error, not a no-op run.
+func parseStraggler(s string, procs int) (netsim.StragglerRule, error) {
 	var sr netsim.StragglerRule
 	parts := strings.Split(s, ":")
 	if len(parts) < 2 || len(parts) > 4 {
@@ -208,19 +232,33 @@ func parseStraggler(s string) (netsim.StragglerRule, error) {
 	if err != nil {
 		return sr, fmt.Errorf("dsmrun: -straggler node: %v", err)
 	}
+	if node != netsim.AnyNode && (node < 0 || node >= procs) {
+		return sr, fmt.Errorf("dsmrun: -straggler node %d: cluster has nodes 0..%d (or %d for all)",
+			node, procs-1, netsim.AnyNode)
+	}
 	factor, err := strconv.ParseFloat(parts[1], 64)
 	if err != nil {
 		return sr, fmt.Errorf("dsmrun: -straggler factor: %v", err)
+	}
+	if factor <= 1 {
+		return sr, fmt.Errorf("dsmrun: -straggler factor %g: must exceed 1 (it multiplies compute time; the injector ignores smaller values)", factor)
 	}
 	sr = netsim.StragglerRule{Node: node, Factor: factor}
 	if len(parts) >= 3 {
 		if sr.FromEpoch, err = strconv.Atoi(parts[2]); err != nil {
 			return sr, fmt.Errorf("dsmrun: -straggler fromEpoch: %v", err)
 		}
+		if sr.FromEpoch < 0 {
+			return sr, fmt.Errorf("dsmrun: -straggler fromEpoch %d: epochs start at 0", sr.FromEpoch)
+		}
 	}
 	if len(parts) == 4 {
 		if sr.ToEpoch, err = strconv.Atoi(parts[3]); err != nil {
 			return sr, fmt.Errorf("dsmrun: -straggler toEpoch: %v", err)
+		}
+		if sr.ToEpoch != 0 && sr.ToEpoch < sr.FromEpoch {
+			return sr, fmt.Errorf("dsmrun: -straggler window [%d, %d] is empty: toEpoch must be 0 (open) or at least fromEpoch",
+				sr.FromEpoch, sr.ToEpoch)
 		}
 	}
 	return sr, nil

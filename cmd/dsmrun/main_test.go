@@ -144,3 +144,60 @@ func TestBadFlagsExitCode(t *testing.T) {
 		t.Errorf("unknown protocol: exit %d, want 2", code)
 	}
 }
+
+// TestFaultFlagValidation drives the flag-validation bugfix: every
+// nonsensical fault configuration must be rejected up front with exit code
+// 2 and an error naming the offending flag, instead of silently running an
+// experiment that measures nothing.
+func TestFaultFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the stderr diagnostic
+	}{
+		{"negative loss", []string{"-loss", "-0.1"}, "-loss"},
+		{"loss above one", []string{"-loss", "1.5"}, "-loss"},
+		{"dup above one", []string{"-dup", "1.5"}, "-dup"},
+		{"negative dup", []string{"-dup", "-0.5"}, "-dup"},
+		{"negative reorder", []string{"-reorder", "-1"}, "-reorder"},
+		{"reorder above one", []string{"-reorder", "2"}, "-reorder"},
+		{"negative delay", []string{"-delay", "-5ms"}, "-delay"},
+		{"zero procs", []string{"-procs", "0"}, "-procs"},
+		{"negative procs", []string{"-procs", "-3"}, "-procs"},
+		{"straggler zero factor", []string{"-straggler", "1:0"}, "factor"},
+		{"straggler inert factor", []string{"-straggler", "1:1"}, "factor"},
+		{"straggler negative factor", []string{"-straggler", "1:-2"}, "factor"},
+		{"straggler node out of range", []string{"-procs", "8", "-straggler", "9:2"}, "node"},
+		{"straggler node below AnyNode", []string{"-straggler", "-2:2"}, "node"},
+		{"straggler negative fromEpoch", []string{"-straggler", "1:2:-1"}, "fromEpoch"},
+		{"straggler empty window", []string{"-straggler", "1:2:5:3"}, "window"},
+		{"straggler malformed", []string{"-straggler", "1"}, "straggler"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			args := append([]string{"-app", "jacobi", "-small"}, tc.args...)
+			code := run(args, &out, &errb)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Fatalf("diagnostic %q does not mention %q", errb.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestValidFaultFlagsStillRun guards the other side: a sensible fault
+// configuration passes validation and the run completes.
+func TestValidFaultFlagsStillRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-app", "jacobi", "-proto", "bar-u", "-procs", "4", "-small",
+		"-loss", "0.05", "-dup", "0.02", "-reorder", "0.1", "-straggler", "-1:2:0:3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("dsmrun exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "faults:") {
+		t.Errorf("fault counters missing from report:\n%s", out.String())
+	}
+}

@@ -7,7 +7,7 @@
 //	repro [flags] <experiment>
 //
 // Experiments: apps, table1, fig2, fig3, fig4, summary,
-// ablation-stress, ablation-scale, ablation-home, chaos-loss, all.
+// ablation-stress, ablation-scale, ablation-home, chaos-loss, bench, all.
 package main
 
 import (
@@ -22,9 +22,11 @@ func main() {
 	procs := flag.Int("procs", 8, "cluster size (the paper's testbed has 8 nodes)")
 	small := flag.Bool("small", false, "use reduced application sizes (quick check)")
 	jsonl := flag.Bool("jsonl", false, "emit machine-readable JSONL records instead of rendered tables")
+	parallel := flag.Int("parallel", 1, "fan independent simulations across N workers (0 = GOMAXPROCS); output stays byte-identical to serial")
+	benchOut := flag.String("bench-out", "BENCH_sweep.json", "output path for the bench experiment")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [flags] <experiment>\n\n")
-		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary ablation-stress ablation-scale ablation-home ablation-pagesize chaos-loss all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary ablation-stress ablation-scale ablation-home ablation-pagesize chaos-loss bench all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -32,8 +34,39 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	r := &repro.Runner{Procs: *procs, Small: *small}
+	r := &repro.Runner{Procs: *procs, Small: *small, Parallel: *parallel}
 	want := flag.Arg(0)
+
+	if want == "bench" {
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := r.WriteBenchJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+		return
+	}
+
+	// Warm the report cache from parallel workers; rendering below then
+	// reads only the cache, keeping output bytes identical to serial mode.
+	if *parallel != 1 {
+		var exps []string
+		if want != "all" {
+			exps = []string{want}
+		}
+		if err := r.Prefetch(exps...); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	if *jsonl {
 		var exps []string

@@ -132,6 +132,12 @@ type bar struct {
 	learning  bool
 	hist      map[int]map[vm.PageID]bool // epoch start site -> written pages
 	epochSite int
+
+	// Flush accumulators and the update-consumption scratch map, reused
+	// across epochs to keep the per-barrier hot path allocation-lean.
+	homeAcc *flushAccum
+	updAcc  *flushAccum
+	perPage map[vm.PageID][]diffMsg
 }
 
 // installQueue buffers service requests that arrived before a migrated
@@ -159,6 +165,9 @@ func newBar(n *node, mode barMode) *bar {
 		installing:  make(map[vm.PageID]*installQueue),
 		hist:        make(map[int]map[vm.PageID]bool),
 		epochSite:   -1,
+		homeAcc:     newFlushAccum(),
+		updAcc:      newFlushAccum(),
+		perPage:     make(map[vm.PageID][]diffMsg),
 	}
 	for pg := range b.home {
 		b.home[pg] = initialHome(vm.PageID(pg), np, n.clu.cfg.Procs)
@@ -226,6 +235,9 @@ func (b *bar) fetchPage(pg vm.PageID) {
 	n.osCharge(n.clu.cm.FaultService)
 	n.osCharge(n.clu.cm.CopyCost(n.as.PageSize()))
 	n.as.CopyPageIn(pg, rep.Data)
+	// The page image is consumed; recycle its buffer. Retransmitted copies
+	// of this reply are suppressed by request id without reading Data.
+	vm.PutPageBuf(rep.Data)
 	b.vcache[pg] = rep.Version
 	b.fetchAt[pg] = b.epoch()
 	if b.mode.update() {
@@ -281,8 +293,8 @@ func (b *bar) preBarrier(int) (any, int) {
 	b.homeDirty = b.homeDirty[:0]
 
 	// Diff every twinned page; route diffs to homes and consumers.
-	homeFlushes := make(map[int][]diffMsg)
-	updFlushes := make(map[int][]diffMsg)
+	homeFlushes := b.homeAcc
+	updFlushes := b.updAcc
 	for _, pg := range b.dirty {
 		b.isDirty[pg] = false
 		n.osCharge(cm.DiffCreateCost(n.as.PageSize()))
@@ -307,7 +319,7 @@ func (b *bar) preBarrier(int) (any, int) {
 			b.vcache[pg] = b.version[pg]
 			b.verReport = append(b.verReport, pageVersion{Page: pg, Version: b.version[pg]})
 		} else {
-			homeFlushes[b.home[pg]] = append(homeFlushes[b.home[pg]], dm)
+			homeFlushes.add(b.home[pg], dm)
 		}
 		if b.mode.update() {
 			cs := b.wcopy[pg]
@@ -320,7 +332,7 @@ func (b *bar) preBarrier(int) (any, int) {
 			for cs = cs.without(n.id); cs != 0; {
 				m := cs.lowest()
 				cs = cs.without(m)
-				updFlushes[m] = append(updFlushes[m], dm)
+				updFlushes.add(m, dm)
 				n.ps.UpdatePush(pg)
 			}
 			if !b.selfPushed[pg] {
@@ -333,28 +345,33 @@ func (b *bar) preBarrier(int) (any, int) {
 
 	// Consumer updates go first (unacknowledged, one message per
 	// destination) so they are in flight before anyone can be released.
-	for _, dst := range sortedKeys(updFlushes) {
-		batch := updFlushes[dst]
-		n.ctr.UpdatesSent += int64(len(batch))
-		n.trc(trace.UpdatePush, -1, int64(dst))
-		arr.PushDests = append(arr.PushDests, dst)
-		n.sendFlush(dst, mkUpdateFlush, sizeDiffs(batch), &updateFlush{Epoch: epoch, Diffs: batch})
+	for _, batch := range updFlushes.sorted() {
+		n.ctr.UpdatesSent += int64(len(batch.diffs))
+		n.trc(trace.UpdatePush, -1, int64(batch.dst))
+		arr.PushDests = append(arr.PushDests, batch.dst)
+		n.sendFlush(batch.dst, mkUpdateFlush, batch.wire, &updateFlush{Epoch: epoch, Diffs: batch.diffs})
 	}
+	// Unacknowledged batches may be banked by the receiver and read later,
+	// so their slices always detach.
+	updFlushes.reset(true)
 
 	// Home flushes are acknowledged; the acks carry post-apply versions,
 	// settling every version bump before our arrival reports it.
-	dests := sortedKeys(homeFlushes)
-	for _, dst := range dests {
-		batch := homeFlushes[dst]
-		n.sendRequest(dst, mkHomeFlush, sizeDiffs(batch), &homeFlush{Epoch: epoch, Diffs: batch})
+	homeBatches := homeFlushes.sorted()
+	for _, batch := range homeBatches {
+		n.sendRequest(batch.dst, mkHomeFlush, batch.wire, &homeFlush{Epoch: epoch, Diffs: batch.diffs})
 	}
-	for range dests {
+	for range homeBatches {
 		pkt := n.awaitReply()
 		if pkt.Kind != mkHomeFlushAck {
 			n.fatal("bar: expected flush ack, got kind %d", pkt.Kind)
 		}
 		b.verReport = append(b.verReport, pkt.Data.(*homeFlushAck).Versions...)
 	}
+	// The acks prove the homes consumed the batches, so on a reliable
+	// network the slices are reusable next epoch; under fault injection
+	// the dedup layer retains sent packets for replay, so detach instead.
+	homeFlushes.reset(n.clu.faultsOn)
 
 	arr.Versions = b.verReport
 	b.verReport = nil
@@ -472,7 +489,7 @@ func (b *bar) consumeUpdates(r *barReleaseBar) {
 	epoch := b.epoch()
 	complete := n.waitUpdates(epoch, r.ExpBatches)
 	banked := n.takeBankedUpdates(epoch)
-	perPage := make(map[vm.PageID][]diffMsg)
+	perPage := b.perPage // reused scratch; emptied again before returning
 	for _, dm := range banked {
 		perPage[dm.Notice.Page] = append(perPage[dm.Notice.Page], dm)
 	}
@@ -537,6 +554,7 @@ func (b *bar) consumeUpdates(r *barReleaseBar) {
 		}
 		n.fatal("bar: banked updates for page %d without version news", pg)
 	}
+	clear(perPage)
 }
 
 // pullHome takes over a page's home role from its old home, blocking
@@ -553,6 +571,9 @@ func (b *bar) pullHome(mg migrateRec) {
 	rep := pkt.Data.(*homePullRep)
 	n.osCharge(n.clu.cm.CopyCost(n.as.PageSize()))
 	n.as.CopyPageIn(pg, rep.Data)
+	// Consumed; recycle (replayed copies are suppressed unread, as in
+	// fetchPage).
+	vm.PutPageBuf(rep.Data)
 	b.version[pg] = rep.Version
 	b.vcache[pg] = rep.Version
 	b.copyset[pg] |= rep.Copyset.without(n.id)
@@ -793,13 +814,4 @@ func (b *bar) firstBlockedPage(pkt *netsim.Packet) (vm.PageID, bool) {
 		return 0, false
 	}
 	panic("core: firstBlockedPage on non-queueable kind")
-}
-
-func sortedKeys(m map[int][]diffMsg) []int {
-	ks := make([]int, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Ints(ks)
-	return ks
 }

@@ -77,6 +77,11 @@ type lmw struct {
 	// bankMeta tracks banked-update supersession for the
 	// UpdatesUnneeded counter: key = page<<8 | creator.
 	bankMeta map[uint64]bool // value: consumed since last banking
+
+	// flushAcc batches lmw-u update flushes per destination, reused across
+	// intervals (the diff slices detach each interval: lmw flushes are
+	// unacknowledged and may be banked by the receiver).
+	flushAcc *flushAccum
 }
 
 func newLmw(n *node, update bool) *lmw {
@@ -101,6 +106,7 @@ func newLmw(n *node, update bool) *lmw {
 		cache:     make(map[writeNotice]vm.Diff),
 		copyset:   make([]copyset, np),
 		bankMeta:  make(map[uint64]bool),
+		flushAcc:  newFlushAccum(),
 	}
 }
 
@@ -219,7 +225,7 @@ func (l *lmw) endInterval(flushUpdates bool) []writeNotice {
 	idx := l.myInterval
 	var notices []writeNotice
 	// Batched lmw-u flushes: destination -> diff batch.
-	var flushes map[int][]diffMsg
+	flushes := l.flushAcc
 	for _, pg := range l.dirty {
 		l.isDirty[pg] = false
 		n.osCharge(cm.DiffCreateCost(n.as.PageSize()))
@@ -240,10 +246,7 @@ func (l *lmw) endInterval(flushUpdates bool) []writeNotice {
 			for cs := l.copyset[pg].without(n.id); cs != 0; {
 				m := cs.lowest()
 				cs = cs.without(m)
-				if flushes == nil {
-					flushes = make(map[int][]diffMsg)
-				}
-				flushes[m] = append(flushes[m], diffMsg{Notice: nt, Diff: d})
+				flushes.add(m, diffMsg{Notice: nt, Diff: d})
 				n.ps.UpdatePush(pg)
 			}
 		}
@@ -257,12 +260,12 @@ func (l *lmw) endInterval(flushUpdates bool) []writeNotice {
 	l.log[n.id] = append(l.log[n.id], rec)
 	l.ivVC[ivKey(n.id, idx)] = rec.VC
 	l.myInterval++
-	for _, dst := range sortedKeys(flushes) {
-		batch := flushes[dst]
-		n.ctr.UpdatesSent += int64(len(batch))
-		n.trc(trace.UpdatePush, -1, int64(dst))
-		n.sendFlush(dst, mkLmwFlush, sizeDiffs(batch), &updateFlush{Epoch: idx, Diffs: batch})
+	for _, batch := range flushes.sorted() {
+		n.ctr.UpdatesSent += int64(len(batch.diffs))
+		n.trc(trace.UpdatePush, -1, int64(batch.dst))
+		n.sendFlush(batch.dst, mkLmwFlush, batch.wire, &updateFlush{Epoch: idx, Diffs: batch.diffs})
 	}
+	flushes.reset(true)
 	return notices
 }
 

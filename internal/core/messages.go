@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"godsm/internal/vm"
 )
 
@@ -275,4 +277,78 @@ func sizeDiffs(diffs []diffMsg) int {
 		s += bytesDiffName + d.Diff.WireSize()
 	}
 	return s
+}
+
+// flushBatch is one destination's accumulated diff batch. Wire is the
+// modeled size of the batch, maintained incrementally as diffs are added
+// so sends skip the per-batch sizeDiffs pass.
+type flushBatch struct {
+	dst   int
+	diffs []diffMsg
+	wire  int
+}
+
+// flushAccum routes diffMsgs into per-destination batches. It replaces the
+// map[int][]diffMsg built fresh each epoch on the flush hot path: the
+// index map and batch headers persist across epochs, and when reuse is
+// safe (see reset) the diff slices do too.
+type flushAccum struct {
+	idx     map[int]int // destination -> position in batches
+	batches []flushBatch
+}
+
+func newFlushAccum() *flushAccum {
+	return &flushAccum{idx: make(map[int]int)}
+}
+
+// add appends dm to dst's batch, updating the batch's wire size.
+func (f *flushAccum) add(dst int, dm diffMsg) {
+	i, ok := f.idx[dst]
+	if !ok {
+		i = len(f.batches)
+		if i < cap(f.batches) {
+			f.batches = f.batches[:i+1]
+			f.batches[i].dst = dst
+		} else {
+			f.batches = append(f.batches, flushBatch{dst: dst})
+		}
+		f.idx[dst] = i
+	}
+	b := &f.batches[i]
+	b.diffs = append(b.diffs, dm)
+	b.wire += bytesDiffName + dm.Diff.WireSize()
+}
+
+// empty reports whether no diffs were accumulated.
+func (f *flushAccum) empty() bool { return len(f.batches) == 0 }
+
+// sorted returns the batches in ascending destination order — the
+// deterministic send order. The index is invalidated; call reset before
+// the next accumulation.
+func (f *flushAccum) sorted() []flushBatch {
+	sort.Slice(f.batches, func(i, j int) bool { return f.batches[i].dst < f.batches[j].dst })
+	return f.batches
+}
+
+// reset clears the accumulator for the next epoch. With detach true the
+// diff slices are abandoned to their in-flight messages — required for
+// unacknowledged flushes (the receiver may bank the slice and read it
+// arbitrarily late) and for any flush under fault injection (the dedup
+// layer retains sent batches for replay). With detach false the slices are
+// truncated and reused: safe for acknowledged flushes on a reliable
+// network, where the ack proves the receiver is done with the batch.
+func (f *flushAccum) reset(detach bool) {
+	clear(f.idx)
+	for i := range f.batches {
+		b := &f.batches[i]
+		if detach {
+			b.diffs = nil
+		} else {
+			clear(b.diffs)
+			b.diffs = b.diffs[:0]
+		}
+		b.wire = 0
+		b.dst = 0
+	}
+	f.batches = f.batches[:0]
 }

@@ -5,9 +5,7 @@ import (
 	"math"
 	"strings"
 
-	"godsm/internal/apps"
 	"godsm/internal/core"
-	"godsm/internal/cost"
 )
 
 func mathPow(x, y float64) float64 { return math.Pow(x, y) }
@@ -23,37 +21,30 @@ type StressPoint struct {
 	Gain float64
 }
 
+// stressCoeffs are the AppStressCoeff samples of AblationStress.
+var stressCoeffs = []float64{0, 0.1, 0.2, 0.35, 0.5, 0.7}
+
 // AblationStress sweeps the §4 OS-degradation model on swm (the paper's
 // poster child: 41.7% "useful work" but speedup 1.8): as the modeled
 // stress grows, bar-u degrades and bar-m's advantage widens; with an ideal
 // OS the two nearly coincide — the paper's explanation in reverse.
 func (r *Runner) AblationStress() ([]StressPoint, error) {
 	r.init()
-	var app *apps.App
-	for _, a := range r.apps {
-		if a.Name == "swm" {
-			app = a
-		}
-	}
-	if app == nil {
-		return nil, fmt.Errorf("repro: swm not in app set")
+	app, err := r.appByName("swm")
+	if err != nil {
+		return nil, err
 	}
 	var pts []StressPoint
-	for _, coeff := range []float64{0, 0.1, 0.2, 0.35, 0.5, 0.7} {
-		m := cost.Default()
-		m.AppStressCoeff = coeff
-		if coeff == 0 {
-			m = cost.Ideal()
-		}
-		seq, err := app.RunSeq(m)
+	for _, coeff := range stressCoeffs {
+		seq, err := r.runCached(r.stressJob(app, core.ProtoSeq, coeff))
 		if err != nil {
 			return nil, err
 		}
-		bu, err := app.Run(r.Procs, core.ProtoBarU, m)
+		bu, err := r.runCached(r.stressJob(app, core.ProtoBarU, coeff))
 		if err != nil {
 			return nil, err
 		}
-		bm, err := app.Run(r.Procs, core.ProtoBarM, m)
+		bm, err := r.runCached(r.stressJob(app, core.ProtoBarM, coeff))
 		if err != nil {
 			return nil, err
 		}
@@ -93,11 +84,14 @@ type ScalePoint struct {
 	Speedups map[string]float64 // per app
 }
 
+// scaleProcs are the cluster sizes sampled by AblationScale.
+var scaleProcs = []int{2, 4, 8}
+
 // AblationScale measures bar-u speedups at 2, 4 and 8 nodes.
 func (r *Runner) AblationScale() ([]ScalePoint, error) {
 	r.init()
 	var pts []ScalePoint
-	for _, procs := range []int{2, 4, 8} {
+	for _, procs := range scaleProcs {
 		pt := ScalePoint{Procs: procs, Speedups: map[string]float64{}}
 		for _, a := range r.apps {
 			seq, err := r.SeqTime(a)
@@ -165,17 +159,7 @@ func (r *Runner) AblationHome() ([]HomeRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		m := r.Model
-		if m == nil {
-			m = cost.Default()
-		}
-		static, err := core.Run(core.Config{
-			Procs:            r.Procs,
-			Protocol:         core.ProtoBarU,
-			SegmentBytes:     a.SegmentBytes,
-			Model:            m,
-			DisableMigration: true,
-		}, a.Body)
+		static, err := r.runCached(r.staticHomeJob(a))
 		if err != nil {
 			return nil, err
 		}
@@ -215,6 +199,10 @@ type PageSizeRow struct {
 	Mprotects8K int64
 }
 
+// ablationPageSizes are the protection granularities AblationPageSize
+// compares.
+var ablationPageSizes = []int{4096, 8192}
+
 // AblationPageSize quantifies §3.2's protection-granularity choice ("we
 // used 8k pages in CVM by the simple expedient of ensuring that all page
 // protection changes use an 8k granularity"): bar-u at 4 KB vs 8 KB pages.
@@ -228,14 +216,12 @@ func (r *Runner) AblationPageSize() ([]PageSizeRow, error) {
 			continue
 		}
 		row := PageSizeRow{App: a.Name}
-		for _, ps := range []int{4096, 8192} {
-			m := cost.Default()
-			m.PageSize = ps
-			seq, err := a.RunSeq(m)
+		for _, ps := range ablationPageSizes {
+			seq, err := r.runCached(r.pageSizeJob(a, core.ProtoSeq, ps))
 			if err != nil {
 				return nil, err
 			}
-			rep, err := a.Run(r.Procs, core.ProtoBarU, m)
+			rep, err := r.runCached(r.pageSizeJob(a, core.ProtoBarU, ps))
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,184 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"godsm/internal/sim"
+	"godsm/internal/stats"
+	"godsm/internal/sweep"
+	"godsm/internal/vm"
+)
+
+// The bench export: run the Table 1 and Figure 2/3/4 sweeps with per-run
+// wall-clock timing, add the diff-codec microbenchmarks, and write the
+// result as BENCH_sweep.json — the perf trajectory every future change is
+// compared against ("diff two bench files" in EXPERIMENTS.md).
+
+// benchSchemaVersion identifies the BENCH_sweep.json layout.
+const benchSchemaVersion = 1
+
+// Pre-diet allocation baselines, recorded on the tree as of commit
+// 308965d (before the two-pass MakeDiff and AppendEncode landed): MakeDiff
+// on an 8 KiB page with 16 modified words cost 21 allocs/op and encoding
+// its diff cost 1 alloc/op. The export embeds them so a bench file shows
+// the diet's effect without digging through git history.
+const (
+	baselineMakeDiffAllocs = 21
+	baselineEncodeAllocs   = 1
+)
+
+// benchExperiments are the sweeps the bench export times.
+var benchExperiments = []string{"table1", "fig2", "fig3", "fig4"}
+
+// BenchRun is one timed simulation of the bench sweep.
+type BenchRun struct {
+	RunID     string  `json:"run_id"`
+	App       string  `json:"app"`
+	Protocol  string  `json:"protocol"`
+	Procs     int     `json:"procs"`
+	SimTimeUS float64 `json:"sim_time_us"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
+// BenchMicro is one diff-codec microbenchmark sample.
+type BenchMicro struct {
+	RunID               string  `json:"run_id"`
+	NsPerOp             float64 `json:"ns_per_op"`
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+	BytesPerOp          float64 `json:"bytes_per_op"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+}
+
+// BenchFile is the BENCH_sweep.json document.
+type BenchFile struct {
+	Schema      int          `json:"schema"`
+	Config      string       `json:"config"` // "full" or "small"
+	Procs       int          `json:"procs"`
+	Parallel    int          `json:"parallel"`
+	TotalWallMS float64      `json:"total_wall_ms"`
+	Runs        []BenchRun   `json:"runs"`
+	Micro       []BenchMicro `json:"micro"`
+}
+
+// BenchSweep runs the bench experiments on the Runner's Parallel workers,
+// timing each simulation, then measures the diff-codec microbenchmarks.
+// Call it on a fresh Runner: cache-warm runs would report near-zero wall
+// times.
+func (r *Runner) BenchSweep() (*BenchFile, error) {
+	r.init()
+	var jobs []runJob
+	seen := make(map[string]bool)
+	for _, exp := range benchExperiments {
+		for _, j := range r.jobsFor(exp) {
+			if seen[j.key] {
+				continue
+			}
+			seen[j.key] = true
+			jobs = append(jobs, j)
+		}
+	}
+	config := "full"
+	if r.Small {
+		config = "small"
+	}
+	out := &BenchFile{
+		Schema:   benchSchemaVersion,
+		Config:   config,
+		Procs:    r.Procs,
+		Parallel: sweep.DefaultParallel(r.Parallel),
+	}
+	wallMS := make([]float64, len(jobs))
+	start := time.Now()
+	err := sweep.Each(r.Parallel, len(jobs), func(i int) error {
+		t0 := time.Now()
+		_, err := r.runCached(jobs[i])
+		wallMS[i] = float64(time.Since(t0).Nanoseconds()) / 1e6
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.TotalWallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	for i, j := range jobs {
+		rep, err := r.runCached(j) // cache hit: recorded above
+		if err != nil {
+			return nil, err
+		}
+		out.Runs = append(out.Runs, BenchRun{
+			RunID:     j.key,
+			App:       j.app,
+			Protocol:  j.proto,
+			Procs:     j.procs,
+			SimTimeUS: float64(rep.Elapsed) / float64(sim.Microsecond),
+			WallMS:    wallMS[i],
+		})
+	}
+	out.Micro = measureDiffMicro()
+	return out, nil
+}
+
+// measureDiffMicro samples the diff-codec hot paths the allocation diet
+// targeted. Run after the sweep so no worker is allocating concurrently.
+func measureDiffMicro() []BenchMicro {
+	const iters = 2000
+	old := make([]byte, 8192)
+	cur := make([]byte, 8192)
+	for i := 0; i < 8192; i += 512 {
+		cur[i] = byte(i/512 + 1)
+	}
+	var micro []BenchMicro
+	var d vm.Diff
+	p := stats.MeasureLoop(iters, func() { d = vm.MakeDiff(0, old, cur) })
+	micro = append(micro, BenchMicro{
+		RunID: "micro/vm/makediff-8k", NsPerOp: p.NsPerOp,
+		AllocsPerOp: p.AllocsPerOp, BytesPerOp: p.BytesPerOp,
+		BaselineAllocsPerOp: baselineMakeDiffAllocs,
+	})
+	buf := make([]byte, 0, d.WireSize())
+	p = stats.MeasureLoop(iters, func() { buf = d.AppendEncode(buf[:0]) })
+	micro = append(micro, BenchMicro{
+		// The encode hot path: pre-diet this was Encode's fresh buffer
+		// per call (the baseline); AppendEncode reuses the caller's.
+		RunID: "micro/vm/encode-append-8k", NsPerOp: p.NsPerOp,
+		AllocsPerOp: p.AllocsPerOp, BytesPerOp: p.BytesPerOp,
+		BaselineAllocsPerOp: baselineEncodeAllocs,
+	})
+	enc := d.Encode()
+	p = stats.MeasureLoop(iters, func() {
+		if _, err := vm.DecodeDiff(enc); err != nil {
+			panic(err)
+		}
+	})
+	micro = append(micro, BenchMicro{
+		RunID: "micro/vm/decode-8k", NsPerOp: p.NsPerOp,
+		AllocsPerOp: p.AllocsPerOp, BytesPerOp: p.BytesPerOp,
+	})
+	fullOld := make([]byte, vm.MaxPageSize)
+	fullCur := make([]byte, vm.MaxPageSize)
+	for i := range fullCur {
+		fullCur[i] = 0xAB
+	}
+	p = stats.MeasureLoop(iters/4, func() { d = vm.MakeDiff(0, fullOld, fullCur) })
+	micro = append(micro, BenchMicro{
+		RunID: "micro/vm/makediff-fullpage-64k", NsPerOp: p.NsPerOp,
+		AllocsPerOp: p.AllocsPerOp, BytesPerOp: p.BytesPerOp,
+	})
+	return micro
+}
+
+// WriteBenchJSON runs BenchSweep and writes the indented JSON document.
+func (r *Runner) WriteBenchJSON(w io.Writer) error {
+	bf, err := r.BenchSweep()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bf); err != nil {
+		return fmt.Errorf("repro: bench export: %w", err)
+	}
+	return nil
+}

@@ -4,9 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"godsm/internal/apps"
-	"godsm/internal/core"
-	"godsm/internal/netsim"
 	"godsm/internal/sim"
 )
 
@@ -48,35 +45,19 @@ type LossPoint struct {
 
 // LossSweep runs jacobi under bar-u across lossSweepRates. It verifies the
 // masking property as it goes: every lossy run must reproduce the
-// fault-free checksum exactly, or the sweep fails.
-//
-// Runs bypass the Runner's report cache (keyed on app/proto/procs only)
-// because each point needs its own fault plan.
+// fault-free checksum exactly, or the sweep fails. Each point is cached
+// under a rate-suffixed key, so Prefetch can warm the sweep in parallel.
 func (r *Runner) LossSweep() ([]LossPoint, error) {
 	r.init()
-	var app *apps.App
-	for _, a := range r.apps {
-		if a.Name == "jacobi" {
-			app = a
-		}
-	}
-	if app == nil {
-		return nil, fmt.Errorf("repro: jacobi not in app set")
+	app, err := r.appByName("jacobi")
+	if err != nil {
+		return nil, err
 	}
 	var pts []LossPoint
 	for _, rate := range lossSweepRates {
-		var plan *netsim.FaultPlan
-		if rate > 0 {
-			plan = &netsim.FaultPlan{
-				Seed: lossSweepSeed,
-				Rules: []netsim.FaultRule{
-					{From: netsim.AnyNode, To: netsim.AnyNode, Drop: rate},
-				},
-			}
-		}
-		rep, err := app.RunWith(r.Procs, core.ProtoBarU, apps.RunOpts{Model: r.Model, Faults: plan})
+		rep, err := r.runCached(r.lossJob(app, rate))
 		if err != nil {
-			return nil, fmt.Errorf("repro: loss sweep at rate %g: %w", rate, err)
+			return nil, err
 		}
 		if !rep.HasChecksum {
 			return nil, fmt.Errorf("repro: loss sweep: jacobi reported no checksum")

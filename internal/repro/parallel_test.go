@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// renderEverything produces the full rendered sweep plus the JSONL export
+// as one string — the byte-level surface the parallel scheduler must not
+// perturb.
+func renderEverything(t *testing.T, r *Runner) string {
+	t.Helper()
+	var b strings.Builder
+	renders := []func() (string, error){
+		r.RenderAppsTable, r.RenderTable1, r.RenderFigure2, r.RenderFigure3,
+		r.RenderFigure4, r.RenderSummary, r.RenderAblationStress,
+		r.RenderAblationScale, r.RenderAblationHome, r.RenderAblationPageSize,
+		r.RenderLossSweep,
+	}
+	for _, render := range renders {
+		out, err := render()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(out)
+		b.WriteString("\n")
+	}
+	if err := r.ExportJSONL(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// The tentpole guarantee: a prefetched parallel sweep renders bytes
+// identical to the serial path, for every experiment and the JSONL export.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep comparison in -short mode")
+	}
+	serialRunner := &Runner{Procs: 4, Small: true}
+	serial := renderEverything(t, serialRunner)
+
+	parRunner := &Runner{Procs: 4, Small: true, Parallel: 4}
+	if err := parRunner.Prefetch(); err != nil {
+		t.Fatal(err)
+	}
+	parallel := renderEverything(t, parRunner)
+
+	if serial != parallel {
+		// Find the first divergence for a useful failure message.
+		i := 0
+		for i < len(serial) && i < len(parallel) && serial[i] == parallel[i] {
+			i++
+		}
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("parallel output diverges from serial at byte %d:\nserial:   %q\nparallel: %q",
+			i, serial[lo:min(i+80, len(serial))], parallel[lo:min(i+80, len(parallel))])
+	}
+}
+
+// Prefetch must cover every run the experiments consult: after a full
+// prefetch, rendering performs no new simulations.
+func TestPrefetchCoversAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	r := &Runner{Procs: 4, Small: true, Parallel: 2}
+	if err := r.Prefetch(); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	before := len(r.cache)
+	r.mu.Unlock()
+	renderEverything(t, r)
+	r.mu.Lock()
+	after := len(r.cache)
+	r.mu.Unlock()
+	if after != before {
+		t.Fatalf("rendering added %d cache entries after a full prefetch: jobsFor is missing runs", after-before)
+	}
+}
+
+// On a multi-core machine, fanning the sweep out must actually cut wall
+// time. The acceptance bar is 2x at -parallel 4 on 4+ cores; single-core
+// CI boxes can only run the correctness half above, so they skip here.
+func TestParallelSweepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need 4+ CPUs for a meaningful speedup bound, have %d", runtime.NumCPU())
+	}
+	experiments := []string{"table1", "fig2"}
+	t0 := time.Now()
+	serial := &Runner{Procs: 4, Small: true, Parallel: 1}
+	if err := serial.Prefetch(experiments...); err != nil {
+		t.Fatal(err)
+	}
+	serialWall := time.Since(t0)
+
+	t0 = time.Now()
+	par := &Runner{Procs: 4, Small: true, Parallel: 4}
+	if err := par.Prefetch(experiments...); err != nil {
+		t.Fatal(err)
+	}
+	parWall := time.Since(t0)
+
+	if parWall > serialWall/2 {
+		t.Fatalf("parallel 4 took %v, serial %v: want at least a 2x cut", parWall, serialWall)
+	}
+}
+
+func TestBenchSweep(t *testing.T) {
+	r := &Runner{Procs: 4, Small: true, Parallel: 2}
+	bf, err := r.BenchSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Schema != benchSchemaVersion || bf.Config != "small" || bf.Procs != 4 {
+		t.Fatalf("header %+v", bf)
+	}
+	if len(bf.Runs) == 0 {
+		t.Fatal("no timed runs")
+	}
+	seen := make(map[string]bool)
+	for _, run := range bf.Runs {
+		if run.RunID == "" || run.App == "" || run.Protocol == "" {
+			t.Fatalf("degenerate run entry %+v", run)
+		}
+		if run.SimTimeUS <= 0 {
+			t.Fatalf("run %s: sim time %g", run.RunID, run.SimTimeUS)
+		}
+		if seen[run.RunID] {
+			t.Fatalf("duplicate run id %s", run.RunID)
+		}
+		seen[run.RunID] = true
+	}
+	var makeDiff, encode *BenchMicro
+	for i := range bf.Micro {
+		switch bf.Micro[i].RunID {
+		case "micro/vm/makediff-8k":
+			makeDiff = &bf.Micro[i]
+		case "micro/vm/encode-append-8k":
+			encode = &bf.Micro[i]
+		}
+	}
+	if makeDiff == nil || encode == nil {
+		t.Fatal("missing codec microbenchmarks")
+	}
+	// The acceptance bar: allocs/op reduced versus the recorded pre-change
+	// baselines.
+	if makeDiff.AllocsPerOp >= makeDiff.BaselineAllocsPerOp {
+		t.Fatalf("MakeDiff allocs/op %g not below baseline %g", makeDiff.AllocsPerOp, makeDiff.BaselineAllocsPerOp)
+	}
+	if encode.AllocsPerOp >= encode.BaselineAllocsPerOp {
+		t.Fatalf("encode allocs/op %g not below baseline %g", encode.AllocsPerOp, encode.BaselineAllocsPerOp)
+	}
+}

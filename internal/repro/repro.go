@@ -12,6 +12,7 @@ package repro
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"godsm/internal/apps"
 	"godsm/internal/core"
@@ -27,8 +28,14 @@ type Runner struct {
 	Model *cost.Model
 	// Small selects the reduced app configurations (for tests).
 	Small bool
+	// Parallel is the worker count Prefetch and BenchSweep fan runs out
+	// on; 1 (or 0 left at the default elsewhere) means serial, negative
+	// selects GOMAXPROCS. Rendering always happens serially from the
+	// report cache, so output bytes do not depend on this.
+	Parallel int
 
 	apps  []*apps.App
+	mu    sync.Mutex // guards cache
 	cache map[string]*core.Report
 }
 
@@ -64,22 +71,7 @@ func (r *Runner) Report(app *apps.App, proto core.ProtocolKind) (*core.Report, e
 
 func (r *Runner) reportAt(app *apps.App, proto core.ProtocolKind, procs int) (*core.Report, error) {
 	r.init()
-	key := fmt.Sprintf("%s/%v/%d", app.Name, proto, procs)
-	if rep, ok := r.cache[key]; ok {
-		return rep, nil
-	}
-	var rep *core.Report
-	var err error
-	if proto == core.ProtoSeq {
-		rep, err = app.RunSeq(r.Model)
-	} else {
-		rep, err = app.Run(procs, proto, r.Model)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("repro: %s under %v at %d procs: %w", app.Name, proto, procs, err)
-	}
-	r.cache[key] = rep
-	return rep, nil
+	return r.runCached(r.appProtoJob(app, proto, procs))
 }
 
 // SeqTime returns the uniprocessor baseline time for app.
@@ -240,21 +232,18 @@ func (r *Runner) Figure2() ([]SpeedupRow, error) {
 	return r.speedups(r.apps, table1Protocols)
 }
 
+// figure4Protocols are Figure 4's protocols before the lmw collapse.
+var figure4Protocols = []core.ProtocolKind{
+	core.ProtoLmwI, core.ProtoLmwU, core.ProtoBarU, core.ProtoBarS, core.ProtoBarM,
+}
+
 // Figure4 computes the paper's Figure 4: overdrive speedups (best of the
 // two lmw protocols, bar-u, bar-s, bar-m) for the seven static
 // applications — barnes is excluded because its sharing pattern is
 // dynamic, exactly as in the paper.
 func (r *Runner) Figure4() ([]SpeedupRow, error) {
 	r.init()
-	var static []*apps.App
-	for _, a := range r.apps {
-		if !a.Dynamic {
-			static = append(static, a)
-		}
-	}
-	rows, err := r.speedups(static, []core.ProtocolKind{
-		core.ProtoLmwI, core.ProtoLmwU, core.ProtoBarU, core.ProtoBarS, core.ProtoBarM,
-	})
+	rows, err := r.speedups(r.staticApps(), figure4Protocols)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"runtime"
+	"time"
+)
+
+// BenchPoint is one microbenchmark sample: per-operation wall time and
+// heap-allocation behaviour. It feeds the BENCH_sweep.json perf
+// trajectory, which compares these numbers across PRs.
+type BenchPoint struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+}
+
+// MeasureLoop runs fn iters times and reports per-op wall time and heap
+// allocation — a dependency-free stand-in for testing.Benchmark usable
+// from production binaries (cmd/repro's bench export). Allocation counts
+// follow testing.AllocsPerRun's approach (runtime.MemStats deltas around
+// the loop), so run it with the process otherwise quiet: concurrent
+// allocators inflate the numbers.
+func MeasureLoop(iters int, fn func()) BenchPoint {
+	if iters <= 0 {
+		iters = 1
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return BenchPoint{
+		NsPerOp:     float64(wall.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+	}
+}

@@ -1,0 +1,93 @@
+// Package sweep fans independent simulation runs out across worker
+// goroutines with deterministic, ordered result collection.
+//
+// Every run of a sim.Kernel is self-contained — one goroutine, its own
+// address spaces, network, and cost model — so the only thing serializing
+// a protocol×application sweep is the caller's loop. Run keeps the job
+// list's order in its result slice, so callers that render tables from the
+// results stay byte-identical to a serial loop whatever the completion
+// order was.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultParallel resolves a worker-count request: n >= 1 is used as
+// given, anything else (0, negative) selects GOMAXPROCS.
+func DefaultParallel(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes jobs on up to parallel workers and returns their results in
+// job order. A job that fails stops new jobs from starting; the error
+// reported is the failing job with the lowest index, so the outcome does
+// not depend on scheduling. A panicking job is captured as an error rather
+// than tearing down the process.
+func Run[T any](parallel int, jobs []func() (T, error)) ([]T, error) {
+	results := make([]T, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	parallel = DefaultParallel(parallel)
+	if parallel > len(jobs) {
+		parallel = len(jobs)
+	}
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("sweep: job %d panicked: %v", i, r)
+				failed.Store(true)
+			}
+		}()
+		res, err := jobs[i]()
+		if err != nil {
+			errs[i] = err
+			failed.Store(true)
+			return
+		}
+		results[i] = res
+	}
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || failed.Load() {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Each runs fn(0..n-1) on up to parallel workers; the error (if any) is
+// from the lowest failing index, as in Run.
+func Each(parallel, n int, fn func(i int) error) error {
+	jobs := make([]func() (struct{}, error), n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (struct{}, error) { return struct{}{}, fn(i) }
+	}
+	_, err := Run(parallel, jobs)
+	return err
+}

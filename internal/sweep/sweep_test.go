@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunOrdersResults(t *testing.T) {
+	for _, parallel := range []int{1, 2, 8, 100} {
+		jobs := make([]func() (int, error), 50)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() (int, error) { return i * i, nil }
+		}
+		got, err := Run(parallel, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallel=%d: result[%d] = %d, want %d", parallel, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	got, err := Run[int](4, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Run(nil) = %v, %v", got, err)
+	}
+}
+
+func TestRunReportsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	jobs := []func() (int, error){
+		func() (int, error) { return 1, nil },
+		func() (int, error) { return 0, errB },
+		func() (int, error) { return 0, errA },
+	}
+	// Whatever the scheduling, index 1's error wins over index 2's.
+	for trial := 0; trial < 20; trial++ {
+		if _, err := Run(3, jobs); !errors.Is(err, errB) {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, errB)
+		}
+	}
+}
+
+func TestRunStopsAfterFailure(t *testing.T) {
+	var started atomic.Int64
+	jobs := make([]func() (int, error), 100)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) {
+			started.Add(1)
+			if i == 0 {
+				return 0, errors.New("boom")
+			}
+			return i, nil
+		}
+	}
+	// One worker: the failure at index 0 must keep the remaining 99 jobs
+	// from starting.
+	if _, err := Run(1, jobs); err == nil {
+		t.Fatal("no error")
+	}
+	if started.Load() != 1 {
+		t.Fatalf("started %d jobs after a failure, want 1", started.Load())
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	jobs := []func() (string, error){
+		func() (string, error) { return "ok", nil },
+		func() (string, error) { panic("kaboom") },
+	}
+	_, err := Run(2, jobs)
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want panic capture", err)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each(4, 10, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d, want 45", sum.Load())
+	}
+	wantErr := fmt.Errorf("nope")
+	if err := Each(4, 10, func(i int) error {
+		if i == 3 {
+			return wantErr
+		}
+		return nil
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestDefaultParallel(t *testing.T) {
+	if DefaultParallel(3) != 3 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if DefaultParallel(0) < 1 || DefaultParallel(-1) < 1 {
+		t.Fatal("auto worker count must be at least 1")
+	}
+}

@@ -1,0 +1,61 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDiffEncodeDecode round-trips random page pairs through the diff
+// pipeline: MakeDiff → Encode → DecodeDiff → Apply must reconstruct cur
+// from old exactly, and the encoding must match WireSize. Seeded with the
+// full-page 64 KiB rewrite whose single run used to overflow the 16-bit
+// run-length field and decode as an empty diff.
+func FuzzDiffEncodeDecode(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add(make([]byte, 64), bytes.Repeat([]byte{7}, 64))
+	small := make([]byte, 128)
+	smallCur := make([]byte, 128)
+	smallCur[0], smallCur[64], smallCur[120] = 9, 8, 7
+	f.Add(small, smallCur)
+	// The overflow case: every word of a MaxPageSize page modified.
+	f.Add(make([]byte, MaxPageSize), bytes.Repeat([]byte{0xAB}, MaxPageSize))
+	// A run ending exactly at the split boundary, and one word past it.
+	edge := bytes.Repeat([]byte{1}, MaxPageSize)
+	edgeCur := append([]byte(nil), edge...)
+	for i := 0; i < maxRunLen; i++ {
+		edgeCur[i] = 2
+	}
+	f.Add(edge, edgeCur)
+	f.Fuzz(func(t *testing.T, old, cur []byte) {
+		// Normalize to the codec's domain: equal lengths, multiple of the
+		// comparison word, within the wire format's page limit.
+		n := len(old)
+		if len(cur) < n {
+			n = len(cur)
+		}
+		if n > MaxPageSize {
+			n = MaxPageSize
+		}
+		n &^= wordSize - 1
+		old, cur = old[:n], cur[:n]
+
+		d := MakeDiff(3, old, cur)
+		enc := d.Encode()
+		if len(enc) != d.WireSize() {
+			t.Fatalf("len(Encode) = %d, WireSize() = %d", len(enc), d.WireSize())
+		}
+		dec, err := DecodeDiff(enc)
+		if err != nil {
+			t.Fatalf("DecodeDiff of own encoding: %v", err)
+		}
+		if dec.Page != d.Page || dec.Size() != d.Size() || dec.NumRuns() != d.NumRuns() {
+			t.Fatalf("decode mismatch: page %d/%d size %d/%d runs %d/%d",
+				dec.Page, d.Page, dec.Size(), d.Size(), dec.NumRuns(), d.NumRuns())
+		}
+		rebuilt := append([]byte(nil), old...)
+		dec.Apply(rebuilt)
+		if !bytes.Equal(rebuilt, cur) {
+			t.Fatal("apply(decode(encode(diff(old,cur))), old) != cur")
+		}
+	})
+}

@@ -14,6 +14,7 @@ package vm
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Prot is a page protection state.
@@ -43,6 +44,12 @@ func (p Prot) String() string {
 // PageID indexes a page within the shared segment.
 type PageID int32
 
+// MaxPageSize is the largest page the diff wire format can frame: run
+// offsets are 16-bit, so no modified byte may sit at offset 65536 or
+// beyond. Run lengths are also 16-bit but MakeDiff splits longer runs (see
+// maxRunLen), so the offset field is the binding limit.
+const MaxPageSize = 1 << 16
+
 // AddressSpace is one node's view of the shared segment.
 type AddressSpace struct {
 	Mem      []byte // local copy of the shared segment
@@ -57,6 +64,9 @@ type AddressSpace struct {
 func NewAddressSpace(size, pageSize int) *AddressSpace {
 	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
 		panic(fmt.Sprintf("vm: page size %d not a power of two", pageSize))
+	}
+	if pageSize > MaxPageSize {
+		panic(fmt.Sprintf("vm: page size %d exceeds the diff wire format's %d-byte limit", pageSize, MaxPageSize))
 	}
 	shift := uint(0)
 	for 1<<shift != pageSize {
@@ -107,7 +117,7 @@ func (as *AddressSpace) MakeTwin(pg PageID) {
 	if as.twins[pg] != nil {
 		panic(fmt.Sprintf("vm: page %d already has a twin", pg))
 	}
-	t := make([]byte, as.pageSize)
+	t := GetPageBuf(as.pageSize)
 	copy(t, as.Page(pg))
 	as.twins[pg] = t
 }
@@ -115,8 +125,15 @@ func (as *AddressSpace) MakeTwin(pg PageID) {
 // HasTwin reports whether page pg currently has a twin.
 func (as *AddressSpace) HasTwin(pg PageID) bool { return as.twins[pg] != nil }
 
-// DiscardTwin drops page pg's twin.
-func (as *AddressSpace) DiscardTwin(pg PageID) { as.twins[pg] = nil }
+// DiscardTwin drops page pg's twin, recycling its buffer. Callers must not
+// retain the Twin slice past this point (MakeDiff copies, so diffs never
+// alias the twin).
+func (as *AddressSpace) DiscardTwin(pg PageID) {
+	if t := as.twins[pg]; t != nil {
+		PutPageBuf(t)
+	}
+	as.twins[pg] = nil
+}
 
 // Twin returns page pg's twin, or nil.
 func (as *AddressSpace) Twin(pg PageID) []byte { return as.twins[pg] }
@@ -145,11 +162,63 @@ func (as *AddressSpace) CopyPageIn(pg PageID, data []byte) {
 }
 
 // CopyPageOut returns a snapshot of page pg (for serving a page fetch).
+// The buffer comes from the page-buffer pool; consumers that are done with
+// it should hand it back via PutPageBuf.
 func (as *AddressSpace) CopyPageOut(pg PageID) []byte {
-	out := make([]byte, as.pageSize)
+	out := GetPageBuf(as.pageSize)
 	copy(out, as.Page(pg))
 	return out
 }
+
+// --- page buffer pool --------------------------------------------------------
+
+// pageBufPool recycles page-sized buffers — twins and full-page snapshots.
+// A run churns through a twin per write fault and a copy per page fetch,
+// and parallel sweeps run many kernels at once, so buffers sit on small
+// per-size free lists instead of being reallocated each time. A
+// mutex-guarded freelist stays allocation-free in steady state (sync.Pool
+// would box the slice header on every Put).
+type pageBufPool struct {
+	mu   sync.Mutex
+	free map[int][][]byte
+}
+
+// pageBufPoolCap bounds the buffers retained per size; extras go to the GC.
+const pageBufPoolCap = 64
+
+var pageBufs = pageBufPool{free: make(map[int][][]byte)}
+
+// GetPageBuf returns a size-byte buffer with unspecified contents, reusing
+// a recycled one when available. Pair with PutPageBuf once the contents
+// have been consumed.
+func GetPageBuf(size int) []byte {
+	pageBufs.mu.Lock()
+	if list := pageBufs.free[size]; len(list) > 0 {
+		b := list[len(list)-1]
+		pageBufs.free[size] = list[:len(list)-1]
+		pageBufs.mu.Unlock()
+		return b
+	}
+	pageBufs.mu.Unlock()
+	return make([]byte, size)
+}
+
+// PutPageBuf recycles a buffer handed out by GetPageBuf (directly or via
+// CopyPageOut/MakeTwin). The caller must not touch b afterwards. Buffers
+// that are never returned are simply collected by the GC, so release is an
+// optimization, not an obligation.
+func PutPageBuf(b []byte) {
+	if len(b) == 0 || len(b) != cap(b) {
+		return
+	}
+	pageBufs.mu.Lock()
+	if list := pageBufs.free[len(b)]; len(list) < pageBufPoolCap {
+		pageBufs.free[len(b)] = append(list, b)
+	}
+	pageBufs.mu.Unlock()
+}
+
+// --- diffs -------------------------------------------------------------------
 
 // run is one contiguous modified range within a page.
 type run struct {
@@ -167,16 +236,27 @@ type Diff struct {
 
 const wordSize = 8
 
-// MakeDiff compares old and cur (same length, multiple of 8) and returns
-// the run-length encoding of the 8-byte words that differ.
+// maxRunLen is the largest payload one wire-format run may carry: run
+// lengths are 16-bit and a fully rewritten 64 KiB page used to truncate to
+// a zero-length run, so MakeDiff splits longer modified ranges at the
+// largest word-aligned length below 65536. The split keeps offsets in
+// range too — the tail run of a full MaxPageSize page starts at 65528.
+const maxRunLen = MaxPageSize - wordSize
+
+// MakeDiff compares old and cur (same length, multiple of 8, at most
+// MaxPageSize) and returns the run-length encoding of the 8-byte words
+// that differ. Two passes keep it to one allocation for the run headers
+// and one shared backing array for the payloads.
 func MakeDiff(pg PageID, old, cur []byte) Diff {
 	if len(old) != len(cur) {
 		panic("vm: MakeDiff length mismatch")
 	}
-	d := Diff{Page: pg}
-	i := 0
+	if len(cur) > MaxPageSize {
+		panic(fmt.Sprintf("vm: MakeDiff on %d bytes exceeds the wire format's %d-byte limit", len(cur), MaxPageSize))
+	}
 	n := len(cur)
-	for i < n {
+	nruns, size := 0, 0
+	for i := 0; i < n; {
 		if binary.LittleEndian.Uint64(old[i:]) == binary.LittleEndian.Uint64(cur[i:]) {
 			i += wordSize
 			continue
@@ -185,10 +265,33 @@ func MakeDiff(pg PageID, old, cur []byte) Diff {
 		for i < n && binary.LittleEndian.Uint64(old[i:]) != binary.LittleEndian.Uint64(cur[i:]) {
 			i += wordSize
 		}
-		data := make([]byte, i-start)
-		copy(data, cur[start:i])
-		d.runs = append(d.runs, run{Off: uint16(start), Data: data})
-		d.size += i - start
+		nruns += (i - start + maxRunLen - 1) / maxRunLen
+		size += i - start
+	}
+	d := Diff{Page: pg, size: size}
+	if nruns == 0 {
+		return d
+	}
+	d.runs = make([]run, 0, nruns)
+	backing := make([]byte, 0, size)
+	for i := 0; i < n; {
+		if binary.LittleEndian.Uint64(old[i:]) == binary.LittleEndian.Uint64(cur[i:]) {
+			i += wordSize
+			continue
+		}
+		start := i
+		for i < n && binary.LittleEndian.Uint64(old[i:]) != binary.LittleEndian.Uint64(cur[i:]) {
+			i += wordSize
+		}
+		for off := start; off < i; off += maxRunLen {
+			end := off + maxRunLen
+			if end > i {
+				end = i
+			}
+			b0 := len(backing)
+			backing = append(backing, cur[off:end]...)
+			d.runs = append(d.runs, run{Off: uint16(off), Data: backing[b0:len(backing):len(backing)]})
+		}
 	}
 	return d
 }
@@ -216,15 +319,21 @@ func (d Diff) Apply(page []byte) {
 
 // Overlaps reports whether two diffs of the same page touch any common
 // word. Concurrent writers in a data-race-free program never overlap; the
-// engine uses this as an optional runtime check.
+// engine uses this as an optional runtime check. Runs are built in
+// ascending offset order, so a linear merge-scan suffices.
 func (d Diff) Overlaps(o Diff) bool {
-	for _, a := range d.runs {
-		for _, b := range o.runs {
-			aEnd := int(a.Off) + len(a.Data)
-			bEnd := int(b.Off) + len(b.Data)
-			if int(a.Off) < bEnd && int(b.Off) < aEnd {
-				return true
-			}
+	i, j := 0, 0
+	for i < len(d.runs) && j < len(o.runs) {
+		a, b := d.runs[i], o.runs[j]
+		aEnd := int(a.Off) + len(a.Data)
+		bEnd := int(b.Off) + len(b.Data)
+		if int(a.Off) < bEnd && int(b.Off) < aEnd {
+			return true
+		}
+		if aEnd <= bEnd {
+			i++
+		} else {
+			j++
 		}
 	}
 	return false
@@ -234,12 +343,20 @@ func (d Diff) Overlaps(o Diff) bool {
 // The simulated network passes Go values, so Encode/Decode exist for size
 // accounting honesty and are exercised by tests.
 func (d Diff) Encode() []byte {
-	buf := make([]byte, 0, d.WireSize())
+	return d.AppendEncode(make([]byte, 0, d.WireSize()))
+}
+
+// AppendEncode appends the wire encoding to buf and returns the extended
+// slice — the allocation-free path when the caller recycles buf.
+func (d Diff) AppendEncode(buf []byte) []byte {
 	var hdr [6]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(d.Page))
 	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(d.runs)))
 	buf = append(buf, hdr[:]...)
 	for _, r := range d.runs {
+		if len(r.Data) > maxRunLen {
+			panic(fmt.Sprintf("vm: diff run of %d bytes overflows the wire format", len(r.Data)))
+		}
 		var rh [4]byte
 		binary.LittleEndian.PutUint16(rh[0:], r.Off)
 		binary.LittleEndian.PutUint16(rh[2:], uint16(len(r.Data)))
@@ -249,7 +366,8 @@ func (d Diff) Encode() []byte {
 	return buf
 }
 
-// DecodeDiff parses the wire format produced by Encode.
+// DecodeDiff parses the wire format produced by Encode. A validation pass
+// sizes the diff first so the payloads land in one shared backing array.
 func DecodeDiff(buf []byte) (Diff, error) {
 	if len(buf) < 6 {
 		return Diff{}, fmt.Errorf("vm: diff truncated header (%d bytes)", len(buf))
@@ -261,17 +379,28 @@ func DecodeDiff(buf []byte) (Diff, error) {
 		if len(buf) < p+4 {
 			return Diff{}, fmt.Errorf("vm: diff truncated run header at %d", p)
 		}
-		off := binary.LittleEndian.Uint16(buf[p:])
 		l := int(binary.LittleEndian.Uint16(buf[p+2:]))
 		p += 4
 		if len(buf) < p+l {
 			return Diff{}, fmt.Errorf("vm: diff truncated run payload at %d", p)
 		}
-		data := make([]byte, l)
-		copy(data, buf[p:p+l])
-		p += l
-		d.runs = append(d.runs, run{Off: off, Data: data})
 		d.size += l
+		p += l
+	}
+	if n == 0 {
+		return d, nil
+	}
+	d.runs = make([]run, 0, n)
+	backing := make([]byte, 0, d.size)
+	p = 6
+	for i := 0; i < n; i++ {
+		off := binary.LittleEndian.Uint16(buf[p:])
+		l := int(binary.LittleEndian.Uint16(buf[p+2:]))
+		p += 4
+		b0 := len(backing)
+		backing = append(backing, buf[p:p+l]...)
+		d.runs = append(d.runs, run{Off: off, Data: backing[b0:len(backing):len(backing)]})
+		p += l
 	}
 	return d, nil
 }

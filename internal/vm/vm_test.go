@@ -316,11 +316,193 @@ func TestApplyDiffViaAddressSpace(t *testing.T) {
 	}
 }
 
+// Regression for the uint16 run-length truncation: a fully rewritten
+// 64 KiB page used to encode a zero-length run, and DecodeDiff silently
+// reconstructed an empty diff. MakeDiff now splits the run below the
+// 16-bit limit, so the round trip is lossless.
+func TestFullPageDiffOverflow(t *testing.T) {
+	old := make([]byte, MaxPageSize)
+	cur := bytes.Repeat([]byte{0xAB}, MaxPageSize)
+	d := MakeDiff(5, old, cur)
+	if d.Size() != MaxPageSize {
+		t.Fatalf("Size = %d, want %d", d.Size(), MaxPageSize)
+	}
+	if d.NumRuns() != 2 {
+		t.Fatalf("NumRuns = %d, want 2 (split at the 16-bit boundary)", d.NumRuns())
+	}
+	enc := d.Encode()
+	if len(enc) != d.WireSize() {
+		t.Fatalf("len(Encode) = %d, WireSize = %d", len(enc), d.WireSize())
+	}
+	dec, err := DecodeDiff(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Empty() || dec.Size() != MaxPageSize {
+		t.Fatalf("decoded diff empty=%v size=%d: full-page run was lost on the wire", dec.Empty(), dec.Size())
+	}
+	rebuilt := make([]byte, MaxPageSize)
+	dec.Apply(rebuilt)
+	if !bytes.Equal(rebuilt, cur) {
+		t.Fatal("apply(decode(encode(diff))) != cur for a full-page rewrite")
+	}
+}
+
+func TestMakeDiffRejectsOversizedPage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for a page beyond MaxPageSize")
+		}
+	}()
+	MakeDiff(0, make([]byte, 2*MaxPageSize), make([]byte, 2*MaxPageSize))
+}
+
+func TestNewAddressSpaceRejectsOversizedPage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for a page size beyond MaxPageSize")
+		}
+	}()
+	NewAddressSpace(4*MaxPageSize, 2*MaxPageSize)
+}
+
+// Adjacent-but-not-overlapping runs (aEnd == b.Off) must report
+// non-overlapping — the boundary case of the merge-scan.
+func TestDiffOverlapsAdjacentRuns(t *testing.T) {
+	old := make([]byte, 64)
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	a[0], a[8] = 1, 1  // words 0-1: run [0,16)
+	b[16], b[24] = 1, 1 // words 2-3: run [16,32)
+	da := MakeDiff(0, old, a)
+	db := MakeDiff(0, old, b)
+	if da.Overlaps(db) || db.Overlaps(da) {
+		t.Fatal("adjacent runs (aEnd == b.Off) reported as overlapping")
+	}
+	// Multi-run interleavings exercise the scan's advance logic.
+	c := make([]byte, 64)
+	c[8], c[40] = 1, 1 // runs [8,16) and [40,48)
+	e := make([]byte, 64)
+	e[16], e[32] = 1, 1 // runs [16,24) and [32,40)
+	dc := MakeDiff(0, old, c)
+	de := MakeDiff(0, old, e)
+	if dc.Overlaps(de) || de.Overlaps(dc) {
+		t.Fatal("interleaved disjoint runs reported as overlapping")
+	}
+	e[8] = 2
+	de = MakeDiff(0, old, e)
+	if !dc.Overlaps(de) || !de.Overlaps(dc) {
+		t.Fatal("overlapping runs reported as disjoint")
+	}
+}
+
+// Overlaps must agree with the brute-force per-word comparison.
+func TestDiffOverlapsProperty(t *testing.T) {
+	const pageSize = 256
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		old := make([]byte, pageSize)
+		a := make([]byte, pageSize)
+		b := make([]byte, pageSize)
+		awords := make([]bool, pageSize/8)
+		bwords := make([]bool, pageSize/8)
+		for w := 0; w < pageSize/8; w++ {
+			if rng.Intn(3) == 0 {
+				a[w*8] = 1
+				awords[w] = true
+			}
+			if rng.Intn(3) == 0 {
+				b[w*8] = 1
+				bwords[w] = true
+			}
+		}
+		want := false
+		for w := range awords {
+			if awords[w] && bwords[w] {
+				want = true
+			}
+		}
+		return MakeDiff(0, old, a).Overlaps(MakeDiff(0, old, b)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The allocation diet: MakeDiff is two allocations (run headers + one
+// shared payload backing) however many runs the page splinters into, and
+// AppendEncode into a recycled buffer is allocation-free. The pre-diet
+// baseline was 21 allocs/op for this MakeDiff shape and 1 for Encode.
+func TestDiffAllocBudget(t *testing.T) {
+	old := make([]byte, 8192)
+	cur := make([]byte, 8192)
+	for i := 0; i < 8192; i += 512 {
+		cur[i] = byte(i/512 + 1)
+	}
+	var d Diff
+	if got := testing.AllocsPerRun(100, func() {
+		d = MakeDiff(0, old, cur)
+	}); got > 2 {
+		t.Fatalf("MakeDiff allocs/op = %g, want <= 2", got)
+	}
+	buf := make([]byte, 0, d.WireSize())
+	if got := testing.AllocsPerRun(100, func() {
+		buf = d.AppendEncode(buf[:0])
+	}); got != 0 {
+		t.Fatalf("AppendEncode allocs/op = %g, want 0", got)
+	}
+	enc := d.Encode()
+	if !bytes.Equal(enc, buf) {
+		t.Fatal("Encode and AppendEncode disagree")
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeDiff(enc); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 2 {
+		t.Fatalf("DecodeDiff allocs/op = %g, want <= 2", got)
+	}
+}
+
+// The twin/page-copy pool: a steady-state twin lifecycle and page-fetch
+// round trip recycle their buffers instead of allocating.
+func TestPageBufPoolRecycles(t *testing.T) {
+	as := NewAddressSpace(8192, 8192)
+	// Warm the pool for this page size.
+	PutPageBuf(GetPageBuf(8192))
+	if got := testing.AllocsPerRun(100, func() {
+		as.MakeTwin(0)
+		as.DiscardTwin(0)
+	}); got != 0 {
+		t.Fatalf("twin lifecycle allocs/op = %g, want 0", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		PutPageBuf(as.CopyPageOut(0))
+	}); got != 0 {
+		t.Fatalf("CopyPageOut round trip allocs/op = %g, want 0", got)
+	}
+}
+
+func TestPutPageBufIgnoresOddBuffers(t *testing.T) {
+	PutPageBuf(nil)
+	PutPageBuf(make([]byte, 10, 20)) // len != cap: not a pool buffer
+	b := GetPageBuf(64)
+	if len(b) != 64 {
+		t.Fatalf("GetPageBuf(64) returned %d bytes", len(b))
+	}
+	PutPageBuf(b)
+	if again := GetPageBuf(64); len(again) != 64 {
+		t.Fatalf("recycled GetPageBuf(64) returned %d bytes", len(again))
+	}
+}
+
 func BenchmarkMakeDiff8K(b *testing.B) {
 	old := make([]byte, 8192)
 	cur := make([]byte, 8192)
 	for i := 0; i < 8192; i += 512 {
-		cur[i] = byte(i)
+		// i/512+1, not byte(i): multiples of 512 truncate to zero in a
+		// byte, which would leave the page unmodified and the diff empty.
+		cur[i] = byte(i/512 + 1)
 	}
 	b.SetBytes(8192)
 	b.ResetTimer()
