@@ -350,3 +350,41 @@ func BenchmarkPageStatsDisabled(b *testing.B) {
 		ps.Migration(pg)
 	}
 }
+
+// BenchmarkCheckDisabled pins the oracle acceptance criterion: with no
+// checker attached (the default), the per-store hook in the typed
+// accessors is a nil comparison and a warm store loop allocates nothing.
+// Guarded like BenchmarkPageStatsDisabled — the benchmark fails outright
+// if the check wiring ever puts an allocation on the store path.
+func BenchmarkCheckDisabled(b *testing.B) {
+	const words = 2048
+	body := func(p *Proc) {
+		a := p.AllocF64(words)
+		lo, hi := words*p.ID()/p.NumProcs(), words*(p.ID()+1)/p.NumProcs()
+		// Warm up: write-fault every partition page (twin creation
+		// allocates here, before measurement starts).
+		for i := lo; i < hi; i++ {
+			a.Set(i, float64(i))
+		}
+		if p.ID() == 0 {
+			// Pages stay write-enabled until the next barrier, so the
+			// measured loop is the pure store path: bounds check,
+			// protection check, nil checker, memory write.
+			if allocs := testing.AllocsPerRun(100, func() {
+				for i := lo; i < hi; i++ {
+					a.Set(i, float64(i)+1)
+				}
+			}); allocs != 0 {
+				b.Errorf("store path with checker disabled allocates %.1f per run, want 0", allocs)
+			}
+		}
+		p.Barrier()
+		p.SetResult(1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Procs: 2, Protocol: BarU, SegmentBytes: words * 8}, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

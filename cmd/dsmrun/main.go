@@ -11,6 +11,11 @@
 // Perfetto; -timeline prints the per-epoch statistics table; -pagestats N
 // prints the N hottest pages; -trace N records up to N events (-trace-tail
 // keeps the newest instead of the oldest when the cap overflows).
+//
+// -check runs the differential conformance harness instead of a plain
+// run: the chosen protocol (fault-injection flags included) is held
+// bit-for-bit to the sequential baseline with the consistency oracle
+// attached, and any divergence exits non-zero with a localized report.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"godsm/internal/apps"
+	"godsm/internal/check"
 	"godsm/internal/core"
 	"godsm/internal/netsim"
 	"godsm/internal/obs"
@@ -56,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	delay := fs.Duration("delay", 0, "fault injection: maximum extra latency for -reorder (0 = 500µs); with -reorder 0, delay every packet by up to this")
 	straggler := fs.String("straggler", "", "fault injection: slow one node, as node:factor[:fromEpoch[:toEpoch]]")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault-injection schedule")
+	checkRun := fs.Bool("check", false, "differential conformance: hold this protocol (fault flags included) bit-for-bit to the sequential baseline under the consistency oracle")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -112,6 +119,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opts.Faults = plan
+
+	if *checkRun {
+		return runCheck(stdout, stderr, app, proto, *procs, plan)
+	}
+
 	var log *trace.Log
 	if *traceN > 0 {
 		if *traceTail {
@@ -184,6 +196,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, e := range ev {
 			fmt.Fprintln(stdout, "   ", e)
 		}
+	}
+	return 0
+}
+
+// runCheck executes the -check mode: the differential conformance harness
+// over exactly the requested protocol, fault-free plus (when fault flags
+// are set) the requested plan.
+func runCheck(stdout, stderr io.Writer, app *apps.App, proto core.ProtocolKind, procs int, plan *netsim.FaultPlan) int {
+	if proto == core.ProtoSeq {
+		fmt.Fprintln(stderr, "dsmrun: -check holds a protocol to the sequential baseline; -proto seq is the baseline itself")
+		return 2
+	}
+	if app.Dynamic && (proto == core.ProtoBarS || proto == core.ProtoBarM) {
+		fmt.Fprintf(stderr, "dsmrun: %s has a dynamic sharing pattern; %v would abort (the paper excludes it)\n", app.Name, proto)
+		return 2
+	}
+	copts := check.Options{
+		Procs:        procs,
+		SegmentBytes: app.SegmentBytes,
+		Protocols:    []core.ProtocolKind{proto},
+	}
+	if plan != nil {
+		copts.Plans = []*netsim.FaultPlan{plan}
+	}
+	res, err := check.Differential(app.Body, copts)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsmrun: %v\n", err)
+		if res != nil && res.Report != "" {
+			fmt.Fprintln(stderr, res.Report)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "conformance: %s under %v, %d procs: %d runs bit-identical to the sequential baseline\n",
+		app.Name, proto, procs, len(res.Runs))
+	for _, run := range res.Runs {
+		fmt.Fprintf(stdout, "  %-6v %-12s checksum %#016x  epochs %d  benign same-word writes %d\n",
+			run.Protocol, run.Variant, run.Checksum, run.Epochs, run.Benign)
 	}
 	return 0
 }

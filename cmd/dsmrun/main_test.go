@@ -201,3 +201,31 @@ func TestValidFaultFlagsStillRun(t *testing.T) {
 		t.Errorf("fault counters missing from report:\n%s", out.String())
 	}
 }
+
+// TestCheckMode drives -check end to end: a conforming run exits 0 and
+// reports every variant; seq and dynamic-app overdrive are rejected.
+func TestCheckMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-app", "jacobi", "-proto", "bar-u", "-procs", "4", "-small",
+		"-check", "-loss", "0.05", "-fault-seed", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("dsmrun -check exited %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "bit-identical") || !strings.Contains(s, "plan[0]") {
+		t.Fatalf("conformance summary incomplete:\n%s", s)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-proto", "seq", "-small", "-check"}, &out, &errb); code != 2 {
+		t.Fatalf("-check -proto seq exited %d, want 2 (%s)", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-app", "barnes", "-proto", "bar-s", "-small", "-check"}, &out, &errb)
+	if code != 2 || !strings.Contains(errb.String(), "dynamic") {
+		t.Fatalf("-check on dynamic app under overdrive exited %d: %s", code, errb.String())
+	}
+}

@@ -7,13 +7,20 @@
 //	repro [flags] <experiment>
 //
 // Experiments: apps, table1, fig2, fig3, fig4, summary,
-// ablation-stress, ablation-scale, ablation-home, chaos-loss, bench, all.
+// ablation-stress, ablation-scale, ablation-home, chaos-loss, conform,
+// bench, all.
+//
+// SIGINT/SIGTERM mid-sweep cancels cleanly: no new simulations start and
+// the command exits with the cancellation error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"godsm/internal/repro"
 )
@@ -26,7 +33,7 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_sweep.json", "output path for the bench experiment")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [flags] <experiment>\n\n")
-		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary ablation-stress ablation-scale ablation-home ablation-pagesize chaos-loss bench all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary ablation-stress ablation-scale ablation-home ablation-pagesize chaos-loss conform bench all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,6 +43,21 @@ func main() {
 	}
 	r := &repro.Runner{Procs: *procs, Small: *small, Parallel: *parallel}
 	want := flag.Arg(0)
+
+	// SIGINT/SIGTERM cancel the sweep: workers stop claiming simulations
+	// and the command exits with the cancellation error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if want == "conform" {
+		out, err := r.RenderConformContext(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
 
 	if want == "bench" {
 		f, err := os.Create(*benchOut)
@@ -62,7 +84,7 @@ func main() {
 		if want != "all" {
 			exps = []string{want}
 		}
-		if err := r.Prefetch(exps...); err != nil {
+		if err := r.PrefetchContext(ctx, exps...); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -12,12 +12,7 @@ import (
 
 func main() {
 	const n = 1 << 16
-	cfg := godsm.Config{
-		Procs:        4,
-		Protocol:     godsm.BarU, // the paper's best general protocol
-		SegmentBytes: n * 8,
-	}
-	report, err := godsm.Run(cfg, func(p *godsm.Proc) {
+	report, err := godsm.RunWith(func(p *godsm.Proc) {
 		data := p.AllocF64(n)
 
 		// SPMD: node 0 initializes, everyone waits at the barrier.
@@ -43,7 +38,12 @@ func main() {
 			fmt.Printf("sum over %d elements = %.0f\n", n, total[0])
 		}
 		p.SetResult(uint64(total[0]))
-	})
+	},
+		godsm.WithProcs(4),
+		godsm.WithProtocol(godsm.BarU), // the paper's best general protocol
+		godsm.WithSegmentBytes(n*8),
+		godsm.WithCheck(), // consistency oracle: fail loudly on any stale read
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

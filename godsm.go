@@ -23,10 +23,9 @@
 // the experiment harness that regenerates the paper's tables and figures
 // lives in internal/repro and is driven by cmd/repro.
 //
-// A minimal program:
+// A minimal program, using the functional-options entry point:
 //
-//	cfg := godsm.Config{Procs: 4, Protocol: godsm.BarU, SegmentBytes: 1 << 20}
-//	report, err := godsm.Run(cfg, func(p *godsm.Proc) {
+//	report, err := godsm.RunWith(func(p *godsm.Proc) {
 //	    a := p.AllocF64(1024)
 //	    if p.ID() == 0 {
 //	        for i := 0; i < a.Len(); i++ {
@@ -35,12 +34,19 @@
 //	    }
 //	    p.Barrier()
 //	    // ... iterate, read halos, write your partition ...
-//	})
+//	}, godsm.WithProcs(4), godsm.WithProtocol(godsm.BarU), godsm.WithSegmentBytes(1<<20))
+//
+// RunWith (options.go) is the preferred surface; Run and RunContext with a
+// literal Config remain supported as the secondary, fully-explicit path
+// for callers that build configurations programmatically.
 package godsm
 
 import (
+	"context"
+
 	"godsm/internal/core"
 	"godsm/internal/cost"
+	"godsm/internal/netsim"
 	"godsm/internal/sim"
 )
 
@@ -68,7 +74,24 @@ type (
 	Duration = sim.Duration
 	// Time is a virtual-time instant.
 	Time = sim.Time
+	// FaultPlan is a deterministic network fault-injection schedule
+	// (Config.Faults / WithFaults).
+	FaultPlan = netsim.FaultPlan
+	// FaultRule is one drop/duplicate/reorder/delay rule of a FaultPlan;
+	// the first matching rule wins.
+	FaultRule = netsim.FaultRule
+	// StragglerRule slows one node's compute by a factor over an epoch
+	// window.
+	StragglerRule = netsim.StragglerRule
+	// Checker observes every store and barrier completion of a run
+	// (Config.Check); internal/check's consistency oracle implements it,
+	// and WithCheck attaches one.
+	Checker = core.Checker
 )
+
+// AnyNode is the wildcard for FaultRule.From/To and StragglerRule.Node.
+// Note the zero value means node 0, not the wildcard.
+const AnyNode = netsim.AnyNode
 
 // The six protocols of the paper, plus the uniprocessor baseline.
 const (
@@ -106,9 +129,38 @@ const (
 
 // Run executes body on cfg.Procs simulated nodes under cfg.Protocol. The
 // body runs once per node (SPMD); all nodes must perform identical Alloc
-// and Barrier sequences.
+// and Barrier sequences. Most callers should prefer RunWith.
 func Run(cfg Config, body func(*Proc)) (*Report, error) {
 	return core.Run(cfg, body)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled mid-run the
+// simulation stops at its next event and ctx's error is returned.
+// Cancellation is for shutting down (SIGINT on a sweep), not for running
+// many aborted simulations in a loop — a cancelled run's simulated
+// process goroutines stay parked until process exit.
+func RunContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, error) {
+	return core.RunContext(ctx, cfg, body)
+}
+
+// ConformancePlan builds the seeded fault schedule the conformance
+// harness runs proto under: moderate drop, duplication and reordering on
+// every packet, with the overdrive protocols' update flushes shielded
+// from drops (they have no invalidation fallback for a lost flush).
+func ConformancePlan(proto ProtocolKind, seed int64) *FaultPlan {
+	return core.ConformancePlan(proto, seed)
+}
+
+// UpdateLossPlan builds the FaultPlan the retired Config.UpdateLossRate /
+// Config.Seed fields used to synthesize: base (copied, never mutated; nil
+// for none) extended with a rule dropping rate of the unacknowledged
+// update flushes, seeded with seed.
+//
+// Deprecated: one-release compat adapter for callers migrating off the
+// removed Config fields. New code should build a FaultPlan targeting the
+// message classes it wants directly.
+func UpdateLossPlan(rate float64, seed int64, base *FaultPlan) *FaultPlan {
+	return core.UpdateLossPlan(rate, seed, base)
 }
 
 // Protocols lists the paper's six protocols in presentation order.

@@ -109,3 +109,60 @@ func TestSharedWriteVisibilityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestParseProtocolRejectsUnknown pins the error path ParseProtocol's
+// round-trip test cannot reach: names outside the protocol table (and
+// case variants — matching is exact) must error rather than default.
+func TestParseProtocolRejectsUnknown(t *testing.T) {
+	for _, name := range []string{"", "bar-x", "lmw", "BAR-U", "bar-u ", "sequential"} {
+		if got, err := ParseProtocol(name); err == nil {
+			t.Errorf("ParseProtocol(%q) = %v, want error", name, got)
+		}
+	}
+	protos := Protocols()
+	if len(protos) != 6 {
+		t.Fatalf("Protocols() lists %d protocols, want the paper's 6", len(protos))
+	}
+	seen := map[string]bool{}
+	for _, p := range protos {
+		if seen[p.String()] {
+			t.Errorf("Protocols() lists %v twice", p)
+		}
+		seen[p.String()] = true
+	}
+}
+
+// TestRunWithOptions drives the functional-options surface: defaults and
+// explicit options land in the Config, WithCheck attaches a live oracle,
+// and Seq collapses to a single node regardless of WithProcs.
+func TestRunWithOptions(t *testing.T) {
+	const n = 512
+	body := func(p *Proc) {
+		a := p.AllocF64(n)
+		lo, hi := n*p.ID()/p.NumProcs(), n*(p.ID()+1)/p.NumProcs()
+		for i := lo; i < hi; i++ {
+			a.Set(i, float64(i))
+		}
+		p.Barrier()
+		p.SetResult(a.Checksum(0, n))
+	}
+	rep, err := RunWith(body,
+		WithProcs(4), WithProtocol(BarU), WithSegmentBytes(n*8), WithCheck())
+	if err != nil {
+		t.Fatalf("RunWith: %v", err)
+	}
+	if rep.Procs != 4 || !rep.HasChecksum {
+		t.Fatalf("procs = %d, checksum = %v; want 4, true", rep.Procs, rep.HasChecksum)
+	}
+
+	seq, err := RunWith(body, WithProcs(4), WithProtocol(Seq), WithSegmentBytes(n*8))
+	if err != nil {
+		t.Fatalf("RunWith(Seq): %v", err)
+	}
+	if seq.Procs != 1 {
+		t.Fatalf("Seq ran on %d procs, want 1", seq.Procs)
+	}
+	if seq.Checksum != rep.Checksum {
+		t.Fatalf("checksum %#x under bar-u, %#x sequential", rep.Checksum, seq.Checksum)
+	}
+}

@@ -70,6 +70,10 @@ type RunOpts struct {
 	// Faults, when non-nil, arms deterministic network fault injection and
 	// the core reliability layer (see netsim.FaultPlan).
 	Faults *netsim.FaultPlan
+	// Check attaches a consistency checker (internal/check's oracle): it
+	// observes every store and barrier completion, and its Finish error
+	// fails the run.
+	Check core.Checker
 	// Configure, when non-nil, runs last over the assembled core.Config,
 	// an escape hatch for options RunOpts does not name.
 	Configure func(*core.Config)
@@ -95,6 +99,7 @@ func (a *App) RunWith(procs int, proto core.ProtocolKind, opts RunOpts) (*core.R
 		Timeline:     opts.Timeline,
 		PageStats:    opts.PageStats,
 		Faults:       opts.Faults,
+		Check:        opts.Check,
 	}
 	if opts.Configure != nil {
 		opts.Configure(&cfg)

@@ -1,0 +1,78 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"godsm/internal/check"
+	"godsm/internal/core"
+)
+
+// TestOracleAttachesThroughRunOpts verifies the RunOpts.Check wiring: an
+// attached oracle observes every barrier epoch of an app run and a clean
+// app produces no findings.
+func TestOracleAttachesThroughRunOpts(t *testing.T) {
+	app := Jacobi(JacobiSmall())
+	o := check.New()
+	rep, err := app.RunWith(4, core.ProtoBarU, RunOpts{Check: o})
+	if err != nil {
+		t.Fatalf("oracle-attached run failed: %v", err)
+	}
+	if !rep.HasChecksum {
+		t.Fatal("run produced no checksum")
+	}
+	if o.Epochs() == 0 {
+		t.Fatal("oracle saw no barrier epochs")
+	}
+}
+
+// TestAppsConformSmall runs the differential conformance harness over
+// every application at reduced scale: each eligible protocol, fault-free
+// and under one seeded fault plan, must reproduce the sequential
+// baseline's per-epoch expected images, final memory and checksum with
+// the oracle attached throughout. The full sweep (all protocols, seeds
+// 1-3, presentation rendering) is `repro conform` (internal/repro).
+func TestAppsConformSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance sweep is minutes of simulation in -short mode")
+	}
+	for _, app := range Small() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			protos := core.Protocols()
+			if app.Dynamic {
+				// Overdrive rejects dynamic sharing patterns, exactly as
+				// the paper excludes barnes from Figure 4.
+				protos = []core.ProtocolKind{
+					core.ProtoLmwI, core.ProtoLmwU, core.ProtoBarI, core.ProtoBarU,
+				}
+			}
+			res, err := check.Differential(app.Body, check.Options{
+				Procs:        4,
+				SegmentBytes: app.SegmentBytes,
+				Protocols:    protos,
+				Seeds:        []int64{1},
+			})
+			if err != nil {
+				t.Fatalf("%v\n%s", err, res.Report)
+			}
+			if want := 1 + len(protos)*2; len(res.Runs) != want {
+				t.Fatalf("ran %d runs, want %d", len(res.Runs), want)
+			}
+		})
+	}
+}
+
+// TestOverdriveRejectsDynamicApps pins the App-level guard the harness
+// relies on for protocol selection.
+func TestOverdriveRejectsDynamicApps(t *testing.T) {
+	app := Barnes(BarnesSmall())
+	if !app.Dynamic {
+		t.Fatal("barnes must be marked dynamic")
+	}
+	_, err := app.RunWith(4, core.ProtoBarS, RunOpts{})
+	if err == nil || !strings.Contains(err.Error(), "dynamic") {
+		t.Fatalf("bar-s on barnes = %v, want dynamic-pattern rejection", err)
+	}
+}

@@ -1,0 +1,59 @@
+package check
+
+import (
+	"testing"
+
+	"godsm/internal/core"
+	"godsm/internal/netsim"
+)
+
+// FuzzConformance fuzzes seeded fault plans against differential
+// conformance: whatever drop/duplicate/reorder schedule the fuzzer
+// invents (rates capped below the reliability layer's recovery ceiling),
+// every protocol must still produce the sequential baseline's memory
+// images, digests and checksum, with the oracle attached throughout.
+//
+// The raw fuzzed plan runs under the four trap-based protocols, which
+// recover any packet loss. The overdrive pair runs the fuzzed seed
+// through core.ConformancePlan instead: dropping an update flush under
+// bar-s/bar-m is genuine staleness (no invalidation fallback), not a
+// conformance bug, so their flushes must stay shielded from drops.
+func FuzzConformance(f *testing.F) {
+	f.Add(int64(1), byte(12), byte(12), byte(50))
+	f.Add(int64(7), byte(0), byte(30), byte(0))
+	f.Add(int64(42), byte(25), byte(0), byte(60))
+	f.Fuzz(func(t *testing.T, seed int64, drop, dup, reorder byte) {
+		plan := &netsim.FaultPlan{
+			Seed: seed,
+			Rules: []netsim.FaultRule{{
+				From:    netsim.AnyNode,
+				To:      netsim.AnyNode,
+				Drop:    float64(drop%32) / 512,    // < 6.25%
+				Dup:     float64(dup%64) / 256,     // < 25%
+				Reorder: float64(reorder%64) / 256, // < 25%
+			}},
+		}
+		body := stencilBody(16, 32, 2, 1)
+		const seg = 2 * 16 * 32 * 8
+		res, err := Differential(body, Options{
+			Procs:        4,
+			SegmentBytes: seg,
+			Protocols: []core.ProtocolKind{
+				core.ProtoLmwI, core.ProtoLmwU, core.ProtoBarI, core.ProtoBarU,
+			},
+			Plans: []*netsim.FaultPlan{plan},
+		})
+		if err != nil {
+			t.Fatalf("%v\n%s", err, res.Report)
+		}
+		res, err = Differential(body, Options{
+			Procs:        4,
+			SegmentBytes: seg,
+			Protocols:    []core.ProtocolKind{core.ProtoBarS, core.ProtoBarM},
+			Seeds:        []int64{seed},
+		})
+		if err != nil {
+			t.Fatalf("overdrive: %v\n%s", err, res.Report)
+		}
+	})
+}

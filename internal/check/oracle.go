@@ -1,0 +1,303 @@
+// Package check implements a shadow-memory consistency oracle and a
+// differential conformance harness for the DSM engine.
+//
+// The Oracle attaches to a run through core.Config.Check and maintains,
+// outside the simulated cluster, the memory image lazy release consistency
+// requires every node to observe after each barrier: the initial zero
+// image plus every recorded store, merged epoch by epoch. At each barrier
+// completion it checks the reporting node's readable pages against that
+// expected image, so a protocol that delivers a wrong bit anywhere — a
+// mis-merged diff, a lost-but-unrecovered update, a version race — fails
+// at the first barrier that exposes it, naming the node, epoch, page and
+// offset.
+//
+// What "conformance" means under LRC is deliberately asymmetric:
+//
+//   - A readable page that differs from the expected post-barrier image is
+//     always a bug, with two exceptions. bar-m may legally leave a readable
+//     page stale when overdrive declines to invalidate it (the engine
+//     reports each such decision via Checker.Stale, and the oracle stops
+//     holding that node's copy of that page to the current image). And a
+//     word may run *ahead* of the expected image when a fast node races
+//     through the next epoch and flushes its diffs before a slow node has
+//     consumed its own release — tolerated exactly when the observed bits
+//     match a recorded pending write (see validate).
+//   - Multi-writer false sharing — two nodes writing different words of
+//     the same page in one epoch — is legal and checked exactly, because
+//     the oracle tracks words, not pages.
+//   - Two nodes writing the *same* word between two barriers is a data
+//     race. If the final values differ the run is non-deterministic under
+//     LRC and the oracle fails it; if the values are identical the write
+//     is idempotent and merely counted (Benign), since every interleaving
+//     yields the same image.
+//
+// The differential harness (Differential) layers cross-run checking on
+// top: the same SPMD body runs under the sequential baseline and under
+// each protocol, with and without seeded fault plans, and the per-epoch
+// digests, final images and application checksums must agree bit for bit.
+package check
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"godsm/internal/vm"
+)
+
+// Oracle is a core.Checker implementing the shadow-memory consistency
+// oracle. The engine serializes all hook calls (one simulated proc runs at
+// a time), so the Oracle needs no locking; it must only be attached to one
+// run at a time. The zero value is not ready: use New.
+type Oracle struct {
+	pageSize int
+	// expected is the LRC-required post-barrier image of the shared
+	// segment, rolled forward one epoch at a time. Sized lazily at the
+	// first Epoch call (stores may precede it).
+	expected []byte
+	// writes holds each node's current-epoch stores: final bits per byte
+	// offset. The global epoch-e write set is complete when the first
+	// node reports Epoch e — all stores precede all barrier arrivals, and
+	// no node stores between its arrival and its own Epoch report — so
+	// the merge happens at that first report.
+	writes map[int]map[int]uint64
+	// epochOf is the epoch index each node reports next.
+	epochOf map[int]int
+	// closed counts merged epochs; expected holds epoch closed-1's image.
+	closed int
+	// history holds one per-page digest row per closed epoch.
+	history [][]uint64
+	// stale marks (node, page) pairs bar-m has declared legally stale;
+	// once stale, a copy never rejoins the equality check.
+	stale map[staleKey]bool
+	// benign counts idempotent same-word cross-node writes.
+	benign int
+	// err is the first fatal finding (race or divergence); Finish returns it.
+	err error
+	// capture selects an epoch whose expected image is cloned at close
+	// (for divergence localization); -1 captures nothing.
+	capture  int
+	captured []byte
+}
+
+type staleKey struct {
+	node int
+	pg   vm.PageID
+}
+
+// New returns an Oracle ready to attach to one run via core.Config.Check.
+func New() *Oracle {
+	return &Oracle{
+		writes:  make(map[int]map[int]uint64),
+		epochOf: make(map[int]int),
+		stale:   make(map[staleKey]bool),
+		capture: -1,
+	}
+}
+
+// CaptureEpoch asks the oracle to clone the expected image of epoch e when
+// it closes (see Captured). Must be called before the run starts.
+func (o *Oracle) CaptureEpoch(e int) { o.capture = e }
+
+// Captured returns the image cloned by CaptureEpoch, or nil if that epoch
+// never closed.
+func (o *Oracle) Captured() []byte { return o.captured }
+
+// Epochs returns the number of closed (fully merged) epochs.
+func (o *Oracle) Epochs() int { return o.closed }
+
+// History returns one row per closed epoch: the per-page digests of the
+// expected post-epoch image. Rows alias internal state; do not mutate.
+func (o *Oracle) History() [][]uint64 { return o.history }
+
+// Image returns the expected image of the most recently closed epoch —
+// after the run, the expected final memory. Aliases internal state.
+func (o *Oracle) Image() []byte { return o.expected }
+
+// Benign returns the count of idempotent same-word cross-node writes.
+func (o *Oracle) Benign() int { return o.benign }
+
+// Write implements core.Checker: record node's store of bits at off.
+func (o *Oracle) Write(node, off int, bits uint64) {
+	w := o.writes[node]
+	if w == nil {
+		w = make(map[int]uint64)
+		o.writes[node] = w
+	}
+	w[off] = bits
+}
+
+// Stale implements core.Checker: bar-m declined to invalidate node's
+// readable copy of pg, so that copy may legally lag forever.
+func (o *Oracle) Stale(node int, pg vm.PageID) {
+	o.stale[staleKey{node, pg}] = true
+}
+
+// Epoch implements core.Checker: node completed a barrier; close the
+// global epoch if this is its first report, then hold the node's readable
+// pages to the expected image.
+func (o *Oracle) Epoch(node int, as *vm.AddressSpace) {
+	if o.expected == nil {
+		o.pageSize = as.PageSize()
+		o.expected = make([]byte, len(as.Mem))
+	}
+	e := o.epochOf[node]
+	o.epochOf[node] = e + 1
+	if e == o.closed {
+		o.closeEpoch(e)
+	}
+	if e != o.closed-1 {
+		// The barrier manager guarantees all Epoch(e) reports precede any
+		// Epoch(e+1) report; anything else means the hook wiring is broken.
+		o.fail(fmt.Errorf("check: node %d reported epoch %d while %d epochs closed", node, e, o.closed))
+		return
+	}
+	o.validate(node, e, as)
+}
+
+// Finish implements core.Checker.
+func (o *Oracle) Finish() error { return o.err }
+
+func (o *Oracle) fail(err error) {
+	if o.err == nil {
+		o.err = err
+	}
+}
+
+// closeEpoch merges every node's epoch-e stores into the expected image —
+// in (node, offset) order so reports are deterministic — detecting
+// same-word conflicts on the way, then digests the result.
+func (o *Oracle) closeEpoch(e int) {
+	nodes := make([]int, 0, len(o.writes))
+	for n, w := range o.writes {
+		if len(w) > 0 {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Ints(nodes)
+	type firstWrite struct {
+		node int
+		bits uint64
+	}
+	var owner map[int]firstWrite
+	if len(nodes) > 1 {
+		owner = make(map[int]firstWrite)
+	}
+	for _, n := range nodes {
+		w := o.writes[n]
+		offs := make([]int, 0, len(w))
+		for off := range w {
+			offs = append(offs, off)
+		}
+		sort.Ints(offs)
+		for _, off := range offs {
+			bits := w[off]
+			if owner != nil {
+				if fw, dup := owner[off]; dup {
+					if fw.bits != bits {
+						o.fail(fmt.Errorf(
+							"check: write-write race in epoch %d at offset %d (page %d): node %d wrote %#x, node %d wrote %#x",
+							e, off, off/o.pageSize, fw.node, fw.bits, n, bits))
+					} else {
+						o.benign++
+					}
+				} else {
+					owner[off] = firstWrite{n, bits}
+				}
+			}
+			if off < 0 || off+8 > len(o.expected) {
+				o.fail(fmt.Errorf("check: epoch %d store at offset %d outside %d-byte segment", e, off, len(o.expected)))
+				continue
+			}
+			binary.LittleEndian.PutUint64(o.expected[off:], bits)
+		}
+		clear(w)
+	}
+	row := make([]uint64, len(o.expected)/o.pageSize)
+	for pg := range row {
+		row[pg] = vm.Hash64(o.expected[pg*o.pageSize : (pg+1)*o.pageSize])
+	}
+	o.history = append(o.history, row)
+	if o.capture == e {
+		o.captured = bytes.Clone(o.expected)
+	}
+	o.closed++
+}
+
+// validate holds node's readable, non-stale pages to the expected image.
+//
+// One relaxation is required by the barrier pipeline: a node that receives
+// its release early can race through the whole next epoch and flush its
+// diffs before a slow node has even seen its own release, so the slow
+// node's copy (home copies and update-consumer copies alike) may already
+// hold next-epoch words when its Epoch hook fires. That is legal LRC — a
+// data-race-free program only reads those words in later epochs — so a
+// differing word is tolerated exactly when it equals some node's pending
+// (recorded but not yet merged) write at that offset. Pending sets can be
+// at most one epoch ahead: no node reaches barrier e+1 until every node
+// has completed barrier e.
+func (o *Oracle) validate(node, e int, as *vm.AddressSpace) {
+	if o.err != nil {
+		return
+	}
+	ps := o.pageSize
+	for pg := 0; pg < as.NumPages(); pg++ {
+		if as.Prot(vm.PageID(pg)) == vm.None {
+			continue // invalid copies are refetched on demand; nothing to hold
+		}
+		if o.stale[staleKey{node, vm.PageID(pg)}] {
+			continue // bar-m legally stopped maintaining this copy
+		}
+		got := as.Page(vm.PageID(pg))
+		want := o.expected[pg*ps : (pg+1)*ps]
+		if bytes.Equal(got, want) {
+			continue
+		}
+		for w := 0; w+8 <= ps; w += 8 {
+			gw := got[w : w+8]
+			if bytes.Equal(gw, want[w:w+8]) {
+				continue
+			}
+			off := pg*ps + w
+			if o.pendingWrite(off, word(gw)) {
+				continue // next-epoch write flushed early by a fast node
+			}
+			o.fail(fmt.Errorf(
+				"check: consistency violation: node %d epoch %d page %d first differs at offset %d: got %#x, want %#x",
+				node, e, pg, off, word(gw), word(want[w:])))
+			return
+		}
+	}
+}
+
+// pendingWrite reports whether some node's recorded next-epoch store at
+// off has exactly these bits.
+func (o *Oracle) pendingWrite(off int, bits uint64) bool {
+	for _, w := range o.writes {
+		if b, ok := w[off]; ok && b == bits {
+			return true
+		}
+	}
+	return false
+}
+
+// firstDiff returns the index of the first differing byte; the slices are
+// known to differ and to have equal length.
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// word reads the (possibly partial) little-endian word starting at b.
+func word(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -58,6 +58,9 @@ func (a F64Array) Set(i int, v float64) {
 	if a.n.writeProbe != nil {
 		a.n.writeProbe(pg)
 	}
+	if a.n.check != nil {
+		a.n.check.Write(a.n.id, off, math.Float64bits(v))
+	}
 	binary.LittleEndian.PutUint64(as.Mem[off:], math.Float64bits(v))
 }
 
@@ -130,6 +133,9 @@ func (a I64Array) Set(i int, v int64) {
 	}
 	if a.n.writeProbe != nil {
 		a.n.writeProbe(pg)
+	}
+	if a.n.check != nil {
+		a.n.check.Write(a.n.id, off, uint64(v))
 	}
 	binary.LittleEndian.PutUint64(as.Mem[off:], uint64(v))
 }

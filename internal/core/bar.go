@@ -105,6 +105,17 @@ type bar struct {
 	// snapshot taken while the home was ahead of us in the barrier).
 	coveredAt []int
 	fetchAt   []int
+	// mergeLog records, per page we are home of, which writer's diff was
+	// merged into the authoritative copy at which epoch. A page reply built
+	// mid-epoch reports the current epoch's entries as pageRep.Absorbed, so
+	// the fetcher can tell a version bump its snapshot already contains
+	// from one it is still owed. Entries older than the newest epoch are
+	// pruned on append: once an epoch-M flush merges, every node has left
+	// the windows whose fetches could still need earlier entries.
+	mergeLog [][]mergeRec
+	// fetchAbs holds, per page, the Absorbed list of our last fetch; only
+	// meaningful when fetchAt names the current window.
+	fetchAbs [][]int
 
 	dirty       []vm.PageID // twinned pages this epoch
 	isDirty     []bool
@@ -146,6 +157,12 @@ type installQueue struct {
 	pkts []*netsim.Packet
 }
 
+// mergeRec is one mergeLog entry: creator's diff merged at epoch.
+type mergeRec struct {
+	epoch   int
+	creator int
+}
+
 func newBar(n *node, mode barMode) *bar {
 	np := n.as.NumPages()
 	b := &bar{
@@ -159,6 +176,8 @@ func newBar(n *node, mode barMode) *bar {
 		subscr:      make([]bool, np),
 		coveredAt:   make([]int, np),
 		fetchAt:     make([]int, np),
+		mergeLog:    make([][]mergeRec, np),
+		fetchAbs:    make([][]int, np),
 		isDirty:     make([]bool, np),
 		isHomeDirty: make([]bool, np),
 		selfPushed:  make([]bool, np),
@@ -225,7 +244,7 @@ func (b *bar) fetchPage(pg vm.PageID) {
 	n.ctr.RemoteMisses++
 	n.ctr.PageFetches++
 	n.ps.PageFetch(pg)
-	n.sendRequest(b.home[pg], mkPageReq, bytesPageReq, &pageReq{Page: pg})
+	n.sendRequest(b.home[pg], mkPageReq, bytesPageReq, &pageReq{Page: pg, Epoch: b.epoch()})
 	pkt := n.awaitReply()
 	if pkt.Kind != mkPageRep {
 		n.fatal("bar: expected page reply, got kind %d", pkt.Kind)
@@ -240,6 +259,7 @@ func (b *bar) fetchPage(pg vm.PageID) {
 	vm.PutPageBuf(rep.Data)
 	b.vcache[pg] = rep.Version
 	b.fetchAt[pg] = b.epoch()
+	b.fetchAbs[pg] = rep.Absorbed
 	if b.mode.update() {
 		b.subscr[pg] = true
 		b.setCovered(pg, b.epoch()+2)
@@ -318,6 +338,7 @@ func (b *bar) preBarrier(int) (any, int) {
 			b.version[pg]++
 			b.vcache[pg] = b.version[pg]
 			b.verReport = append(b.verReport, pageVersion{Page: pg, Version: b.version[pg]})
+			b.logMerge(pg, epoch, n.id)
 		} else {
 			homeFlushes.add(b.home[pg], dm)
 		}
@@ -446,6 +467,9 @@ func (b *bar) invalidate(pg vm.PageID) {
 		// pattern diverges, a read returns stale data silently — exactly
 		// why "bar-m is not guaranteed to maintain consistency".
 		n.ctr.StaleSkips++
+		if n.check != nil {
+			n.check.Stale(n.id, pg)
+		}
 		return
 	}
 	n.mprotect(pg, vm.None)
@@ -487,7 +511,9 @@ func (b *bar) postBarrier(site int) {
 func (b *bar) consumeUpdates(r *barReleaseBar) {
 	n := b.n
 	epoch := b.epoch()
-	complete := n.waitUpdates(epoch, r.ExpBatches)
+	// The completeness verdict is advisory only: per-page creator accounting
+	// below detects any missing flush as an undershoot and invalidates.
+	n.waitUpdates(epoch, r.ExpBatches)
 	banked := n.takeBankedUpdates(epoch)
 	perPage := b.perPage // reused scratch; emptied again before returning
 	for _, dm := range banked {
@@ -513,17 +539,29 @@ func (b *bar) consumeUpdates(r *barReleaseBar) {
 		if b.selfPushed[pg] {
 			selfDelta = 1
 		}
-		ok := b.vcache[pg]+uint32(len(diffs))+selfDelta == pv.Version
-		if !ok && complete && b.fetchAt[pg] >= epoch-1 &&
-			b.coveredAt[pg] >= 0 && b.coveredAt[pg] <= epoch {
-			// We faulted mid-epoch and fetched a coherent snapshot that
-			// already included some of this epoch's bumps (the home runs
-			// ahead of late arrivers). Every writer already had us in its
-			// copyset when this epoch's diffs were pushed, so the banked
-			// diffs cover every pusher; applying them to the newer base
-			// is idempotent and yields the final content even though the
-			// version arithmetic overshoots.
-			ok = true
+		var ok bool
+		if b.fetchAt[pg] >= epoch-1 {
+			// We faulted mid-epoch and fetched a coherent snapshot taken
+			// while the home may already have merged some of this epoch's
+			// flushes: those bumps are inside vcache, and banked diffs from
+			// the same writers are double-counted (applying them again is
+			// idempotent). Count arithmetic alone cannot tell an absorbed
+			// bump from a missing flush — the two cancel — so the accounting
+			// is by creator: the page is current exactly when the fresh
+			// banked diffs (creators the snapshot had not absorbed, per the
+			// home's pageRep.Absorbed list) plus our own push cover every
+			// bump the snapshot is still owed. Anything else — a writer that
+			// pushed before we joined the copyset, a lost flush, a home
+			// modification with no diff to push — invalidates conservatively.
+			fresh := selfDelta
+			for _, dm := range diffs {
+				if !absorbedHas(b.fetchAbs[pg], dm.Notice.Creator) {
+					fresh++
+				}
+			}
+			ok = b.vcache[pg]+fresh == pv.Version
+		} else {
+			ok = b.vcache[pg]+uint32(len(diffs))+selfDelta == pv.Version
 		}
 		if n.as.Prot(pg) != vm.None && ok {
 			for i, dm := range diffs {
@@ -741,13 +779,24 @@ func (b *bar) serveHomeRequest(p *sim.Proc, pkt *netsim.Packet) {
 	cm := n.clu.cm
 	switch pkt.Kind {
 	case mkPageReq:
-		pg := pkt.Data.(*pageReq).Page
+		req := pkt.Data.(*pageReq)
+		pg := req.Page
 		p.Advance(cm.CopyCost(n.as.PageSize()))
 		if b.mode.update() && pkt.FromNode != n.id {
 			b.addCopysetMember(pg, pkt.FromNode)
 		}
-		n.replyFrom(p, pkt, mkPageRep, n.as.PageSize()+bytesVersionRec,
-			&pageRep{Page: pg, Data: n.as.CopyPageOut(pg), Version: b.version[pg]})
+		// The requester is mid-window req.Epoch; flushes for that window are
+		// labelled req.Epoch+1. Tell it which of them this snapshot already
+		// merged, so its version accounting at the barrier can separate
+		// absorbed bumps from genuinely missing flushes.
+		var absorbed []int
+		for _, m := range b.mergeLog[pg] {
+			if m.epoch == req.Epoch+1 {
+				absorbed = append(absorbed, m.creator)
+			}
+		}
+		n.replyFrom(p, pkt, mkPageRep, n.as.PageSize()+bytesVersionRec+4*len(absorbed),
+			&pageRep{Page: pg, Data: n.as.CopyPageOut(pg), Version: b.version[pg], Absorbed: absorbed})
 	case mkHomeFlush:
 		hf := pkt.Data.(*homeFlush)
 		ack := &homeFlushAck{}
@@ -767,6 +816,7 @@ func (b *bar) serveHomeRequest(p *sim.Proc, pkt *netsim.Packet) {
 			}
 			b.version[pg]++
 			b.vcache[pg] = b.version[pg]
+			b.logMerge(pg, hf.Epoch, dm.Notice.Creator)
 			ack.Versions = append(ack.Versions, pageVersion{Page: pg, Version: b.version[pg]})
 			if b.mode.update() && hf.Epoch > 1 {
 				// Writers cache the page: they belong in its copyset. The
@@ -778,6 +828,35 @@ func (b *bar) serveHomeRequest(p *sim.Proc, pkt *netsim.Packet) {
 		}
 		n.replyFrom(p, pkt, mkHomeFlushAck, len(ack.Versions)*bytesVersionRec, ack)
 	}
+}
+
+// absorbedHas reports whether creator is in the fetched snapshot's
+// absorbed list (tiny: linear scan).
+func absorbedHas(abs []int, creator int) bool {
+	for _, c := range abs {
+		if c == creator {
+			return true
+		}
+	}
+	return false
+}
+
+// logMerge records that creator's epoch-labelled diff was merged into our
+// authoritative copy of pg, pruning entries no fetch can still ask about:
+// an epoch-M merge implies every node has left the windows whose requests
+// would need entries older than M.
+func (b *bar) logMerge(pg vm.PageID, epoch, creator int) {
+	log := b.mergeLog[pg]
+	if len(log) > 0 && log[0].epoch < epoch {
+		keep := log[:0]
+		for _, m := range log {
+			if m.epoch >= epoch {
+				keep = append(keep, m)
+			}
+		}
+		log = keep
+	}
+	b.mergeLog[pg] = append(log, mergeRec{epoch: epoch, creator: creator})
 }
 
 // setCovered lowers the page's push-coverage epoch.

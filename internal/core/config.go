@@ -19,6 +19,7 @@ import (
 	"godsm/internal/netsim"
 	"godsm/internal/sim"
 	"godsm/internal/trace"
+	"godsm/internal/vm"
 )
 
 // ProtocolKind selects a coherence protocol.
@@ -95,21 +96,6 @@ type Config struct {
 	// iteration begins"; overdrive "after gathering information for some
 	// period of time").
 	LearnIters int
-	// UpdateLossRate drops this fraction of unacknowledged update flushes
-	// (lmw-u and bar-u consumer updates), deterministically from Seed.
-	// The paper argues lost flushes cost only performance, never
-	// correctness; tests inject loss to verify that claim.
-	//
-	// Deprecated: this knob is a shim over the general fault-injection
-	// layer — fill() folds it into Faults as a drop rule on the two
-	// unacknowledged flush kinds. New code should build a
-	// netsim.FaultPlan directly.
-	UpdateLossRate float64
-	// Seed feeds the loss-injection generator.
-	//
-	// Deprecated: used only by the UpdateLossRate shim; it becomes the
-	// synthesized FaultPlan's Seed. New code should set FaultPlan.Seed.
-	Seed int64
 	// Faults, when non-nil, arms deterministic network fault injection
 	// (drop/duplicate/delay by kind, node pair or epoch window, plus
 	// straggler slowdowns) and with it the reliability layer: tracked,
@@ -165,6 +151,33 @@ type Config struct {
 	// the home-assignment ablation to quantify what §2.2.1's runtime
 	// assignment buys.
 	DisableMigration bool
+	// Check, when non-nil, receives every store and every barrier
+	// completion during the run, and its Finish error fails the run.
+	// internal/check's consistency oracle implements it; core sees only
+	// this interface so the checker stays out of the engine's import
+	// graph. Nil (the default) costs one pointer test per store and
+	// nothing else — the same zero-cost-when-off contract as PageStats.
+	Check Checker
+}
+
+// Checker observes a run for the consistency oracle (internal/check). The
+// engine invokes it at zero virtual cost: a checker is instrumentation,
+// not a protocol participant, so it must not touch simulated state.
+type Checker interface {
+	// Write observes one 8-byte store by node: the raw bits now at byte
+	// offset off of the shared segment. Called on the typed accessors'
+	// store path, after protection is resolved.
+	Write(node, off int, bits uint64)
+	// Epoch observes one barrier completion on node, after the protocol's
+	// post-barrier phase; as is the node's address space, to be read only.
+	Epoch(node int, as *vm.AddressSpace)
+	// Stale observes bar-m's overdrive declining to invalidate a readable
+	// page on node (a StaleSkip): the copy may legally go stale, and the
+	// oracle must stop holding that page to the current image.
+	Stale(node int, pg vm.PageID)
+	// Finish runs after the simulation completes; a non-nil error fails
+	// the run with it.
+	Finish() error
 }
 
 func (c *Config) fill() error {
@@ -186,22 +199,61 @@ func (c *Config) fill() error {
 	if c.RetryTimeout == 0 {
 		c.RetryTimeout = 5 * sim.Millisecond
 	}
-	if c.UpdateLossRate > 0 {
-		// Legacy shim: express the old flush-loss knob as a fault rule so
-		// there is exactly one loss mechanism. The caller's plan (if any)
-		// is copied, not mutated.
-		plan := netsim.FaultPlan{Seed: c.Seed}
-		if c.Faults != nil {
-			plan = *c.Faults
-			plan.Rules = append([]netsim.FaultRule(nil), c.Faults.Rules...)
-		}
-		plan.Rules = append(plan.Rules, netsim.FaultRule{
-			Kinds: []int{mkUpdateFlush, mkLmwFlush},
-			From:  netsim.AnyNode,
-			To:    netsim.AnyNode,
-			Drop:  c.UpdateLossRate,
-		})
-		c.Faults = &plan
-	}
 	return nil
+}
+
+// ConformancePlan builds the seeded fault schedule the conformance harness
+// (internal/check) runs proto under: moderate drop, duplication and
+// reordering on every packet. For the overdrive protocols the update
+// flushes are shielded from drops (duplication and reordering still
+// apply): bar-s and bar-m write-enable predicted pages without refetching,
+// so unlike every other protocol they have no invalidation fallback for a
+// lost flush — dropping one would produce a genuine stale read, not a
+// conformance bug. The first matching fault rule wins, so the shield rule
+// precedes the catch-all.
+func ConformancePlan(proto ProtocolKind, seed int64) *netsim.FaultPlan {
+	plan := &netsim.FaultPlan{Seed: seed}
+	if proto == ProtoBarS || proto == ProtoBarM {
+		plan.Rules = append(plan.Rules, netsim.FaultRule{
+			Kinds:   []int{mkUpdateFlush},
+			From:    netsim.AnyNode,
+			To:      netsim.AnyNode,
+			Dup:     0.05,
+			Reorder: 0.2,
+			Delay:   200 * sim.Microsecond,
+		})
+	}
+	plan.Rules = append(plan.Rules, netsim.FaultRule{
+		From:    netsim.AnyNode,
+		To:      netsim.AnyNode,
+		Drop:    0.05,
+		Dup:     0.05,
+		Reorder: 0.2,
+		Delay:   200 * sim.Microsecond,
+	})
+	return plan
+}
+
+// UpdateLossPlan builds the FaultPlan the retired Config.UpdateLossRate /
+// Config.Seed fields used to synthesize: base (copied, never mutated; nil
+// for none) extended with a rule dropping rate of the unacknowledged
+// update flushes (lmw-u and bar-u consumer updates), seeded with seed.
+// The paper argues lost flushes cost only performance, never correctness.
+//
+// Deprecated: one-release compat adapter for callers migrating off the
+// removed Config fields. New code should build a netsim.FaultPlan
+// targeting the message classes it wants directly.
+func UpdateLossPlan(rate float64, seed int64, base *netsim.FaultPlan) *netsim.FaultPlan {
+	plan := netsim.FaultPlan{Seed: seed}
+	if base != nil {
+		plan = *base
+		plan.Rules = append([]netsim.FaultRule(nil), base.Rules...)
+	}
+	plan.Rules = append(plan.Rules, netsim.FaultRule{
+		Kinds: []int{mkUpdateFlush, mkLmwFlush},
+		From:  netsim.AnyNode,
+		To:    netsim.AnyNode,
+		Drop:  rate,
+	})
+	return &plan
 }

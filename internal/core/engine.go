@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"godsm/internal/cost"
@@ -22,8 +23,8 @@ type cluster struct {
 	mgr      *barMgr
 	pmgr     protoManager
 	body     func(*Proc)
-	seq      bool // ProtoSeq: synchronization nulled out
-	faultsOn bool // cfg.Faults armed: reliability layer active
+	seq      bool   // ProtoSeq: synchronization nulled out
+	faultsOn bool   // cfg.Faults armed: reliability layer active
 	doneSeen []bool // teardown: nodes whose compute body has finished
 	doneLeft int    // teardown: nodes still running
 
@@ -92,6 +93,10 @@ type node struct {
 	// pages). bar-m's divergence checker uses it to detect unpredicted
 	// steady-state writes that real hardware would let slip through.
 	writeProbe func(pg vm.PageID)
+	// check is cfg.Check cached per node: the consistency oracle's store
+	// and epoch hooks. Nil (the default) keeps the store hot path to a
+	// single pointer test.
+	check Checker
 
 	allocOff int // shared-segment bump allocator
 	result   uint64
@@ -102,6 +107,19 @@ type node struct {
 // returns the measured statistics. body runs once per node (SPMD); all
 // nodes must perform identical Alloc and Barrier sequences.
 func Run(cfg Config, body func(*Proc)) (*Report, error) {
+	return RunContext(context.Background(), cfg, body)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled mid-run the
+// simulation stops at its next event and ctx's error is returned. Like a
+// failed run, a cancelled one parks its simulated processes' goroutines
+// (they are unwound only by process exit), so cancellation is for
+// shutting down — SIGINT on a sweep — not for running many aborted
+// simulations in a loop.
+func RunContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -148,6 +166,7 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 		if cfg.PageStats {
 			n.ps = obs.NewPageStats(n.as.NumPages())
 		}
+		n.check = cfg.Check
 		if clu.seq {
 			for pg := 0; pg < n.as.NumPages(); pg++ {
 				n.as.SetProt(vm.PageID(pg), vm.ReadWrite)
@@ -164,8 +183,31 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 		n.compute = clu.net.Bind(n.id, netsim.PortCompute, fmt.Sprintf("compute%d", n.id), n.computeBody)
 		n.service = clu.net.Bind(n.id, netsim.PortService, fmt.Sprintf("service%d", n.id), n.serviceBody)
 	}
-	if err := clu.kern.Run(); err != nil {
-		return nil, err
+	var kerr error
+	if dctx := ctx.Done(); dctx != nil {
+		// Watch for cancellation on a side goroutine; the kernel polls the
+		// flag between events. done keeps the watcher from outliving the
+		// run (and from holding ctx alive).
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-dctx:
+				clu.kern.Cancel(ctx.Err())
+			case <-done:
+			}
+		}()
+		kerr = clu.kern.Run()
+		close(done)
+	} else {
+		kerr = clu.kern.Run()
+	}
+	if kerr != nil {
+		return nil, kerr
+	}
+	if cfg.Check != nil {
+		if err := cfg.Check.Finish(); err != nil {
+			return nil, err
+		}
 	}
 	return clu.report()
 }
@@ -423,7 +465,7 @@ func (n *node) sendRequest(dst int, kind, size int, data any) {
 
 // sendFlush transmits an unacknowledged flush (update) message. Loss is
 // injected by the netsim fault plan (Config.Faults; the legacy
-// UpdateLossRate knob is folded into it by Config.fill): a lost flush
+// UpdateLossRate knob maps onto it via UpdateLossPlan): a lost flush
 // harms only performance, so flushes are never tracked or retransmitted.
 func (n *node) sendFlush(dst int, kind, size int, data any) {
 	n.osCharge(n.clu.cm.SendCPU)
@@ -489,6 +531,9 @@ func (n *node) barrier(red *redContrib) *redResult {
 	if n.clu.seq {
 		n.ctr.Barriers++
 		n.sampleEpoch()
+		if n.check != nil {
+			n.check.Epoch(n.id, n.as)
+		}
 		return reduceLocal(red)
 	}
 	site := n.siteIdx
@@ -512,6 +557,12 @@ func (n *node) barrier(red *redContrib) *redResult {
 	n.proto.postBarrier(site)
 	n.ctr.Barriers++
 	n.sampleEpoch()
+	if n.check != nil {
+		// The oracle samples after postBarrier: updates are consumed, stale
+		// copies invalidated, migrated homes installed — every readable page
+		// is supposed to be coherent right here.
+		n.check.Epoch(n.id, n.as)
+	}
 	return rel.Red
 }
 

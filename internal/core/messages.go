@@ -182,16 +182,25 @@ type diffRep struct {
 	Diffs []diffMsg
 }
 
-// pageReq asks the receiving home for a full copy of Page.
+// pageReq asks the receiving home for a full copy of Page. Epoch is the
+// requester's current barrier sequence, letting the home report which of
+// the in-progress epoch's merges the returned snapshot already includes
+// (both fields fit the 8-byte wire size).
 type pageReq struct {
-	Page vm.PageID
+	Page  vm.PageID
+	Epoch int
 }
 
-// pageRep carries the page image and its version index.
+// pageRep carries the page image and its version index. Absorbed lists the
+// writers whose diffs for the requester's in-progress epoch (labelled
+// Epoch+1 by the flush pipeline) were already merged into Data: the
+// requester must not count their banked update flushes toward the version
+// bumps its snapshot is missing (see consumeUpdates).
 type pageRep struct {
-	Page    vm.PageID
-	Data    []byte
-	Version uint32
+	Page     vm.PageID
+	Data     []byte
+	Version  uint32
+	Absorbed []int
 }
 
 // homeFlush carries every diff a writer created this epoch for pages homed

@@ -32,8 +32,8 @@ type Packet struct {
 	Kind     int // protocol-defined message kind
 	FromNode int
 	FromPort Port
-	Size     int  // modeled payload size in bytes (headers added by the model)
-	Reply    bool // replies/releases: excluded from the Messages count
+	Size     int   // modeled payload size in bytes (headers added by the model)
+	Reply    bool  // replies/releases: excluded from the Messages count
 	Rid      int64 // request id for retransmit/dedup; 0 = untracked
 	Orig     int   // node whose reliability layer issued Rid
 	// NoFault exempts the packet from fault injection. Reserved for

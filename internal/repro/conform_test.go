@@ -1,0 +1,52 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestConformSmall runs the full conformance sweep at reduced scale: all
+// eight applications, every eligible protocol, fault-free plus seeds 1-3.
+func TestConformSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance sweep is minutes of simulation in -short mode")
+	}
+	r := &Runner{Procs: 4, Small: true, Parallel: 0}
+	rows, err := r.Conform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("swept %d apps, want 8", len(rows))
+	}
+	for _, row := range rows {
+		// reference + protocols x (fault-free + 3 seeds)
+		if want := 1 + len(row.Protocols)*4; row.Runs != want {
+			t.Errorf("%s: %d runs, want %d", row.App, row.Runs, want)
+		}
+		if row.Epochs == 0 {
+			t.Errorf("%s: oracle saw no epochs", row.App)
+		}
+	}
+
+	out, err := r.RenderConform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "all conform") || !strings.Contains(out, "barnes") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+// TestConformContextCancelled verifies SIGINT semantics: a cancelled
+// context aborts the sweep with the cancellation error.
+func TestConformContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Procs: 4, Small: true}
+	if _, err := r.ConformContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

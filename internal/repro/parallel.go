@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"godsm/internal/apps"
@@ -249,6 +250,12 @@ func (r *Runner) jobsFor(experiment string) []runJob {
 // pure cache reads, so a prefetched sweep emits bytes identical to a
 // serial one.
 func (r *Runner) Prefetch(experiments ...string) error {
+	return r.PrefetchContext(context.Background(), experiments...)
+}
+
+// PrefetchContext is Prefetch with cancellation: once ctx is cancelled
+// (SIGINT mid-sweep) no new runs start and the cancellation is returned.
+func (r *Runner) PrefetchContext(ctx context.Context, experiments ...string) error {
 	r.init()
 	if len(experiments) == 0 {
 		experiments = ExportExperiments()
@@ -269,7 +276,7 @@ func (r *Runner) Prefetch(experiments ...string) error {
 			}
 		}
 	}
-	return sweep.Each(r.Parallel, len(jobs), func(i int) error {
+	return sweep.EachContext(ctx, r.Parallel, len(jobs), func(i int) error {
 		_, err := r.runCached(jobs[i])
 		return err
 	})

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Time is a virtual-time instant in nanoseconds since the start of the run.
@@ -130,7 +131,15 @@ type Kernel struct {
 	yield  chan struct{} // proc -> kernel: I have blocked or finished
 	live   int           // procs not yet Done
 	failed error
+
+	// canceled carries an external stop request (Cancel); the event loop
+	// polls it between events. It is the only kernel field touched from
+	// outside the simulation's goroutines.
+	canceled atomic.Pointer[cancelReason]
 }
+
+// cancelReason boxes a Cancel error for atomic publication.
+type cancelReason struct{ err error }
 
 // NewKernel returns an empty kernel.
 func NewKernel() *Kernel {
@@ -192,6 +201,10 @@ func (k *Kernel) Run() error {
 		k.schedule(p, 0)
 	}
 	for k.live > 0 && k.failed == nil {
+		if c := k.canceled.Load(); c != nil {
+			k.fail(c.err)
+			break
+		}
 		if len(k.events) == 0 {
 			return &ErrDeadlock{Detail: k.dump()}
 		}
@@ -228,6 +241,20 @@ func (k *Kernel) fail(err error) {
 	if k.failed == nil {
 		k.failed = err
 	}
+}
+
+// Cancel asks a running kernel to stop: Run returns err after the event
+// being processed completes. Unlike every other kernel method, Cancel is
+// safe to call from any goroutine (it only publishes a flag), which is
+// what lets a context watcher stop a simulation mid-run. Like a Fail, a
+// cancelled run leaves its blocked procs' goroutines parked forever.
+// Calling Cancel on a kernel that already stopped is a no-op; only the
+// first Cancel's error is reported.
+func (k *Kernel) Cancel(err error) {
+	if err == nil {
+		err = fmt.Errorf("sim: run canceled")
+	}
+	k.canceled.CompareAndSwap(nil, &cancelReason{err: err})
 }
 
 // dump renders the blocked-proc state for deadlock reports.

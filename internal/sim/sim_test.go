@@ -178,6 +178,42 @@ func TestFailAborts(t *testing.T) {
 	}
 }
 
+func TestCancelStopsRun(t *testing.T) {
+	// Two procs ping-ponging forever: only Cancel can end the run. The
+	// canceling goroutine stands in for a context watcher.
+	k := NewKernel()
+	pong := func(p *Proc) {
+		for {
+			m := p.Recv()
+			p.Send(m.From, Microsecond, nil)
+		}
+	}
+	k.Spawn("a", func(p *Proc) {
+		p.Send(1, Microsecond, nil)
+		pong(p)
+	})
+	k.Spawn("b", pong)
+	stop := errors.New("stop")
+	go k.Cancel(stop)
+	if err := k.Run(); !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want stop", err)
+	}
+	k.Cancel(errors.New("late")) // no-op after the run ended
+}
+
+func TestCancelNilErrDefaults(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", func(p *Proc) {
+		for {
+			p.Advance(Microsecond)
+		}
+	})
+	go k.Cancel(nil)
+	if err := k.Run(); err == nil {
+		t.Fatal("Run returned nil after Cancel")
+	}
+}
+
 func TestTryRecv(t *testing.T) {
 	k := NewKernel()
 	k.Spawn("sender", func(p *Proc) {

@@ -10,6 +10,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -31,9 +32,18 @@ func DefaultParallel(n int) int {
 // not depend on scheduling. A panicking job is captured as an error rather
 // than tearing down the process.
 func Run[T any](parallel int, jobs []func() (T, error)) ([]T, error) {
+	return RunContext(context.Background(), parallel, jobs)
+}
+
+// RunContext is Run with cancellation: once ctx is cancelled, workers stop
+// claiming new jobs (jobs already running finish — simulation kernels are
+// not preempted here; pass ctx into the jobs themselves for that). If any
+// job failed, its error wins as in Run; otherwise a cancelled sweep
+// returns ctx's error.
+func RunContext[T any](ctx context.Context, parallel int, jobs []func() (T, error)) ([]T, error) {
 	results := make([]T, len(jobs))
 	if len(jobs) == 0 {
-		return results, nil
+		return results, ctx.Err()
 	}
 	parallel = DefaultParallel(parallel)
 	if parallel > len(jobs) {
@@ -64,7 +74,7 @@ func Run[T any](parallel int, jobs []func() (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(jobs) || failed.Load() {
+				if i >= len(jobs) || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				runOne(i)
@@ -77,17 +87,25 @@ func Run[T any](parallel int, jobs []func() (T, error)) ([]T, error) {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return results, nil
 }
 
 // Each runs fn(0..n-1) on up to parallel workers; the error (if any) is
 // from the lowest failing index, as in Run.
 func Each(parallel, n int, fn func(i int) error) error {
+	return EachContext(context.Background(), parallel, n, fn)
+}
+
+// EachContext is Each with cancellation, with RunContext's semantics.
+func EachContext(ctx context.Context, parallel, n int, fn func(i int) error) error {
 	jobs := make([]func() (struct{}, error), n)
 	for i := range jobs {
 		i := i
 		jobs[i] = func() (struct{}, error) { return struct{}{}, fn(i) }
 	}
-	_, err := Run(parallel, jobs)
+	_, err := RunContext(ctx, parallel, jobs)
 	return err
 }

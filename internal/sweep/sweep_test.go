@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -112,5 +113,38 @@ func TestDefaultParallel(t *testing.T) {
 	}
 	if DefaultParallel(0) < 1 || DefaultParallel(-1) < 1 {
 		t.Fatal("auto worker count must be at least 1")
+	}
+}
+
+func TestRunContextCancelStopsClaiming(t *testing.T) {
+	// One worker, a context cancelled by the first job: later jobs must
+	// never start, and the sweep must report the cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	jobs := make([]func() (int, error), 8)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) {
+			started.Add(1)
+			if i == 0 {
+				cancel()
+			}
+			return i, nil
+		}
+	}
+	_, err := RunContext(ctx, 1, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n != 1 {
+		t.Fatalf("%d jobs started after cancellation, want 1", n)
+	}
+
+	// With a live context, a job failure is reported as in Run.
+	wantErr := fmt.Errorf("boom")
+	err = EachContext(context.Background(), 1, 3, func(i int) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
 	}
 }

@@ -170,6 +170,35 @@ func (as *AddressSpace) CopyPageOut(pg PageID) []byte {
 	return out
 }
 
+// --- content hashing ---------------------------------------------------------
+
+// Hash64 returns a 64-bit mixing hash of b, word-at-a-time with a scalar
+// multiply-xor finalizer. It exists for the consistency oracle's per-page
+// content digests: cheap enough to hash whole segments every epoch, and
+// sensitive to both value and position (so two pages with swapped words
+// hash differently). Not cryptographic.
+func Hash64(b []byte) uint64 {
+	const m = 0x9E3779B97F4A7C15 // 2^64 / golden ratio
+	h := uint64(len(b))*m + 0x1F83D9ABFB41BD6B
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		h ^= binary.LittleEndian.Uint64(b[i:])
+		h *= m
+		h ^= h >> 29
+	}
+	for ; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= m
+	}
+	h ^= h >> 32
+	return h
+}
+
+// PageChecksum returns the content digest of page pg's current local copy.
+func (as *AddressSpace) PageChecksum(pg PageID) uint64 {
+	return Hash64(as.Page(pg))
+}
+
 // --- page buffer pool --------------------------------------------------------
 
 // pageBufPool recycles page-sized buffers — twins and full-page snapshots.

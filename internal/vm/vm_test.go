@@ -372,7 +372,7 @@ func TestDiffOverlapsAdjacentRuns(t *testing.T) {
 	old := make([]byte, 64)
 	a := make([]byte, 64)
 	b := make([]byte, 64)
-	a[0], a[8] = 1, 1  // words 0-1: run [0,16)
+	a[0], a[8] = 1, 1   // words 0-1: run [0,16)
 	b[16], b[24] = 1, 1 // words 2-3: run [16,32)
 	da := MakeDiff(0, old, a)
 	db := MakeDiff(0, old, b)
