@@ -20,6 +20,7 @@ import (
 	"godsm/internal/obs"
 	"godsm/internal/repro"
 	"godsm/internal/vm"
+	"godsm/internal/wire"
 )
 
 const benchProcs = 8
@@ -319,6 +320,73 @@ func BenchmarkDiffCodec(b *testing.B) {
 	}
 	if len(buf) != d.WireSize() {
 		b.Fatalf("encoded %d bytes, want WireSize %d", len(buf), d.WireSize())
+	}
+}
+
+// BenchmarkWireCodec pins the frame codec's allocation behaviour on the
+// two frames that dominate real-transport traffic: a copyset update flush
+// (diff batch) and a full 8 KiB page reply. Encoding into a reused buffer
+// must allocate nothing — AppendFrame is on every remote send — and
+// decoding is pinned at its current slice-materialization cost (payload
+// struct, diff list, per-diff backing) so a regression fails the
+// benchmark outright rather than silently reporting a worse number.
+func BenchmarkWireCodec(b *testing.B) {
+	old := make([]byte, 8192)
+	cur := make([]byte, 8192)
+	for i := 0; i < len(cur); i += 512 {
+		cur[i] = byte(i/512 + 1)
+	}
+	flush := &wire.UpdateFlush{Epoch: 4, Diffs: []wire.DiffMsg{
+		{Notice: wire.WriteNotice{Page: 3, Creator: 1, Epoch: 4}, Diff: vm.MakeDiff(3, old, cur)},
+		{Notice: wire.WriteNotice{Page: 7, Creator: 2, Epoch: 4}, Diff: vm.MakeDiff(7, old, cur)},
+	}}
+	fh := wire.Header{Kind: wire.KindUpdateFlush, FromNode: 2, FromPort: 1, Size: 64, Rid: 9, Orig: 2}
+	rep := &wire.PageRep{Page: 5, Data: cur, Version: 3, Absorbed: []int{1, 2}}
+	rh := wire.Header{Kind: wire.KindPageRep, FromNode: 1, Reply: true, Size: 8192}
+
+	frames := map[string]struct {
+		h            wire.Header
+		data         any
+		decodeAllocs float64
+	}{
+		"updateFlush": {fh, flush, 6},
+		"pageRep":     {rh, rep, 3},
+	}
+	for name, fr := range frames {
+		fr := fr
+		b.Run(name, func(b *testing.B) {
+			enc, err := wire.AppendFrame(nil, &fr.h, fr.data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 0, len(enc)+64)
+			if allocs := testing.AllocsPerRun(100, func() {
+				buf, err = wire.AppendFrame(buf[:0], &fr.h, fr.data)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}); allocs != 0 {
+				b.Fatalf("%s: encode into a sized buffer allocates %.1f per op, want 0", name, allocs)
+			}
+			if allocs := testing.AllocsPerRun(100, func() {
+				if _, _, _, err := wire.DecodeFrame(enc); err != nil {
+					b.Fatal(err)
+				}
+			}); allocs > fr.decodeAllocs {
+				b.Fatalf("%s: decode allocates %.1f per op, want at most %.0f", name, allocs, fr.decodeAllocs)
+			}
+			b.SetBytes(int64(len(enc)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf, err = wire.AppendFrame(buf[:0], &fr.h, fr.data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, _, err := wire.DecodeFrame(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

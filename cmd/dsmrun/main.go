@@ -16,6 +16,13 @@
 // run: the chosen protocol (fault-injection flags included) is held
 // bit-for-bit to the sequential baseline with the consistency oracle
 // attached, and any divergence exits non-zero with a localized report.
+//
+// -transport=mem|udp leaves the simulator entirely: the cluster runs on
+// the wall-clock scheduler over a real transport (in-process channels or
+// loopback UDP sockets), every frame crosses the internal/wire codec, and
+// elapsed time is measured rather than modeled — so the virtual-time
+// sequential baseline, speedup, and -straggler do not apply. Combines
+// with -check to hold the real runtime to the simulated baseline.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"godsm/internal/obs"
 	"godsm/internal/sim"
 	"godsm/internal/trace"
+	"godsm/internal/transport"
 )
 
 func main() {
@@ -61,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reorder := fs.Float64("reorder", 0, "fault injection: delay (reorder) this fraction of remote packets")
 	delay := fs.Duration("delay", 0, "fault injection: maximum extra latency for -reorder (0 = 500µs); with -reorder 0, delay every packet by up to this")
 	straggler := fs.String("straggler", "", "fault injection: slow one node, as node:factor[:fromEpoch[:toEpoch]]")
+	transportName := fs.String("transport", "", "run over a real transport instead of the simulator: mem (in-process channels) or udp (loopback sockets)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault-injection schedule")
 	checkRun := fs.Bool("check", false, "differential conformance: hold this protocol (fault flags included) bit-for-bit to the sequential baseline under the consistency oracle")
 	if err := fs.Parse(args); err != nil {
@@ -88,10 +97,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dsmrun: -delay %v: extra latency cannot be negative\n", *delay)
 		return 2
 	}
+	if *transportName != "" && *transportName != transport.KindMem && *transportName != transport.KindUDP {
+		fmt.Fprintf(stderr, "dsmrun: -transport %q: unknown backend (want %q or %q)\n",
+			*transportName, transport.KindMem, transport.KindUDP)
+		fs.Usage()
+		return 2
+	}
+	if *transportName != "" && *straggler != "" {
+		// Stragglers multiply modeled compute time, which only exists under
+		// the virtual clock; on a real transport the wall clock is measured,
+		// not modeled, so the rule would silently do nothing.
+		fmt.Fprintf(stderr, "dsmrun: -straggler only means something under the sim clock; it cannot be combined with -transport %s\n",
+			*transportName)
+		return 2
+	}
 
 	proto, err := core.ParseProtocol(*protoName)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *transportName != "" && proto == core.ProtoSeq {
+		fmt.Fprintf(stderr, "dsmrun: -transport %s needs a parallel protocol; seq has no remote traffic\n", *transportName)
 		return 2
 	}
 	var app *apps.App
@@ -112,6 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := apps.RunOpts{
 		Timeline:  *jsonOut || *timeline,
 		PageStats: *pageStatsN > 0,
+		Transport: *transportName,
 	}
 	plan, err := buildFaultPlan(*loss, *dup, *reorder, *delay, *straggler, *faultSeed, *procs)
 	if err != nil {
@@ -121,7 +149,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts.Faults = plan
 
 	if *checkRun {
-		return runCheck(stdout, stderr, app, proto, *procs, plan)
+		return runCheck(stdout, stderr, app, proto, *procs, plan, *transportName)
 	}
 
 	var log *trace.Log
@@ -145,10 +173,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Sinks = append(opts.Sinks, chrome)
 	}
 
-	seq, err := app.RunSeq(nil)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+	// The sequential baseline is a virtual-time measurement; over a real
+	// transport the run is timed by the wall clock, so a speedup against it
+	// would compare incommensurable units. Skip it.
+	var seq *core.Report
+	if *transportName == "" {
+		if seq, err = app.RunSeq(nil); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 	}
 	var rep *core.Report
 	if proto == core.ProtoSeq {
@@ -203,7 +236,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runCheck executes the -check mode: the differential conformance harness
 // over exactly the requested protocol, fault-free plus (when fault flags
 // are set) the requested plan.
-func runCheck(stdout, stderr io.Writer, app *apps.App, proto core.ProtocolKind, procs int, plan *netsim.FaultPlan) int {
+func runCheck(stdout, stderr io.Writer, app *apps.App, proto core.ProtocolKind, procs int, plan *netsim.FaultPlan, transportName string) int {
 	if proto == core.ProtoSeq {
 		fmt.Fprintln(stderr, "dsmrun: -check holds a protocol to the sequential baseline; -proto seq is the baseline itself")
 		return 2
@@ -216,6 +249,7 @@ func runCheck(stdout, stderr io.Writer, app *apps.App, proto core.ProtocolKind, 
 		Procs:        procs,
 		SegmentBytes: app.SegmentBytes,
 		Protocols:    []core.ProtocolKind{proto},
+		Transport:    transportName,
 	}
 	if plan != nil {
 		copts.Plans = []*netsim.FaultPlan{plan}
@@ -228,8 +262,12 @@ func runCheck(stdout, stderr io.Writer, app *apps.App, proto core.ProtocolKind, 
 		}
 		return 1
 	}
-	fmt.Fprintf(stdout, "conformance: %s under %v, %d procs: %d runs bit-identical to the sequential baseline\n",
-		app.Name, proto, procs, len(res.Runs))
+	over := ""
+	if transportName != "" {
+		over = " over " + transportName
+	}
+	fmt.Fprintf(stdout, "conformance: %s under %v%s, %d procs: %d runs bit-identical to the sequential baseline\n",
+		app.Name, proto, over, procs, len(res.Runs))
 	for _, run := range res.Runs {
 		fmt.Fprintf(stdout, "  %-6v %-12s checksum %#016x  epochs %d  benign same-word writes %d\n",
 			run.Protocol, run.Variant, run.Checksum, run.Epochs, run.Benign)
@@ -323,14 +361,14 @@ type jsonReport struct {
 }
 
 func printJSON(stdout, stderr io.Writer, app *apps.App, rep, seq *core.Report) int {
+	doc := jsonReport{App: app.Name, Report: rep}
+	if seq != nil {
+		doc.SeqElapsed = seq.Elapsed
+		doc.Speedup = rep.Speedup(seq.Elapsed)
+	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
-	err := enc.Encode(jsonReport{
-		App:        app.Name,
-		SeqElapsed: seq.Elapsed,
-		Speedup:    rep.Speedup(seq.Elapsed),
-		Report:     rep,
-	})
+	err := enc.Encode(doc)
 	if err != nil {
 		fmt.Fprintf(stderr, "dsmrun: json: %v\n", err)
 		return 1
@@ -341,9 +379,13 @@ func printJSON(stdout, stderr io.Writer, app *apps.App, rep, seq *core.Report) i
 func printReport(w io.Writer, app *apps.App, r, seq *core.Report) {
 	fmt.Fprintf(w, "%s under %s, %d procs\n", app.Name, r.Protocol, r.Procs)
 	fmt.Fprintf(w, "  %s\n\n", app.Description)
-	fmt.Fprintf(w, "  elapsed (measured)   %v\n", r.Elapsed)
-	fmt.Fprintf(w, "  sequential baseline  %v\n", seq.Elapsed)
-	fmt.Fprintf(w, "  speedup              %.2f\n", r.Speedup(seq.Elapsed))
+	if seq != nil {
+		fmt.Fprintf(w, "  elapsed (measured)   %v\n", r.Elapsed)
+		fmt.Fprintf(w, "  sequential baseline  %v\n", seq.Elapsed)
+		fmt.Fprintf(w, "  speedup              %.2f\n", r.Speedup(seq.Elapsed))
+	} else {
+		fmt.Fprintf(w, "  elapsed (wall clock) %v\n", r.Elapsed)
+	}
 	fmt.Fprintf(w, "  checksum             %#016x\n\n", r.Checksum)
 	t := r.Total
 	fmt.Fprintf(w, "  diffs %d (empty %d)  remote misses %d  page fetches %d  diff fetches %d\n",
@@ -355,6 +397,9 @@ func printReport(w io.Writer, app *apps.App, r, seq *core.Report) {
 	if t.NetDrops+t.NetDups+t.NetDelays+t.Retransmits+t.DupSuppressed > 0 {
 		fmt.Fprintf(w, "  faults: drops %d  dups %d  delays %d  retransmits %d  dups suppressed %d\n",
 			t.NetDrops, t.NetDups, t.NetDelays, t.Retransmits, t.DupSuppressed)
+	}
+	if t.StaleSkips+t.StaleRefetches > 0 {
+		fmt.Fprintf(w, "  overdrive: stale skips %d  stale refetches %d\n", t.StaleSkips, t.StaleRefetches)
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "  time breakdown per node (app/os/sigio/wait):\n")

@@ -202,6 +202,82 @@ func TestValidFaultFlagsStillRun(t *testing.T) {
 	}
 }
 
+// TestTransportFlagValidation mirrors the fault-flag suite for -transport:
+// an unknown backend and every sim-clock-only flag combination must be
+// rejected up front with exit code 2, not discovered mid-run.
+func TestTransportFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the stderr diagnostic
+	}{
+		{"unknown backend", []string{"-transport", "tcp"}, "-transport"},
+		{"misspelled backend", []string{"-transport", "memm"}, "unknown backend"},
+		{"straggler over mem", []string{"-transport", "mem", "-straggler", "1:2"}, "straggler"},
+		{"straggler over udp", []string{"-transport", "udp", "-straggler", "1:2"}, "straggler"},
+		{"seq over transport", []string{"-transport", "mem", "-proto", "seq"}, "seq"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			args := append([]string{"-app", "jacobi", "-small"}, tc.args...)
+			code := run(args, &out, &errb)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Fatalf("diagnostic %q does not mention %q", errb.String(), tc.want)
+			}
+		})
+	}
+
+	// An unknown backend additionally prints the flag usage, so the user
+	// sees the valid values without a second invocation.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-transport", "tcp"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "Usage of dsmrun") {
+		t.Errorf("unknown backend did not print usage:\n%s", errb.String())
+	}
+}
+
+// TestTransportRunEndToEnd drives a real mem-backend run through the CLI:
+// wall-clock reporting (no virtual-time speedup), and the loss/dup fault
+// flags still compose with a real transport.
+func TestTransportRunEndToEnd(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-app", "jacobi", "-proto", "bar-u", "-procs", "4", "-small",
+		"-transport", "mem", "-loss", "0.05", "-dup", "0.02"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("dsmrun -transport mem exited %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "elapsed (wall clock)") {
+		t.Errorf("wall-clock elapsed missing:\n%s", s)
+	}
+	if strings.Contains(s, "speedup") {
+		t.Errorf("virtual-time speedup printed for a wall-clock run:\n%s", s)
+	}
+	if !strings.Contains(s, "faults:") {
+		t.Errorf("fault counters missing from report:\n%s", s)
+	}
+}
+
+// TestCheckOverTransport combines -check with -transport: the real runtime
+// is held bit-for-bit to the simulated sequential baseline.
+func TestCheckOverTransport(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-app", "jacobi", "-proto", "bar-u", "-procs", "4", "-small",
+		"-check", "-transport", "mem"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("dsmrun -check -transport mem exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "over mem") || !strings.Contains(out.String(), "bit-identical") {
+		t.Fatalf("conformance summary incomplete:\n%s", out.String())
+	}
+}
+
 // TestCheckMode drives -check end to end: a conforming run exits 0 and
 // reports every variant; seq and dynamic-app overdrive are rejected.
 func TestCheckMode(t *testing.T) {

@@ -8,7 +8,7 @@
 //
 // Experiments: apps, table1, fig2, fig3, fig4, summary,
 // ablation-stress, ablation-scale, ablation-home, chaos-loss, conform,
-// bench, all.
+// parity, bench, all.
 //
 // SIGINT/SIGTERM mid-sweep cancels cleanly: no new simulations start and
 // the command exits with the cancellation error.
@@ -33,7 +33,7 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_sweep.json", "output path for the bench experiment")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [flags] <experiment>\n\n")
-		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary ablation-stress ablation-scale ablation-home ablation-pagesize chaos-loss conform bench all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary ablation-stress ablation-scale ablation-home ablation-pagesize chaos-loss conform parity bench all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,6 +51,18 @@ func main() {
 
 	if want == "conform" {
 		out, err := r.RenderConformContext(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	// Like conform, parity runs outside the report cache: its real-
+	// transport runs are wall-clock and must not be cached or warmed.
+	if want == "parity" {
+		out, err := r.RenderParityContext(ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -74,6 +74,11 @@ type RunOpts struct {
 	// observes every store and barrier completion, and its Finish error
 	// fails the run.
 	Check core.Checker
+	// Transport, when non-"", runs the cluster over the named real
+	// transport ("mem" or "udp", see internal/transport) on the wall-clock
+	// scheduler instead of the virtual-time simulator. Ignored for the
+	// sequential baseline, which has no remote traffic.
+	Transport string
 	// Configure, when non-nil, runs last over the assembled core.Config,
 	// an escape hatch for options RunOpts does not name.
 	Configure func(*core.Config)
@@ -100,6 +105,9 @@ func (a *App) RunWith(procs int, proto core.ProtocolKind, opts RunOpts) (*core.R
 		PageStats:    opts.PageStats,
 		Faults:       opts.Faults,
 		Check:        opts.Check,
+	}
+	if proto != core.ProtoSeq {
+		cfg.Transport = opts.Transport
 	}
 	if opts.Configure != nil {
 		opts.Configure(&cfg)

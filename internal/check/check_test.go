@@ -2,6 +2,7 @@ package check
 
 import (
 	"encoding/binary"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -219,25 +220,158 @@ func TestDifferentialConforms(t *testing.T) {
 	}
 }
 
-func TestDifferentialCatchesStaleness(t *testing.T) {
-	// Dropping update flushes under bar-m is a genuine consistency break
-	// (no invalidation fallback); the harness must fail it and produce a
-	// localized report with trace events.
+func TestDifferentialTransportMem(t *testing.T) {
+	// All six protocols over the in-process real transport: encoded
+	// frames, realtime kernel, concurrent nodes — and still bit-identical
+	// to the sequential reference.
+	res, err := Differential(stencilBody(32, 64, 3, 1), Options{
+		Procs:        4,
+		SegmentBytes: 2 * 32 * 64 * 8,
+		Transport:    "mem",
+	})
+	if err != nil {
+		t.Fatalf("differential over mem failed: %v\n%s", err, res.Report)
+	}
+	if want := 1 + 6; len(res.Runs) != want {
+		t.Fatalf("ran %d runs, want %d", len(res.Runs), want)
+	}
+	ref := res.Runs[0]
+	for _, r := range res.Runs[1:] {
+		if r.Checksum != ref.Checksum || r.Epochs != ref.Epochs {
+			t.Errorf("%v %s over mem: checksum %#x epochs %d, reference %#x/%d",
+				r.Protocol, r.Variant, r.Checksum, r.Epochs, ref.Checksum, ref.Epochs)
+		}
+	}
+}
+
+func TestDifferentialTransportUDP(t *testing.T) {
+	// Loopback sockets with injected loss on top: the reliability layer
+	// must recover both the seeded faults and any real socket drops.
+	res, err := Differential(stencilBody(32, 64, 3, 1), Options{
+		Procs:        4,
+		SegmentBytes: 2 * 32 * 64 * 8,
+		Protocols:    []core.ProtocolKind{core.ProtoLmwI, core.ProtoBarU},
+		Seeds:        []int64{3},
+		Transport:    "udp",
+	})
+	if err != nil {
+		t.Fatalf("differential over udp failed: %v\n%s", err, res.Report)
+	}
+	ref := res.Runs[0]
+	for _, r := range res.Runs[1:] {
+		if r.Checksum != ref.Checksum || r.Epochs != ref.Epochs {
+			t.Errorf("%v %s over udp: checksum %#x epochs %d, reference %#x/%d",
+				r.Protocol, r.Variant, r.Checksum, r.Epochs, ref.Checksum, ref.Epochs)
+		}
+	}
+}
+
+func TestEncodeInFlightReportsIdentical(t *testing.T) {
+	// The sim-codec mode round-trips every remote packet through the wire
+	// codec, so receivers get decoded copies instead of shared pointers.
+	// If any sender mutated a payload after Send (the aliasing hazard a
+	// real transport turns into corruption), or the codec dropped a bit,
+	// the runs would diverge — so the full reports must be identical,
+	// virtual times included.
+	body := stencilBody(32, 64, 3, 1)
+	for _, proto := range core.Protocols() {
+		for _, faulty := range []bool{false, true} {
+			cfg := core.Config{
+				Procs: 4, Protocol: proto, SegmentBytes: 2 * 32 * 64 * 8,
+			}
+			if faulty {
+				cfg.Faults = core.ConformancePlan(proto, 11)
+			}
+			plain, err := core.Run(cfg, body)
+			if err != nil {
+				t.Fatalf("%v faulty=%v: %v", proto, faulty, err)
+			}
+			cfg.EncodeInFlight = true
+			coded, err := core.Run(cfg, body)
+			if err != nil {
+				t.Fatalf("%v faulty=%v encoded: %v", proto, faulty, err)
+			}
+			if !reflect.DeepEqual(plain, coded) {
+				t.Errorf("%v faulty=%v: report changed under encode-in-flight:\nplain: %+v\ncoded: %+v",
+					proto, faulty, plain, coded)
+			}
+		}
+	}
+}
+
+func TestOverdriveRecoversFromFlushLoss(t *testing.T) {
+	// Dropping update flushes under the overdrive protocols used to be a
+	// silent consistency break (bar-m had no invalidation fallback). The
+	// stale-refetch repair turned it into recoverable loss: a page whose
+	// version accounting falls short is refetched from its home, so the
+	// run must conform bit-identically even under heavy unshielded drops.
 	lossy := &netsim.FaultPlan{
 		Seed: 5,
 		Rules: []netsim.FaultRule{{
 			From: netsim.AnyNode, To: netsim.AnyNode, Drop: 0.3,
 		}},
 	}
-	res, err := Differential(stencilBody(32, 64, 3, 1), Options{
+	body := stencilBody(32, 64, 3, 0)
+	res, err := Differential(body, Options{
 		Procs:        4,
 		SegmentBytes: 2 * 32 * 64 * 8,
-		Protocols:    []core.ProtocolKind{core.ProtoBarM},
+		Protocols:    []core.ProtocolKind{core.ProtoBarS, core.ProtoBarM},
 		Plans:        []*netsim.FaultPlan{lossy},
 		TailSize:     16,
 	})
+	if err != nil {
+		t.Fatalf("flush loss not recovered: %v\n%s", err, res.Report)
+	}
+	// The recovery path must actually have fired — otherwise the plan got
+	// too gentle and the test proves nothing.
+	rep, err := core.Run(core.Config{
+		Procs: 4, Protocol: core.ProtoBarM, SegmentBytes: 2 * 32 * 64 * 8,
+		Faults: lossy,
+	}, body)
+	if err != nil {
+		t.Fatalf("bar-m under flush loss: %v", err)
+	}
+	if rep.Total.StaleRefetches == 0 {
+		t.Error("no stale refetches under 30% flush drop; plan exercises nothing")
+	}
+}
+
+func TestDifferentialCatchesDivergence(t *testing.T) {
+	// A write pattern that changes after overdrive engages is the failure
+	// mode bar-m cannot repair: the write faults on a frozen protection
+	// and the run dies. The harness must surface the failure with a
+	// trace-tail report.
+	const rows, cols, iters = 32, 64, 3
+	body := func(p *core.Proc) {
+		a := p.AllocF64Matrix(rows, cols)
+		me, np := p.ID(), p.NumProcs()
+		lo, hi := rows*me/np, rows*(me+1)/np
+		p.Barrier()
+		for it := 0; it < iters; it++ {
+			for r := lo; r < hi; r++ {
+				for c := 0; c < cols; c++ {
+					a.Set(r, c, a.At(r, c)+float64(r+c+1))
+				}
+			}
+			if it == iters-1 && me == 0 && np > 1 {
+				// Overdrive engaged one iteration ago (LearnIters=2); this
+				// write lands in the last node's block, which node 0 never
+				// wrote during learning.
+				a.Set(rows-1, 0, 1)
+			}
+			p.Barrier()
+			p.IterationBoundary()
+		}
+		p.SetResult(a.ChecksumRows(0, rows))
+	}
+	res, err := Differential(body, Options{
+		Procs:        4,
+		SegmentBytes: rows * cols * 8,
+		Protocols:    []core.ProtocolKind{core.ProtoBarM},
+		TailSize:     16,
+	})
 	if err == nil {
-		t.Fatal("flush loss under bar-m not caught")
+		t.Fatal("diverging write pattern under bar-m not caught")
 	}
 	if res.Report == "" {
 		t.Fatal("divergence produced no report")

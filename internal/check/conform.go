@@ -27,10 +27,10 @@ type Options struct {
 	// protocol-appropriate schedule core.ConformancePlan builds (overdrive
 	// flushes shielded from drops; see that function).
 	Seeds []int64
-	// Plans adds fault plans applied verbatim to every protocol. The
-	// caller owns their safety: a plan that drops update flushes under
-	// bar-s/bar-m produces genuine stale reads, which the oracle will
-	// (correctly) fail.
+	// Plans adds fault plans applied verbatim to every protocol. Drop
+	// plans are safe everywhere: even the overdrive protocols repair lost
+	// update flushes by refetching the shortfall pages (see
+	// stats.Counters.StaleRefetches), at the price of extra traffic.
 	Plans []*netsim.FaultPlan
 	// TailSize bounds the trace ring replayed into a divergence report.
 	// Default 64.
@@ -39,6 +39,14 @@ type Options struct {
 	// harness fills it (e.g. LearnIters); it must not change Procs,
 	// Protocol, Faults, Check or Trace.
 	Configure func(*core.Config)
+	// Transport, when non-"", runs every protocol variant over the named
+	// real transport ("mem" or "udp", see internal/transport) instead of
+	// the virtual wire; the sequential reference still runs in sim (it is
+	// single-node and exchanges no messages). The oracle's digests and
+	// checksums are timing-independent, so the conformance verdict is as
+	// strict as in sim mode — but a divergence cannot be replayed
+	// deterministically, so reports carry no localization detail.
+	Transport string
 }
 
 // RunStat summarizes one conforming run.
@@ -118,8 +126,15 @@ func Differential(body func(*core.Proc), opts Options) (*Result, error) {
 			rep, err := core.Run(cfg, body)
 			if err != nil {
 				// The oracle's own in-run verdict (or an engine failure):
-				// re-run for the trace tail, then report.
-				res.Report = opts.divergenceReport(body, proto, v, -1, err.Error())
+				// re-run for the trace tail, then report. A real-transport
+				// run cannot be replayed deterministically, so its report is
+				// just the verdict.
+				if opts.Transport == "" {
+					res.Report = opts.divergenceReport(body, proto, v, -1, err.Error())
+				} else {
+					res.Report = fmt.Sprintf("conformance failure: %v %s over %s\n  %s\n",
+						proto, v.name, opts.Transport, err)
+				}
 				return res, fmt.Errorf("check: %v %s: %w", proto, v.name, err)
 			}
 			res.Runs = append(res.Runs, RunStat{
@@ -127,9 +142,13 @@ func Differential(body func(*core.Proc), opts Options) (*Result, error) {
 				Checksum: rep.Checksum, Epochs: o.Epochs(), Benign: o.Benign(),
 			})
 			if msg := compare(ref, refRep.Checksum, o, rep.Checksum); msg != "" {
-				epoch, page := locate(ref.History(), o.History())
-				detail := opts.localize(body, proto, v, epoch, page, msg)
-				res.Report = detail
+				if opts.Transport == "" {
+					epoch, page := locate(ref.History(), o.History())
+					res.Report = opts.localize(body, proto, v, epoch, page, msg)
+				} else {
+					res.Report = fmt.Sprintf("conformance divergence: %v %s over %s\n  %s\n",
+						proto, v.name, opts.Transport, msg)
+				}
 				return res, fmt.Errorf("check: %v %s diverged from sequential reference: %s", proto, v.name, msg)
 			}
 		}
@@ -149,6 +168,9 @@ func (opts *Options) config(proto core.ProtocolKind, plan *netsim.FaultPlan) cor
 		SegmentBytes: opts.SegmentBytes,
 		Model:        opts.Model,
 		Faults:       plan,
+	}
+	if proto != core.ProtoSeq {
+		cfg.Transport = opts.Transport
 	}
 	if opts.Configure != nil {
 		opts.Configure(&cfg)
@@ -243,10 +265,10 @@ func pageSizeOf(opts *Options) int {
 }
 
 // SeedPlans builds one moderate drop/duplicate/reorder plan per seed,
-// applied to every packet class. Safe for all protocols except overdrive
-// (bar-s/bar-m), whose lost flushes are genuine staleness — prefer
-// Options.Seeds, which routes through core.ConformancePlan and shields
-// them.
+// applied to every packet class. Safe for all protocols: the overdrive
+// protocols (bar-s/bar-m) repair lost update flushes with stale
+// refetches. Options.Seeds routes through core.ConformancePlan instead,
+// which shields those flushes and so keeps the runs refetch-free.
 func SeedPlans(seeds ...int64) []*netsim.FaultPlan {
 	plans := make([]*netsim.FaultPlan, 0, len(seeds))
 	for _, s := range seeds {

@@ -9,63 +9,9 @@ import (
 	"godsm/internal/vm"
 )
 
-// barArrivalBar is the home-based family's barrier arrival payload.
-type barArrivalBar struct {
-	// Versions reports every version bump this node observed this epoch:
-	// its own home-page bumps plus the post-apply versions acknowledged by
-	// the homes it flushed to. Every bump is reported by exactly one node,
-	// so the manager's per-page max is the final version.
-	Versions []pageVersion
-	// Written lists pages written this epoch; sent only during the first
-	// iteration, feeding the manager's migration decision.
-	Written []vm.PageID
-	// CopysetNews reports members newly added to copysets of pages this
-	// node is home of.
-	CopysetNews []copysetRec
-	// PushDests lists the destination of each update batch sent this
-	// epoch; the manager sums them into per-node expected batch counts.
-	PushDests []int
-	// IterEnd marks the first barrier after an IterationBoundary.
-	IterEnd bool
-}
-
-// copysetRec reports one copyset addition.
-type copysetRec struct {
-	Page   vm.PageID
-	Member int
-}
-
-// migrateRec reassigns a page's home.
-type migrateRec struct {
-	Page    vm.PageID
-	OldHome int
-	NewHome int
-}
-
-// barReleaseBar is the home-based family's barrier release payload.
-type barReleaseBar struct {
-	// Versions carries the final version of every page modified this
-	// epoch. Nodes holding staler copies invalidate (unless updates cover
-	// them).
-	Versions []pageVersion
-	// CopysetNews is the global union of copyset additions.
-	CopysetNews []copysetRec
-	// Migrations carries home reassignments (at most once per run).
-	Migrations []migrateRec
-	// ExpBatches is the number of update flush batches headed to this
-	// node this epoch; consumers wait for them inside the barrier.
-	ExpBatches int
-}
-
-func (a *barArrivalBar) size() int {
-	return len(a.Versions)*bytesVersionRec + len(a.Written)*bytesWriteNotice +
-		len(a.CopysetNews)*bytesCopysetRec + len(a.PushDests)*bytesUpdateCount + 1
-}
-
-func (r *barReleaseBar) size() int {
-	return len(r.Versions)*bytesVersionRec + len(r.CopysetNews)*bytesCopysetRec +
-		len(r.Migrations)*bytesMigrateRec + bytesUpdateCount
-}
+// The home-based family's barrier payloads (barArrivalBar, copysetRec,
+// migrateRec, barReleaseBar) are defined in internal/wire and aliased in
+// messages.go: they cross the network, so the codec owns them.
 
 // barMode selects among the four home-based protocols.
 type barMode int
@@ -398,7 +344,7 @@ func (b *bar) preBarrier(int) (any, int) {
 	b.verReport = nil
 	arr.CopysetNews = b.csNews
 	b.csNews = nil
-	return arr, arr.size()
+	return arr, arr.ModelSize()
 }
 
 func (b *bar) onRelease(_ int, rel any) {
@@ -451,6 +397,24 @@ func (b *bar) onRelease(_ int, rel any) {
 			continue
 		}
 		b.invalidate(pg)
+	}
+}
+
+// overdriveRefetch restores coherence for a page whose update accounting
+// fell short while bar-m's protections are frozen: invalidation is
+// impossible (the stale copy would stay silently readable), so fetch the
+// home's authoritative copy instead, keeping whatever protection the
+// overdrive engagement left on the page. Rare by construction — steady-
+// state copysets are stable, so every bump arrives as an update — but a
+// real transport (or a lossy network) can starve a consumer of a flush
+// the virtual clock always delivered in time.
+func (b *bar) overdriveRefetch(pg vm.PageID) {
+	n := b.n
+	prev := n.as.Prot(pg)
+	n.ctr.StaleRefetches++
+	b.fetchPage(pg)
+	if prev == vm.ReadWrite {
+		n.mprotect(pg, vm.ReadWrite)
 	}
 }
 
@@ -580,7 +544,11 @@ func (b *bar) consumeUpdates(r *barReleaseBar) {
 			b.vcache[pg] = pv.Version
 		} else {
 			n.ctr.UpdatesUnneeded += int64(len(diffs))
-			b.invalidate(pg)
+			if b.odActive && b.mode == barModeM && n.as.Prot(pg) != vm.None {
+				b.overdriveRefetch(pg)
+			} else {
+				b.invalidate(pg)
+			}
 		}
 	}
 	// Updates for pages without version news would be a protocol bug;
@@ -614,7 +582,7 @@ func (b *bar) pullHome(mg migrateRec) {
 	vm.PutPageBuf(rep.Data)
 	b.version[pg] = rep.Version
 	b.vcache[pg] = rep.Version
-	b.copyset[pg] |= rep.Copyset.without(n.id)
+	b.copyset[pg] |= copyset(rep.Copyset).without(n.id)
 	n.trc(trace.Migration, int(pg), int64(n.id))
 	n.mprotect(pg, vm.Read)
 	if q := b.installing[pg]; q != nil {
@@ -635,8 +603,15 @@ func (b *bar) engageOverdrive() {
 	if b.mode == barModeM {
 		// Every page the histories predict we will write must be writable
 		// before we stop calling mprotect. One last batch of protection
-		// changes, then silence.
+		// changes, then silence. A predicted page the last learning epoch
+		// invalidated must be refetched first: write-enabling a stale copy
+		// would let its unwritten words be read stale for the rest of the
+		// run.
 		for _, pg := range b.allPredicted() {
+			if n.as.Prot(pg) == vm.None {
+				n.ctr.StaleRefetches++
+				b.fetchPage(pg)
+			}
 			n.mprotect(pg, vm.ReadWrite)
 		}
 		if n.clu.cfg.CheckOverdrive {
@@ -677,6 +652,14 @@ func (b *bar) armPredictions(site int) {
 	for _, pg := range pages {
 		if b.isDirty[pg] {
 			continue
+		}
+		if b.mode == barModeS && n.as.Prot(pg) == vm.None {
+			// A lossy epoch invalidated a predicted page. Write-enabling
+			// the stale copy would bypass the read fault that normally
+			// repairs it, so restore coherence first (bar-m repairs the
+			// same situation at consume time — it cannot invalidate).
+			n.ctr.StaleRefetches++
+			b.fetchPage(pg)
 		}
 		n.makeTwin(pg)
 		b.isDirty[pg] = true
@@ -755,7 +738,7 @@ func (b *bar) dispatchHomeReq(p *sim.Proc, pkt *netsim.Packet) {
 			Page:    pg,
 			Data:    data,
 			Version: b.version[pg],
-			Copyset: cs,
+			Copyset: uint64(cs),
 		}
 		b.copyset[pg] = 0
 		// Our replica stops being authoritative and nobody will update it,

@@ -85,7 +85,7 @@ func (m *barProtoMgr) aggregate(_ int, arrivals []*barArrive) ([]any, []int) {
 			ExpBatches:  expBatches[i],
 		}
 		rels[i] = r
-		sizes[i] = r.size()
+		sizes[i] = r.ModelSize()
 	}
 	return rels, sizes
 }

@@ -19,6 +19,7 @@ import (
 	"godsm/internal/netsim"
 	"godsm/internal/sim"
 	"godsm/internal/trace"
+	"godsm/internal/transport"
 	"godsm/internal/vm"
 )
 
@@ -158,6 +159,23 @@ type Config struct {
 	// graph. Nil (the default) costs one pointer test per store and
 	// nothing else — the same zero-cost-when-off contract as PageStats.
 	Check Checker
+	// Transport selects how protocol messages travel. "" (the default)
+	// keeps the discrete-event simulation with its virtual clock. "mem"
+	// and "udp" run the cluster for real: every node's processes execute
+	// concurrently against the wall clock and every remote message is
+	// encoded by internal/wire and carried by the named
+	// internal/transport backend. Application results are identical by
+	// construction (see internal/check); timings and message interleavings
+	// are not, so Elapsed and the breakdowns report wall time, not the
+	// calibrated SP-2 model.
+	Transport string
+	// EncodeInFlight, in sim mode, round-trips every remote packet
+	// through the wire codec so the receiver gets an independent decoded
+	// copy instead of the sender's pointers. Virtual time and results are
+	// unchanged unless a sender aliases a payload it later mutates — the
+	// hazard a real transport would turn into corruption. Ignored when
+	// Transport is set (real transports always encode).
+	EncodeInFlight bool
 }
 
 // Checker observes a run for the consistency oracle (internal/check). The
@@ -198,6 +216,11 @@ func (c *Config) fill() error {
 	}
 	if c.RetryTimeout == 0 {
 		c.RetryTimeout = 5 * sim.Millisecond
+	}
+	switch c.Transport {
+	case "", transport.KindMem, transport.KindUDP:
+	default:
+		return fmt.Errorf("core: unknown transport %q", c.Transport)
 	}
 	return nil
 }

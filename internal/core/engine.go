@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"godsm/internal/cost"
 	"godsm/internal/netsim"
@@ -10,6 +11,7 @@ import (
 	"godsm/internal/sim"
 	"godsm/internal/stats"
 	"godsm/internal/trace"
+	"godsm/internal/transport"
 	"godsm/internal/vm"
 )
 
@@ -25,12 +27,16 @@ type cluster struct {
 	body     func(*Proc)
 	seq      bool   // ProtoSeq: synchronization nulled out
 	faultsOn bool   // cfg.Faults armed: reliability layer active
+	rt       bool   // cfg.Transport set: realtime kernel, real delivery
 	doneSeen []bool // teardown: nodes whose compute body has finished
 	doneLeft int    // teardown: nodes still running
 
 	// sinks is the fan-out list every trace event goes to: cfg.Trace (if
 	// any) plus cfg.Sinks. Empty means tracing is off.
 	sinks []trace.Sink
+	// obsMu serializes cross-node observers (sinks, timeline) under a
+	// real transport, where nodes emit concurrently. Unused in sim mode.
+	obsMu sync.Mutex
 	// tc collects per-epoch statistics when cfg.Timeline is set.
 	tc *obs.TimelineCollector
 }
@@ -126,14 +132,34 @@ func RunContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, err
 	if cfg.Protocol == ProtoSeq && cfg.Procs != 1 {
 		return nil, fmt.Errorf("core: ProtoSeq requires Procs=1, got %d", cfg.Procs)
 	}
+	rt := cfg.Transport != ""
+	if rt {
+		if cfg.Transport == transport.KindUDP && cfg.Faults == nil {
+			// Real datagrams can be lost or reordered even without injected
+			// faults; arm the reliability layer with an empty plan so
+			// retransmission and dedup recover socket-level misbehaviour.
+			cfg.Faults = &netsim.FaultPlan{}
+		}
+		if cfg.Check != nil {
+			cfg.Check = &lockedChecker{inner: cfg.Check}
+		}
+	}
 	clu := &cluster{
 		cfg:  cfg,
 		cm:   cfg.Model,
-		kern: sim.NewKernel(),
 		body: body,
 		seq:  cfg.Protocol == ProtoSeq,
+		rt:   rt,
+	}
+	if rt {
+		clu.kern = sim.NewRealtimeKernel()
+	} else {
+		clu.kern = sim.NewKernel()
 	}
 	clu.net = netsim.New(clu.kern, cfg.Procs, clu.cm)
+	if cfg.EncodeInFlight && !rt {
+		clu.net.EncodeInFlight()
+	}
 	clu.mgr = newBarMgr(clu)
 	if cfg.Trace != nil {
 		clu.sinks = append(clu.sinks, cfg.Trace)
@@ -182,6 +208,24 @@ func RunContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, err
 		n := n
 		n.compute = clu.net.Bind(n.id, netsim.PortCompute, fmt.Sprintf("compute%d", n.id), n.computeBody)
 		n.service = clu.net.Bind(n.id, netsim.PortService, fmt.Sprintf("service%d", n.id), n.serviceBody)
+	}
+	if rt {
+		for _, n := range clu.nodes {
+			// One exclusive-group mutex per node: compute and service share
+			// protocol state lock-free, exactly as the DES kernel's
+			// one-runner-at-a-time scheduling let them.
+			mu := new(sync.Mutex)
+			n.compute.SetExclusive(mu)
+			n.service.SetExclusive(mu)
+		}
+		tr, err := transport.New(cfg.Transport, cfg.Procs, netsim.NumPorts)
+		if err != nil {
+			return nil, err
+		}
+		defer tr.Close()
+		if err := clu.net.SetTransport(tr); err != nil {
+			return nil, err
+		}
 	}
 	var kerr error
 	if dctx := ctx.Done(); dctx != nil {
@@ -389,6 +433,10 @@ func (n *node) emitTrace(t sim.Time, kind trace.Kind, page int, arg int64) {
 		return
 	}
 	e := trace.Event{T: t, Node: n.id, Kind: kind, Page: page, Arg: arg}
+	if n.clu.rt {
+		n.clu.obsMu.Lock()
+		defer n.clu.obsMu.Unlock()
+	}
 	for _, s := range sinks {
 		s.Emit(e)
 	}
@@ -407,6 +455,10 @@ func (c *cluster) emitFault(t sim.Time, from, to, kind int, class netsim.FaultCl
 		k = trace.NetDelay
 	}
 	e := trace.Event{T: t, Node: from, Kind: k, Page: -1, Arg: int64(kind)}
+	if c.rt {
+		c.obsMu.Lock()
+		defer c.obsMu.Unlock()
+	}
 	for _, s := range c.sinks {
 		s.Emit(e)
 	}
@@ -592,7 +644,13 @@ func (n *node) sampleEpoch() {
 	if bd.Wait < 0 {
 		bd.Wait = 0
 	}
-	tc.Record(n.id, n.epochT, now, d, bd)
+	if n.clu.rt {
+		n.clu.obsMu.Lock()
+		tc.Record(n.id, n.epochT, now, d, bd)
+		n.clu.obsMu.Unlock()
+	} else {
+		tc.Record(n.id, n.epochT, now, d, bd)
+	}
 	n.epochCtr = ctr
 	n.epochBd = n.bd
 	n.epochT = now
@@ -775,6 +833,12 @@ func (c *cluster) report() (*Report, error) {
 				return nil, fmt.Errorf("core: checksum mismatch: node %d has %#x, node 0 has %#x", i, n.result, r.Checksum)
 			}
 		}
+	}
+	// Whole-run, not windowed: framing overhead is a property of the
+	// transport, not the measured interval, and senders are quiescent by
+	// the time all procs have returned.
+	for _, fb := range c.net.FrameBytes {
+		r.FrameBytes += fb
 	}
 	return r, nil
 }

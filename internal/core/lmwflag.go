@@ -27,26 +27,9 @@ type flagState struct {
 	waiters []*netsim.Packet
 }
 
-// flagSet announces a set flag to its manager, carrying the setter's
-// full interval frontier (every interval the setter has seen); the
-// manager filters per waiter.
-type flagSet struct {
-	Flag int
-	Ivs  []intervalRec
-}
-
-// flagWait asks the manager to be released when the flag is set.
-type flagWait struct {
-	Flag int
-	From int
-	VC   []int
-}
-
-// flagRelease carries the consistency payload to a waiter.
-type flagRelease struct {
-	Flag int
-	Ivs  []intervalRec
-}
+// The flagSet/flagWait/flagRelease payloads are defined in internal/wire
+// and aliased in messages.go: they cross the network, so the codec owns
+// them.
 
 // setFlag implements Proc.SetFlag for lmw.
 func (l *lmw) setFlag(flag int) {

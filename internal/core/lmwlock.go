@@ -199,9 +199,9 @@ func (l *lmw) grantLock(p *sim.Proc, pkt *netsim.Packet) {
 		}
 	}
 	g := &lockGrant{Lock: a.Lock, Seq: f.Seq, Intervals: ivs}
-	if t := n.clu.cfg.Trace; t != nil {
-		t.Add(p.Now(), n.id, trace.LockGrant, a.From, int64(a.Lock))
-	}
+	// Through the locked sink fan-out, not cfg.Trace directly: under a real
+	// transport grants fire concurrently with other nodes' emissions.
+	n.emitTrace(p.Now(), trace.LockGrant, a.From, int64(a.Lock))
 	if a.From != n.id {
 		p.Advance(sim.Duration(n.clu.cm.SendCPU))
 	}

@@ -3,290 +3,103 @@ package core
 import (
 	"sort"
 
-	"godsm/internal/vm"
+	"godsm/internal/wire"
 )
 
+// The protocol message vocabulary lives in internal/wire, which also owns
+// the binary codec real transports (and the simulator's encode-in-flight
+// mode) push every payload through. Core aliases the wire names so the
+// engine and protocols read naturally, and so a payload decoded from a
+// real frame satisfies the same type assertions as a pointer passed
+// through the simulator.
+//
 // Message kinds carried in netsim.Packet.Kind. Requests are handled on the
 // destination node's service port; replies and barrier releases are
-// delivered straight to the requesting compute port.
+// delivered straight to the requesting compute port. See the wire package
+// for per-kind documentation.
 const (
-	// mkDiffReq (lmw) asks a writer for the diffs named by write notices.
-	mkDiffReq = iota + 1
-	// mkDiffRep answers with the requested diffs.
-	mkDiffRep
-	// mkPageReq (bar) asks a page's home for a full copy.
-	mkPageReq
-	// mkPageRep answers with page contents and the home's version index.
-	mkPageRep
-	// mkHomeFlush (bar) carries a writer's diff batch to one home;
-	// acknowledged so version indices are settled before the barrier.
-	mkHomeFlush
-	// mkHomeFlushAck acknowledges mkHomeFlush with post-apply versions.
-	mkHomeFlushAck
-	// mkUpdateFlush carries a copyset-directed diff batch to one consumer
-	// under the bar-u family, which waits for updates inside the barrier.
-	// Unacknowledged: a single message, lost copies harm only performance.
-	mkUpdateFlush
-	// mkLmwFlush carries a copyset-directed diff batch to one consumer
-	// under lmw-u. The receiver banks the diffs and validates lazily at its
-	// next segv, per the paper. Unacknowledged.
-	mkLmwFlush
-	// mkBarArrive announces barrier arrival to the manager (node 0).
-	mkBarArrive
-	// mkBarRelease releases one node from the barrier.
-	mkBarRelease
-	// mkUpdatesReady is a local service->compute signal that the expected
-	// update flushes of this epoch have all arrived.
-	mkUpdatesReady
-	// mkUpdateTimeout is a local self-addressed alarm bounding the wait
-	// for update flushes (they may be dropped).
-	mkUpdateTimeout
-	// mkHomePull (bar) is sent by a page's newly assigned home to the old
-	// home, inside the migration barrier, to take over the home role.
-	mkHomePull
-	// mkHomePullRep carries the page contents, version and copyset back.
-	// The old home serves its twin if its own next-epoch writes have
-	// already begun, so the transferred image matches the version label.
-	mkHomePullRep
-	// mkLockAcq asks a lock's manager for the lock; carries the
-	// requester's vector clock.
-	mkLockAcq
-	// mkLockFwd forwards an acquire to the lock's last owner (the
-	// distributed token chain).
-	mkLockFwd
-	// mkLockGrant hands the token to the requester, carrying every
-	// interval (write notices) the granter has seen that the requester
-	// has not — lazy release consistency's consistency transfer.
-	mkLockGrant
-	// mkFlagSet announces a set flag to its manager, carrying the
-	// setter's interval frontier.
-	mkFlagSet
-	// mkFlagWait asks the manager to be released when a flag is set.
-	mkFlagWait
-	// mkFlagRelease releases a flag waiter with the intervals it lacks.
-	mkFlagRelease
-	// mkShutdown terminates a service loop at end of run.
-	mkShutdown
-	// mkRetryTimer is a local self-addressed alarm firing a retransmission
-	// check for one tracked request. Only used under fault injection.
-	mkRetryTimer
-	// mkFlagSetAck acknowledges mkFlagSet under fault injection so the
-	// setter's retransmission tracking can settle; it is absorbed by the
-	// compute-side reliability filter.
-	mkFlagSetAck
-	// mkDone reports a finished compute body to the master's service (only
-	// used under fault injection). Services must outlive every compute body
-	// — a node whose final barrier release was lost recovers by
-	// retransmitting to the manager — so teardown is coordinated: the
-	// master releases it only once every node has reported done.
-	mkDone
-	// mkDoneRelease lets a compute shut its local service down. Like
-	// mkDone it is fault-exempt (netsim.Packet.NoFault): teardown is
-	// control plane, not the protocol under test, and an unacknowledged
-	// lost release would leave the cluster unable to ever quiesce (the
-	// two-generals problem).
-	mkDoneRelease
+	mkDiffReq       = wire.KindDiffReq
+	mkDiffRep       = wire.KindDiffRep
+	mkPageReq       = wire.KindPageReq
+	mkPageRep       = wire.KindPageRep
+	mkHomeFlush     = wire.KindHomeFlush
+	mkHomeFlushAck  = wire.KindHomeFlushAck
+	mkUpdateFlush   = wire.KindUpdateFlush
+	mkLmwFlush      = wire.KindLmwFlush
+	mkBarArrive     = wire.KindBarArrive
+	mkBarRelease    = wire.KindBarRelease
+	mkUpdatesReady  = wire.KindUpdatesReady
+	mkUpdateTimeout = wire.KindUpdateTimeout
+	mkHomePull      = wire.KindHomePull
+	mkHomePullRep   = wire.KindHomePullRep
+	mkLockAcq       = wire.KindLockAcq
+	mkLockFwd       = wire.KindLockFwd
+	mkLockGrant     = wire.KindLockGrant
+	mkFlagSet       = wire.KindFlagSet
+	mkFlagWait      = wire.KindFlagWait
+	mkFlagRelease   = wire.KindFlagRelease
+	mkShutdown      = wire.KindShutdown
+	mkRetryTimer    = wire.KindRetryTimer
+	mkFlagSetAck    = wire.KindFlagSetAck
+	mkDone          = wire.KindDone
+	mkDoneRelease   = wire.KindDoneRelease
 )
 
 // Modeled on-wire sizes of protocol records, in bytes. The simulated
 // network passes Go values, so these constants keep the byte accounting
-// honest (Table 1's "Data" column).
+// honest (Table 1's "Data" column). The codec's actual encoded sizes are
+// tracked separately (see wire and netsim.FrameBytes).
 const (
-	bytesWriteNotice = 8  // page id + creator/epoch
-	bytesVersionRec  = 12 // page id + version + flags
-	bytesCopysetRec  = 8  // page id + member
-	bytesPageReq     = 8
-	bytesDiffName    = 12 // page + creator + epoch
-	bytesUpdateCount = 8  // expected flush-batch count for one node
-	bytesMigrateRec  = 8  // page + new home
-	bytesReduceVal   = 8
-	bytesBarHeader   = 16
+	bytesWriteNotice = wire.BytesWriteNotice
+	bytesVersionRec  = wire.BytesVersionRec
+	bytesCopysetRec  = wire.BytesCopysetRec
+	bytesPageReq     = wire.BytesPageReq
+	bytesDiffName    = wire.BytesDiffName
+	bytesUpdateCount = wire.BytesUpdateCount
+	bytesMigrateRec  = wire.BytesMigrateRec
+	bytesReduceVal   = wire.BytesReduceVal
+	bytesBarHeader   = wire.BytesBarHeader
 )
 
-// writeNotice names one interval's modification of one page by one node.
-// Under the barrier-only bar protocols Epoch is the global barrier
-// sequence; under lmw it is the creator's own interval index (intervals
-// end at barrier arrivals and at lock releases).
-type writeNotice struct {
-	Page    vm.PageID
-	Creator int
-	Epoch   int
-}
+// Payload structs, aliased from wire. See that package for field
+// documentation.
+type (
+	writeNotice   = wire.WriteNotice
+	intervalRec   = wire.IntervalRec
+	lockAcq       = wire.LockAcq
+	lockFwd       = wire.LockFwd
+	lockGrant     = wire.LockGrant
+	diffMsg       = wire.DiffMsg
+	diffReq       = wire.DiffReq
+	diffRep       = wire.DiffRep
+	pageReq       = wire.PageReq
+	pageRep       = wire.PageRep
+	homeFlush     = wire.HomeFlush
+	homeFlushAck  = wire.HomeFlushAck
+	pageVersion   = wire.PageVersion
+	updateFlush   = wire.UpdateFlush
+	barArrive     = wire.BarArrive
+	barRelease    = wire.BarRelease
+	updatesReady  = wire.UpdatesReady
+	updateTimeout = wire.UpdateTimeout
+	retryTimer    = wire.RetryTimer
+	doneMsg       = wire.DoneMsg
+	homePull      = wire.HomePull
+	homePullRep   = wire.HomePullRep
+	barArrivalBar = wire.BarArrivalBar
+	copysetRec    = wire.CopysetRec
+	migrateRec    = wire.MigrateRec
+	barReleaseBar = wire.BarReleaseBar
+	flagSet       = wire.FlagSet
+	flagWait      = wire.FlagWait
+	flagRelease   = wire.FlagRelease
+)
 
-// intervalRec carries one closed interval: its creator, index, the write
-// notices it produced, and the creator's vector clock at the close (own
-// entry included). Lock grants and barrier releases move these; the VC
-// stamp lets a consumer apply causally ordered diffs of the same word in
-// happens-before order — intervals chained through a lock are totally
-// ordered, concurrent ones are disjoint in race-free programs.
-type intervalRec struct {
-	Creator int
-	Index   int
-	Notices []writeNotice
-	VC      []int
-}
-
-// lockAcq asks for a lock, with the requester's vector clock so the
-// granter can compute which intervals to send.
-type lockAcq struct {
-	Lock int
-	From int
-	VC   []int
-}
-
-// lockFwd relays an acquire to the lock's last owner. Seq is the
-// acquire's position in the manager's chain ordering; Pred is the
-// position of the destination's own acquire (0 for the manager's initial
-// claim) — the ownership episode this forward is the successor of. The
-// explicit numbering keeps grants in chain order even when forwards are
-// lost and retransmitted out of order.
-type lockFwd struct {
-	Acq  *lockAcq
-	Seq  int
-	Pred int
-}
-
-// lockGrant passes the token plus the consistency information. Seq echoes
-// the granted acquire's chain position, becoming the new owner's episode.
-type lockGrant struct {
-	Lock      int
-	Seq       int
-	Intervals []intervalRec
-}
-
-func sizeIntervals(ivs []intervalRec) int {
-	s := 0
-	for _, iv := range ivs {
-		// Header + notices + the (delta-compressible) vector clock stamp.
-		s += bytesDiffName + len(iv.Notices)*bytesWriteNotice + 2*len(iv.VC)
-	}
-	return s
-}
-
-// diffMsg is one diff tagged with its provenance.
-type diffMsg struct {
-	Notice writeNotice
-	Diff   vm.Diff
-}
-
-// diffReq asks Creator for the listed diffs of its pages.
-type diffReq struct {
-	Wants []writeNotice
-}
-
-// diffRep carries the diffs back. Missing entries (not yet created, never
-// created) are reported in Missing; the requester treats the page as
-// irrecoverable from this source and asks the home of last resort (in lmw
-// this cannot happen for correct programs).
-type diffRep struct {
-	Diffs []diffMsg
-}
-
-// pageReq asks the receiving home for a full copy of Page. Epoch is the
-// requester's current barrier sequence, letting the home report which of
-// the in-progress epoch's merges the returned snapshot already includes
-// (both fields fit the 8-byte wire size).
-type pageReq struct {
-	Page  vm.PageID
-	Epoch int
-}
-
-// pageRep carries the page image and its version index. Absorbed lists the
-// writers whose diffs for the requester's in-progress epoch (labelled
-// Epoch+1 by the flush pipeline) were already merged into Data: the
-// requester must not count their banked update flushes toward the version
-// bumps its snapshot is missing (see consumeUpdates).
-type pageRep struct {
-	Page     vm.PageID
-	Data     []byte
-	Version  uint32
-	Absorbed []int
-}
-
-// homeFlush carries every diff a writer created this epoch for pages homed
-// at the destination.
-type homeFlush struct {
-	Epoch int
-	Diffs []diffMsg
-}
-
-// homeFlushAck reports the home's version index for each page after the
-// flushed diffs were applied.
-type homeFlushAck struct {
-	Versions []pageVersion
-}
-
-// pageVersion pairs a page with a version index.
-type pageVersion struct {
-	Page    vm.PageID
-	Version uint32
-}
-
-// updateFlush carries a writer's diff batch to one consumer. Seq orders
-// flush batches within (writer, epoch) for duplicate suppression.
-type updateFlush struct {
-	Epoch int
-	Diffs []diffMsg
-}
-
-// barArrive is the barrier arrival record.
-type barArrive struct {
-	From  int
-	Site  int // barrier call-site index within the iteration
-	Seq   int // global barrier sequence number
-	Proto any // protocol payload
-	Red   *redContrib
-}
-
-// barRelease is the barrier release record.
-type barRelease struct {
-	Seq   int
-	Proto any // protocol payload for this node
-	Red   *redResult
-}
-
-// updatesReady is the local signal payload for mkUpdatesReady.
-type updatesReady struct {
-	Epoch int
-}
-
-// updateTimeout is the local alarm payload for mkUpdateTimeout.
-type updateTimeout struct {
-	WaitSeq int
-}
-
-// retryTimer is the local alarm payload for mkRetryTimer.
-type retryTimer struct {
-	Rid int64
-}
-
-// doneMsg reports one finished compute body for teardown coordination.
-type doneMsg struct {
-	From int
-}
-
-// homePull asks the old home to relinquish Page's home role.
-type homePull struct {
-	Page vm.PageID
-}
-
-// homePullRep hands the role over: authoritative contents, version index,
-// and the accumulated copyset.
-type homePullRep struct {
-	Page    vm.PageID
-	Data    []byte
-	Version uint32
-	Copyset copyset
-}
+// sizeIntervals returns the modeled wire size of an interval batch.
+func sizeIntervals(ivs []intervalRec) int { return wire.SizeIntervals(ivs) }
 
 // sizeDiffs returns the modeled wire size of a diff batch.
-func sizeDiffs(diffs []diffMsg) int {
-	s := 0
-	for _, d := range diffs {
-		s += bytesDiffName + d.Diff.WireSize()
-	}
-	return s
-}
+func sizeDiffs(diffs []diffMsg) int { return wire.SizeDiffs(diffs) }
 
 // flushBatch is one destination's accumulated diff batch. Wire is the
 // modeled size of the batch, maintained incrementally as diffs are added

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sync"
+
+	"godsm/internal/vm"
+)
+
+// Realtime-mode support: when Config.Transport selects a real backend the
+// cluster's processes run concurrently, so the engine's few pieces of
+// genuinely cross-node shared state need locks. Node-local protocol state
+// needs none — each node's compute and service share one exclusive-group
+// mutex (sim.SetExclusive), preserving the DES kernel's one-runner-per-
+// node invariant pairwise. The pieces that cross nodes:
+//
+//   - the trace sinks and the timeline collector (every node emits into
+//     them): serialized by cluster.obsMu;
+//   - the consistency checker (Config.Check): wrapped in lockedChecker;
+//   - the barrier manager and teardown bookkeeping: node 0's service
+//     only, covered by node 0's group lock;
+//   - the fault injector's rule bookkeeping: locked inside netsim.
+
+// lockedChecker serializes a Checker shared by concurrently-running
+// nodes. Installed only under a real transport; sim runs keep the bare
+// checker on the store hot path.
+type lockedChecker struct {
+	mu    sync.Mutex
+	inner Checker
+}
+
+func (l *lockedChecker) Write(node, off int, bits uint64) {
+	l.mu.Lock()
+	l.inner.Write(node, off, bits)
+	l.mu.Unlock()
+}
+
+func (l *lockedChecker) Epoch(node int, as *vm.AddressSpace) {
+	l.mu.Lock()
+	l.inner.Epoch(node, as)
+	l.mu.Unlock()
+}
+
+func (l *lockedChecker) Stale(node int, pg vm.PageID) {
+	l.mu.Lock()
+	l.inner.Stale(node, pg)
+	l.mu.Unlock()
+}
+
+func (l *lockedChecker) Finish() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Finish()
+}

@@ -1,49 +1,38 @@
 package core
 
-import "math"
+import (
+	"math"
+
+	"godsm/internal/wire"
+)
 
 // RedOp identifies a reduction operator. Reductions are the explicit
 // support bar-i adds for the SUIF-parallelized codes (§2.2.1); they ride
-// the barrier messages, so a reduction costs no extra messages.
-type RedOp int
+// the barrier messages, so a reduction costs no extra messages. The
+// operator and payload types live in wire (they cross the network on
+// barrier arrivals and releases).
+type RedOp = wire.RedOp
 
 const (
 	// RedSum adds float64 contributions in node order (deterministic).
-	RedSum RedOp = iota + 1
+	RedSum = wire.RedSum
 	// RedMax takes the elementwise maximum.
-	RedMax
+	RedMax = wire.RedMax
 	// RedMin takes the elementwise minimum.
-	RedMin
+	RedMin = wire.RedMin
 	// RedXor xors uint64 contributions; used for run checksums.
-	RedXor
+	RedXor = wire.RedXor
 )
 
 // redContrib is one node's contribution, carried on its barrier arrival.
-type redContrib struct {
-	Op RedOp
-	F  []float64
-	U  []uint64
-}
+type redContrib = wire.RedContrib
 
 // redResult is the combined result, carried on every barrier release.
-type redResult struct {
-	F []float64
-	U []uint64
-}
+type redResult = wire.RedResult
 
-func redSize(r *redContrib) int {
-	if r == nil {
-		return 0
-	}
-	return bytesReduceVal * (len(r.F) + len(r.U))
-}
+func redSize(r *redContrib) int { return r.ModelSize() }
 
-func redResultSize(r *redResult) int {
-	if r == nil {
-		return 0
-	}
-	return bytesReduceVal * (len(r.F) + len(r.U))
-}
+func redResultSize(r *redResult) int { return r.ModelSize() }
 
 // combineReds folds the nodes' contributions in node order. All
 // contributing nodes must use the same operator and arity.

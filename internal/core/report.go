@@ -27,6 +27,11 @@ type Report struct {
 	// agree); HasChecksum reports whether one was set.
 	Checksum    uint64
 	HasChecksum bool
+	// FrameBytes is the total encoded bytes actually shipped over a real
+	// transport, whole run (zero under the virtual wire, whose traffic is
+	// modeled, not framed). DataBytes above stays the modeled Table-1
+	// accounting; the two diverge by the codec's varint compression.
+	FrameBytes int64 `json:",omitempty"`
 	// Timeline is the per-epoch statistics history, one entry per barrier
 	// over the whole run (warm-up included). Nil unless Config.Timeline.
 	Timeline *obs.Timeline `json:",omitempty"`

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"godsm/internal/cost"
+	"godsm/internal/sim"
+	"godsm/internal/wire"
+)
+
+// TestEncodeInFlightCatchesSenderMutation exercises the delivery-time
+// aliasing assertion: a sender that mutates a payload after Send is
+// mutating memory a real transport would already have snapshotted, so
+// the sim must refuse to behave differently. The packet's encoding is
+// captured at Send and re-encoded at delivery; the mid-flight write
+// below must cancel the run, naming the hazard.
+func TestEncodeInFlightCatchesSenderMutation(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 2, cost.Default())
+	n.EncodeInFlight()
+	data := make([]byte, 64)
+	n.Bind(0, PortCompute, "sender", func(p *sim.Proc) {
+		n.Send(p, 1, PortService, &Packet{Kind: wire.KindPageRep, Size: len(data), Reply: true,
+			Data: &wire.PageRep{Page: 1, Data: data}})
+		data[0] = 0xFF // the packet is still in flight (wire latency)
+		p.Recv()       // park; the cancellation ends the run
+	})
+	n.Bind(1, PortService, "receiver", func(p *sim.Proc) {
+		pkt := p.Recv().Payload.(*Packet)
+		if got := pkt.Data.(*wire.PageRep).Data[0]; got != 0 {
+			t.Errorf("receiver saw the mutation (%#x); codec copy not independent", got)
+		}
+	})
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "aliasing hazard") {
+		t.Fatalf("mutated in-flight payload not caught: %v", err)
+	}
+}
+
+// TestEncodeInFlightAllowsPostDeliveryMutation pins the boundary of the
+// assertion: once the packet has been delivered the receiver owns an
+// independent decoded copy, so the sender reusing its buffer is legal —
+// on a real wire and here alike.
+func TestEncodeInFlightAllowsPostDeliveryMutation(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 2, cost.Default())
+	n.EncodeInFlight()
+	data := make([]byte, 64)
+	n.Bind(0, PortCompute, "sender", func(p *sim.Proc) {
+		n.Send(p, 1, PortService, &Packet{Kind: wire.KindPageRep, Size: len(data), Reply: true,
+			Data: &wire.PageRep{Page: 1, Data: data}})
+		p.Advance(sim.Duration(sim.Millisecond)) // well past delivery
+		data[0] = 0xFF
+	})
+	n.Bind(1, PortService, "receiver", func(p *sim.Proc) { p.Recv() })
+	if err := k.Run(); err != nil {
+		t.Fatalf("post-delivery buffer reuse flagged: %v", err)
+	}
+}

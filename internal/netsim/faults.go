@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"math/rand"
+	"sync"
 
 	"godsm/internal/sim"
 )
@@ -139,6 +140,12 @@ const dupJitterMax = 50 * sim.Microsecond
 
 // faultInjector is the per-run injection state behind a FaultPlan.
 type faultInjector struct {
+	// mu serializes judge/dupJitter: under a realtime kernel different
+	// nodes send concurrently, and fired is shared across senders. (The
+	// per-node rngs would be safe per the exclusive-group invariant, but
+	// one lock keeps the whole draw sequence simple.) Uncontended and
+	// single-threaded under the virtual kernel.
+	mu    sync.Mutex
 	plan  FaultPlan
 	rngs  []*rand.Rand // per sending node
 	fired []int        // per rule: packets faulted (MaxCount bookkeeping)
@@ -166,6 +173,8 @@ func newFaultInjector(plan *FaultPlan, nodes int) *faultInjector {
 // packet is fixed (drop, dup, reorder, then magnitude draws only for the
 // faults that fired), so schedules stay deterministic.
 func (fi *faultInjector) judge(kind, from, to int) (drop, dup bool, extra sim.Duration) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
 	var rule *FaultRule
 	ri := -1
 	for i := range fi.plan.Rules {
@@ -201,6 +210,8 @@ func (fi *faultInjector) judge(kind, from, to int) (drop, dup bool, extra sim.Du
 // dupJitter draws the extra latency separating a duplicate from its
 // original, so the copies do not arrive as an indistinguishable pair.
 func (fi *faultInjector) dupJitter(from int) sim.Duration {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
 	return sim.Duration(1 + fi.rngs[from].Int63n(int64(dupJitterMax)))
 }
 
@@ -236,7 +247,9 @@ func (n *Net) SetFaults(plan *FaultPlan) {
 // calls it at each barrier entry). No-op when faults are off.
 func (n *Net) SetEpoch(node, epoch int) {
 	if n.fi != nil {
+		n.fi.mu.Lock()
 		n.fi.epoch[node] = epoch
+		n.fi.mu.Unlock()
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"godsm/internal/cost"
 	"godsm/internal/sim"
+	"godsm/internal/transport"
 )
 
 // Port distinguishes the two execution contexts of a DSM node.
@@ -26,6 +27,9 @@ const (
 	PortService
 	numPorts
 )
+
+// NumPorts is the number of ports per node, for sizing transports.
+const NumPorts = int(numPorts)
 
 // Packet is the payload carried by every simulated network message.
 type Packet struct {
@@ -74,6 +78,18 @@ type Net struct {
 	FaultStats []FaultStats
 	// OnFault, when set, observes each injected fault (for tracing).
 	OnFault func(t sim.Time, from, to, kind int, class FaultClass)
+
+	// tr carries frames for real delivery (SetTransport); nil in sim mode.
+	tr transport.Transport
+	// encodeInFlight round-trips every remote packet through the wire
+	// codec under virtual time (EncodeInFlight); snapshots holds each
+	// in-flight packet's Send-time encoding, keyed by the decoded copy
+	// the receiver will get, for the delivery-time aliasing assertion.
+	encodeInFlight bool
+	snapshots      map[*Packet]aliasSnapshot
+	// FrameBytes counts encoded frame bytes actually shipped per sending
+	// node — the real-wire counterpart of Traffic.Bytes' modeled sizes.
+	FrameBytes []int64
 }
 
 type addr struct {
@@ -85,12 +101,13 @@ type addr struct {
 // model. Endpoints must then be bound with Bind before k.Run.
 func New(k *sim.Kernel, n int, m *cost.Model) *Net {
 	nt := &Net{
-		K:       k,
-		Model:   m,
-		nodes:   n,
-		procs:   make([][]*sim.Proc, n),
-		byProc:  make(map[int]addr),
-		Traffic: make([]Traffic, n),
+		K:          k,
+		Model:      m,
+		nodes:      n,
+		procs:      make([][]*sim.Proc, n),
+		byProc:     make(map[int]addr),
+		Traffic:    make([]Traffic, n),
+		FrameBytes: make([]int64, n),
 	}
 	for i := range nt.procs {
 		nt.procs[i] = make([]*sim.Proc, numPorts)
@@ -130,6 +147,10 @@ func (n *Net) Send(from *sim.Proc, node int, port Port, pkt *Packet) {
 		from.Send(dst.ID(), 0, pkt)
 		return
 	}
+	if n.tr != nil {
+		n.sendReal(from, fromNode, fromPort, node, port, pkt)
+		return
+	}
 	d := n.Model.XferTime(pkt.Size)
 	if n.fi != nil && !pkt.NoFault {
 		drop, dup, extra := n.fi.judge(pkt.Kind, fromNode, node)
@@ -149,11 +170,11 @@ func (n *Net) Send(from *sim.Proc, node int, port Port, pkt *Packet) {
 			n.FaultStats[fromNode].Dups++
 			n.fault(from, fromNode, node, pkt, FaultDup)
 			n.count(fromNode, pkt)
-			from.Send(dst.ID(), d+n.fi.dupJitter(fromNode), pkt)
+			from.Send(dst.ID(), d+n.fi.dupJitter(fromNode), n.outbound(pkt))
 		}
 	}
 	n.count(fromNode, pkt)
-	from.Send(dst.ID(), d, pkt)
+	from.Send(dst.ID(), d, n.outbound(pkt))
 }
 
 // count records one transmitted copy of pkt against the sending node.

@@ -10,6 +10,7 @@ import (
 	"godsm/internal/stats"
 	"godsm/internal/sweep"
 	"godsm/internal/vm"
+	"godsm/internal/wire"
 )
 
 // The bench export: run the Table 1 and Figure 2/3/4 sweeps with per-run
@@ -117,6 +118,7 @@ func (r *Runner) BenchSweep() (*BenchFile, error) {
 		})
 	}
 	out.Micro = measureDiffMicro()
+	out.Micro = append(out.Micro, measureWireMicro()...)
 	return out, nil
 }
 
@@ -166,6 +168,63 @@ func measureDiffMicro() []BenchMicro {
 		RunID: "micro/vm/makediff-fullpage-64k", NsPerOp: p.NsPerOp,
 		AllocsPerOp: p.AllocsPerOp, BytesPerOp: p.BytesPerOp,
 	})
+	return micro
+}
+
+// measureWireMicro samples the frame codec's hot paths — the per-remote-
+// message encode and decode a real transport puts on every send and
+// receive. Same frames BenchmarkWireCodec guards: a two-diff update flush
+// and a full 8 KiB page reply. Encode reuses the caller's buffer and must
+// stay allocation-free.
+func measureWireMicro() []BenchMicro {
+	const iters = 2000
+	old := make([]byte, 8192)
+	cur := make([]byte, 8192)
+	for i := 0; i < len(cur); i += 512 {
+		cur[i] = byte(i/512 + 1)
+	}
+	flush := &wire.UpdateFlush{Epoch: 4, Diffs: []wire.DiffMsg{
+		{Notice: wire.WriteNotice{Page: 3, Creator: 1, Epoch: 4}, Diff: vm.MakeDiff(3, old, cur)},
+		{Notice: wire.WriteNotice{Page: 7, Creator: 2, Epoch: 4}, Diff: vm.MakeDiff(7, old, cur)},
+	}}
+	fh := wire.Header{Kind: wire.KindUpdateFlush, FromNode: 2, FromPort: 1, Size: 64, Rid: 9, Orig: 2}
+	rep := &wire.PageRep{Page: 5, Data: cur, Version: 3, Absorbed: []int{1, 2}}
+	rh := wire.Header{Kind: wire.KindPageRep, FromNode: 1, Reply: true, Size: 8192}
+
+	var micro []BenchMicro
+	for _, tc := range []struct {
+		id   string
+		h    wire.Header
+		data any
+	}{
+		{"updateflush", fh, flush},
+		{"pagerep-8k", rh, rep},
+	} {
+		enc, err := wire.AppendFrame(nil, &tc.h, tc.data)
+		if err != nil {
+			panic(err)
+		}
+		buf := make([]byte, 0, len(enc)+64)
+		p := stats.MeasureLoop(iters, func() {
+			buf, err = wire.AppendFrame(buf[:0], &tc.h, tc.data)
+			if err != nil {
+				panic(err)
+			}
+		})
+		micro = append(micro, BenchMicro{
+			RunID: "micro/wire/encode-" + tc.id, NsPerOp: p.NsPerOp,
+			AllocsPerOp: p.AllocsPerOp, BytesPerOp: p.BytesPerOp,
+		})
+		p = stats.MeasureLoop(iters, func() {
+			if _, _, _, err := wire.DecodeFrame(enc); err != nil {
+				panic(err)
+			}
+		})
+		micro = append(micro, BenchMicro{
+			RunID: "micro/wire/decode-" + tc.id, NsPerOp: p.NsPerOp,
+			AllocsPerOp: p.AllocsPerOp, BytesPerOp: p.BytesPerOp,
+		})
+	}
 	return micro
 }
 

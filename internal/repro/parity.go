@@ -1,0 +1,172 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"godsm/internal/apps"
+	"godsm/internal/core"
+	"godsm/internal/sweep"
+)
+
+// The parity sweep: one representative application run under every
+// protocol on all three runtimes — the virtual-time simulator, the
+// in-process mem transport, and loopback UDP sockets — holding the real
+// runs to the simulator's results. This is the "the simulator is not
+// lying" experiment: application checksums must be bit-identical across
+// all three, and the real transports' modeled message counts must match
+// the simulator's Table 1 accounting exactly, except for messages the
+// report itself accounts for (stale refetches, retransmits). Replies and
+// modeled data bytes may differ by a handful with real interleaving (a
+// request can find its page already pushed); those are reported, not
+// pinned. FrameBytes is the codec's actual on-the-wire cost — the
+// framing overhead the simulator's modeled byte counts do not include.
+
+// parityBackends are the runtimes the sweep compares, simulator first.
+var parityBackends = []string{"sim", "mem", "udp"}
+
+// ParityCell is one protocol's run on one backend.
+type ParityCell struct {
+	// Backend is "sim", "mem" or "udp".
+	Backend string
+	// Messages..Retransmits are the run's Table-1-style counters
+	// (modeled accounting — identical bookkeeping on every backend).
+	Messages, Replies, DataBytes int64
+	StaleRefetches, Retransmits  int64
+	// FrameBytes is the encoded bytes actually shipped (zero on sim).
+	FrameBytes int64
+	// Checksum is the application's self-reported result.
+	Checksum uint64
+}
+
+// ParityRow is one protocol's sweep across the three backends.
+type ParityRow struct {
+	Protocol core.ProtocolKind
+	// Cells holds the per-backend results in parityBackends order.
+	Cells []ParityCell
+}
+
+// parityApp picks the sweep's workload: jacobi (the paper's canonical
+// static stencil, legal under all six protocols), or the first
+// non-dynamic application if the Runner's set lacks it.
+func (r *Runner) parityApp() (*apps.App, error) {
+	var fallback *apps.App
+	for _, a := range r.apps {
+		if a.Name == "jacobi" {
+			return a, nil
+		}
+		if fallback == nil && !a.Dynamic {
+			fallback = a
+		}
+	}
+	if fallback == nil {
+		return nil, fmt.Errorf("repro: parity: no non-dynamic application available")
+	}
+	return fallback, nil
+}
+
+// Parity runs the sim/mem/udp parity sweep and verifies it.
+func (r *Runner) Parity() ([]ParityRow, error) {
+	return r.ParityContext(context.Background())
+}
+
+// ParityContext is Parity with cancellation (SIGINT mid-sweep).
+// Protocols fan out across the Runner's Parallel workers; each
+// protocol's three runs are serial. Real-transport runs are wall-clock,
+// so unlike the simulated experiments their timings (not their results)
+// depend on machine load.
+func (r *Runner) ParityContext(ctx context.Context) ([]ParityRow, error) {
+	r.init()
+	app, err := r.parityApp()
+	if err != nil {
+		return nil, err
+	}
+	protos := core.Protocols()
+	rows := make([]ParityRow, len(protos))
+	err = sweep.EachContext(ctx, r.Parallel, len(protos), func(i int) error {
+		proto := protos[i]
+		row := ParityRow{Protocol: proto}
+		for _, be := range parityBackends {
+			tr := be
+			if be == "sim" {
+				tr = ""
+			}
+			rep, err := app.RunWith(r.Procs, proto, apps.RunOpts{Model: r.Model, Transport: tr})
+			if err != nil {
+				return fmt.Errorf("repro: parity: %s %v over %s: %w", app.Name, proto, be, err)
+			}
+			if !rep.HasChecksum {
+				return fmt.Errorf("repro: parity: %s %v over %s: no checksum", app.Name, proto, be)
+			}
+			row.Cells = append(row.Cells, ParityCell{
+				Backend:        be,
+				Messages:       rep.Total.Messages,
+				Replies:        rep.Total.Replies,
+				DataBytes:      rep.Total.DataBytes,
+				StaleRefetches: rep.Total.StaleRefetches,
+				Retransmits:    rep.Total.Retransmits,
+				FrameBytes:     rep.FrameBytes,
+				Checksum:       rep.Checksum,
+			})
+		}
+		ref := row.Cells[0]
+		for _, c := range row.Cells[1:] {
+			if c.Checksum != ref.Checksum {
+				return fmt.Errorf("repro: parity: %s %v: checksum over %s is %#x, simulator has %#x",
+					app.Name, proto, c.Backend, c.Checksum, ref.Checksum)
+			}
+			// Real runs may send more messages than the simulator — a
+			// stale refetch or a retransmit each add one accounted
+			// request — but never fewer, and never more than accounted.
+			extra := c.Messages - ref.Messages
+			if slack := c.StaleRefetches + c.Retransmits; extra < 0 || extra > slack {
+				return fmt.Errorf("repro: parity: %s %v over %s: %d messages vs simulator's %d (accounted slack %d)",
+					app.Name, proto, c.Backend, c.Messages, ref.Messages, slack)
+			}
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderParity renders the parity sweep as a table.
+func (r *Runner) RenderParity() (string, error) {
+	return r.RenderParityContext(context.Background())
+}
+
+// RenderParityContext is RenderParity with cancellation.
+func (r *Runner) RenderParityContext(ctx context.Context) (string, error) {
+	rows, err := r.ParityContext(ctx)
+	if err != nil {
+		return "", err
+	}
+	r.init()
+	app, err := r.parityApp()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sim/real transport parity (%s, %d procs)\n", app.Name, r.Procs)
+	b.WriteString("Each protocol runs on the virtual-time simulator, the in-process mem\n")
+	b.WriteString("transport and loopback UDP sockets. Checksums are bit-identical and\n")
+	b.WriteString("message counts match the simulator's Table 1 accounting, modulo\n")
+	b.WriteString("accounted refetches/retransmits. Replies and modeled bytes can move\n")
+	b.WriteString("by a few with real interleaving; frame bytes are what the wire codec\n")
+	b.WriteString("actually shipped (zero on sim, whose traffic is modeled).\n\n")
+	fmt.Fprintf(&b, "%-6s %-4s %6s %8s %10s %8s %8s %11s  %s\n",
+		"proto", "on", "msgs", "replies", "data-B", "refetch", "retrans", "frame-B", "checksum")
+	for _, row := range rows {
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, "%-6v %-4s %6d %8d %10d %8d %8d %11d  %#x\n",
+				row.Protocol, c.Backend, c.Messages, c.Replies, c.DataBytes,
+				c.StaleRefetches, c.Retransmits, c.FrameBytes, c.Checksum)
+		}
+	}
+	b.WriteString("\nall backends agree.\n")
+	return b.String(), nil
+}

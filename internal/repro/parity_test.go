@@ -1,0 +1,49 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParitySmall runs the sim/mem/udp parity sweep at reduced scale: all
+// six protocols on jacobi, checksums bit-identical across backends and
+// message counts matched to the simulator's within accounted slack (the
+// sweep itself enforces both; the test checks shape and rendering).
+func TestParitySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity sweep opens UDP sockets and runs wall-clock clusters")
+	}
+	r := &Runner{Procs: 4, Small: true, Parallel: 0}
+	rows, err := r.Parity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("swept %d protocols, want 6", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Cells) != 3 {
+			t.Fatalf("%v: %d backends, want 3", row.Protocol, len(row.Cells))
+		}
+		if row.Cells[0].Backend != "sim" || row.Cells[0].FrameBytes != 0 {
+			t.Errorf("%v: first cell %q frame bytes %d; want sim with 0",
+				row.Protocol, row.Cells[0].Backend, row.Cells[0].FrameBytes)
+		}
+		for _, c := range row.Cells[1:] {
+			if c.FrameBytes == 0 {
+				t.Errorf("%v over %s shipped no frame bytes", row.Protocol, c.Backend)
+			}
+			if c.Messages == 0 {
+				t.Errorf("%v over %s counted no messages", row.Protocol, c.Backend)
+			}
+		}
+	}
+
+	out, err := r.RenderParity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "all backends agree") || !strings.Contains(out, "udp") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Ping-pong: two procs exchange a counter through Send/Recv until a bound.
+func TestRealtimePingPong(t *testing.T) {
+	k := NewRealtimeKernel()
+	const rounds = 100
+	var got int
+	mk := func(peer, start int) func(*Proc) {
+		return func(p *Proc) {
+			if start >= 0 {
+				p.Send(peer, 0, start)
+			}
+			for {
+				m := p.Recv()
+				v := m.Payload.(int)
+				if v >= rounds {
+					if p.ID() == 0 {
+						got = v
+					}
+					if v == rounds { // forward the terminator once
+						p.Send(peer, 0, v+1)
+					}
+					return
+				}
+				p.Send(peer, 0, v+1)
+			}
+		}
+	}
+	k.Spawn("a", mk(1, 0))
+	k.Spawn("b", mk(0, -1))
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got < rounds {
+		t.Fatalf("ping-pong stopped at %d, want >= %d", got, rounds)
+	}
+}
+
+// A delayed Send arrives via a real timer, and Now() reflects wall time.
+func TestRealtimeDelayedSend(t *testing.T) {
+	k := NewRealtimeKernel()
+	const delay = 20 * time.Millisecond
+	var elapsed time.Duration
+	k.Spawn("self", func(p *Proc) {
+		t0 := p.Now()
+		p.Send(p.ID(), Duration(delay), "tick")
+		m := p.Recv()
+		if m.Payload.(string) != "tick" {
+			panic("wrong payload")
+		}
+		elapsed = time.Duration(p.Now() - t0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed < delay/2 {
+		t.Fatalf("delayed send arrived after %v, want >= %v", elapsed, delay/2)
+	}
+}
+
+// SetExclusive gives a group mutual exclusion except while blocked in Recv.
+func TestRealtimeExclusiveGroup(t *testing.T) {
+	k := NewRealtimeKernel()
+	var mu sync.Mutex
+	var inside int32 // guarded by mu itself: only one proc can be running
+	var maxSeen int32
+	body := func(p *Proc) {
+		peer := 1 - p.ID()
+		for i := 0; i < 50; i++ {
+			inside++
+			if inside > maxSeen {
+				maxSeen = inside
+			}
+			if inside != 1 {
+				panic("exclusive group violated")
+			}
+			inside--
+			p.Send(peer, 0, i)
+			p.Recv()
+		}
+	}
+	pa := k.Spawn("a", body)
+	pb := k.Spawn("b", body)
+	pa.SetExclusive(&mu)
+	pb.SetExclusive(&mu)
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if maxSeen != 1 {
+		t.Fatalf("saw %d procs inside the exclusive section", maxSeen)
+	}
+}
+
+// Cancel from an external goroutine kills a blocked run.
+func TestRealtimeCancel(t *testing.T) {
+	k := NewRealtimeKernel()
+	k.Spawn("stuck", func(p *Proc) {
+		p.Recv() // never delivered
+	})
+	want := errors.New("external cancel")
+	time.AfterFunc(5*time.Millisecond, func() { k.Cancel(want) })
+	err := k.Run()
+	if !errors.Is(err, want) {
+		t.Fatalf("Run = %v, want %v", err, want)
+	}
+}
+
+// Fail propagates its error and unwinds the sibling proc.
+func TestRealtimeFail(t *testing.T) {
+	k := NewRealtimeKernel()
+	want := errors.New("boom")
+	k.Spawn("failer", func(p *Proc) {
+		p.Advance(Duration(time.Millisecond))
+		p.Fail(want)
+	})
+	k.Spawn("stuck", func(p *Proc) { p.Recv() })
+	if err := k.Run(); !errors.Is(err, want) {
+		t.Fatalf("Run = %v, want %v", err, want)
+	}
+}
+
+// A genuine panic in a proc body is captured with a stack trace.
+func TestRealtimePanicCaptured(t *testing.T) {
+	k := NewRealtimeKernel()
+	k.Spawn("bad", func(p *Proc) {
+		panic("kaboom")
+	})
+	k.Spawn("stuck", func(p *Proc) { p.Recv() })
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("Run = %v, want panic message", err)
+	}
+	if !strings.Contains(err.Error(), "goroutine") {
+		t.Fatalf("error lacks stack trace: %v", err)
+	}
+}
+
+// Inject feeds a proc from outside the proc set (a transport pump).
+func TestRealtimeInject(t *testing.T) {
+	k := NewRealtimeKernel()
+	var got []int
+	k.Spawn("sink", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, p.Recv().Payload.(int))
+		}
+	})
+	go func() {
+		for i := 0; i < 3; i++ {
+			time.Sleep(time.Millisecond)
+			k.Inject(0, &Message{From: -1, To: 0, Payload: i})
+		}
+	}()
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("got %v, want [0 1 2]", got)
+	}
+}
+
+// TryRecv and Pending work without blocking under realtime.
+func TestRealtimeTryRecvPending(t *testing.T) {
+	k := NewRealtimeKernel()
+	k.Spawn("self", func(p *Proc) {
+		if m := p.TryRecv(); m != nil {
+			panic("unexpected message")
+		}
+		p.Send(p.ID(), 0, "a")
+		p.Send(p.ID(), 0, "b")
+		// Self-sends with zero delay are injected synchronously.
+		if n := p.Pending(); n != 2 {
+			panic("pending != 2")
+		}
+		if m := p.TryRecv(); m == nil || m.Payload.(string) != "a" {
+			panic("TryRecv order")
+		}
+		if m := p.Recv(); m.Payload.(string) != "b" {
+			panic("Recv order")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -109,6 +110,21 @@ type Proc struct {
 	mbox   []*Message
 
 	body func(*Proc)
+
+	// Realtime mode only (see realtime.go). The mailbox cond guards mbox;
+	// excl is the proc's mutual-exclusion group lock, exclHeld whether this
+	// proc currently holds it (touched only by the proc's own goroutine).
+	mboxMu   sync.Mutex
+	mboxCond *sync.Cond
+	excl     *sync.Mutex
+	exclHeld bool
+	// peers are the other members of the exclusive group; mboxN counts
+	// delivered-but-unconsumed messages; yielding marks a proc parked in
+	// yieldRT. Together they form the Advance-yield handshake (realtime.go).
+	peers    []*Proc
+	mboxN    atomic.Int32
+	doneRT   atomic.Bool
+	yielding atomic.Bool
 }
 
 // ID returns the Proc's kernel-assigned identifier.
@@ -117,8 +133,14 @@ func (p *Proc) ID() int { return p.id }
 // Name returns the debugging name given at Spawn.
 func (p *Proc) Name() string { return p.name }
 
-// Now returns the Proc's current virtual time.
-func (p *Proc) Now() Time { return p.now }
+// Now returns the Proc's current virtual time — or, on a realtime kernel,
+// the wall time since kernel creation.
+func (p *Proc) Now() Time {
+	if p.k.rt != nil {
+		return p.k.rt.now()
+	}
+	return p.now
+}
 
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }
@@ -136,6 +158,17 @@ type Kernel struct {
 	// polls it between events. It is the only kernel field touched from
 	// outside the simulation's goroutines.
 	canceled atomic.Pointer[cancelReason]
+
+	// rt, when non-nil, switches the kernel to wall-clock concurrent
+	// execution (see realtime.go).
+	rt *rtState
+
+	// OnDeliver, when set, observes every message at its virtual delivery
+	// time, just before it joins the destination mailbox. Debug
+	// instrumentation (netsim's payload-aliasing check); it must not
+	// touch simulated state. Sim mode only — realtime delivery carries
+	// decoded frames, which cannot alias sender memory.
+	OnDeliver func(m *Message)
 }
 
 // cancelReason boxes a Cancel error for atomic publication.
@@ -156,6 +189,7 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 		body:   body,
 		state:  stateReady,
 	}
+	p.mboxCond = sync.NewCond(&p.mboxMu)
 	k.procs = append(k.procs, p)
 	return p
 }
@@ -183,6 +217,9 @@ func (e *ErrDeadlock) Error() string { return "sim: deadlock: " + e.Detail }
 // Procs finish. It returns a *ErrDeadlock if some Procs are blocked forever,
 // or any error recorded via Fail.
 func (k *Kernel) Run() error {
+	if k.rt != nil {
+		return k.runRT()
+	}
 	// Start all procs at t=0 in spawn order.
 	for _, p := range k.procs {
 		p := p
@@ -217,6 +254,9 @@ func (k *Kernel) Run() error {
 			k.schedule(p, e.at)
 		case e.msg != nil:
 			e.msg.Arrival = e.at
+			if k.OnDeliver != nil {
+				k.OnDeliver(e.msg)
+			}
 			p.mbox = append(p.mbox, e.msg)
 			if p.state == stateBlockedRecv {
 				k.schedule(p, e.at)
@@ -254,7 +294,11 @@ func (k *Kernel) Cancel(err error) {
 	if err == nil {
 		err = fmt.Errorf("sim: run canceled")
 	}
-	k.canceled.CompareAndSwap(nil, &cancelReason{err: err})
+	if k.canceled.CompareAndSwap(nil, &cancelReason{err: err}) && k.rt != nil {
+		// Realtime kernels have no event loop polling the flag; kill the
+		// proc goroutines directly.
+		k.killRT(err)
+	}
 }
 
 // dump renders the blocked-proc state for deadlock reports.
@@ -307,6 +351,20 @@ func (p *Proc) Advance(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative Advance(%d) by proc %d", d, p.id))
 	}
+	if p.k.rt != nil {
+		// Modeled CPU charges are virtual-time bookkeeping; under the wall
+		// clock the work's real duration is what elapses. But an Advance is
+		// still a scheduling point: the DES kernel lets other procs run
+		// through the charged span, and protocol state relies on that (a
+		// node's service handles mid-window requests during the barrier-
+		// entry flush, before the arrival snapshots copyset news). yieldRT
+		// preserves the contract by handing the group lock to a sibling
+		// with pending mail; its kill check keeps compute-heavy loops
+		// responsive to teardown.
+		p.checkKilledRT()
+		p.yieldRT()
+		return
+	}
 	if d == 0 {
 		return
 	}
@@ -322,6 +380,10 @@ func (p *Proc) Send(dst int, delay Duration, payload any) {
 	if delay < 0 {
 		panic("sim: negative send delay")
 	}
+	if p.k.rt != nil {
+		p.sendRT(dst, delay, payload)
+		return
+	}
 	m := &Message{From: p.id, To: dst}
 	m.Payload = payload
 	p.k.push(&event{at: p.now + Time(delay), proc: dst, msg: m})
@@ -331,6 +393,9 @@ func (p *Proc) Send(dst int, delay Duration, payload any) {
 // arrives. Messages are delivered in (arrival time, send sequence) order.
 // The proc clock advances to at least the message's arrival time.
 func (p *Proc) Recv() *Message {
+	if p.k.rt != nil {
+		return p.recvRT()
+	}
 	for len(p.mbox) == 0 {
 		p.state = stateBlockedRecv
 		p.yieldAndWait()
@@ -348,6 +413,9 @@ func (p *Proc) Recv() *Message {
 // TryRecv returns the next already-delivered message, or nil without
 // blocking if none has arrived by the proc's current time.
 func (p *Proc) TryRecv() *Message {
+	if p.k.rt != nil {
+		return p.tryRecvRT()
+	}
 	if len(p.mbox) == 0 {
 		return nil
 	}
@@ -355,11 +423,20 @@ func (p *Proc) TryRecv() *Message {
 }
 
 // Pending reports how many messages are queued for the proc.
-func (p *Proc) Pending() int { return len(p.mbox) }
+func (p *Proc) Pending() int {
+	if p.k.rt != nil {
+		return p.pendingRT()
+	}
+	return len(p.mbox)
+}
 
 // Fail aborts the whole simulation with err. The calling proc does not
 // return; it parks forever while the kernel unwinds.
 func (p *Proc) Fail(err error) {
+	if p.k.rt != nil {
+		p.k.killRT(err)
+		panic(errProcKilled)
+	}
 	p.k.fail(err)
 	p.k.live--
 	p.state = stateDone

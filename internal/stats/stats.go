@@ -58,6 +58,14 @@ type Counters struct {
 	// a stale-but-readable copy in place (safe only while the access
 	// pattern stays invariant — the protocol's documented risk).
 	StaleSkips int64
+	// StaleRefetches counts whole-page refetches the overdrive protocols
+	// performed to repair a page that would otherwise be readable stale:
+	// bar-m when update accounting falls short (protections frozen, so
+	// invalidation is impossible) and bar-s/bar-m when a predicted page
+	// enters an epoch invalidated (write-enabling it would bypass the
+	// repairing read fault). Zero on a fault-free virtual clock; a real
+	// transport or a lossy network can starve a consumer of a flush.
+	StaleRefetches int64
 	// Barriers counts barrier episodes completed.
 	Barriers int64
 	// Retransmits counts timed-out requests re-sent by the reliability
@@ -95,6 +103,7 @@ func (c *Counters) Add(o Counters) {
 	c.LockAcquires += o.LockAcquires
 	c.DiffsGCed += o.DiffsGCed
 	c.StaleSkips += o.StaleSkips
+	c.StaleRefetches += o.StaleRefetches
 	c.Barriers += o.Barriers
 	c.Retransmits += o.Retransmits
 	c.DupSuppressed += o.DupSuppressed
@@ -124,6 +133,7 @@ func (c Counters) Sub(o Counters) Counters {
 		LockAcquires:    c.LockAcquires - o.LockAcquires,
 		DiffsGCed:       c.DiffsGCed - o.DiffsGCed,
 		StaleSkips:      c.StaleSkips - o.StaleSkips,
+		StaleRefetches:  c.StaleRefetches - o.StaleRefetches,
 		Barriers:        c.Barriers - o.Barriers,
 		Retransmits:     c.Retransmits - o.Retransmits,
 		DupSuppressed:   c.DupSuppressed - o.DupSuppressed,

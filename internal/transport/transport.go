@@ -1,0 +1,66 @@
+// Package transport carries encoded wire frames between DSM nodes under
+// the realtime runtime. Two backends share one interface:
+//
+//   - mem: goroutine-per-endpoint over in-process channels. Reliable and
+//     ordered per sender→receiver pair, but frames still cross an
+//     encode/decode boundary — nothing is shared by pointer.
+//   - udp: loopback sockets (127.0.0.1, one socket per endpoint). Real
+//     datagrams, so loss and reorder are possible and the reliability
+//     layer (rid/retransmit/dedup) does real work. Frames larger than a
+//     safe datagram are fragmented and reassembled.
+//
+// A frame is an opaque []byte produced by wire.AppendFrame (4-byte length
+// prefix + varint header + payload). The transport never inspects frame
+// contents; it only moves bytes. Send does not retain the caller's slice
+// past the call — both backends copy (mem) or write to the socket (udp)
+// before returning.
+package transport
+
+import (
+	"fmt"
+)
+
+// Addr names one endpoint: a node and a port on it (the DSM uses
+// netsim.PortCompute and netsim.PortService).
+type Addr struct {
+	Node int
+	Port int
+}
+
+// DeliverFunc receives an inbound frame. The slice is owned by the
+// callee; the transport never reuses it. Called from transport-internal
+// goroutines, possibly concurrently for different destination endpoints.
+type DeliverFunc func(to Addr, frame []byte)
+
+// Transport moves frames between endpoints.
+type Transport interface {
+	// Start begins delivery. Must be called exactly once, before Send.
+	Start(deliver DeliverFunc) error
+	// Send queues a frame for to. It may drop (udp) but never blocks
+	// indefinitely. The frame is not retained.
+	Send(from, to Addr, frame []byte) error
+	// MaxFrame is the largest frame Send accepts.
+	MaxFrame() int
+	// Close stops delivery and releases sockets/goroutines. Frames in
+	// flight may be dropped.
+	Close() error
+}
+
+// Kinds of transport selectable from the CLI.
+const (
+	KindMem = "mem"
+	KindUDP = "udp"
+)
+
+// New builds a transport for nodes × ports endpoints. Kind is "mem" or
+// "udp".
+func New(kind string, nodes, ports int) (Transport, error) {
+	switch kind {
+	case KindMem:
+		return newMem(nodes, ports), nil
+	case KindUDP:
+		return newUDP(nodes, ports)
+	default:
+		return nil, fmt.Errorf("transport: unknown kind %q (want %q or %q)", kind, KindMem, KindUDP)
+	}
+}

@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"godsm/internal/wire"
+)
+
+// udpTransport binds one loopback socket per endpoint. Datagrams really
+// traverse the kernel's UDP stack, so drops (full socket buffers) and
+// reorder are possible — exactly the conditions the DSM's reliability
+// layer (rid/retransmit/dedup) exists for.
+//
+// Frames larger than a safe datagram are split into fragments:
+//
+//	uvarint seq | uvarint index | uvarint count | fragment bytes
+//
+// seq is a per-sender-socket counter; the receiver reassembles fragments
+// keyed by (sender address, seq) with bounded eviction, so a lost
+// fragment costs the whole frame (the retransmit path recovers it).
+type udpTransport struct {
+	nodes, ports int
+	conns        []*net.UDPConn // index: node*ports + port
+	addrs        []*net.UDPAddr
+	seq          []atomic.Uint64 // per-sender fragment sequence
+	wg           sync.WaitGroup
+	closeOnce    sync.Once
+	closed       chan struct{}
+	started      bool
+}
+
+const (
+	// udpFragSize keeps each datagram safely under the 65507-byte UDP
+	// payload ceiling with room for the fragment header.
+	udpFragSize = 60000
+	// udpMaxAssembly bounds the per-endpoint reassembly table; beyond it
+	// the oldest entry is evicted (its frame is lost to the retransmit
+	// path, like any drop).
+	udpMaxAssembly = 64
+	// udpReadBuffer asks the kernel for enough socket buffer to ride out
+	// bursts; best effort.
+	udpReadBuffer = 4 << 20
+)
+
+func newUDP(nodes, ports int) (*udpTransport, error) {
+	t := &udpTransport{
+		nodes:  nodes,
+		ports:  ports,
+		conns:  make([]*net.UDPConn, nodes*ports),
+		addrs:  make([]*net.UDPAddr, nodes*ports),
+		seq:    make([]atomic.Uint64, nodes*ports),
+		closed: make(chan struct{}),
+	}
+	for i := range t.conns {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: udp listen: %w", err)
+		}
+		_ = conn.SetReadBuffer(udpReadBuffer)
+		t.conns[i] = conn
+		t.addrs[i] = conn.LocalAddr().(*net.UDPAddr)
+	}
+	return t, nil
+}
+
+func (t *udpTransport) idx(a Addr) (int, error) {
+	if a.Node < 0 || a.Node >= t.nodes || a.Port < 0 || a.Port >= t.ports {
+		return 0, fmt.Errorf("transport: bad address %+v", a)
+	}
+	return a.Node*t.ports + a.Port, nil
+}
+
+// assemblyKey identifies one in-flight fragmented frame.
+type assemblyKey struct {
+	sender string
+	seq    uint64
+}
+
+type assembly struct {
+	frags   [][]byte
+	got     int
+	arrival uint64 // eviction order stamp
+}
+
+func (t *udpTransport) Start(deliver DeliverFunc) error {
+	if t.started {
+		return fmt.Errorf("transport: udp already started")
+	}
+	t.started = true
+	for n := 0; n < t.nodes; n++ {
+		for p := 0; p < t.ports; p++ {
+			to := Addr{Node: n, Port: p}
+			conn := t.conns[n*t.ports+p]
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				t.pump(conn, to, deliver)
+			}()
+		}
+	}
+	return nil
+}
+
+// pump reads datagrams for one endpoint, reassembling fragmented frames.
+func (t *udpTransport) pump(conn *net.UDPConn, to Addr, deliver DeliverFunc) {
+	buf := make([]byte, udpFragSize+64)
+	pending := make(map[assemblyKey]*assembly)
+	var stamp uint64
+	for {
+		n, sender, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue // transient read error: treat as a drop
+		}
+		b := buf[:n]
+		seq, w := binary.Uvarint(b)
+		if w <= 0 {
+			continue
+		}
+		b = b[w:]
+		idx, w := binary.Uvarint(b)
+		if w <= 0 {
+			continue
+		}
+		b = b[w:]
+		count, w := binary.Uvarint(b)
+		if w <= 0 || count == 0 || idx >= count {
+			continue
+		}
+		b = b[w:]
+		if count == 1 {
+			frame := make([]byte, len(b))
+			copy(frame, b)
+			deliver(to, frame)
+			continue
+		}
+		key := assemblyKey{sender: sender.String(), seq: seq}
+		as := pending[key]
+		if as == nil {
+			if len(pending) >= udpMaxAssembly {
+				evictOldest(pending)
+			}
+			stamp++
+			as = &assembly{frags: make([][]byte, count), arrival: stamp}
+			pending[key] = as
+		}
+		if int(count) != len(as.frags) || as.frags[idx] != nil {
+			continue // corrupt or duplicate fragment
+		}
+		frag := make([]byte, len(b))
+		copy(frag, b)
+		as.frags[idx] = frag
+		as.got++
+		if as.got == len(as.frags) {
+			delete(pending, key)
+			total := 0
+			for _, f := range as.frags {
+				total += len(f)
+			}
+			frame := make([]byte, 0, total)
+			for _, f := range as.frags {
+				frame = append(frame, f...)
+			}
+			deliver(to, frame)
+		}
+	}
+}
+
+func evictOldest(pending map[assemblyKey]*assembly) {
+	var oldest assemblyKey
+	var min uint64 = ^uint64(0)
+	for k, a := range pending {
+		if a.arrival < min {
+			min = a.arrival
+			oldest = k
+		}
+	}
+	delete(pending, oldest)
+}
+
+func (t *udpTransport) Send(from, to Addr, frame []byte) error {
+	fi, err := t.idx(from)
+	if err != nil {
+		return err
+	}
+	ti, err := t.idx(to)
+	if err != nil {
+		return err
+	}
+	if len(frame) > t.MaxFrame() {
+		return fmt.Errorf("transport: frame of %d bytes exceeds max %d", len(frame), t.MaxFrame())
+	}
+	conn, dst := t.conns[fi], t.addrs[ti]
+	seq := t.seq[fi].Add(1)
+	count := uint64((len(frame) + udpFragSize - 1) / udpFragSize)
+	if count == 0 {
+		count = 1
+	}
+	var hdr [30]byte
+	for idx := uint64(0); idx < count; idx++ {
+		lo := int(idx) * udpFragSize
+		hi := lo + udpFragSize
+		if hi > len(frame) {
+			hi = len(frame)
+		}
+		h := binary.AppendUvarint(hdr[:0], seq)
+		h = binary.AppendUvarint(h, idx)
+		h = binary.AppendUvarint(h, count)
+		dgram := append(h, frame[lo:hi]...)
+		if _, err := conn.WriteToUDP(dgram, dst); err != nil {
+			// A full socket buffer manifests as an error on some kernels;
+			// semantically it is packet loss, which the reliability layer
+			// absorbs. Only closure is fatal.
+			if errors.Is(err, net.ErrClosed) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (t *udpTransport) MaxFrame() int { return wire.MaxFrameLen + wire.FrameLenSize }
+
+func (t *udpTransport) Close() error {
+	t.closeOnce.Do(func() { close(t.closed) })
+	for _, c := range t.conns {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,380 @@
+// Package wire defines the protocol messages godsm's nodes exchange and a
+// hand-rolled binary codec for them: length-prefixed frames with varint
+// headers, one frame per netsim packet.
+//
+// Under the discrete-event simulator payloads ride between nodes as Go
+// pointers; the codec exists so the same payloads can cross a real
+// transport (internal/transport) as bytes, and so the simulator can
+// optionally force every remote payload through an encode/decode
+// round-trip (netsim.EncodeInFlight) to prove no sender mutates a payload
+// after handing it to the network.
+//
+// Two size notions coexist deliberately. The modeled size (the Bytes*
+// constants and ModelSize helpers, mirrored from the paper's Table 1
+// accounting) is what the cost model charges and what traffic counters
+// report; it travels inside the frame header so both sides agree. The
+// encoded size is what the codec actually produces — varint-compressed,
+// usually smaller, reported separately as frame bytes. Keeping them apart
+// keeps Table 1 honest while the real wire stays efficient.
+package wire
+
+import "godsm/internal/vm"
+
+// Message kinds. Values must stay stable: they are the frame header's
+// discriminator and the simulator's Packet.Kind (internal/core aliases
+// them as mkDiffReq etc).
+const (
+	// KindDiffReq (lmw) asks a writer for the diffs named by write notices.
+	KindDiffReq = iota + 1
+	// KindDiffRep answers with the requested diffs.
+	KindDiffRep
+	// KindPageReq (bar) asks a page's home for a full copy.
+	KindPageReq
+	// KindPageRep answers with page contents and the home's version index.
+	KindPageRep
+	// KindHomeFlush (bar) carries a writer's diff batch to one home.
+	KindHomeFlush
+	// KindHomeFlushAck acknowledges KindHomeFlush with post-apply versions.
+	KindHomeFlushAck
+	// KindUpdateFlush carries a copyset-directed diff batch to one consumer
+	// under the bar-u family.
+	KindUpdateFlush
+	// KindLmwFlush carries a copyset-directed diff batch under lmw-u.
+	KindLmwFlush
+	// KindBarArrive announces barrier arrival to the manager (node 0).
+	KindBarArrive
+	// KindBarRelease releases one node from the barrier.
+	KindBarRelease
+	// KindUpdatesReady is a local service->compute signal (never remote).
+	KindUpdatesReady
+	// KindUpdateTimeout is a local self-addressed alarm (never remote).
+	KindUpdateTimeout
+	// KindHomePull (bar) asks the old home to relinquish a page's home role.
+	KindHomePull
+	// KindHomePullRep carries the page contents, version and copyset back.
+	KindHomePullRep
+	// KindLockAcq asks a lock's manager for the lock.
+	KindLockAcq
+	// KindLockFwd forwards an acquire to the lock's last owner.
+	KindLockFwd
+	// KindLockGrant hands the token plus missing intervals to the requester.
+	KindLockGrant
+	// KindFlagSet announces a set flag to its manager.
+	KindFlagSet
+	// KindFlagWait asks the manager to be released when a flag is set.
+	KindFlagWait
+	// KindFlagRelease releases a flag waiter with the intervals it lacks.
+	KindFlagRelease
+	// KindShutdown terminates a service loop at end of run. No payload.
+	KindShutdown
+	// KindRetryTimer is a local self-addressed retransmission alarm.
+	KindRetryTimer
+	// KindFlagSetAck acknowledges KindFlagSet under fault injection. No
+	// payload.
+	KindFlagSetAck
+	// KindDone reports a finished compute body to the master's service.
+	KindDone
+	// KindDoneRelease lets a compute shut its local service down. No
+	// payload.
+	KindDoneRelease
+
+	// kindMax is one past the largest valid kind.
+	kindMax
+)
+
+// KindValid reports whether k names a defined message kind.
+func KindValid(k int) bool { return k >= KindDiffReq && k < kindMax }
+
+// NumKinds is the count of defined message kinds.
+const NumKinds = kindMax - 1
+
+// Modeled on-wire sizes of protocol records, in bytes — the paper's
+// Table 1 accounting. The codec's encoded sizes are tracked separately.
+const (
+	BytesWriteNotice = 8  // page id + creator/epoch
+	BytesVersionRec  = 12 // page id + version + flags
+	BytesCopysetRec  = 8  // page id + member
+	BytesPageReq     = 8
+	BytesDiffName    = 12 // page + creator + epoch
+	BytesUpdateCount = 8  // expected flush-batch count for one node
+	BytesMigrateRec  = 8  // page + new home
+	BytesReduceVal   = 8
+	BytesBarHeader   = 16
+)
+
+// WriteNotice names one interval's modification of one page by one node.
+// Under the barrier-only bar protocols Epoch is the global barrier
+// sequence; under lmw it is the creator's own interval index.
+type WriteNotice struct {
+	Page    vm.PageID
+	Creator int
+	Epoch   int
+}
+
+// IntervalRec carries one closed interval: its creator, index, the write
+// notices it produced, and the creator's vector clock at the close.
+type IntervalRec struct {
+	Creator int
+	Index   int
+	Notices []WriteNotice
+	VC      []int
+}
+
+// LockAcq asks for a lock, with the requester's vector clock.
+type LockAcq struct {
+	Lock int
+	From int
+	VC   []int
+}
+
+// LockFwd relays an acquire to the lock's last owner. Seq is the
+// acquire's position in the manager's chain ordering; Pred the episode it
+// succeeds.
+type LockFwd struct {
+	Acq  *LockAcq
+	Seq  int
+	Pred int
+}
+
+// LockGrant passes the token plus the consistency information.
+type LockGrant struct {
+	Lock      int
+	Seq       int
+	Intervals []IntervalRec
+}
+
+// DiffMsg is one diff tagged with its provenance.
+type DiffMsg struct {
+	Notice WriteNotice
+	Diff   vm.Diff
+}
+
+// DiffReq asks a creator for the listed diffs of its pages.
+type DiffReq struct {
+	Wants []WriteNotice
+}
+
+// DiffRep carries the diffs back.
+type DiffRep struct {
+	Diffs []DiffMsg
+}
+
+// PageReq asks the receiving home for a full copy of Page at the
+// requester's current barrier sequence.
+type PageReq struct {
+	Page  vm.PageID
+	Epoch int
+}
+
+// PageRep carries the page image, its version index, and the writers
+// whose in-progress-epoch diffs the image already absorbed.
+type PageRep struct {
+	Page     vm.PageID
+	Data     []byte
+	Version  uint32
+	Absorbed []int
+}
+
+// HomeFlush carries every diff a writer created this epoch for pages
+// homed at the destination.
+type HomeFlush struct {
+	Epoch int
+	Diffs []DiffMsg
+}
+
+// HomeFlushAck reports the home's version index for each page after the
+// flushed diffs were applied.
+type HomeFlushAck struct {
+	Versions []PageVersion
+}
+
+// PageVersion pairs a page with a version index.
+type PageVersion struct {
+	Page    vm.PageID
+	Version uint32
+}
+
+// UpdateFlush carries a writer's diff batch to one consumer (bar-u family
+// and, under KindLmwFlush, lmw-u).
+type UpdateFlush struct {
+	Epoch int
+	Diffs []DiffMsg
+}
+
+// BarArrive is the barrier arrival record. Proto is nil, []IntervalRec
+// (lmw) or *BarArrivalBar (bar family).
+type BarArrive struct {
+	From  int
+	Site  int // barrier call-site index within the iteration
+	Seq   int // global barrier sequence number
+	Proto any
+	Red   *RedContrib
+}
+
+// BarRelease is the barrier release record. Proto is nil, []IntervalRec
+// (lmw) or *BarReleaseBar (bar family).
+type BarRelease struct {
+	Seq   int
+	Proto any
+	Red   *RedResult
+}
+
+// UpdatesReady is the local signal payload for KindUpdatesReady.
+type UpdatesReady struct {
+	Epoch int
+}
+
+// UpdateTimeout is the local alarm payload for KindUpdateTimeout.
+type UpdateTimeout struct {
+	WaitSeq int
+}
+
+// RetryTimer is the local alarm payload for KindRetryTimer.
+type RetryTimer struct {
+	Rid int64
+}
+
+// DoneMsg reports one finished compute body for teardown coordination.
+type DoneMsg struct {
+	From int
+}
+
+// HomePull asks the old home to relinquish Page's home role.
+type HomePull struct {
+	Page vm.PageID
+}
+
+// HomePullRep hands the home role over: authoritative contents, version
+// index, and the accumulated copyset bitmap.
+type HomePullRep struct {
+	Page    vm.PageID
+	Data    []byte
+	Version uint32
+	Copyset uint64
+}
+
+// BarArrivalBar is the home-based family's barrier arrival payload.
+type BarArrivalBar struct {
+	Versions    []PageVersion
+	Written     []vm.PageID
+	CopysetNews []CopysetRec
+	PushDests   []int
+	IterEnd     bool
+}
+
+// CopysetRec reports one copyset addition.
+type CopysetRec struct {
+	Page   vm.PageID
+	Member int
+}
+
+// MigrateRec reassigns a page's home.
+type MigrateRec struct {
+	Page    vm.PageID
+	OldHome int
+	NewHome int
+}
+
+// BarReleaseBar is the home-based family's barrier release payload.
+type BarReleaseBar struct {
+	Versions    []PageVersion
+	CopysetNews []CopysetRec
+	Migrations  []MigrateRec
+	ExpBatches  int
+}
+
+// RedOp identifies a reduction operator.
+type RedOp int
+
+const (
+	// RedSum adds float64 contributions in node order (deterministic).
+	RedSum RedOp = iota + 1
+	// RedMax takes the elementwise maximum.
+	RedMax
+	// RedMin takes the elementwise minimum.
+	RedMin
+	// RedXor xors uint64 contributions; used for run checksums.
+	RedXor
+)
+
+// RedContrib is one node's reduction contribution, carried on its barrier
+// arrival.
+type RedContrib struct {
+	Op RedOp
+	F  []float64
+	U  []uint64
+}
+
+// RedResult is the combined reduction result, carried on every barrier
+// release.
+type RedResult struct {
+	F []float64
+	U []uint64
+}
+
+// FlagSet announces a set flag to its manager, carrying the setter's full
+// interval frontier.
+type FlagSet struct {
+	Flag int
+	Ivs  []IntervalRec
+}
+
+// FlagWait asks the manager to be released when the flag is set.
+type FlagWait struct {
+	Flag int
+	From int
+	VC   []int
+}
+
+// FlagRelease carries the consistency payload to a flag waiter.
+type FlagRelease struct {
+	Flag int
+	Ivs  []IntervalRec
+}
+
+// SizeIntervals returns the modeled wire size of an interval batch.
+func SizeIntervals(ivs []IntervalRec) int {
+	s := 0
+	for _, iv := range ivs {
+		// Header + notices + the (delta-compressible) vector clock stamp.
+		s += BytesDiffName + len(iv.Notices)*BytesWriteNotice + 2*len(iv.VC)
+	}
+	return s
+}
+
+// SizeDiffs returns the modeled wire size of a diff batch.
+func SizeDiffs(diffs []DiffMsg) int {
+	s := 0
+	for _, d := range diffs {
+		s += BytesDiffName + d.Diff.WireSize()
+	}
+	return s
+}
+
+// ModelSize is the arrival payload's modeled wire size.
+func (a *BarArrivalBar) ModelSize() int {
+	return len(a.Versions)*BytesVersionRec + len(a.Written)*BytesWriteNotice +
+		len(a.CopysetNews)*BytesCopysetRec + len(a.PushDests)*BytesUpdateCount + 1
+}
+
+// ModelSize is the release payload's modeled wire size.
+func (r *BarReleaseBar) ModelSize() int {
+	return len(r.Versions)*BytesVersionRec + len(r.CopysetNews)*BytesCopysetRec +
+		len(r.Migrations)*BytesMigrateRec + BytesUpdateCount
+}
+
+// ModelSize is the contribution's modeled wire size (0 for nil).
+func (r *RedContrib) ModelSize() int {
+	if r == nil {
+		return 0
+	}
+	return BytesReduceVal * (len(r.F) + len(r.U))
+}
+
+// ModelSize is the result's modeled wire size (0 for nil).
+func (r *RedResult) ModelSize() int {
+	if r == nil {
+		return 0
+	}
+	return BytesReduceVal * (len(r.F) + len(r.U))
+}

@@ -1,0 +1,268 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"godsm/internal/vm"
+)
+
+// sampleDiff builds a small but non-trivial diff through the only public
+// constructor (vm.MakeDiff).
+func sampleDiff(pg vm.PageID) vm.Diff {
+	old := make([]byte, 1024)
+	cur := make([]byte, 1024)
+	copy(cur, old)
+	for i := 0; i < 1024; i += 128 {
+		cur[i] = byte(i/128 + 1)
+	}
+	return vm.MakeDiff(pg, old, cur)
+}
+
+type sample struct {
+	name string
+	h    Header
+	data any
+	// model is the size core's accounting would stamp on the packet, or
+	// -1 when the kind never carries a modeled size (local signals).
+	model int
+}
+
+// samples returns one representative frame per message kind (several for
+// the kinds with union payloads), with the modeled Table-1 size the
+// engine would charge for each.
+func samples() []sample {
+	d := sampleDiff(3)
+	dm := []DiffMsg{
+		{Notice: WriteNotice{Page: 3, Creator: 1, Epoch: 4}, Diff: d},
+		{Notice: WriteNotice{Page: 7, Creator: 2, Epoch: 4}, Diff: sampleDiff(7)},
+	}
+	ivs := []IntervalRec{
+		{Creator: 1, Index: 3, Notices: []WriteNotice{{Page: 2, Creator: 1, Epoch: 3}}, VC: []int{-1, 3, 0, 2}},
+		{Creator: 2, Index: 1, Notices: []WriteNotice{{Page: 5, Creator: 2, Epoch: 1}, {Page: 6, Creator: 2, Epoch: 1}}, VC: []int{0, -1, 1, -1}},
+	}
+	page := make([]byte, 8192)
+	for i := range page {
+		page[i] = byte(i * 31)
+	}
+	hdr := func(kind int) Header {
+		return Header{Kind: kind, FromNode: 2, FromPort: 1, Size: 64, Rid: 9, Orig: 2}
+	}
+	reply := func(kind int) Header {
+		h := hdr(kind)
+		h.Reply = true
+		return h
+	}
+	arrBar := &BarArrivalBar{
+		Versions:    []PageVersion{{Page: 1, Version: 2}, {Page: 9, Version: 1}},
+		Written:     []vm.PageID{1, 9},
+		CopysetNews: []CopysetRec{{Page: 1, Member: 3}},
+		PushDests:   []int{0, 3},
+		IterEnd:     true,
+	}
+	relBar := &BarReleaseBar{
+		Versions:    []PageVersion{{Page: 1, Version: 2}},
+		CopysetNews: []CopysetRec{{Page: 1, Member: 3}},
+		Migrations:  []MigrateRec{{Page: 4, OldHome: 0, NewHome: 2}},
+		ExpBatches:  2,
+	}
+	red := &RedContrib{Op: RedSum, F: []float64{1.5, -2.25}}
+	redRes := &RedResult{F: []float64{3.75, -1.0}}
+
+	return []sample{
+		{"diffReq", hdr(KindDiffReq), &DiffReq{Wants: []WriteNotice{{Page: 3, Creator: 1, Epoch: 4}, {Page: 7, Creator: 2, Epoch: 4}}}, 2 * BytesDiffName},
+		{"diffRep", reply(KindDiffRep), &DiffRep{Diffs: dm}, SizeDiffs(dm)},
+		{"pageReq", hdr(KindPageReq), &PageReq{Page: 5, Epoch: 7}, BytesPageReq},
+		{"pageRep", reply(KindPageRep), &PageRep{Page: 5, Data: page, Version: 3, Absorbed: []int{1, 2}}, len(page) + BytesVersionRec + 4*2},
+		{"homeFlush", hdr(KindHomeFlush), &HomeFlush{Epoch: 4, Diffs: dm}, SizeDiffs(dm)},
+		{"homeFlushAck", reply(KindHomeFlushAck), &HomeFlushAck{Versions: []PageVersion{{Page: 3, Version: 6}, {Page: 7, Version: 2}}}, 2 * BytesVersionRec},
+		{"updateFlush", hdr(KindUpdateFlush), &UpdateFlush{Epoch: 4, Diffs: dm}, SizeDiffs(dm)},
+		{"lmwFlush", hdr(KindLmwFlush), &UpdateFlush{Epoch: 2, Diffs: dm[:1]}, SizeDiffs(dm[:1])},
+		{"barArrive/lmw", hdr(KindBarArrive), &BarArrive{From: 2, Site: 0, Seq: 5, Proto: ivs, Red: red}, BytesBarHeader + SizeIntervals(ivs) + red.ModelSize()},
+		{"barArrive/bar", hdr(KindBarArrive), &BarArrive{From: 2, Site: 0, Seq: 5, Proto: arrBar}, BytesBarHeader + arrBar.ModelSize()},
+		{"barArrive/nil", hdr(KindBarArrive), &BarArrive{From: 2, Site: 1, Seq: 6}, BytesBarHeader},
+		{"barRelease/lmw", reply(KindBarRelease), &BarRelease{Seq: 5, Proto: ivs, Red: redRes}, BytesBarHeader + SizeIntervals(ivs) + redRes.ModelSize()},
+		{"barRelease/bar", reply(KindBarRelease), &BarRelease{Seq: 5, Proto: relBar}, BytesBarHeader + relBar.ModelSize()},
+		{"updatesReady", hdr(KindUpdatesReady), &UpdatesReady{Epoch: 4}, -1},
+		{"updateTimeout", hdr(KindUpdateTimeout), &UpdateTimeout{WaitSeq: 9}, -1},
+		{"homePull", hdr(KindHomePull), &HomePull{Page: 4}, BytesPageReq},
+		{"homePullRep", reply(KindHomePullRep), &HomePullRep{Page: 4, Data: page, Version: 5, Copyset: 0b1011}, len(page) + BytesMigrateRec},
+		{"lockAcq", hdr(KindLockAcq), &LockAcq{Lock: 3, From: 2, VC: []int{0, -1, 4, 2}}, 8 + 8*4},
+		{"lockFwd", hdr(KindLockFwd), &LockFwd{Acq: &LockAcq{Lock: 3, From: 2, VC: []int{0, -1, 4, 2}}, Seq: 2, Pred: 1}, 8 + 8*4},
+		{"lockGrant", reply(KindLockGrant), &LockGrant{Lock: 3, Seq: 2, Intervals: ivs}, 8 + SizeIntervals(ivs)},
+		{"flagSet", hdr(KindFlagSet), &FlagSet{Flag: 1, Ivs: ivs}, SizeIntervals(ivs)},
+		{"flagWait", hdr(KindFlagWait), &FlagWait{Flag: 1, From: 3, VC: []int{0, 0, -1, 2}}, 8 + 8*4},
+		{"flagRelease", reply(KindFlagRelease), &FlagRelease{Flag: 1, Ivs: ivs}, SizeIntervals(ivs)},
+		{"shutdown", hdr(KindShutdown), nil, -1},
+		{"retryTimer", hdr(KindRetryTimer), &RetryTimer{Rid: 77}, -1},
+		{"flagSetAck", reply(KindFlagSetAck), nil, -1},
+		{"done", hdr(KindDone), &DoneMsg{From: 3}, -1},
+		{"doneRelease", reply(KindDoneRelease), nil, -1},
+	}
+}
+
+// TestFrameRoundTrip encodes and decodes every kind's representative
+// frame and requires structural equality plus a byte-stable second pass.
+func TestFrameRoundTrip(t *testing.T) {
+	covered := make(map[int]bool)
+	for _, s := range samples() {
+		covered[s.h.Kind] = true
+		enc, err := AppendFrame(nil, &s.h, s.data)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", s.name, err)
+		}
+		h, data, n, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", s.name, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("%s: decode consumed %d of %d bytes", s.name, n, len(enc))
+		}
+		if h != s.h {
+			t.Fatalf("%s: header mismatch: got %+v want %+v", s.name, h, s.h)
+		}
+		if !messagesEqual(s.data, data) {
+			t.Fatalf("%s: payload mismatch:\n got %#v\nwant %#v", s.name, data, s.data)
+		}
+		enc2, err := AppendFrame(nil, &h, data)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", s.name, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("%s: re-encode not byte-identical (%d vs %d bytes)", s.name, len(enc), len(enc2))
+		}
+	}
+	for k := KindDiffReq; k < kindMax; k++ {
+		if k == KindUpdatesReady || covered[k] {
+			continue
+		}
+		t.Errorf("no round-trip sample for kind %d", k)
+	}
+	if !covered[KindUpdatesReady] {
+		t.Error("no round-trip sample for KindUpdatesReady")
+	}
+}
+
+// messagesEqual compares payloads modulo diff representation: vm.Diff has
+// unexported fields, so diffs are compared by their canonical encoding.
+func messagesEqual(a, b any) bool {
+	switch am := a.(type) {
+	case *DiffRep:
+		bm, ok := b.(*DiffRep)
+		return ok && diffMsgsEqual(am.Diffs, bm.Diffs)
+	case *HomeFlush:
+		bm, ok := b.(*HomeFlush)
+		return ok && am.Epoch == bm.Epoch && diffMsgsEqual(am.Diffs, bm.Diffs)
+	case *UpdateFlush:
+		bm, ok := b.(*UpdateFlush)
+		return ok && am.Epoch == bm.Epoch && diffMsgsEqual(am.Diffs, bm.Diffs)
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func diffMsgsEqual(a, b []DiffMsg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Notice != b[i].Notice || !bytes.Equal(a[i].Diff.Encode(), b[i].Diff.Encode()) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDecodeTruncated decodes every strict prefix of every sample frame:
+// each must fail with an error, never panic, never succeed.
+func TestDecodeTruncated(t *testing.T) {
+	for _, s := range samples() {
+		enc, err := AppendFrame(nil, &s.h, s.data)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", s.name, err)
+		}
+		for cut := 0; cut < len(enc); cut++ {
+			if _, _, _, err := DecodeFrame(enc[:cut]); err == nil {
+				t.Fatalf("%s: decode of %d/%d-byte prefix succeeded", s.name, cut, len(enc))
+			}
+		}
+	}
+}
+
+// TestDecodeGarbage flips each byte of each sample frame and requires
+// decoding to either fail cleanly or produce a re-encodable message —
+// never panic.
+func TestDecodeGarbage(t *testing.T) {
+	for _, s := range samples() {
+		enc, err := AppendFrame(nil, &s.h, s.data)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", s.name, err)
+		}
+		mut := make([]byte, len(enc))
+		for i := range enc {
+			copy(mut, enc)
+			mut[i] ^= 0x5A
+			h, data, _, err := DecodeFrame(mut)
+			if err != nil {
+				continue
+			}
+			if _, err := AppendFrame(nil, &h, data); err != nil {
+				t.Fatalf("%s: byte %d flipped: decoded message does not re-encode: %v", s.name, i, err)
+			}
+		}
+	}
+}
+
+// TestModelSizeParity pins the relationship between the modeled Table-1
+// sizes and the codec's encoded sizes: the varint encoding must never
+// exceed the modeled size by more than a small fixed slack, so Table 1
+// byte counts remain an honest (slightly conservative) model of the real
+// wire. Diff-dominated payloads additionally pin the exact per-diff
+// overhead: a diff's encoding is its WireSize plus a <=3-byte length
+// prefix, against BytesDiffName (12) of modeled framing.
+func TestModelSizeParity(t *testing.T) {
+	const slack = 16 // payload framing: counts and tags the model folds into its per-record sizes
+	for _, s := range samples() {
+		if s.model < 0 {
+			continue // local-only signal, never charged
+		}
+		enc, err := AppendMessage(nil, s.h.Kind, s.data)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", s.name, err)
+		}
+		if len(enc) > s.model+slack {
+			t.Errorf("%s: encoded %d bytes exceeds modeled %d + slack %d", s.name, len(enc), s.model, slack)
+		}
+	}
+	// The diff framing identity the batch model relies on.
+	d := sampleDiff(3)
+	enc := appendDiff(nil, d)
+	if len(enc) < d.WireSize()+1 || len(enc) > d.WireSize()+3 {
+		t.Errorf("diff framing: encoded %d bytes, WireSize %d (+1..3 prefix)", len(enc), d.WireSize())
+	}
+}
+
+// TestAppendFrameRejects covers the encode-side error paths.
+func TestAppendFrameRejects(t *testing.T) {
+	h := Header{Kind: KindPageReq}
+	if _, err := AppendFrame(nil, &h, &DoneMsg{}); err == nil {
+		t.Error("mismatched payload type accepted")
+	}
+	h.Kind = 99
+	if _, err := AppendFrame(nil, &h, nil); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	h = Header{Kind: KindBarArrive}
+	if _, err := AppendFrame(nil, &h, &BarArrive{Proto: 42}); err == nil {
+		t.Error("unencodable barrier proto accepted")
+	}
+	buf := []byte{1, 2, 3}
+	out, err := AppendFrame(buf, &Header{Kind: KindLockFwd}, &LockFwd{})
+	if err == nil {
+		t.Error("lock forward without acquire accepted")
+	}
+	if len(out) != len(buf) {
+		t.Error("failed encode extended the buffer")
+	}
+}
