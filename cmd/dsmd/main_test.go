@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlagValidation holds dsmd to the exit-2 convention: a flag set the
+// server would misread refuses to start.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"negative queue", []string{"-max-queued", "-1"}},
+		{"zero trace cap", []string{"-trace-cap", "0"}},
+		{"negative drain timeout", []string{"-drain-timeout", "-1s"}},
+	}
+	for _, tc := range cases {
+		var out, errb bytes.Buffer
+		if code := run(context.Background(), tc.args, &out, &errb); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, code, errb.String())
+		}
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe to read while run() writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServerLifecycle drives main's whole path in-process: boot on an
+// ephemeral port, launch a run over HTTP, scrape /metrics, then deliver
+// the signal (ctx cancel) and watch the drain complete with exit 0.
+func TestServerLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain-timeout", "30s"}, &stdout, &stderr)
+	}()
+
+	addrRe := regexp.MustCompile(`listening on (http://[^\s]+)`)
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if m := addrRe.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address\nstdout: %s\nstderr: %s", stdout.String(), stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/v1/runs", "application/json",
+		strings.NewReader(`{"app":"jacobi","proto":"bar-u","procs":2,"small":true,"timeline":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc sessionDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("launch: %d", resp.StatusCode)
+	}
+
+	// Signal while the run may still be in flight: the drain must let it
+	// finish (30s headroom) and exit cleanly.
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("server did not exit after signal")
+	}
+	if out := stdout.String(); !strings.Contains(out, "draining") || !strings.Contains(out, "bye") {
+		t.Fatalf("shutdown narration missing:\n%s", out)
+	}
+	if strings.Contains(stdout.String(), "cancelled") {
+		t.Fatalf("patient drain cancelled a run:\n%s", stdout.String())
+	}
+}

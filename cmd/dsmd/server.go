@@ -1,0 +1,568 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"godsm/internal/apps"
+	"godsm/internal/core"
+	"godsm/internal/metrics"
+	"godsm/internal/netsim"
+	"godsm/internal/sim"
+	"godsm/internal/sweep"
+	"godsm/internal/trace"
+	"godsm/internal/transport"
+)
+
+// config sizes a server.
+type config struct {
+	// workers bounds concurrent simulation runs (DefaultParallel rules).
+	workers int
+	// queueCap bounds accepted-but-not-started runs; a full queue turns
+	// into HTTP 429, not buffering.
+	queueCap int
+	// traceCap is each session's event-ring size: the replay window a
+	// late SSE subscriber receives.
+	traceCap int
+	// pprofOn mounts net/http/pprof under /debug/pprof.
+	pprofOn bool
+}
+
+// server multiplexes DSM simulation sessions over a bounded worker pool
+// and exposes them over a versioned REST API plus SSE event streams.
+type server struct {
+	cfg  config
+	reg  *metrics.Registry
+	pool *sweep.Pool
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	order    []string // session ids in creation order, for listing
+	nextID   int
+	draining bool
+
+	activeSessions *metrics.Gauge
+	sseClients     *metrics.Gauge
+}
+
+// runRequest is the POST /v1/runs body. Zero values select the
+// defaults noted per field.
+type runRequest struct {
+	App   string `json:"app"`             // required: barnes expl fft jacobi shallow sor swm tomcat
+	Proto string `json:"proto"`           // required: seq lmw-i lmw-u bar-i bar-u bar-s bar-m
+	Procs int    `json:"procs,omitempty"` // default 8 (1 for seq)
+	Small bool   `json:"small,omitempty"` // reduced application size
+	// Transport runs the cluster over a real backend ("mem" or "udp") on
+	// the wall clock instead of the virtual-time simulator.
+	Transport string `json:"transport,omitempty"`
+	// Timeline attaches the per-epoch statistics history to the report.
+	Timeline bool `json:"timeline,omitempty"`
+	// PageStats attaches per-page attribution to the report.
+	PageStats bool          `json:"page_stats,omitempty"`
+	Faults    *faultRequest `json:"faults,omitempty"`
+}
+
+// faultRequest arms deterministic fault injection, mirroring dsmrun's
+// fault flags.
+type faultRequest struct {
+	Loss    float64 `json:"loss,omitempty"`    // drop fraction of remote packets
+	Dup     float64 `json:"dup,omitempty"`     // duplicate fraction
+	Reorder float64 `json:"reorder,omitempty"` // delay (reorder) fraction
+	// DelayNs bounds the extra latency for reordered packets (0 = 500µs);
+	// with Reorder 0 and DelayNs > 0, every packet is delayed.
+	DelayNs int64 `json:"delay_ns,omitempty"`
+	Seed    int64 `json:"seed,omitempty"` // schedule seed; default 1
+}
+
+// sessionState is a session's lifecycle phase.
+type sessionState string
+
+const (
+	stateQueued    sessionState = "queued"
+	stateRunning   sessionState = "running"
+	stateDone      sessionState = "done"
+	stateError     sessionState = "error"
+	stateCancelled sessionState = "cancelled"
+)
+
+// session is one simulation run owned by the server.
+type session struct {
+	id     string
+	req    runRequest
+	bcast  *trace.Broadcaster
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the run finishes, after report/err are set
+
+	mu       sync.Mutex
+	state    sessionState
+	report   *core.Report
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// sessionDoc is the wire form of a session (GET /v1/runs/{id} and the
+// list entries, which omit the report).
+type sessionDoc struct {
+	ID       string       `json:"id"`
+	State    sessionState `json:"state"`
+	Request  runRequest   `json:"request"`
+	Error    string       `json:"error,omitempty"`
+	Created  time.Time    `json:"created"`
+	Started  *time.Time   `json:"started,omitempty"`
+	Finished *time.Time   `json:"finished,omitempty"`
+	// Epochs is len(report.timeline.Epochs) when a timeline was recorded.
+	Epochs int `json:"epochs,omitempty"`
+	// DroppedEvents counts ring evictions: events an SSE replay no longer
+	// covers.
+	DroppedEvents int64        `json:"dropped_events,omitempty"`
+	Report        *core.Report `json:"report,omitempty"`
+}
+
+func (ss *session) doc(withReport bool) sessionDoc {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	d := sessionDoc{
+		ID:            ss.id,
+		State:         ss.state,
+		Request:       ss.req,
+		Error:         ss.err,
+		Created:       ss.created,
+		DroppedEvents: ss.bcast.Dropped(),
+	}
+	if !ss.started.IsZero() {
+		t := ss.started
+		d.Started = &t
+	}
+	if !ss.finished.IsZero() {
+		t := ss.finished
+		d.Finished = &t
+	}
+	if ss.report != nil && ss.report.Timeline != nil {
+		d.Epochs = len(ss.report.Timeline.Epochs)
+	}
+	if withReport {
+		d.Report = ss.report
+	}
+	return d
+}
+
+func newServer(cfg config) *server {
+	if cfg.traceCap <= 0 {
+		cfg.traceCap = 4096
+	}
+	reg := metrics.New()
+	s := &server{
+		cfg:      cfg,
+		reg:      reg,
+		pool:     sweep.NewPool(cfg.workers, cfg.queueCap, reg),
+		sessions: make(map[string]*session),
+		activeSessions: reg.Gauge("godsm_dsmd_sessions_active",
+			"sessions queued or running"),
+		sseClients: reg.Gauge("godsm_dsmd_sse_clients",
+			"open SSE event subscriptions"),
+	}
+	return s
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleLaunch)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	if s.cfg.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// httpError emits a JSON error document with the given status.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// validate resolves a run request against the same rules dsmrun enforces
+// on its flags: reject what the engine would silently misinterpret.
+func (rr *runRequest) validate() (*apps.App, core.ProtocolKind, *netsim.FaultPlan, error) {
+	proto, err := core.ParseProtocol(rr.Proto)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if rr.Procs == 0 {
+		rr.Procs = 8
+	}
+	if proto == core.ProtoSeq {
+		rr.Procs = 1
+	}
+	if rr.Procs < 1 {
+		return nil, 0, nil, fmt.Errorf("procs %d: cluster needs at least 1 node", rr.Procs)
+	}
+	if rr.Transport != "" && rr.Transport != transport.KindMem && rr.Transport != transport.KindUDP {
+		return nil, 0, nil, fmt.Errorf("transport %q: unknown backend (want %q or %q)",
+			rr.Transport, transport.KindMem, transport.KindUDP)
+	}
+	if rr.Transport != "" && proto == core.ProtoSeq {
+		return nil, 0, nil, fmt.Errorf("transport %s needs a parallel protocol; seq has no remote traffic", rr.Transport)
+	}
+	list := apps.All()
+	if rr.Small {
+		list = apps.Small()
+	}
+	var app *apps.App
+	for _, a := range list {
+		if a.Name == rr.App {
+			app = a
+		}
+	}
+	if app == nil {
+		return nil, 0, nil, fmt.Errorf("unknown application %q", rr.App)
+	}
+	if app.Dynamic && (proto == core.ProtoBarS || proto == core.ProtoBarM) {
+		return nil, 0, nil, fmt.Errorf("%s has a dynamic sharing pattern; %v would abort (the paper excludes it)", app.Name, proto)
+	}
+	var plan *netsim.FaultPlan
+	if f := rr.Faults; f != nil {
+		for _, p := range []struct {
+			name string
+			val  float64
+		}{{"loss", f.Loss}, {"dup", f.Dup}, {"reorder", f.Reorder}} {
+			if p.val < 0 || p.val > 1 {
+				return nil, 0, nil, fmt.Errorf("faults.%s %g: must be a probability in [0, 1]", p.name, p.val)
+			}
+		}
+		if f.DelayNs < 0 {
+			return nil, 0, nil, fmt.Errorf("faults.delay_ns %d: extra latency cannot be negative", f.DelayNs)
+		}
+		if f.Loss > 0 || f.Dup > 0 || f.Reorder > 0 || f.DelayNs > 0 {
+			reorder := f.Reorder
+			if reorder == 0 && f.DelayNs > 0 {
+				reorder = 1
+			}
+			seed := f.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			plan = &netsim.FaultPlan{Seed: seed, Rules: []netsim.FaultRule{{
+				From:    netsim.AnyNode,
+				To:      netsim.AnyNode,
+				Drop:    f.Loss,
+				Dup:     f.Dup,
+				Reorder: reorder,
+				Delay:   sim.Duration(f.DelayNs),
+			}}}
+		}
+	}
+	return app, proto, plan, nil
+}
+
+// handleLaunch admits a run: validate, register the session, and submit
+// to the pool. 429 when the pool is saturated, 503 when draining.
+func (s *server) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	app, proto, plan, err := req.validate()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ss := &session{
+		req:     req,
+		bcast:   trace.NewBroadcaster(s.cfg.traceCap),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   stateQueued,
+		created: time.Now(),
+	}
+	opts := apps.RunOpts{
+		Timeline:  req.Timeline,
+		PageStats: req.PageStats,
+		Transport: req.Transport,
+		Faults:    plan,
+		Sinks:     []trace.Sink{ss.bcast},
+		Metrics:   s.reg,
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.nextID++
+	ss.id = "r" + strconv.Itoa(s.nextID)
+	s.sessions[ss.id] = ss
+	s.order = append(s.order, ss.id)
+	s.mu.Unlock()
+
+	run := func() error {
+		ss.mu.Lock()
+		ss.state = stateRunning
+		ss.started = time.Now()
+		ss.mu.Unlock()
+		rep, err := app.RunWithContext(ctx, req.Procs, proto, opts)
+		ss.mu.Lock()
+		ss.finished = time.Now()
+		ss.report = rep
+		switch {
+		case err == nil:
+			ss.state = stateDone
+		case errors.Is(err, context.Canceled):
+			ss.state = stateCancelled
+			ss.err = "cancelled"
+		default:
+			ss.state = stateError
+			ss.err = err.Error()
+		}
+		ss.mu.Unlock()
+		return nil // run outcome lives on the session, not the pool
+	}
+	finish := func(poolErr error) {
+		if poolErr != nil { // a panic the pool contained
+			ss.mu.Lock()
+			ss.state = stateError
+			ss.err = poolErr.Error()
+			ss.finished = time.Now()
+			ss.mu.Unlock()
+		}
+		ss.bcast.Close()
+		close(ss.done)
+		s.activeSessions.Dec()
+		cancel()
+	}
+	s.activeSessions.Inc()
+	if err := s.pool.TrySubmit(run, finish); err != nil {
+		s.activeSessions.Dec()
+		s.mu.Lock()
+		delete(s.sessions, ss.id)
+		for i, id := range s.order {
+			if id == ss.id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		cancel()
+		code := http.StatusTooManyRequests
+		if errors.Is(err, sweep.ErrPoolClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ss.doc(false))
+}
+
+func (s *server) lookup(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	byID := make(map[string]*session, len(s.sessions))
+	for id, ss := range s.sessions {
+		byID[id] = ss
+	}
+	s.mu.Unlock()
+	docs := make([]sessionDoc, 0, len(ids))
+	for _, id := range ids {
+		if ss := byID[id]; ss != nil {
+			docs = append(docs, ss.doc(false))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": docs})
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	ss := s.lookup(r.PathValue("id"))
+	if ss == nil {
+		httpError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ss.doc(true))
+}
+
+// handleCancel aborts a queued or running session. Cancelling a finished
+// session is a no-op that reports its final state.
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	ss := s.lookup(r.PathValue("id"))
+	if ss == nil {
+		httpError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return
+	}
+	ss.cancel()
+	writeJSON(w, http.StatusAccepted, ss.doc(false))
+}
+
+// sseEvent is the SSE data payload for one trace event.
+type sseEvent struct {
+	T    sim.Time `json:"t"`
+	Node int      `json:"node"`
+	Kind string   `json:"kind"`
+	Page int      `json:"page"`
+	Arg  int64    `json:"arg"`
+}
+
+// handleEvents streams a session's trace events as Server-Sent Events:
+// the ring replay first, then live events until the run finishes (a
+// final "done" event carries the session document) or the client goes
+// away. ?kinds=bar-release,segv narrows to the named kinds; ?buffer=N
+// sizes the subscription (default 1024) — a client that cannot keep up
+// loses events rather than stalling the engine, and the count lost is
+// reported on the done event.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ss := s.lookup(r.PathValue("id"))
+	if ss == nil {
+		httpError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	var kinds []trace.Kind
+	if q := r.URL.Query().Get("kinds"); q != "" {
+		for _, name := range strings.Split(q, ",") {
+			k, err := trace.ParseKind(strings.TrimSpace(name))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			kinds = append(kinds, k)
+		}
+	}
+	buffer := 1024
+	if q := r.URL.Query().Get("buffer"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "buffer %q: want a positive integer", q)
+			return
+		}
+		buffer = n
+	}
+
+	sub := ss.bcast.Subscribe(buffer, kinds...)
+	defer ss.bcast.Unsubscribe(sub)
+	s.sseClients.Inc()
+	defer s.sseClients.Dec()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	enc := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-sub.C():
+			if !ok {
+				doc := ss.doc(false)
+				doc.DroppedEvents += sub.Dropped() // ring evictions + this client's losses
+				enc("done", doc)
+				return
+			}
+			if !enc("trace", sseEvent{T: e.T, Node: e.Node, Kind: e.Kind.String(), Page: e.Page, Arg: e.Arg}) {
+				return
+			}
+		}
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// drain stops admissions, waits up to timeout for in-flight sessions,
+// cancels whatever is still running, and shuts the pool down. Returns
+// the ids of sessions that had to be cancelled.
+func (s *server) drain(timeout time.Duration) []string {
+	s.mu.Lock()
+	s.draining = true
+	open := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		open = append(open, ss)
+	}
+	s.mu.Unlock()
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	expired := false
+	var cancelled []string
+	for _, ss := range open {
+		if !expired {
+			select {
+			case <-ss.done:
+				continue
+			case <-deadline.C:
+				expired = true
+			}
+		}
+		// Past the deadline: abort this and every remaining session, then
+		// wait — a cancelled run stops at the next simulation event.
+		ss.cancel()
+		select {
+		case <-ss.done:
+		default:
+			cancelled = append(cancelled, ss.id)
+			<-ss.done
+		}
+	}
+	s.pool.Close()
+	sort.Strings(cancelled)
+	return cancelled
+}

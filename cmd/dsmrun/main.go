@@ -10,7 +10,10 @@
 // the protocol events as a Chrome trace_event document loadable in
 // Perfetto; -timeline prints the per-epoch statistics table; -pagestats N
 // prints the N hottest pages; -trace N records up to N events (-trace-tail
-// keeps the newest instead of the oldest when the cap overflows).
+// keeps the newest instead of the oldest when the cap overflows); -metrics
+// FILE writes the run's final counter/histogram snapshot in Prometheus
+// text format (- for stdout) — the same names cmd/dsmd serves live on
+// /metrics.
 //
 // -check runs the differential conformance harness instead of a plain
 // run: the chosen protocol (fault-injection flags included) is held
@@ -38,6 +41,7 @@ import (
 	"godsm/internal/apps"
 	"godsm/internal/check"
 	"godsm/internal/core"
+	"godsm/internal/metrics"
 	"godsm/internal/netsim"
 	"godsm/internal/obs"
 	"godsm/internal/sim"
@@ -70,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	delay := fs.Duration("delay", 0, "fault injection: maximum extra latency for -reorder (0 = 500µs); with -reorder 0, delay every packet by up to this")
 	straggler := fs.String("straggler", "", "fault injection: slow one node, as node:factor[:fromEpoch[:toEpoch]]")
 	transportName := fs.String("transport", "", "run over a real transport instead of the simulator: mem (in-process channels) or udp (loopback sockets)")
+	metricsPath := fs.String("metrics", "", "write the run's final metrics snapshot to `file` in Prometheus text format (- for stdout)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault-injection schedule")
 	checkRun := fs.Bool("check", false, "differential conformance: hold this protocol (fault flags included) bit-for-bit to the sequential baseline under the consistency oracle")
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +106,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dsmrun: -transport %q: unknown backend (want %q or %q)\n",
 			*transportName, transport.KindMem, transport.KindUDP)
 		fs.Usage()
+		return 2
+	}
+	if *metricsPath != "" && *checkRun {
+		// The conformance harness builds its own configurations and ignores
+		// RunOpts; the registry would come back empty, silently measuring
+		// nothing.
+		fmt.Fprintln(stderr, "dsmrun: -metrics cannot be combined with -check (the conformance harness ignores run options)")
 		return 2
 	}
 	if *transportName != "" && *straggler != "" {
@@ -140,6 +152,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Timeline:  *jsonOut || *timeline,
 		PageStats: *pageStatsN > 0,
 		Transport: *transportName,
+	}
+	var reg *metrics.Registry
+	if *metricsPath != "" {
+		reg = metrics.New()
+		opts.Metrics = reg
 	}
 	plan, err := buildFaultPlan(*loss, *dup, *reorder, *delay, *straggler, *faultSeed, *procs)
 	if err != nil {
@@ -185,7 +202,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	var rep *core.Report
 	if proto == core.ProtoSeq {
-		if opts.Trace == nil && opts.Sinks == nil && !opts.Timeline && !opts.PageStats {
+		if opts.Trace == nil && opts.Sinks == nil && !opts.Timeline && !opts.PageStats && opts.Metrics == nil {
 			rep = seq
 		} else {
 			rep, err = app.RunSeqWith(opts)
@@ -200,6 +217,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if chrome != nil {
 		if err := chrome.Close(); err != nil {
 			fmt.Fprintf(stderr, "dsmrun: chrome trace: %v\n", err)
+			return 1
+		}
+	}
+	if reg != nil {
+		if err := writeMetrics(*metricsPath, reg, stdout); err != nil {
+			fmt.Fprintf(stderr, "dsmrun: metrics: %v\n", err)
 			return 1
 		}
 	}
@@ -231,6 +254,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// writeMetrics dumps the registry's final snapshot in Prometheus text
+// exposition format, to stdout for "-" or to the named file.
+func writeMetrics(path string, reg *metrics.Registry, stdout io.Writer) error {
+	if path == "-" {
+		return reg.WritePrometheus(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runCheck executes the -check mode: the differential conformance harness

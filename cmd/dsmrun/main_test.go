@@ -60,6 +60,64 @@ func TestJSONOutputHasTimeline(t *testing.T) {
 	}
 }
 
+// TestMetricsSnapshot drives -metrics: the file is Prometheus text with
+// non-zero core counters labelled by the protocol that ran.
+func TestMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	var out, errb bytes.Buffer
+	code := run([]string{"-app", "jacobi", "-proto", "bar-u", "-procs", "4", "-small", "-metrics", path},
+		&out, &errb)
+	if code != 0 {
+		t.Fatalf("dsmrun exited %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"# TYPE godsm_messages_total counter",
+		`godsm_runs_total{protocol="bar-u",status="ok"} 1`,
+		`godsm_messages_total{protocol="bar-u"}`,
+		`godsm_barriers_total{protocol="bar-u"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics file missing %q\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `godsm_messages_total{protocol="bar-u"} 0`) {
+		t.Error("message counter is zero after a parallel run")
+	}
+}
+
+// TestMetricsToStdout drives -metrics -: the snapshot lands on stdout
+// next to the report.
+func TestMetricsToStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-app", "jacobi", "-proto", "seq", "-small", "-metrics", "-"},
+		&out, &errb)
+	if code != 0 {
+		t.Fatalf("dsmrun exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `godsm_runs_total{protocol="seq",status="ok"} 1`) {
+		t.Fatalf("stdout is missing the seq run counter:\n%s", out.String())
+	}
+}
+
+// TestMetricsCheckConflict pins the flag-validation convention: -metrics
+// with -check would silently measure nothing, so it exits 2.
+func TestMetricsCheckConflict(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-app", "jacobi", "-proto", "bar-u", "-small", "-check", "-metrics", "-"},
+		&out, &errb)
+	if code != 2 {
+		t.Fatalf("dsmrun exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-metrics cannot be combined with -check") {
+		t.Fatalf("stderr does not explain the conflict: %s", errb.String())
+	}
+}
+
 // TestChromeTraceFileParses pins the other CLI acceptance criterion: the
 // -chrome-trace file is a loadable Chrome trace_event document.
 func TestChromeTraceFileParses(t *testing.T) {

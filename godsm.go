@@ -46,6 +46,7 @@ import (
 
 	"godsm/internal/core"
 	"godsm/internal/cost"
+	"godsm/internal/metrics"
 	"godsm/internal/netsim"
 	"godsm/internal/sim"
 )
@@ -87,7 +88,16 @@ type (
 	// (Config.Check); internal/check's consistency oracle implements it,
 	// and WithCheck attaches one.
 	Checker = core.Checker
+	// MetricsRegistry accumulates counters and histograms across runs
+	// (Config.Metrics / WithMetrics) and renders them in Prometheus text
+	// format via WritePrometheus. Create one with NewMetricsRegistry.
+	MetricsRegistry = metrics.Registry
 )
+
+// NewMetricsRegistry creates an empty metrics registry to attach with
+// WithMetrics. One registry can serve many runs — counters accumulate —
+// and is safe for concurrent use.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
 
 // AnyNode is the wildcard for FaultRule.From/To and StragglerRule.Node.
 // Note the zero value means node 0, not the wildcard.

@@ -1,6 +1,7 @@
 package godsm
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -164,5 +165,43 @@ func TestRunWithOptions(t *testing.T) {
 	}
 	if seq.Checksum != rep.Checksum {
 		t.Fatalf("checksum %#x under bar-u, %#x sequential", rep.Checksum, seq.Checksum)
+	}
+}
+
+// TestWithMetrics attaches a registry to a run and checks the core
+// counters came out non-zero and labelled with the protocol.
+func TestWithMetrics(t *testing.T) {
+	const n = 512
+	body := func(p *Proc) {
+		a := p.AllocF64(n)
+		lo, hi := n*p.ID()/p.NumProcs(), n*(p.ID()+1)/p.NumProcs()
+		for i := lo; i < hi; i++ {
+			a.Set(i, float64(i))
+		}
+		p.Barrier()
+		p.SetResult(a.Checksum(0, n))
+	}
+	reg := NewMetricsRegistry()
+	if _, err := RunWith(body,
+		WithProcs(4), WithProtocol(BarU), WithSegmentBytes(n*8), WithMetrics(reg)); err != nil {
+		t.Fatalf("RunWith: %v", err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`godsm_runs_total{protocol="bar-u",status="ok"} 1`,
+		`godsm_messages_total{protocol="bar-u"}`,
+		`godsm_barriers_total{protocol="bar-u"}`,
+		`godsm_run_wall_seconds_count{protocol="bar-u"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `godsm_messages_total{protocol="bar-u"} 0`) {
+		t.Errorf("message counter is zero:\n%s", out)
 	}
 }

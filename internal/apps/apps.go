@@ -20,10 +20,12 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 
 	"godsm/internal/core"
 	"godsm/internal/cost"
+	"godsm/internal/metrics"
 	"godsm/internal/netsim"
 	"godsm/internal/sim"
 	"godsm/internal/trace"
@@ -79,6 +81,10 @@ type RunOpts struct {
 	// scheduler instead of the virtual-time simulator. Ignored for the
 	// sequential baseline, which has no remote traffic.
 	Transport string
+	// Metrics, when non-nil, accumulates run counters and histograms into
+	// the registry (see core.Config.Metrics). The registry outlives the
+	// run, so a server can aggregate across many sessions.
+	Metrics *metrics.Registry
 	// Configure, when non-nil, runs last over the assembled core.Config,
 	// an escape hatch for options RunOpts does not name.
 	Configure func(*core.Config)
@@ -91,6 +97,13 @@ func (a *App) Run(procs int, proto core.ProtocolKind, model *cost.Model) (*core.
 
 // RunWith executes the app with full observability options.
 func (a *App) RunWith(procs int, proto core.ProtocolKind, opts RunOpts) (*core.Report, error) {
+	return a.RunWithContext(context.Background(), procs, proto, opts)
+}
+
+// RunWithContext is RunWith with cancellation: ctx aborts the run between
+// simulation events (core.RunContext semantics), which is how a server
+// cancels a session mid-flight.
+func (a *App) RunWithContext(ctx context.Context, procs int, proto core.ProtocolKind, opts RunOpts) (*core.Report, error) {
 	if a.Dynamic && (proto == core.ProtoBarS || proto == core.ProtoBarM) {
 		return nil, fmt.Errorf("apps: %s has a dynamic sharing pattern; %v would abort (the paper excludes it)", a.Name, proto)
 	}
@@ -105,6 +118,7 @@ func (a *App) RunWith(procs int, proto core.ProtocolKind, opts RunOpts) (*core.R
 		PageStats:    opts.PageStats,
 		Faults:       opts.Faults,
 		Check:        opts.Check,
+		Metrics:      opts.Metrics,
 	}
 	if proto != core.ProtoSeq {
 		cfg.Transport = opts.Transport
@@ -112,7 +126,7 @@ func (a *App) RunWith(procs int, proto core.ProtocolKind, opts RunOpts) (*core.R
 	if opts.Configure != nil {
 		opts.Configure(&cfg)
 	}
-	return core.Run(cfg, a.Body)
+	return core.RunContext(ctx, cfg, a.Body)
 }
 
 // RunSeq executes the uniprocessor baseline (synchronization nulled out).

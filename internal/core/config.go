@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"godsm/internal/cost"
+	"godsm/internal/metrics"
 	"godsm/internal/netsim"
 	"godsm/internal/sim"
 	"godsm/internal/trace"
@@ -169,6 +170,15 @@ type Config struct {
 	// are not, so Elapsed and the breakdowns report wall time, not the
 	// calibrated SP-2 model.
 	Transport string
+	// Metrics, when non-nil, accumulates the run's protocol activity into
+	// the registry: per-protocol message/retransmit/stale-refetch counters
+	// from core, fault verdicts and the injected-delay distribution from
+	// netsim, and frame/byte counts from the transport backend. The
+	// registry outlives the run — cmd/dsmd serves one registry across
+	// every session it hosts — so values only ever accumulate. Nil (the
+	// default) costs nothing: no handles are resolved and the hot paths
+	// pay a single nil test, the same contract as PageStats.
+	Metrics *metrics.Registry
 	// EncodeInFlight, in sim mode, round-trips every remote packet
 	// through the wire codec so the receiver gets an independent decoded
 	// copy instead of the sender's pointers. Virtual time and results are

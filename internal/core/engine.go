@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"godsm/internal/cost"
 	"godsm/internal/netsim"
@@ -123,6 +124,19 @@ func Run(cfg Config, body func(*Proc)) (*Report, error) {
 // shutting down — SIGINT on a sweep — not for running many aborted
 // simulations in a loop.
 func RunContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, error) {
+	start := time.Now()
+	rep, err := runContext(ctx, cfg, body)
+	if reg := cfg.Metrics; reg != nil {
+		if err != nil {
+			recordRunError(reg, cfg.Protocol)
+		} else {
+			recordRunMetrics(reg, rep, time.Since(start))
+		}
+	}
+	return rep, err
+}
+
+func runContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -157,6 +171,7 @@ func RunContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, err
 		clu.kern = sim.NewKernel()
 	}
 	clu.net = netsim.New(clu.kern, cfg.Procs, clu.cm)
+	clu.net.SetMetrics(cfg.Metrics)
 	if cfg.EncodeInFlight && !rt {
 		clu.net.EncodeInFlight()
 	}
@@ -222,6 +237,7 @@ func RunContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, err
 		if err != nil {
 			return nil, err
 		}
+		tr = transport.Instrument(tr, cfg.Transport, cfg.Metrics)
 		defer tr.Close()
 		if err := clu.net.SetTransport(tr); err != nil {
 			return nil, err

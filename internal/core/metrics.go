@@ -1,0 +1,50 @@
+package core
+
+import (
+	"time"
+
+	"godsm/internal/metrics"
+)
+
+// Run-level instrumentation (Config.Metrics): each finished run folds its
+// measured totals into the shared registry, labelled by protocol, so a
+// long-lived server (cmd/dsmd) accumulates Table-1-shaped counters across
+// every session it hosts. Recording happens once per run, after the
+// report is assembled — the simulation hot paths are untouched.
+
+// runWallBuckets spans the wall-clock cost of one simulation: a few ms
+// for a small test run up to minutes for a full sweep entry.
+var runWallBuckets = metrics.ExpBuckets(0.005, 4, 9) // 5ms .. ~5min
+
+// recordRunMetrics accumulates one successful run's report.
+func recordRunMetrics(reg *metrics.Registry, rep *Report, wall time.Duration) {
+	proto := rep.Protocol
+	reg.Counter("godsm_runs_total", "completed DSM runs by protocol and status",
+		"protocol", proto, "status", "ok").Inc()
+	reg.Histogram("godsm_run_wall_seconds", "wall-clock duration of one DSM run",
+		runWallBuckets, "protocol", proto).Observe(wall.Seconds())
+	t := rep.Total
+	for _, c := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"godsm_messages_total", "protocol messages sent (requests, flushes, barrier arrivals; measured window)", t.Messages},
+		{"godsm_replies_total", "protocol replies sent (measured window)", t.Replies},
+		{"godsm_data_bytes_total", "modeled payload+header bytes sent (measured window)", t.DataBytes},
+		{"godsm_diffs_total", "diff creations (measured window)", t.Diffs},
+		{"godsm_page_fetches_total", "whole-page fetches from a home (measured window)", t.PageFetches},
+		{"godsm_update_pushes_total", "copyset-directed update flushes sent (measured window)", t.UpdatesSent},
+		{"godsm_barriers_total", "barrier episodes completed (measured window)", t.Barriers},
+		{"godsm_retransmits_total", "timed-out requests re-sent by the reliability layer", t.Retransmits},
+		{"godsm_stale_refetches_total", "overdrive whole-page refetches repairing would-be-stale pages", t.StaleRefetches},
+		{"godsm_frame_bytes_total", "encoded frame bytes shipped over a real transport (whole run)", rep.FrameBytes},
+	} {
+		reg.Counter(c.name, c.help, "protocol", proto).Add(c.v)
+	}
+}
+
+// recordRunError counts one failed (or cancelled) run.
+func recordRunError(reg *metrics.Registry, proto ProtocolKind) {
+	reg.Counter("godsm_runs_total", "completed DSM runs by protocol and status",
+		"protocol", proto.String(), "status", "error").Inc()
+}

@@ -1,0 +1,365 @@
+// Package metrics is a zero-dependency, concurrency-safe metrics registry
+// for the DSM runtime: counters, gauges and fixed-bucket histograms with
+// Prometheus text-format rendering (WritePrometheus), served live by
+// cmd/dsmd's GET /metrics and dumpable at exit by dsmrun -metrics.
+//
+// The package follows the repo's zero-cost-when-off contract (the
+// PageStats pattern): every method is nil-safe, so a nil *Registry hands
+// out nil instrument handles and a nil *Counter/*Gauge/*Histogram
+// operation is a single pointer test. Instrumented packages resolve their
+// handles once at setup and call them unconditionally on the hot path.
+//
+// Registration is idempotent: asking for the same (name, labels) series
+// again returns the same handle, so per-run instrumentation can re-resolve
+// against a long-lived server registry. Asking for an existing name with a
+// different instrument type panics — that is a programming error, not a
+// runtime condition.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families keyed by name. The zero value is not
+// usable; create one with New. A nil *Registry is the disabled state:
+// every lookup returns a nil handle whose operations no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric with a fixed type and any number of
+// labelled series.
+type family struct {
+	name, help, typ string
+	buckets         []float64 // histograms only
+	series          map[string]any
+	keys            []string // series keys in registration order
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns (registering if needed) the series for (name, labels),
+// using mk to build a fresh instrument.
+func (r *Registry) lookup(name, help, typ string, buckets []float64, labels []string, mk func() any) any {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: %s: odd label list %q (want key-value pairs)", name, labels))
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets, series: make(map[string]any)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	f.series[key] = s
+	f.keys = append(f.keys, key)
+	return s
+}
+
+// Counter returns the monotonically-increasing counter for (name,
+// labels), registering it on first use. labels are key-value pairs
+// ("protocol", "bar-u"). Nil registry: returns nil (all operations no-op).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, "counter", nil, labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the gauge for (name, labels), registering it on first
+// use. Nil registry: returns nil.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, "gauge", nil, labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the histogram for (name, labels) with the given
+// upper-bound bucket layout (ascending; +Inf is implicit), registering it
+// on first use. All series of one family share the first registration's
+// layout. Nil registry: returns nil.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, "histogram", buckets, labels, func() any {
+		f := r.families[name] // caller holds r.mu via lookup
+		return newHistogram(f.buckets)
+	}).(*Histogram)
+}
+
+// --- instruments -----------------------------------------------------------
+
+// Counter is a monotonically-increasing count. Nil-safe: all methods
+// no-op (or return zero) on a nil receiver.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into a fixed cumulative bucket layout.
+type Histogram struct {
+	bounds  []float64      // ascending upper bounds, +Inf implicit
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram buckets not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: layouts are small (≤ ~20 buckets) and branch-predictable.
+	i := len(h.bounds)
+	for b, ub := range h.bounds {
+		if v <= ub {
+			i = b
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// --- bucket layouts --------------------------------------------------------
+
+// ExpBuckets returns n upper bounds starting at start, each factor times
+// the previous — the standard layout for latencies.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: ExpBuckets(%g, %g, %d)", start, factor, n))
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// DefSecondsBuckets is the default latency layout in seconds: 1 ms to
+// ~2 min, quadrupling.
+func DefSecondsBuckets() []float64 { return ExpBuckets(0.001, 4, 9) }
+
+// --- rendering -------------------------------------------------------------
+
+// labelKey canonicalizes label pairs into the rendered Prometheus form,
+// sorted by key so equivalent label sets collapse to one series.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// withLabel splices extra into a rendered label key ("{a=\"b\"}" or "").
+func withLabel(key, extra string) string {
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return key[:len(key)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format, families sorted by name and series by label key, so
+// output is deterministic. Safe to call concurrently with instrument
+// updates; each value is read atomically (a histogram's buckets, sum and
+// count may be mutually off by in-flight observations).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	keys := make([][]string, len(names))
+	for i, name := range names {
+		f := r.families[name]
+		fams[i] = f
+		ks := append([]string(nil), f.keys...)
+		sort.Strings(ks)
+		keys[i] = ks
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, key := range keys[i] {
+			s := f.series[key]
+			switch inst := s.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, key, inst.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, key, inst.Value())
+			case *Histogram:
+				cum := int64(0)
+				for bi, ub := range inst.bounds {
+					cum += inst.counts[bi].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withLabel(key, `le="`+formatFloat(ub)+`"`), cum)
+				}
+				cum += inst.counts[len(inst.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, withLabel(key, `le="+Inf"`), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, key, formatFloat(inst.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, key, inst.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryIsInert pins the zero-cost disabled path: a nil registry
+// hands out nil handles and every operation on them is a no-op.
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "help")
+	g := r.Gauge("x", "help")
+	h := r.Histogram("x_seconds", "help", DefSecondsBuckets())
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandleIdentity pins idempotent registration: the same (name,
+// labels) yields the same handle, label order does not matter, and
+// distinct labels yield distinct series.
+func TestHandleIdentity(t *testing.T) {
+	r := New()
+	a := r.Counter("msgs_total", "h", "proto", "bar-u", "app", "sor")
+	b := r.Counter("msgs_total", "h", "app", "sor", "proto", "bar-u")
+	if a != b {
+		t.Fatal("label order changed handle identity")
+	}
+	c := r.Counter("msgs_total", "h", "proto", "lmw-i", "app", "sor")
+	if c == a {
+		t.Fatal("distinct labels share a handle")
+	}
+	a.Add(2)
+	c.Inc()
+	if a.Value() != 2 || c.Value() != 1 {
+		t.Fatalf("values crossed: %d %d", a.Value(), c.Value())
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("x", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x", "h")
+}
+
+func TestOddLabelsPanics(t *testing.T) {
+	r := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label list must panic")
+		}
+	}()
+	r.Counter("x", "h", "key-without-value")
+}
+
+// TestHistogramBuckets pins cumulative bucket assignment: boundaries are
+// inclusive upper bounds and overflow lands in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "h", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		`lat_bucket{le="0.1"} 2`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="10"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_sum 102.65`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestPrometheusRendering pins the text-format skeleton: HELP/TYPE lines,
+// label rendering, deterministic family and series order.
+func TestPrometheusRendering(t *testing.T) {
+	r := New()
+	r.Counter("b_total", "bees", "kind", "drone").Add(7)
+	r.Counter("b_total", "bees", "kind", "worker").Add(3)
+	r.Gauge("a_depth", "queue depth").Set(-2)
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_depth queue depth
+# TYPE a_depth gauge
+a_depth -2
+# HELP b_total bees
+# TYPE b_total counter
+b_total{kind="drone"} 7
+b_total{kind="worker"} 3
+`
+	if out.String() != want {
+		t.Fatalf("rendering mismatch:\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("x_total", "h", "path", `a"b\c`+"\n").Inc()
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `x_total{path="a\"b\\c\n"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out.String())
+	}
+}
+
+// TestConcurrentUse hammers registration, updates and rendering from many
+// goroutines; run under -race this is the registry's thread-safety proof.
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			protos := []string{"bar-u", "bar-i", "lmw-u"}
+			h := r.Histogram("lat_seconds", "h", DefSecondsBuckets())
+			for i := 0; i < 1000; i++ {
+				r.Counter("msgs_total", "h", "proto", protos[i%3]).Inc()
+				r.Gauge("depth", "h").Add(1)
+				r.Gauge("depth", "h").Add(-1)
+				h.Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					_ = r.WritePrometheus(&strings.Builder{})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, p := range []string{"bar-u", "bar-i", "lmw-u"} {
+		total += r.Counter("msgs_total", "h", "proto", p).Value()
+	}
+	if total != 8000 {
+		t.Fatalf("lost counter updates: %d, want 8000", total)
+	}
+	if got := r.Histogram("lat_seconds", "h", DefSecondsBuckets()).Count(); got != 8000 {
+		t.Fatalf("lost observations: %d, want 8000", got)
+	}
+	if got := r.Gauge("depth", "h").Value(); got != 0 {
+		t.Fatalf("gauge should balance to 0, got %d", got)
+	}
+}

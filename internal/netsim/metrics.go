@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"godsm/internal/metrics"
+	"godsm/internal/sim"
+)
+
+// Interconnect instrumentation: fault-injection verdicts and the injected
+// delay distribution, plus wire-codec failures on the real-transport
+// path. Handles are resolved once in SetMetrics; with no registry every
+// hook is a nil-handle no-op, so the sim-mode Send fast path is unchanged.
+
+// delayBuckets spans the injected extra latencies: tens of microseconds
+// (dup jitter) up to the tens-of-milliseconds tail of a generous Delay
+// bound, in simulated seconds.
+var delayBuckets = metrics.ExpBuckets(1e-5, 4, 9) // 10µs .. ~2.6s
+
+// netMetrics holds the interconnect's resolved instrument handles. The
+// zero value (no registry) is fully inert.
+type netMetrics struct {
+	drops, dups, delays *metrics.Counter
+	delayDist           *metrics.Histogram
+	encodeErrs          *metrics.Counter
+	decodeErrs          *metrics.Counter
+}
+
+// SetMetrics resolves the interconnect's instruments against reg (nil
+// leaves instrumentation off). Call before the kernel runs.
+func (n *Net) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	const faultsName = "godsm_net_faults_total"
+	const faultsHelp = "packets faulted by the injection plan, by verdict class"
+	n.m = netMetrics{
+		drops:  reg.Counter(faultsName, faultsHelp, "class", "drop"),
+		dups:   reg.Counter(faultsName, faultsHelp, "class", "dup"),
+		delays: reg.Counter(faultsName, faultsHelp, "class", "delay"),
+		delayDist: reg.Histogram("godsm_net_delay_seconds",
+			"injected extra latency per delayed packet (simulated seconds)", delayBuckets),
+		encodeErrs: reg.Counter("godsm_wire_encode_errors_total",
+			"packets that failed wire-frame encoding on the real-transport send path"),
+		decodeErrs: reg.Counter("godsm_wire_decode_errors_total",
+			"received frames that failed wire-frame decoding"),
+	}
+}
+
+// observeFault records one injected-fault verdict.
+func (m *netMetrics) observeFault(class FaultClass, extra sim.Duration) {
+	switch class {
+	case FaultDrop:
+		m.drops.Inc()
+	case FaultDup:
+		m.dups.Inc()
+	case FaultDelay:
+		m.delays.Inc()
+		m.delayDist.Observe(float64(extra) / float64(sim.Second))
+	}
+}

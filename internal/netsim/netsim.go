@@ -73,6 +73,9 @@ type Net struct {
 	Traffic []Traffic     // per sending node
 
 	fi *faultInjector
+	// m holds the resolved metric handles (SetMetrics); the zero value —
+	// no registry — makes every observation a nil-handle no-op.
+	m netMetrics
 	// FaultStats counts injected faults per sending node; nil until
 	// SetFaults arms a plan.
 	FaultStats []FaultStats
@@ -158,17 +161,17 @@ func (n *Net) Send(from *sim.Proc, node int, port Port, pkt *Packet) {
 			// Dropped packets never reach the wire model: like the legacy
 			// UpdateLossRate path, they are excluded from Traffic.
 			n.FaultStats[fromNode].Drops++
-			n.fault(from, fromNode, node, pkt, FaultDrop)
+			n.fault(from, fromNode, node, pkt, FaultDrop, 0)
 			return
 		}
 		if extra > 0 {
 			n.FaultStats[fromNode].Delays++
-			n.fault(from, fromNode, node, pkt, FaultDelay)
+			n.fault(from, fromNode, node, pkt, FaultDelay, extra)
 			d += extra
 		}
 		if dup {
 			n.FaultStats[fromNode].Dups++
-			n.fault(from, fromNode, node, pkt, FaultDup)
+			n.fault(from, fromNode, node, pkt, FaultDup, 0)
 			n.count(fromNode, pkt)
 			from.Send(dst.ID(), d+n.fi.dupJitter(fromNode), n.outbound(pkt))
 		}
@@ -187,7 +190,8 @@ func (n *Net) count(fromNode int, pkt *Packet) {
 	n.Traffic[fromNode].Bytes += int64(pkt.Size + n.Model.MsgHeader)
 }
 
-func (n *Net) fault(from *sim.Proc, fromNode, to int, pkt *Packet, class FaultClass) {
+func (n *Net) fault(from *sim.Proc, fromNode, to int, pkt *Packet, class FaultClass, extra sim.Duration) {
+	n.m.observeFault(class, extra)
 	if n.OnFault != nil {
 		n.OnFault(from.Now(), fromNode, to, pkt.Kind, class)
 	}

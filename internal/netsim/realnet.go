@@ -135,6 +135,7 @@ func (n *Net) outbound(pkt *Packet) *Packet {
 func (n *Net) sendReal(from *sim.Proc, fromNode int, fromPort Port, node int, port Port, pkt *Packet) {
 	frame, err := encodeFrame(pkt)
 	if err != nil {
+		n.m.encodeErrs.Inc()
 		n.K.Cancel(fmt.Errorf("netsim: encode kind %d: %w", pkt.Kind, err))
 		return
 	}
@@ -147,17 +148,17 @@ func (n *Net) sendReal(from *sim.Proc, fromNode int, fromPort Port, node int, po
 		drop, dup, ex := n.fi.judge(pkt.Kind, fromNode, node)
 		if drop {
 			n.FaultStats[fromNode].Drops++
-			n.fault(from, fromNode, node, pkt, FaultDrop)
+			n.fault(from, fromNode, node, pkt, FaultDrop, 0)
 			return
 		}
 		if ex > 0 {
 			n.FaultStats[fromNode].Delays++
-			n.fault(from, fromNode, node, pkt, FaultDelay)
+			n.fault(from, fromNode, node, pkt, FaultDelay, ex)
 			extra = ex
 		}
 		if dup {
 			n.FaultStats[fromNode].Dups++
-			n.fault(from, fromNode, node, pkt, FaultDup)
+			n.fault(from, fromNode, node, pkt, FaultDup, 0)
 			n.count(fromNode, pkt)
 			n.FrameBytes[fromNode] += int64(len(frame))
 			// The duplicate trails the original by the jitter; under real
@@ -182,6 +183,7 @@ func (n *Net) sendReal(from *sim.Proc, fromNode int, fromPort Port, node int, po
 func (n *Net) deliverFrame(to transport.Addr, frame []byte) {
 	h, data, _, err := wire.DecodeFrame(frame)
 	if err != nil {
+		n.m.decodeErrs.Inc()
 		n.K.Cancel(fmt.Errorf("netsim: frame for node %d port %d undecodable: %w", to.Node, to.Port, err))
 		return
 	}

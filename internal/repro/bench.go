@@ -18,8 +18,9 @@ import (
 // result as BENCH_sweep.json — the perf trajectory every future change is
 // compared against ("diff two bench files" in EXPERIMENTS.md).
 
-// benchSchemaVersion identifies the BENCH_sweep.json layout.
-const benchSchemaVersion = 1
+// benchSchemaVersion identifies the BENCH_sweep.json layout. Version 2
+// added frame_bytes and stale_refetches to each run entry.
+const benchSchemaVersion = 2
 
 // Pre-diet allocation baselines, recorded on the tree as of commit
 // 308965d (before the two-pass MakeDiff and AppendEncode landed): MakeDiff
@@ -42,6 +43,13 @@ type BenchRun struct {
 	Procs     int     `json:"procs"`
 	SimTimeUS float64 `json:"sim_time_us"`
 	WallMS    float64 `json:"wall_ms"`
+	// FrameBytes is the run's encoded wire traffic (whole run); zero
+	// under the virtual wire, whose traffic is modeled rather than framed.
+	FrameBytes int64 `json:"frame_bytes"`
+	// StaleRefetches counts overdrive mispredictions the stale-entry
+	// recovery path repaired (measured window); non-zero only for the
+	// bar-s/bar-m runs that took that path.
+	StaleRefetches int64 `json:"stale_refetches"`
 }
 
 // BenchMicro is one diff-codec microbenchmark sample.
@@ -109,12 +117,14 @@ func (r *Runner) BenchSweep() (*BenchFile, error) {
 			return nil, err
 		}
 		out.Runs = append(out.Runs, BenchRun{
-			RunID:     j.key,
-			App:       j.app,
-			Protocol:  j.proto,
-			Procs:     j.procs,
-			SimTimeUS: float64(rep.Elapsed) / float64(sim.Microsecond),
-			WallMS:    wallMS[i],
+			RunID:          j.key,
+			App:            j.app,
+			Protocol:       j.proto,
+			Procs:          j.procs,
+			SimTimeUS:      float64(rep.Elapsed) / float64(sim.Microsecond),
+			WallMS:         wallMS[i],
+			FrameBytes:     rep.FrameBytes,
+			StaleRefetches: rep.Total.StaleRefetches,
 		})
 	}
 	out.Micro = measureDiffMicro()

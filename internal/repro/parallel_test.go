@@ -139,6 +139,13 @@ func TestBenchSweep(t *testing.T) {
 			t.Fatalf("duplicate run id %s", run.RunID)
 		}
 		seen[run.RunID] = true
+		// The bench sweep is virtual-wire only: modeled traffic, no frames.
+		if run.FrameBytes != 0 {
+			t.Fatalf("run %s: frame_bytes %d under the virtual wire", run.RunID, run.FrameBytes)
+		}
+		if run.StaleRefetches < 0 {
+			t.Fatalf("run %s: negative stale_refetches %d", run.RunID, run.StaleRefetches)
+		}
 	}
 	var makeDiff, encode *BenchMicro
 	for i := range bf.Micro {

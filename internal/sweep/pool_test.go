@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"godsm/internal/metrics"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(4, 16, nil)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		err := p.TrySubmit(
+			func() error { ran.Add(1); return nil },
+			func(err error) {
+				if err != nil {
+					t.Errorf("job error: %v", err)
+				}
+				wg.Done()
+			})
+		if err != nil {
+			// Queue full is legal under load; retry synchronously.
+			wg.Done()
+			if !errors.Is(err, ErrPoolFull) {
+				t.Fatalf("TrySubmit: %v", err)
+			}
+			ran.Add(1)
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 32 {
+		t.Fatalf("ran %d jobs, want 32", got)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	// One worker, queue of one: block the worker, fill the queue, and the
+	// next submit must be refused rather than buffered.
+	p := NewPool(1, 1, nil)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.TrySubmit(func() error { close(started); <-block; return nil }, nil); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-started
+	if err := p.TrySubmit(func() error { return nil }, nil); err != nil {
+		t.Fatalf("queued submit: %v", err)
+	}
+	if err := p.TrySubmit(func() error { return nil }, nil); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("saturated submit: got %v, want ErrPoolFull", err)
+	}
+	close(block)
+}
+
+func TestPoolCloseDrainsAndRefuses(t *testing.T) {
+	p := NewPool(2, 8, nil)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		if err := p.TrySubmit(func() error { ran.Add(1); return nil }, nil); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("after Close: ran %d jobs, want 8 (Close must drain the queue)", got)
+	}
+	if err := p.TrySubmit(func() error { return nil }, nil); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("post-Close submit: got %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolPanicContained(t *testing.T) {
+	p := NewPool(1, 1, nil)
+	defer p.Close()
+	got := make(chan error, 1)
+	if err := p.TrySubmit(func() error { panic("boom") }, func(err error) { got <- err }); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	err := <-got
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic outcome: %v", err)
+	}
+	// The worker must have survived the panic.
+	done := make(chan struct{})
+	if err := p.TrySubmit(func() error { return nil }, func(error) { close(done) }); err != nil {
+		t.Fatalf("post-panic submit: %v", err)
+	}
+	<-done
+}
+
+func TestPoolMetrics(t *testing.T) {
+	reg := metrics.New()
+	p := NewPool(3, 4, reg)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		if err := p.TrySubmit(func() error { return nil }, func(error) { wg.Done() }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	p.Close()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`godsm_sweep_workers 3`,
+		`godsm_sweep_jobs_total{outcome="accepted"} 4`,
+		`godsm_sweep_workers_busy 0`,
+		`godsm_sweep_queue_depth 0`,
+		`godsm_sweep_job_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Broadcaster is a bounded fan-out Sink: one producer side (the engine's
+// sink list) feeding any number of live Subscriptions, plus a ring-
+// retention Log (NewTail) whose contents replay to late subscribers so a
+// client attaching mid-run still sees the recent past.
+//
+// Delivery is lossy by design — the slow-subscriber policy of a live
+// telemetry plane. Emit never blocks: a subscription whose buffer is full
+// drops the event and counts it (Subscription.Dropped), so one stalled
+// SSE client cannot stall the simulation or its other observers. Clients
+// that need the complete stream size their buffer for it or filter to the
+// kinds they care about.
+type Broadcaster struct {
+	mu     sync.Mutex
+	tail   *Log // ring replay buffer; nil when replayCap <= 0
+	subs   map[*Subscription]struct{}
+	closed bool
+}
+
+// Subscription is one receiver attached to a Broadcaster. Read events
+// from C; the channel closes when the Broadcaster closes or the
+// subscription is cancelled.
+type Subscription struct {
+	ch      chan Event
+	kinds   map[Kind]bool // nil: all kinds
+	dropped atomic.Int64
+	closed  bool // guarded by the owning Broadcaster's mu
+}
+
+// NewBroadcaster returns a Broadcaster whose replay ring retains the last
+// replayCap events (0 disables replay).
+func NewBroadcaster(replayCap int) *Broadcaster {
+	b := &Broadcaster{subs: make(map[*Subscription]struct{})}
+	if replayCap > 0 {
+		b.tail = NewTail(replayCap)
+	}
+	return b
+}
+
+// Emit implements Sink: record into the replay ring and offer the event
+// to every live subscription, dropping per-subscription when full.
+func (b *Broadcaster) Emit(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.tail.Emit(e)
+	for s := range b.subs {
+		s.offer(e)
+	}
+}
+
+// offer delivers e to s without blocking; the caller holds b.mu.
+func (s *Subscription) offer(e Event) {
+	if s.kinds != nil && !s.kinds[e.Kind] {
+		return
+	}
+	select {
+	case s.ch <- e:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Subscribe attaches a receiver with the given live buffer capacity,
+// restricted to the listed kinds (none: every kind). Events already in
+// the replay ring are delivered first, ahead of any live event — the
+// channel is sized to hold the full replay plus buf live events, so
+// replay itself never drops. On a closed Broadcaster the returned
+// subscription's channel is already closed (after replay), so consumers
+// of a finished run still read the retained tail.
+func (b *Broadcaster) Subscribe(buf int, kinds ...Kind) *Subscription {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &Subscription{}
+	if len(kinds) > 0 {
+		s.kinds = make(map[Kind]bool, len(kinds))
+		for _, k := range kinds {
+			s.kinds[k] = true
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var replay []Event
+	if b.tail != nil {
+		replay = b.tail.Events()
+	}
+	s.ch = make(chan Event, buf+len(replay))
+	for _, e := range replay {
+		s.offer(e)
+	}
+	if b.closed {
+		s.closed = true
+		close(s.ch)
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Unsubscribe detaches s and closes its channel. Safe to call after
+// Close, and more than once.
+func (b *Broadcaster) Unsubscribe(s *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[s]; ok {
+		delete(b.subs, s)
+	}
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// Close ends the stream: every subscription's channel closes once its
+// buffered events are drained, and later Emits are discarded. The replay
+// ring survives, so post-Close Subscribes still receive the tail.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		delete(b.subs, s)
+		if !s.closed {
+			s.closed = true
+			close(s.ch)
+		}
+	}
+}
+
+// Dropped reports how many events the replay ring has evicted — the
+// events a late subscriber's replay no longer covers (0 without a ring).
+func (b *Broadcaster) Dropped() int64 {
+	b.mu.Lock()
+	t := b.tail
+	b.mu.Unlock()
+	return t.Dropped()
+}
+
+// Tail returns the last n retained events (nil without a replay ring).
+func (b *Broadcaster) Tail(n int) []Event {
+	b.mu.Lock()
+	t := b.tail
+	b.mu.Unlock()
+	if t == nil {
+		return nil
+	}
+	return t.Tail(n)
+}
+
+// C is the subscription's event stream. It closes when the run's
+// Broadcaster closes or Unsubscribe is called.
+func (s *Subscription) C() <-chan Event { return s.ch }
+
+// Dropped reports how many live events this subscription lost to the
+// slow-subscriber policy.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }

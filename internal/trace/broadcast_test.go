@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"godsm/internal/sim"
+)
+
+func mkEvent(i int) Event {
+	return Event{T: sim.Time(i), Node: i % 4, Kind: BarrierRelease, Page: -1, Arg: int64(i)}
+}
+
+// TestBroadcasterDeliversInOrder pins the basic contract: a subscriber
+// with room sees every event, in emit order.
+func TestBroadcasterDeliversInOrder(t *testing.T) {
+	b := NewBroadcaster(0)
+	sub := b.Subscribe(64)
+	for i := 0; i < 10; i++ {
+		b.Emit(mkEvent(i))
+	}
+	b.Close()
+	i := 0
+	for e := range sub.C() {
+		if e.Arg != int64(i) {
+			t.Fatalf("event %d carries arg %d", i, e.Arg)
+		}
+		i++
+	}
+	if i != 10 {
+		t.Fatalf("received %d events, want 10", i)
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("dropped %d with a roomy buffer", sub.Dropped())
+	}
+}
+
+// TestBroadcasterSlowSubscriberDrops pins the bounded fan-out policy: a
+// full subscription drops (and counts) instead of blocking the producer.
+func TestBroadcasterSlowSubscriberDrops(t *testing.T) {
+	b := NewBroadcaster(0)
+	slow := b.Subscribe(2)
+	for i := 0; i < 10; i++ {
+		b.Emit(mkEvent(i)) // nobody reading: buffer fills at 2
+	}
+	if got := slow.Dropped(); got != 8 {
+		t.Fatalf("dropped %d, want 8", got)
+	}
+	b.Close()
+	n := 0
+	for range slow.C() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("buffered %d events, want 2", n)
+	}
+}
+
+// TestBroadcasterReplay pins ring replay: a late subscriber first
+// receives the retained tail, then live events; replay never drops even
+// into a small live buffer.
+func TestBroadcasterReplay(t *testing.T) {
+	b := NewBroadcaster(4)
+	for i := 0; i < 10; i++ {
+		b.Emit(mkEvent(i)) // ring retains 6..9
+	}
+	sub := b.Subscribe(1)
+	b.Emit(mkEvent(10))
+	b.Close()
+	var got []int64
+	for e := range sub.C() {
+		got = append(got, e.Arg)
+	}
+	want := []int64{6, 7, 8, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBroadcasterKindFilter pins per-subscription filtering: only the
+// requested kinds are delivered (replay included) and filtered-out events
+// do not count as drops.
+func TestBroadcasterKindFilter(t *testing.T) {
+	b := NewBroadcaster(8)
+	b.Emit(Event{Kind: Segv, Page: 1})
+	b.Emit(Event{Kind: BarrierRelease, Page: -1, Arg: 0})
+	sub := b.Subscribe(8, BarrierRelease)
+	b.Emit(Event{Kind: Mprotect, Page: 2})
+	b.Emit(Event{Kind: BarrierRelease, Page: -1, Arg: 1})
+	b.Close()
+	n := 0
+	for e := range sub.C() {
+		if e.Kind != BarrierRelease {
+			t.Fatalf("filter leaked kind %v", e.Kind)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("received %d bar-release events, want 2", n)
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("filtered events counted as drops: %d", sub.Dropped())
+	}
+}
+
+// TestBroadcasterSubscribeAfterClose pins the finished-run path cmd/dsmd
+// depends on: subscribing to a closed Broadcaster still yields the
+// retained tail, on an already-closed channel.
+func TestBroadcasterSubscribeAfterClose(t *testing.T) {
+	b := NewBroadcaster(8)
+	for i := 0; i < 3; i++ {
+		b.Emit(mkEvent(i))
+	}
+	b.Close()
+	b.Emit(mkEvent(99)) // discarded: the stream has ended
+	sub := b.Subscribe(1)
+	var got []int64
+	for e := range sub.C() {
+		got = append(got, e.Arg)
+	}
+	if len(got) != 3 || got[2] != 2 {
+		t.Fatalf("post-close replay = %v, want [0 1 2]", got)
+	}
+}
+
+// TestBroadcasterUnsubscribeIdempotent pins that Unsubscribe after Close
+// (the natural HTTP-handler defer order) does not double-close.
+func TestBroadcasterUnsubscribeIdempotent(t *testing.T) {
+	b := NewBroadcaster(0)
+	sub := b.Subscribe(1)
+	b.Close()
+	b.Unsubscribe(sub) // must not panic
+	b.Unsubscribe(sub)
+}
+
+// TestTailConcurrentProducers is the -race regression test for the ring
+// retention fix: many goroutines hammer one tail Log (directly and
+// through a Broadcaster fan-out with churning subscribers) while readers
+// snapshot it. Before Log carried its own mutex this raced on the events
+// slice and the ring cursor.
+func TestTailConcurrentProducers(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 2000
+		ringCap   = 64
+	)
+	l := NewTail(ringCap)
+	b := NewBroadcaster(ringCap)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				e := Event{T: sim.Time(i), Node: p, Kind: Kind(1 + i%int(numKinds-1)), Page: i % 7, Arg: int64(i)}
+				l.Emit(e)
+				b.Emit(e)
+			}
+		}(p)
+	}
+	// Concurrent readers: snapshot the tail while producers append.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if ev := l.Events(); len(ev) > ringCap {
+					t.Errorf("tail grew past cap: %d", len(ev))
+					return
+				}
+				_ = l.Tail(8)
+				_ = l.Dropped()
+				_ = l.Summary()
+			}
+		}()
+	}
+	// Subscriber churn against the live broadcast.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sub := b.Subscribe(16)
+				for j := 0; j < 8; j++ {
+					select {
+					case <-sub.C():
+					default:
+					}
+				}
+				b.Unsubscribe(sub)
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(len(l.Events())) + l.Dropped()
+	if want := int64(producers * perProd); total != want {
+		t.Fatalf("events recorded+evicted = %d, want %d", total, want)
+	}
+	b.Close()
+}

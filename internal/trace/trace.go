@@ -16,6 +16,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"godsm/internal/sim"
 )
@@ -104,6 +105,18 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// ParseKind inverts Kind.String: "bar-release" → BarrierRelease. Unknown
+// names are an error listing the event vocabulary's shape.
+func ParseKind(s string) (Kind, error) {
+	for k := Kind(1); k < numKinds; k++ {
+		if kindNames[k] == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q (want e.g. %q, %q, %q)",
+		s, Segv, BarrierRelease, NetDrop)
+}
+
 // Event is one recorded protocol action.
 type Event struct {
 	T    sim.Time
@@ -131,7 +144,14 @@ type Sink interface {
 // Log is a bounded event recorder and the package's reference Sink. The
 // zero value records nothing; create one with New (keep the first cap
 // events) or NewTail (keep the last cap events).
+//
+// A Log is safe for concurrent use: under the realtime kernel (and under
+// cmd/dsmd, where HTTP handlers read a session's tail while the run is
+// still emitting) producers and readers overlap, so every method takes
+// the log's mutex. The lock is uncontended in sim mode, where the kernel
+// runs one process at a time.
 type Log struct {
+	mu      sync.Mutex
 	cap     int
 	ring    bool
 	events  []Event
@@ -163,6 +183,8 @@ func (l *Log) Add(t sim.Time, node int, kind Kind, page int, arg int64) {
 	if l == nil {
 		return
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	e := Event{T: t, Node: node, Kind: kind, Page: page, Arg: arg}
 	if len(l.events) < l.cap {
 		l.events = append(l.events, e)
@@ -178,16 +200,27 @@ func (l *Log) Add(t sim.Time, node int, kind Kind, page int, arg int64) {
 // Emit implements Sink.
 func (l *Log) Emit(e Event) { l.Add(e.T, e.Node, e.Kind, e.Page, e.Arg) }
 
-// Events returns the recorded events in recording order (which is global
-// virtual-time order, since the simulation runs one process at a time).
-// For a wrapped tail log this rebuilds the order, so the slice is fresh.
+// Events returns a copy of the recorded events in recording order (which
+// is global virtual-time order under the sim kernel, since the simulation
+// runs one process at a time). The copy is the caller's: it stays stable
+// while concurrent producers keep appending.
 func (l *Log) Events() []Event {
-	if !l.ring || l.next == 0 {
-		return l.events
+	if l == nil {
+		return nil
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.eventsLocked()
+}
+
+// eventsLocked rebuilds recording order; the caller holds l.mu.
+func (l *Log) eventsLocked() []Event {
 	out := make([]Event, 0, len(l.events))
-	out = append(out, l.events[l.next:]...)
-	return append(out, l.events[:l.next]...)
+	if l.ring && l.next > 0 {
+		out = append(out, l.events[l.next:]...)
+		return append(out, l.events[:l.next]...)
+	}
+	return append(out, l.events...)
 }
 
 // Tail returns the last n recorded events in recording order (all of them
@@ -202,11 +235,23 @@ func (l *Log) Tail(n int) []Event {
 
 // Dropped reports how many events did not fit: never-recorded events for a
 // head log, evicted ones for a tail log.
-func (l *Log) Dropped() int64 { return l.dropped }
+func (l *Log) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
 
 // Summary counts events per kind.
 func (l *Log) Summary() map[Kind]int {
 	m := make(map[Kind]int)
+	if l == nil {
+		return m
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, e := range l.events {
 		m[e.Kind]++
 	}
@@ -223,12 +268,12 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
-	if l.dropped > 0 {
+	if dropped := l.Dropped(); dropped > 0 {
 		verb := "dropped"
 		if l.ring {
 			verb = "evicted"
 		}
-		k, err := fmt.Fprintf(w, "... %d further events %s (cap %d)\n", l.dropped, verb, l.cap)
+		k, err := fmt.Fprintf(w, "... %d further events %s (cap %d)\n", dropped, verb, l.cap)
 		n += int64(k)
 		if err != nil {
 			return n, err

@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"godsm/internal/metrics"
+)
+
+// Instrument wraps tr so every frame crossing it is counted into reg,
+// labelled with the backend name: frames and bytes sent and received,
+// plus Send errors (a udp Send can fail on a full socket buffer). A nil
+// registry returns tr unchanged — the disabled path adds no wrapper and
+// no per-frame cost.
+func Instrument(tr Transport, backend string, reg *metrics.Registry) Transport {
+	if reg == nil {
+		return tr
+	}
+	return &instrumented{
+		inner: tr,
+		framesSent: reg.Counter("godsm_transport_frames_sent_total",
+			"wire frames handed to the transport backend", "backend", backend),
+		bytesSent: reg.Counter("godsm_transport_bytes_sent_total",
+			"encoded frame bytes handed to the transport backend", "backend", backend),
+		framesRecv: reg.Counter("godsm_transport_frames_received_total",
+			"wire frames delivered by the transport backend", "backend", backend),
+		bytesRecv: reg.Counter("godsm_transport_bytes_received_total",
+			"encoded frame bytes delivered by the transport backend", "backend", backend),
+		sendErrs: reg.Counter("godsm_transport_send_errors_total",
+			"frames the backend failed to queue or write", "backend", backend),
+	}
+}
+
+type instrumented struct {
+	inner                 Transport
+	framesSent, bytesSent *metrics.Counter
+	framesRecv, bytesRecv *metrics.Counter
+	sendErrs              *metrics.Counter
+}
+
+func (t *instrumented) Start(deliver DeliverFunc) error {
+	return t.inner.Start(func(to Addr, frame []byte) {
+		t.framesRecv.Inc()
+		t.bytesRecv.Add(int64(len(frame)))
+		deliver(to, frame)
+	})
+}
+
+func (t *instrumented) Send(from, to Addr, frame []byte) error {
+	err := t.inner.Send(from, to, frame)
+	if err != nil {
+		t.sendErrs.Inc()
+		return err
+	}
+	t.framesSent.Inc()
+	t.bytesSent.Add(int64(len(frame)))
+	return nil
+}
+
+func (t *instrumented) MaxFrame() int { return t.inner.MaxFrame() }
+
+func (t *instrumented) Close() error { return t.inner.Close() }

@@ -70,6 +70,16 @@ func WithChecker(ck Checker) Option {
 	return func(c *Config) { c.Check = ck }
 }
 
+// WithMetrics accumulates the run's counters and histograms into reg
+// (message/diff/retransmit totals per protocol, fault verdicts, frame
+// bytes, wall time; see EXPERIMENTS.md for the full name list). The
+// registry outlives the run and may be shared across concurrent runs;
+// render it with reg.WritePrometheus. Nil detaches (the default — a
+// detached run pays nothing).
+func WithMetrics(reg *MetricsRegistry) Option {
+	return func(c *Config) { c.Metrics = reg }
+}
+
 // WithConfig applies fn to the assembled Config after every preceding
 // option, an escape hatch for fields without a dedicated option.
 func WithConfig(fn func(*Config)) Option {
