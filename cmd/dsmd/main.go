@@ -4,14 +4,18 @@
 //
 // API (see EXPERIMENTS.md for the full walkthrough):
 //
-//	POST   /v1/runs             launch a run (app, proto, procs, faults, ...)
-//	GET    /v1/runs             list sessions
-//	GET    /v1/runs/{id}        session status, final report included
-//	DELETE /v1/runs/{id}        cancel a queued or running session
-//	GET    /v1/runs/{id}/events SSE trace-event stream (?kinds=, ?buffer=)
-//	GET    /metrics             Prometheus text exposition
-//	GET    /healthz             liveness probe
-//	/debug/pprof/*              Go profiling endpoints (with -pprof)
+//	POST   /v1/runs              launch a run (app, proto, procs, faults, ...)
+//	GET    /v1/runs              list sessions
+//	GET    /v1/runs/{id}         session status, final report included
+//	DELETE /v1/runs/{id}         cancel a queued or running session
+//	PATCH  /v1/runs/{id}/faults  swap a running session's fault rules live
+//	GET    /v1/runs/{id}/events  SSE trace-event stream (?kinds=, ?buffer=)
+//	GET    /metrics              Prometheus text exposition
+//	GET    /healthz              liveness probe
+//	/debug/pprof/*               Go profiling endpoints (with -pprof)
+//
+// Finished sessions are retained until -session-ttl elapses or the
+// -max-sessions cap evicts the oldest; an expired id thereafter 404s.
 //
 // SIGINT/SIGTERM drains: new launches get 503, in-flight sessions run to
 // completion up to -drain-timeout, stragglers are cancelled, then the
@@ -49,6 +53,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	traceCap := fs.Int("trace-cap", 4096, "per-session event ring: the replay window a late SSE subscriber gets")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof profiling endpoints")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for in-flight runs before cancelling them")
+	sessionTTL := fs.Duration("session-ttl", 0, "expire finished sessions this long after they finish (0 = keep forever)")
+	maxSessions := fs.Int("max-sessions", 0, "retained-session cap; past it the oldest finished sessions are evicted (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,6 +70,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dsmd: -drain-timeout %v: cannot be negative\n", *drainTimeout)
 		return 2
 	}
+	if *sessionTTL < 0 {
+		fmt.Fprintf(stderr, "dsmd: -session-ttl %v: cannot be negative\n", *sessionTTL)
+		return 2
+	}
+	if *maxSessions < 0 {
+		fmt.Fprintf(stderr, "dsmd: -max-sessions %d: cannot be negative\n", *maxSessions)
+		return 2
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -71,10 +85,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	srv := newServer(config{
-		workers:  *workers,
-		queueCap: *queue,
-		traceCap: *traceCap,
-		pprofOn:  *pprofOn,
+		workers:     *workers,
+		queueCap:    *queue,
+		traceCap:    *traceCap,
+		pprofOn:     *pprofOn,
+		sessionTTL:  *sessionTTL,
+		maxSessions: *maxSessions,
 	})
 	hs := &http.Server{Handler: srv.handler()}
 	fmt.Fprintf(stdout, "dsmd listening on http://%s\n", ln.Addr())

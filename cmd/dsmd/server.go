@@ -35,6 +35,15 @@ type config struct {
 	traceCap int
 	// pprofOn mounts net/http/pprof under /debug/pprof.
 	pprofOn bool
+	// sessionTTL expires finished sessions that many after they finish
+	// (0 = keep forever). Queued and running sessions never expire.
+	sessionTTL time.Duration
+	// maxSessions bounds retained sessions; past it the oldest finished
+	// ones are evicted first (0 = unlimited).
+	maxSessions int
+	// sweepEvery overrides the retention sweep interval (0 = derived
+	// from sessionTTL; tests set it directly).
+	sweepEvery time.Duration
 }
 
 // server multiplexes DSM simulation sessions over a bounded worker pool
@@ -50,8 +59,14 @@ type server struct {
 	nextID   int
 	draining bool
 
-	activeSessions *metrics.Gauge
-	sseClients     *metrics.Gauge
+	activeSessions  *metrics.Gauge
+	sseClients      *metrics.Gauge
+	sessionsExpired *metrics.Counter
+
+	// sweepStop/sweepDone bracket the retention sweeper's lifetime (nil
+	// when retention is off).
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 }
 
 // runRequest is the POST /v1/runs body. Zero values select the
@@ -72,7 +87,8 @@ type runRequest struct {
 }
 
 // faultRequest arms deterministic fault injection, mirroring dsmrun's
-// fault flags.
+// fault flags. It doubles as the PATCH /v1/runs/{id}/faults body, where
+// crashes are rejected (a crash schedule must be set at launch).
 type faultRequest struct {
 	Loss    float64 `json:"loss,omitempty"`    // drop fraction of remote packets
 	Dup     float64 `json:"dup,omitempty"`     // duplicate fraction
@@ -81,6 +97,105 @@ type faultRequest struct {
 	// with Reorder 0 and DelayNs > 0, every packet is delayed.
 	DelayNs int64 `json:"delay_ns,omitempty"`
 	Seed    int64 `json:"seed,omitempty"` // schedule seed; default 1
+	// Crashes schedules crash-stop failures: node N dies at barrier
+	// epoch E and, when restart_after is given, rejoins that many
+	// epochs later (restart_after 0 restarts in place; omitted means
+	// the node never comes back).
+	Crashes []crashRequest `json:"crashes,omitempty"`
+}
+
+// crashRequest is one crash-stop rule in a faultRequest.
+type crashRequest struct {
+	Node         int  `json:"node"`
+	Epoch        int  `json:"epoch"`
+	RestartAfter *int `json:"restart_after,omitempty"`
+}
+
+// check validates the knobs that need no cluster context.
+func (f *faultRequest) check() error {
+	for _, p := range []struct {
+		name string
+		val  float64
+	}{{"loss", f.Loss}, {"dup", f.Dup}, {"reorder", f.Reorder}} {
+		if p.val < 0 || p.val > 1 {
+			return fmt.Errorf("faults.%s %g: must be a probability in [0, 1]", p.name, p.val)
+		}
+	}
+	if f.DelayNs < 0 {
+		return fmt.Errorf("faults.delay_ns %d: extra latency cannot be negative", f.DelayNs)
+	}
+	return nil
+}
+
+// crashRules validates and converts the crash schedule, mirroring
+// dsmrun's -crash rules (the same schedules the engine would reject).
+func (f *faultRequest) crashRules(procs int, proto core.ProtocolKind) ([]netsim.CrashRule, error) {
+	if len(f.Crashes) == 0 {
+		return nil, nil
+	}
+	if proto == core.ProtoSeq {
+		return nil, fmt.Errorf("faults.crashes need a DSM protocol; seq has no cluster to crash")
+	}
+	seen := make(map[int]bool)
+	var rules []netsim.CrashRule
+	for _, c := range f.Crashes {
+		if c.Node == 0 {
+			return nil, fmt.Errorf("faults.crashes node 0: node 0 hosts the barrier manager and the reduction root; it cannot crash")
+		}
+		if c.Node < 1 || c.Node >= procs {
+			return nil, fmt.Errorf("faults.crashes node %d: cluster has nodes 0..%d (and node 0 cannot crash)", c.Node, procs-1)
+		}
+		if seen[c.Node] {
+			return nil, fmt.Errorf("faults.crashes node %d appears twice; one rule per node", c.Node)
+		}
+		seen[c.Node] = true
+		if c.Epoch < 1 {
+			return nil, fmt.Errorf("faults.crashes epoch %d: the first crashable barrier is epoch 1 (epoch 0 is initialization)", c.Epoch)
+		}
+		rule := netsim.CrashRule{Node: c.Node, Epoch: c.Epoch, RestartAfter: -1}
+		if c.RestartAfter != nil {
+			if *c.RestartAfter < 0 {
+				return nil, fmt.Errorf("faults.crashes restart_after %d: must be >= 0 (omit the field for a node that never restarts)", *c.RestartAfter)
+			}
+			rule.RestartAfter = *c.RestartAfter
+		}
+		rules = append(rules, rule)
+	}
+	return rules, nil
+}
+
+// plan assembles the netsim plan; nil when nothing is armed.
+func (f *faultRequest) plan(procs int, proto core.ProtocolKind) (*netsim.FaultPlan, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	crashes, err := f.crashRules(procs, proto)
+	if err != nil {
+		return nil, err
+	}
+	if f.Loss == 0 && f.Dup == 0 && f.Reorder == 0 && f.DelayNs == 0 && len(crashes) == 0 {
+		return nil, nil
+	}
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	plan := &netsim.FaultPlan{Seed: seed, Crashes: crashes}
+	if f.Loss > 0 || f.Dup > 0 || f.Reorder > 0 || f.DelayNs > 0 {
+		reorder := f.Reorder
+		if reorder == 0 && f.DelayNs > 0 {
+			reorder = 1
+		}
+		plan.Rules = []netsim.FaultRule{{
+			From:    netsim.AnyNode,
+			To:      netsim.AnyNode,
+			Drop:    f.Loss,
+			Dup:     f.Dup,
+			Reorder: reorder,
+			Delay:   sim.Duration(f.DelayNs),
+		}}
+	}
+	return plan, nil
 }
 
 // sessionState is a session's lifecycle phase.
@@ -109,6 +224,20 @@ type session struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// net is the run's live network handle (set by core.Config.NetHook
+	// once the cluster is assembled); PATCH faults goes through it.
+	net *netsim.Net
+}
+
+// terminalSince reports whether the session has finished and when.
+func (ss *session) terminalSince() (time.Time, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	switch ss.state {
+	case stateDone, stateError, stateCancelled:
+		return ss.finished, true
+	}
+	return time.Time{}, false
 }
 
 // sessionDoc is the wire form of a session (GET /v1/runs/{id} and the
@@ -171,8 +300,84 @@ func newServer(cfg config) *server {
 			"sessions queued or running"),
 		sseClients: reg.Gauge("godsm_dsmd_sse_clients",
 			"open SSE event subscriptions"),
+		sessionsExpired: reg.Counter("godsm_dsmd_sessions_expired",
+			"finished sessions evicted by the retention sweep"),
+	}
+	if cfg.sessionTTL > 0 || cfg.maxSessions > 0 {
+		every := cfg.sweepEvery
+		if every <= 0 {
+			// A quarter of the TTL keeps expiry within ~25% of the nominal
+			// deadline without busy-sweeping long retention windows.
+			every = cfg.sessionTTL / 4
+			if every <= 0 || every > time.Minute {
+				every = time.Minute
+			}
+			if every < time.Second {
+				every = time.Second
+			}
+		}
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweepLoop(every)
 	}
 	return s
+}
+
+// sweepLoop runs the retention sweep until drain stops it.
+func (s *server) sweepLoop(every time.Duration) {
+	defer close(s.sweepDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case now := <-t.C:
+			s.sweepExpired(now)
+		}
+	}
+}
+
+// sweepExpired drops finished sessions older than the TTL and, when the
+// retention count cap is exceeded, the oldest finished ones beyond it.
+// Queued and running sessions are never evicted — the cap can therefore
+// be transiently exceeded by live sessions. An expired id simply leaves
+// the table: subsequent lookups 404 like any unknown id. Returns the
+// number evicted.
+func (s *server) sweepExpired(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	expired := 0
+	if s.cfg.sessionTTL > 0 {
+		kept := s.order[:0]
+		for _, id := range s.order {
+			ss := s.sessions[id]
+			if fin, terminal := ss.terminalSince(); terminal && now.Sub(fin) > s.cfg.sessionTTL {
+				delete(s.sessions, id)
+				expired++
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.order = kept
+	}
+	if s.cfg.maxSessions > 0 && len(s.order) > s.cfg.maxSessions {
+		over := len(s.order) - s.cfg.maxSessions
+		kept := s.order[:0]
+		for _, id := range s.order {
+			ss := s.sessions[id]
+			if _, terminal := ss.terminalSince(); terminal && over > 0 {
+				delete(s.sessions, id)
+				expired++
+				over--
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.order = kept
+	}
+	s.sessionsExpired.Add(int64(expired))
+	return expired
 }
 
 // handler builds the route table.
@@ -182,6 +387,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs", s.handleList)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("PATCH /v1/runs/{id}/faults", s.handlePatchFaults)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -253,34 +459,9 @@ func (rr *runRequest) validate() (*apps.App, core.ProtocolKind, *netsim.FaultPla
 	}
 	var plan *netsim.FaultPlan
 	if f := rr.Faults; f != nil {
-		for _, p := range []struct {
-			name string
-			val  float64
-		}{{"loss", f.Loss}, {"dup", f.Dup}, {"reorder", f.Reorder}} {
-			if p.val < 0 || p.val > 1 {
-				return nil, 0, nil, fmt.Errorf("faults.%s %g: must be a probability in [0, 1]", p.name, p.val)
-			}
-		}
-		if f.DelayNs < 0 {
-			return nil, 0, nil, fmt.Errorf("faults.delay_ns %d: extra latency cannot be negative", f.DelayNs)
-		}
-		if f.Loss > 0 || f.Dup > 0 || f.Reorder > 0 || f.DelayNs > 0 {
-			reorder := f.Reorder
-			if reorder == 0 && f.DelayNs > 0 {
-				reorder = 1
-			}
-			seed := f.Seed
-			if seed == 0 {
-				seed = 1
-			}
-			plan = &netsim.FaultPlan{Seed: seed, Rules: []netsim.FaultRule{{
-				From:    netsim.AnyNode,
-				To:      netsim.AnyNode,
-				Drop:    f.Loss,
-				Dup:     f.Dup,
-				Reorder: reorder,
-				Delay:   sim.Duration(f.DelayNs),
-			}}}
+		plan, err = f.plan(rr.Procs, proto)
+		if err != nil {
+			return nil, 0, nil, err
 		}
 	}
 	return app, proto, plan, nil
@@ -318,6 +499,17 @@ func (s *server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		Faults:    plan,
 		Sinks:     []trace.Sink{ss.bcast},
 		Metrics:   s.reg,
+		// Capture the cluster's live network handle so PATCH
+		// /v1/runs/{id}/faults can swap fault rules mid-run. netsim's
+		// mutating entry points lock internally, so the handler may call
+		// them from outside the simulation.
+		Configure: func(cfg *core.Config) {
+			cfg.NetHook = func(n *netsim.Net) {
+				ss.mu.Lock()
+				ss.net = n
+				ss.mu.Unlock()
+			}
+		},
 	}
 
 	s.mu.Lock()
@@ -435,6 +627,53 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, ss.doc(false))
 }
 
+// handlePatchFaults swaps a running session's fault rules live. The body
+// is a faultRequest; an all-zero body clears every rule. Crash rules
+// cannot be added mid-run (the checkpoint machinery must arm at launch),
+// and the session must have been launched with a fault plan — both are
+// 409s from netsim. 404 unknown id, 400 invalid knobs, 409 when the
+// session is not running (or the cluster is not assembled yet).
+func (s *server) handlePatchFaults(w http.ResponseWriter, r *http.Request) {
+	ss := s.lookup(r.PathValue("id"))
+	if ss == nil {
+		httpError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return
+	}
+	var f faultRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	proto, err := core.ParseProtocol(ss.req.Proto) // validated at launch
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	plan, err := f.plan(ss.req.Procs, proto)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if plan == nil {
+		// "Clear every rule" is a valid swap; SwapFaults wants a plan.
+		plan = &netsim.FaultPlan{Seed: 1}
+	}
+	ss.mu.Lock()
+	state, net := ss.state, ss.net
+	ss.mu.Unlock()
+	if state != stateRunning || net == nil {
+		httpError(w, http.StatusConflict, "session %s is %s; faults can only be toggled on a running session", ss.id, state)
+		return
+	}
+	if err := net.SwapFaults(plan); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ss.doc(false))
+}
+
 // sseEvent is the SSE data payload for one trace event.
 type sseEvent struct {
 	T    sim.Time `json:"t"`
@@ -531,6 +770,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // cancels whatever is still running, and shuts the pool down. Returns
 // the ids of sessions that had to be cancelled.
 func (s *server) drain(timeout time.Duration) []string {
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		<-s.sweepDone
+		s.sweepStop = nil
+	}
 	s.mu.Lock()
 	s.draining = true
 	open := make([]*session, 0, len(s.sessions))

@@ -245,7 +245,7 @@ func TestMetricsExposition(t *testing.T) {
 // TestCancelMidRun aborts a full-size run mid-flight over the API.
 func TestCancelMidRun(t *testing.T) {
 	_, ts := newTestServer(t, config{workers: 1, queueCap: 4})
-	doc := launch(t, ts, runRequest{App: "jacobi", Proto: "bar-u", Procs: 8})
+	doc := launch(t, ts, runRequest{App: "barnes", Proto: "bar-u", Procs: 8})
 
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+doc.ID, nil)
 	resp, err := http.DefaultClient.Do(req)
@@ -354,10 +354,250 @@ func TestLaunchValidation(t *testing.T) {
 	}
 }
 
+// TestCrashPlanRun launches a session whose fault plan crashes a node
+// mid-run and restarts it in place: the session completes cleanly and
+// the report carries the recovery counters.
+func TestCrashPlanRun(t *testing.T) {
+	restart := 0
+	_, ts := newTestServer(t, config{workers: 1, queueCap: 1})
+	doc := launch(t, ts, runRequest{
+		App: "jacobi", Proto: "bar-u", Procs: 4, Small: true,
+		Faults: &faultRequest{Crashes: []crashRequest{{Node: 2, Epoch: 3, RestartAfter: &restart}}},
+	})
+	final := waitState(t, ts, doc.ID)
+	if final.State != stateDone {
+		t.Fatalf("crash-plan run: %s (error %q)", final.State, final.Error)
+	}
+	code, body := getDoc(t, ts, doc.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET: %d", code)
+	}
+	var full struct {
+		Report *core.Report `json:"report"`
+	}
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Report.Total.Crashes != 1 || full.Report.Total.Restarts != 1 {
+		t.Fatalf("crash counters = %d/%d, want 1/1",
+			full.Report.Total.Crashes, full.Report.Total.Restarts)
+	}
+	if full.Report.Total.CheckpointBytes == 0 {
+		t.Fatal("recovery ran but no checkpoint bytes are accounted")
+	}
+}
+
+// TestCrashPlanValidation covers the 400 surface of launch-time crash
+// rules, mirroring dsmrun's -crash validation.
+func TestCrashPlanValidation(t *testing.T) {
+	_, ts := newTestServer(t, config{workers: 1, queueCap: 1})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"node zero", `{"app":"jacobi","proto":"bar-u","procs":4,"faults":{"crashes":[{"node":0,"epoch":3}]}}`},
+		{"node out of range", `{"app":"jacobi","proto":"bar-u","procs":4,"faults":{"crashes":[{"node":4,"epoch":3}]}}`},
+		{"epoch zero", `{"app":"jacobi","proto":"bar-u","procs":4,"faults":{"crashes":[{"node":2,"epoch":0}]}}`},
+		{"duplicate node", `{"app":"jacobi","proto":"bar-u","procs":4,"faults":{"crashes":[{"node":2,"epoch":3},{"node":2,"epoch":5}]}}`},
+		{"negative restart", `{"app":"jacobi","proto":"bar-u","procs":4,"faults":{"crashes":[{"node":2,"epoch":3,"restart_after":-1}]}}`},
+		{"crash under seq", `{"app":"jacobi","proto":"seq","faults":{"crashes":[{"node":1,"epoch":3}]}}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// patchFaults PATCHes a session's fault rules and returns the status
+// code plus response body.
+func patchFaults(t *testing.T, ts *httptest.Server, id, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPatch, ts.URL+"/v1/runs/"+id+"/faults", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestPatchFaultsLive drives the live fault toggle end to end: a running
+// session launched with an armed fault plan accepts new rules mid-run,
+// rejects crash additions and malformed knobs, and refuses the toggle
+// once finished. Unknown ids 404.
+func TestPatchFaultsLive(t *testing.T) {
+	_, ts := newTestServer(t, config{workers: 1, queueCap: 4})
+
+	if code, _ := patchFaults(t, ts, "nope", `{"loss":0.1}`); code != http.StatusNotFound {
+		t.Fatalf("PATCH unknown id: %d, want 404", code)
+	}
+
+	// Full-size barnes stays in flight for seconds, so every PATCH below
+	// lands mid-run; the armed (if quiet) launch plan is what makes live
+	// swaps possible.
+	doc := launch(t, ts, runRequest{
+		App: "barnes", Proto: "bar-u", Procs: 8,
+		Faults: &faultRequest{Loss: 0.01, Seed: 7},
+	})
+	deadline := time.Now().Add(time.Minute)
+	for {
+		code, body := patchFaults(t, ts, doc.ID, `{"loss":0.2,"dup":0.05}`)
+		if code == http.StatusOK {
+			break
+		}
+		// 409 while the session is still queued or assembling its cluster.
+		if code != http.StatusConflict || time.Now().After(deadline) {
+			t.Fatalf("PATCH live swap: %d: %s", code, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if code, body := patchFaults(t, ts, doc.ID, `{"loss":1.5}`); code != http.StatusBadRequest {
+		t.Fatalf("PATCH loss 1.5: %d: %s", code, body)
+	}
+	if code, body := patchFaults(t, ts, doc.ID, `{"bogus":1}`); code != http.StatusBadRequest {
+		t.Fatalf("PATCH unknown field: %d: %s", code, body)
+	}
+	code, body := patchFaults(t, ts, doc.ID, `{"crashes":[{"node":2,"epoch":3}]}`)
+	if code != http.StatusConflict || !strings.Contains(string(body), "crash rules") {
+		t.Fatalf("PATCH crash addition: %d: %s", code, body)
+	}
+
+	// Clearing the rules mid-run is a valid swap too.
+	if code, body := patchFaults(t, ts, doc.ID, `{}`); code != http.StatusOK {
+		t.Fatalf("PATCH clear rules: %d: %s", code, body)
+	}
+
+	final := waitState(t, ts, doc.ID)
+	if final.State != stateDone {
+		t.Fatalf("patched run: %s (error %q)", final.State, final.Error)
+	}
+	if code, body := patchFaults(t, ts, doc.ID, `{"loss":0.1}`); code != http.StatusConflict {
+		t.Fatalf("PATCH finished session: %d: %s", code, body)
+	}
+}
+
+// TestPatchFaultsUnarmed: a session launched without any fault plan has
+// no injector to swap; the PATCH is a 409, not a crash.
+func TestPatchFaultsUnarmed(t *testing.T) {
+	_, ts := newTestServer(t, config{workers: 1, queueCap: 4})
+	doc := launch(t, ts, runRequest{App: "barnes", Proto: "bar-u", Procs: 8})
+	deadline := time.Now().Add(time.Minute)
+	for {
+		code, body := patchFaults(t, ts, doc.ID, `{"loss":0.2}`)
+		if code == http.StatusConflict && strings.Contains(string(body), "not armed") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("PATCH unarmed session: %d: %s", code, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+doc.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+	waitState(t, ts, doc.ID)
+}
+
+// TestSessionGC drives the retention sweep: finished sessions expire
+// past the TTL (and thereafter 404), the count cap evicts oldest-first,
+// live sessions are never evicted, and the eviction counter moves.
+func TestSessionGC(t *testing.T) {
+	srv, ts := newTestServer(t, config{
+		workers: 2, queueCap: 8,
+		sessionTTL: 50 * time.Millisecond,
+		sweepEvery: 10 * time.Millisecond,
+	})
+	doc := launch(t, ts, runRequest{App: "jacobi", Proto: "bar-u", Procs: 2, Small: true})
+	waitState(t, ts, doc.ID)
+
+	deadline := time.Now().Add(time.Minute)
+	for {
+		code, _ := getDoc(t, ts, doc.ID)
+		if code == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s still resolvable long past its TTL", doc.ID)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := srv.sessionsExpired.Value(); got != 1 {
+		t.Fatalf("sessions-expired counter = %d, want 1", got)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "godsm_dsmd_sessions_expired 1") {
+		t.Errorf("/metrics missing the eviction counter:\n%.2000s", buf.String())
+	}
+}
+
+// TestSessionGCCountCap exercises the cap half of the sweep directly
+// (deterministic clock): oldest finished sessions go first, live ones
+// are immune even when the table is over the cap.
+func TestSessionGCCountCap(t *testing.T) {
+	srv, ts := newTestServer(t, config{workers: 2, queueCap: 8, maxSessions: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		doc := launch(t, ts, runRequest{App: "jacobi", Proto: "bar-u", Procs: 2, Small: true})
+		waitState(t, ts, doc.ID)
+		ids = append(ids, doc.ID)
+	}
+	if got := srv.sweepExpired(time.Now()); got != 1 {
+		t.Fatalf("sweep evicted %d sessions, want 1", got)
+	}
+	if code, _ := getDoc(t, ts, ids[0]); code != http.StatusNotFound {
+		t.Errorf("oldest session survived the cap sweep: %d", code)
+	}
+	for _, id := range ids[1:] {
+		if code, _ := getDoc(t, ts, id); code != http.StatusOK {
+			t.Errorf("session %s evicted though under the cap: %d", id, code)
+		}
+	}
+
+	// A live session over the cap is untouchable: park the pool on a
+	// gate so a fourth session stays queued, then sweep.
+	gate := make(chan struct{})
+	if err := srv.pool.TrySubmit(func() error { <-gate; return nil }, func(error) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.pool.TrySubmit(func() error { <-gate; return nil }, func(error) {}); err != nil {
+		t.Fatal(err)
+	}
+	live := launch(t, ts, runRequest{App: "jacobi", Proto: "bar-u", Procs: 2, Small: true})
+	if got := srv.sweepExpired(time.Now()); got != 1 {
+		t.Fatalf("second sweep evicted %d sessions, want 1 (the older finished one)", got)
+	}
+	if code, _ := getDoc(t, ts, live.ID); code != http.StatusOK {
+		t.Errorf("queued session evicted by the cap sweep: %d", code)
+	}
+	close(gate)
+	waitState(t, ts, live.ID)
+}
+
 // TestSaturation turns a full pool into 429, not queuing.
 func TestSaturation(t *testing.T) {
 	_, ts := newTestServer(t, config{workers: 1, queueCap: 0})
-	doc := launch(t, ts, runRequest{App: "jacobi", Proto: "bar-u", Procs: 8}) // full size: stays busy
+	doc := launch(t, ts, runRequest{App: "barnes", Proto: "bar-u", Procs: 8}) // full-size barnes: reliably stays busy
 
 	body := `{"app":"jacobi","proto":"bar-u","procs":2,"small":true}`
 	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
@@ -395,7 +635,7 @@ func TestSaturation(t *testing.T) {
 // cancels in-flight runs, and a draining server refuses new launches.
 func TestDrain(t *testing.T) {
 	srv, ts := newTestServer(t, config{workers: 2, queueCap: 4})
-	doc := launch(t, ts, runRequest{App: "jacobi", Proto: "bar-u", Procs: 8}) // full size: outlives the drain window
+	doc := launch(t, ts, runRequest{App: "barnes", Proto: "bar-u", Procs: 8}) // full-size barnes: reliably outlives the drain window
 
 	cancelled := srv.drain(50 * time.Millisecond)
 	if len(cancelled) != 1 || cancelled[0] != doc.ID {

@@ -73,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reorder := fs.Float64("reorder", 0, "fault injection: delay (reorder) this fraction of remote packets")
 	delay := fs.Duration("delay", 0, "fault injection: maximum extra latency for -reorder (0 = 500µs); with -reorder 0, delay every packet by up to this")
 	straggler := fs.String("straggler", "", "fault injection: slow one node, as node:factor[:fromEpoch[:toEpoch]]")
+	crash := fs.String("crash", "", "fault injection: crash nodes at barriers, as node:epoch[:restartAfter] (comma-separated; restartAfter 0 restarts in place, omitted never restarts)")
 	transportName := fs.String("transport", "", "run over a real transport instead of the simulator: mem (in-process channels) or udp (loopback sockets)")
 	metricsPath := fs.String("metrics", "", "write the run's final metrics snapshot to `file` in Prometheus text format (- for stdout)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault-injection schedule")
@@ -133,6 +134,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dsmrun: -transport %s needs a parallel protocol; seq has no remote traffic\n", *transportName)
 		return 2
 	}
+	if *crash != "" && proto == core.ProtoSeq {
+		fmt.Fprintln(stderr, "dsmrun: -crash needs a DSM protocol; seq has no cluster to crash")
+		return 2
+	}
 	var app *apps.App
 	list := apps.All()
 	if *small {
@@ -158,7 +163,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reg = metrics.New()
 		opts.Metrics = reg
 	}
-	plan, err := buildFaultPlan(*loss, *dup, *reorder, *delay, *straggler, *faultSeed, *procs)
+	plan, err := buildFaultPlan(*loss, *dup, *reorder, *delay, *straggler, *crash, *faultSeed, *procs)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -166,6 +171,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts.Faults = plan
 
 	if *checkRun {
+		if plan != nil {
+			for _, cr := range plan.Crashes {
+				if cr.RestartAfter != 0 {
+					// A node dead for a window (or forever) drains its epochs
+					// behind the survivors, so epoch counts and checksums
+					// legitimately diverge from the sequential baseline; only
+					// an in-place restart is differential-checkable.
+					fmt.Fprintf(stderr, "dsmrun: -check requires in-place restarts; -crash %d:%d has restartAfter %d (want 0)\n",
+						cr.Node, cr.Epoch, cr.RestartAfter)
+					return 2
+				}
+			}
+		}
 		return runCheck(stdout, stderr, app, proto, *procs, plan, *transportName)
 	}
 
@@ -317,8 +335,8 @@ func runCheck(stdout, stderr io.Writer, app *apps.App, proto core.ProtocolKind, 
 
 // buildFaultPlan assembles a netsim.FaultPlan from the fault-injection
 // flags; nil when every knob is off.
-func buildFaultPlan(loss, dup, reorder float64, delay time.Duration, straggler string, seed int64, procs int) (*netsim.FaultPlan, error) {
-	if loss == 0 && dup == 0 && reorder == 0 && delay == 0 && straggler == "" {
+func buildFaultPlan(loss, dup, reorder float64, delay time.Duration, straggler, crash string, seed int64, procs int) (*netsim.FaultPlan, error) {
+	if loss == 0 && dup == 0 && reorder == 0 && delay == 0 && straggler == "" && crash == "" {
 		return nil, nil
 	}
 	plan := &netsim.FaultPlan{Seed: seed}
@@ -343,7 +361,64 @@ func buildFaultPlan(loss, dup, reorder float64, delay time.Duration, straggler s
 		}
 		plan.Stragglers = append(plan.Stragglers, sr)
 	}
+	if crash != "" {
+		rules, err := parseCrashes(crash, procs)
+		if err != nil {
+			return nil, err
+		}
+		plan.Crashes = rules
+	}
 	return plan, nil
+}
+
+// parseCrashes parses and validates the -crash schedule: comma-separated
+// node:epoch[:restartAfter] rules. The same schedules the engine would
+// reject (config.validateCrashes) are errors here so a bad flag exits 2
+// before any run starts; restartAfter must be >= 0 when given (omitting
+// it means the node never restarts — there is no separate sentinel).
+func parseCrashes(s string, procs int) ([]netsim.CrashRule, error) {
+	var rules []netsim.CrashRule
+	seen := make(map[int]bool)
+	for _, one := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(one), ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("dsmrun: -crash wants node:epoch[:restartAfter], got %q", one)
+		}
+		node, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("dsmrun: -crash node: %v", err)
+		}
+		if node == 0 {
+			return nil, fmt.Errorf("dsmrun: -crash node 0: node 0 hosts the barrier manager and the reduction root; it cannot crash")
+		}
+		if node < 1 || node >= procs {
+			return nil, fmt.Errorf("dsmrun: -crash node %d: cluster has nodes 0..%d (and node 0 cannot crash)", node, procs-1)
+		}
+		if seen[node] {
+			return nil, fmt.Errorf("dsmrun: -crash node %d appears twice; one rule per node", node)
+		}
+		seen[node] = true
+		epoch, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("dsmrun: -crash epoch: %v", err)
+		}
+		if epoch < 1 {
+			return nil, fmt.Errorf("dsmrun: -crash epoch %d: the first crashable barrier is epoch 1 (epoch 0 is initialization)", epoch)
+		}
+		rule := netsim.CrashRule{Node: node, Epoch: epoch, RestartAfter: -1}
+		if len(parts) == 3 {
+			restart, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("dsmrun: -crash restartAfter: %v", err)
+			}
+			if restart < 0 {
+				return nil, fmt.Errorf("dsmrun: -crash restartAfter %d: must be >= 0 (omit the field for a node that never restarts)", restart)
+			}
+			rule.RestartAfter = restart
+		}
+		rules = append(rules, rule)
+	}
+	return rules, nil
 }
 
 // parseStraggler parses and validates "node:factor[:fromEpoch[:toEpoch]]".

@@ -246,6 +246,92 @@ func TestFaultFlagValidation(t *testing.T) {
 	}
 }
 
+// TestCrashFlagValidation mirrors the fault-flag suite for -crash: every
+// schedule the engine would reject must exit 2 up front with a
+// diagnostic naming what is wrong, not die mid-run.
+func TestCrashFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the stderr diagnostic
+	}{
+		{"malformed rule", []string{"-crash", "2"}, "node:epoch"},
+		{"too many fields", []string{"-crash", "2:3:0:1"}, "node:epoch"},
+		{"non-numeric node", []string{"-crash", "x:3"}, "node"},
+		{"node zero", []string{"-crash", "0:3"}, "node 0"},
+		{"node out of range", []string{"-procs", "4", "-crash", "4:3"}, "cluster has nodes"},
+		{"negative node", []string{"-crash", "-1:3"}, "node"},
+		{"duplicate node", []string{"-procs", "4", "-crash", "2:3,2:5"}, "appears twice"},
+		{"non-numeric epoch", []string{"-crash", "2:x"}, "epoch"},
+		{"epoch zero", []string{"-crash", "2:0"}, "epoch 0"},
+		{"negative epoch", []string{"-crash", "2:-1"}, "epoch"},
+		{"non-numeric restart", []string{"-crash", "2:3:x"}, "restartAfter"},
+		{"negative restart", []string{"-crash", "2:3:-1"}, "restartAfter"},
+		{"crash under seq", []string{"-proto", "seq", "-crash", "2:3"}, "seq"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			args := append([]string{"-app", "jacobi", "-small"}, tc.args...)
+			code := run(args, &out, &errb)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Fatalf("diagnostic %q does not mention %q", errb.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestCrashFlagCheckConflict pins the -check interaction: only in-place
+// restarts are differential-checkable, so a dead-window or dead-forever
+// rule under -check exits 2.
+func TestCrashFlagCheckConflict(t *testing.T) {
+	for _, rule := range []string{"2:3", "2:3:1"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-app", "jacobi", "-proto", "bar-u", "-procs", "4", "-small",
+			"-check", "-crash", rule}, &out, &errb)
+		if code != 2 {
+			t.Fatalf("-check -crash %s exited %d, want 2 (%s)", rule, code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "in-place restarts") {
+			t.Fatalf("diagnostic does not explain the -check conflict: %s", errb.String())
+		}
+	}
+}
+
+// TestCrashFlagRunEndToEnd drives a crash-and-restart run through the
+// CLI and a -check run with an in-place restart plan.
+func TestCrashFlagRunEndToEnd(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-app", "jacobi", "-proto", "bar-u", "-procs", "4", "-small",
+		"-crash", "2:3:0", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("dsmrun -crash exited %d: %s", code, errb.String())
+	}
+	var doc struct {
+		Total struct{ Crashes, Restarts int64 }
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if doc.Total.Crashes != 1 || doc.Total.Restarts != 1 {
+		t.Fatalf("crash counters = %d/%d, want 1/1", doc.Total.Crashes, doc.Total.Restarts)
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-app", "jacobi", "-proto", "bar-u", "-procs", "4", "-small",
+		"-check", "-crash", "2:3:0"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("dsmrun -check -crash exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "bit-identical") {
+		t.Fatalf("conformance summary incomplete:\n%s", out.String())
+	}
+}
+
 // TestValidFaultFlagsStillRun guards the other side: a sensible fault
 // configuration passes validation and the run completes.
 func TestValidFaultFlagsStillRun(t *testing.T) {

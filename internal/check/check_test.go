@@ -380,3 +380,117 @@ func TestDifferentialCatchesDivergence(t *testing.T) {
 		t.Errorf("report lacks trace tail:\n%s", res.Report)
 	}
 }
+
+// TestDifferentialCrashRestartInPlace is the headline robustness claim
+// from the recovery work: for every protocol, a node crashing at a
+// mid-run barrier and restarting immediately from its barrier-consistent
+// checkpoint yields per-epoch digests, a final image and an application
+// checksum bit-identical to the sequential reference, with a clean
+// oracle verdict — crash recovery is invisible in the output.
+func TestDifferentialCrashRestartInPlace(t *testing.T) {
+	plan := &netsim.FaultPlan{
+		Crashes: []netsim.CrashRule{{Node: 2, Epoch: 3, RestartAfter: 0}},
+	}
+	body := stencilBody(32, 64, 3, 1)
+	res, err := Differential(body, Options{
+		Procs:        4,
+		SegmentBytes: 2 * 32 * 64 * 8,
+		Plans:        []*netsim.FaultPlan{plan},
+	})
+	if err != nil {
+		t.Fatalf("crash differential failed: %v\n%s", err, res.Report)
+	}
+	ref := res.Runs[0]
+	for _, r := range res.Runs[1:] {
+		if r.Checksum != ref.Checksum || r.Epochs != ref.Epochs {
+			t.Errorf("%v %s: checksum %#x epochs %d, reference %#x/%d",
+				r.Protocol, r.Variant, r.Checksum, r.Epochs, ref.Checksum, ref.Epochs)
+		}
+	}
+	// The schedule must actually have fired, or the equality proves nothing.
+	rep, err := core.Run(core.Config{
+		Procs: 4, Protocol: core.ProtoLmwI, SegmentBytes: 2 * 32 * 64 * 8,
+		Faults: plan,
+	}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Crashes != 1 || rep.Total.Restarts != 1 {
+		t.Fatalf("Crashes=%d Restarts=%d, want 1/1", rep.Total.Crashes, rep.Total.Restarts)
+	}
+}
+
+// rejoinBody is stencilBody with only node 0 reporting a checksum: a
+// node crashed for a window of barriers drains its remaining iterations
+// behind the survivors (or, dead forever, never finishes at all), so
+// its final image legitimately differs from theirs.
+func rejoinBody(rows, cols, iters int) func(*core.Proc) {
+	return func(p *core.Proc) {
+		a := p.AllocF64Matrix(rows, cols)
+		b := p.AllocF64Matrix(rows, cols)
+		me, np := p.ID(), p.NumProcs()
+		lo, hi := rows*me/np, rows*(me+1)/np
+		if me == 0 {
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					a.Set(r, c, float64(r*cols+c)+float64((r*r+c*c)%97))
+				}
+			}
+		}
+		p.Barrier()
+		half := func(src, dst core.F64Matrix) {
+			for r := lo; r < hi; r++ {
+				for c := 0; c < cols; c++ {
+					s := src.At(r, c)
+					if r > 0 {
+						s += src.At(r-1, c)
+					}
+					if r < rows-1 {
+						s += src.At(r+1, c)
+					}
+					dst.Set(r, c, s/3)
+				}
+			}
+			p.Barrier()
+		}
+		for it := 0; it < iters; it++ {
+			half(a, b)
+			half(b, a)
+			p.IterationBoundary()
+		}
+		if me == 0 {
+			p.SetResult(a.ChecksumRows(0, rows))
+		}
+	}
+}
+
+// TestOracleCleanAcrossCrashRejoin attaches the consistency oracle to
+// runs with a delayed restart (the node misses barriers, rejoins, and
+// drains a solo tail of epochs) and with a crash-stop that never
+// restarts. Both must terminate with zero oracle findings under every
+// protocol: re-elected homes, adopted manager state and replayed
+// checkpoints never expose a stale or mis-merged word.
+func TestOracleCleanAcrossCrashRejoin(t *testing.T) {
+	body := rejoinBody(32, 64, 3)
+	for _, proto := range core.Protocols() {
+		for _, restart := range []int{1, -1} {
+			o := New()
+			_, err := core.Run(core.Config{
+				Procs: 4, Protocol: proto, SegmentBytes: 2 * 32 * 64 * 8,
+				Check: o,
+				Faults: &netsim.FaultPlan{
+					Crashes: []netsim.CrashRule{{Node: 2, Epoch: 3, RestartAfter: restart}},
+				},
+			}, body)
+			if err != nil {
+				t.Fatalf("%v restart=%d: %v", proto, restart, err)
+			}
+			if ferr := o.Finish(); ferr != nil {
+				t.Errorf("%v restart=%d: oracle: %v", proto, restart, ferr)
+			}
+			if o.Epochs() == 0 {
+				t.Errorf("%v restart=%d: oracle saw no epochs", proto, restart)
+			}
+		}
+	}
+}

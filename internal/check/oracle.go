@@ -156,6 +156,16 @@ func (o *Oracle) Epoch(node int, as *vm.AddressSpace) {
 	o.validate(node, e, as)
 }
 
+// Rejoin realigns a restarted node's reporting after it missed barriers
+// while crashed: the engine names how many Epoch reports the node skipped
+// (its dead window plus the death barrier itself), so its next report
+// lands on the epoch the survivors are closing. Pages it has not
+// refetched are unmapped and exempt from validation; pages it validates
+// are held to the current expected image like anyone else's.
+func (o *Oracle) Rejoin(node, missed int) {
+	o.epochOf[node] += missed
+}
+
 // Finish implements core.Checker.
 func (o *Oracle) Finish() error { return o.err }
 

@@ -95,6 +95,17 @@ type bar struct {
 	homeAcc *flushAccum
 	updAcc  *flushAccum
 	perPage map[vm.PageID][]diffMsg
+
+	// ckptVer tracks, per page, the version our last checkpoint cut wrote,
+	// so unchanged home pages are not rewritten every epoch. Nil when the
+	// checkpoint store is disarmed (no crash rules) — the crash machinery
+	// then costs the fault-free hot paths nothing.
+	ckptVer []uint32
+	// odBanned pins the protocol in normal trapping mode after a crash
+	// restore: the prediction histories died with the node, and engaging
+	// overdrive on partial histories would turn ordinary writes into
+	// divergence fatals.
+	odBanned bool
 }
 
 // installQueue buffers service requests that arrived before a migrated
@@ -138,6 +149,9 @@ func newBar(n *node, mode barMode) *bar {
 		b.home[pg] = initialHome(vm.PageID(pg), np, n.clu.cfg.Procs)
 		b.coveredAt[pg] = -1
 		b.fetchAt[pg] = -1
+	}
+	if n.clu.ckpt != nil {
+		b.ckptVer = make([]uint32, np)
 	}
 	return b
 }
@@ -565,10 +579,16 @@ func (b *bar) consumeUpdates(r *barReleaseBar) {
 
 // pullHome takes over a page's home role from its old home, blocking
 // inside the barrier so our first access (or the first queued request) is
-// served from the installed authoritative copy.
+// served from the installed authoritative copy. When the old home is
+// dead, the authoritative copy comes from its final checkpoint instead of
+// a request it can no longer answer.
 func (b *bar) pullHome(mg migrateRec) {
 	n := b.n
 	pg := mg.Page
+	if cp := n.clu.cp; cp != nil && cp.demoted(mg.OldHome, n.barSeq-1) {
+		b.pullHomeFromStore(mg)
+		return
+	}
 	n.sendRequest(mg.OldHome, mkHomePull, bytesPageReq, &homePull{Page: pg})
 	pkt := n.awaitReply()
 	if pkt.Kind != mkHomePullRep {
@@ -583,12 +603,68 @@ func (b *bar) pullHome(mg migrateRec) {
 	b.version[pg] = rep.Version
 	b.vcache[pg] = rep.Version
 	b.copyset[pg] |= copyset(rep.Copyset).without(n.id)
+	b.adoptCkpt(pg)
 	n.trc(trace.Migration, int(pg), int64(n.id))
 	n.mprotect(pg, vm.Read)
+	b.drainInstall(pg)
+}
+
+// pullHomeFromStore installs a home role whose old home crashed: content,
+// version and copyset come from the dead node's final (pre-release)
+// checkpoint cut, which is complete by construction — every epoch-E flush
+// to the old home was acknowledged before its sender could arrive at
+// barrier E, so it was merged before the cut.
+func (b *bar) pullHomeFromStore(mg migrateRec) {
+	n := b.n
+	pg := mg.Page
+	ck := n.clu.ckpt
+	ck.awaitEpoch(n.compute, mg.OldHome, n.clu.cp.rule[mg.OldHome].Epoch)
+	data, ver, cs, ok := ck.readPage(pg)
+	ps := n.as.PageSize()
+	if ok {
+		n.osCharge(n.clu.cm.CopyCost(ps))
+		n.as.CopyPageIn(pg, data)
+	} else {
+		// Never checkpointed: the page was never written anywhere, so the
+		// authoritative content is the all-zero initial image at version 0.
+		clear(n.as.Mem[int(pg)*ps : (int(pg)+1)*ps])
+	}
+	b.version[pg] = ver
+	b.vcache[pg] = ver
+	cset := copyset(cs).without(n.id)
+	for i := 0; i < n.clu.cfg.Procs; i++ {
+		if n.clu.cp.demoted(i, n.barSeq-1) {
+			cset = cset.without(i)
+		}
+	}
+	b.copyset[pg] = cset
+	b.adoptCkpt(pg)
+	n.trc(trace.Migration, int(pg), int64(n.id))
+	n.mprotect(pg, vm.Read)
+	b.drainInstall(pg)
+}
+
+// adoptCkpt writes a just-adopted home page through to the checkpoint
+// store under this node's name, so the store's per-page owner stays the
+// page's real home. Near-free: the content matches the stored image, so
+// the incremental record is empty.
+func (b *bar) adoptCkpt(pg vm.PageID) {
+	ck := b.n.clu.ckpt
+	if ck == nil {
+		return
+	}
+	n := b.n
+	ps := n.as.PageSize()
+	ck.writePage(pg, n.as.Mem[int(pg)*ps:(int(pg)+1)*ps], b.version[pg], uint64(b.copyset[pg]), n.barSeq-1, n.id)
+	b.ckptVer[pg] = b.version[pg]
+}
+
+// drainInstall serves the requests that queued behind a home install.
+func (b *bar) drainInstall(pg vm.PageID) {
 	if q := b.installing[pg]; q != nil {
 		delete(b.installing, pg)
 		for _, qp := range q.pkts {
-			b.dispatchHomeReq(n.compute, qp)
+			b.dispatchHomeReq(b.n.compute, qp)
 		}
 	}
 }
@@ -683,7 +759,7 @@ func (b *bar) installDivergenceProbe() {
 
 func (b *bar) iterBoundary() {
 	b.iterEnd = true
-	if !b.mode.overdrive() {
+	if !b.mode.overdrive() || b.odBanned {
 		return
 	}
 	n := b.n
@@ -855,6 +931,70 @@ func (b *bar) addCopysetMember(pg vm.PageID, member int) {
 	}
 	b.copyset[pg].add(member)
 	b.csNews = append(b.csNews, copysetRec{Page: pg, Member: member})
+}
+
+// --- crash-stop recovery ----------------------------------------------------
+
+// ckptWrite cuts this node's recoverable bar-family state: the
+// authoritative image, version and copyset of every home page whose
+// version moved since the last cut. Yield-free (writePage takes no
+// simulated time; the caller charges the returned bytes later).
+func (b *bar) ckptWrite(seq int) (items, bytes int) {
+	n := b.n
+	ck := n.clu.ckpt
+	ps := n.as.PageSize()
+	for pg := range b.home {
+		if b.home[pg] != n.id || b.version[pg] == b.ckptVer[pg] {
+			continue
+		}
+		bytes += ck.writePage(vm.PageID(pg), n.as.Mem[pg*ps:(pg+1)*ps],
+			b.version[pg], uint64(b.copyset[pg]), seq, n.id)
+		b.ckptVer[pg] = b.version[pg]
+		items++
+	}
+	return items, bytes
+}
+
+// restoreCkpt seeds a fresh bar instance from the checkpoint store after
+// a crash. An immediate (in-place) restart re-installs the home pages of
+// its own pre-release cut — the release is then replayed against them —
+// while a demoted rejoiner owns nothing and refetches every page on
+// demand from its re-elected homes. Yield-free.
+func (b *bar) restoreCkpt(int) (bytes int) {
+	n := b.n
+	ck := n.clu.ckpt
+	copy(b.home, ck.homeSnapshot())
+	b.odBanned = true
+	if n.crashRule.RestartAfter != 0 {
+		return 0
+	}
+	ps := n.as.PageSize()
+	for _, pg := range ck.homedCkpt(n.id) {
+		data, ver, cs, ok := ck.readPage(pg)
+		if !ok {
+			continue
+		}
+		// The release about to be replayed may migrate this page away; our
+		// pre-release cut is authoritative until it does.
+		b.home[pg] = n.id
+		copy(n.as.Mem[int(pg)*ps:(int(pg)+1)*ps], data)
+		b.version[pg] = ver
+		b.vcache[pg] = ver
+		b.ckptVer[pg] = ver
+		b.copyset[pg] = copyset(cs).without(n.id)
+		n.as.SetProt(pg, vm.Read)
+		bytes += len(data)
+	}
+	return bytes
+}
+
+// onCrash prunes a freshly dead peer from every consumer set: it caches
+// nothing anymore, and updates pushed its way would be blackholed waste.
+func (b *bar) onCrash(_ *sim.Proc, dead, _ int) {
+	for pg := range b.copyset {
+		b.copyset[pg] = b.copyset[pg].without(dead)
+		b.wcopy[pg] = b.wcopy[pg].without(dead)
+	}
 }
 
 // firstBlockedPage reports the first page in a queueable request whose

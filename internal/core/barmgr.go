@@ -15,6 +15,13 @@ import (
 // for the episode in progress are absorbed, and arrivals for an episode
 // already released (the node's release was lost, so it retransmitted) are
 // answered by re-sending that node's cached release.
+//
+// Under a crash plan the manager is additionally membership-aware: an
+// episode completes when every node that can still arrive has arrived —
+// crashed nodes are not waited for, a node whose dead window ends at this
+// release is granted a restart, and nodes that have finished their whole
+// run (doneSeen) are excluded so a restarted straggler can drain its
+// missed iterations alone.
 type barMgr struct {
 	clu      *cluster
 	arrivals []*barArrive
@@ -35,8 +42,8 @@ func newBarMgr(c *cluster) *barMgr {
 	}
 }
 
-// handle processes one arrival on node 0's service path. When the last
-// node arrives it aggregates and releases everyone.
+// handle processes one arrival on node 0's service path, releasing the
+// episode once every expected node has arrived.
 func (m *barMgr) handle(n0 *node, pkt *netsim.Packet) {
 	a := pkt.Data.(*barArrive)
 	if m.clu.faultsOn {
@@ -66,25 +73,90 @@ func (m *barMgr) handle(n0 *node, pkt *netsim.Packet) {
 	m.arrivals[a.From] = a
 	m.arrRids[a.From] = pkt.Rid
 	m.count++
-	if m.count < m.clu.cfg.Procs {
+	m.maybeRelease(n0)
+}
+
+// expected returns the number of arrivals that completes barrier seq
+// under the crash plan: every node neither dead at that barrier nor
+// already finished with its whole run. Only valid with clu.cp armed.
+func (m *barMgr) expected(seq int) int {
+	c := m.clu
+	exp := c.cfg.Procs
+	for i := 0; i < c.cfg.Procs; i++ {
+		if c.cp.absentAt(i, seq) {
+			exp--
+			continue
+		}
+		// doneSeen is pre-marked for never-restarted nodes at startup (for
+		// the teardown count); only a real done report retires a node here —
+		// a doomed node still arrives at every barrier through its epoch.
+		if c.doneSeen[i] && (c.cp.rule[i] == nil || c.cp.rule[i].Restarts()) {
+			exp--
+		}
+	}
+	return exp
+}
+
+// maybeRelease completes the pending barrier episode if every expected
+// arrival is in. Called from handle and — under a crash plan — from
+// handleDone, since a survivor's done report can itself complete an
+// episode a lagging restarted node is already waiting on.
+func (m *barMgr) maybeRelease(n0 *node) {
+	if m.count == 0 {
 		return
 	}
-	seq, site := m.arrivals[0].Seq, m.arrivals[0].Site
+	// Reference arrival: the lowest-numbered node present this episode.
+	// Node 0 cannot crash, but it can be done while a restarted node
+	// drains its missed iterations, so arrivals[0] may be nil.
+	var ref *barArrive
+	for _, ar := range m.arrivals {
+		if ar != nil {
+			ref = ar
+			break
+		}
+	}
+	seq, site := ref.Seq, ref.Site
+	cp := m.clu.cp
+	if cp == nil {
+		if m.count < m.clu.cfg.Procs {
+			return
+		}
+	} else if m.count < m.expected(seq) {
+		return
+	}
 	var contribs []*redContrib
 	for _, ar := range m.arrivals {
-		if ar.Seq != seq || ar.Site != site {
-			n0.fatal("barrier mismatch: node %d at seq %d site %d, node 0 at seq %d site %d",
-				ar.From, ar.Seq, ar.Site, seq, site)
+		if ar == nil {
+			continue
+		}
+		if ar.Seq != seq {
+			n0.fatal("barrier mismatch: node %d at seq %d, node %d at seq %d",
+				ar.From, ar.Seq, ref.From, seq)
+		}
+		// A restarted node replays iterations the survivors moved past, so
+		// its call-site index may legitimately differ from theirs.
+		if ar.Site != site && (cp == nil || cp.rule[ar.From] == nil) {
+			n0.fatal("barrier mismatch: node %d at seq %d site %d, node %d at seq %d site %d",
+				ar.From, ar.Seq, ar.Site, ref.From, seq, site)
 		}
 		contribs = append(contribs, ar.Red)
 	}
 	red := combineReds(contribs)
 	rels, sizes := m.clu.pmgr.aggregate(site, m.arrivals)
+	var released []*barArrive
+	if cp != nil {
+		// The fan-out below yields (Advance), so clear the episode first;
+		// remember who arrived to address the releases.
+		released = append([]*barArrive(nil), m.arrivals...)
+	}
 	for i := range m.arrivals {
 		m.arrivals[i] = nil
 	}
 	m.count = 0
 	for i := 0; i < m.clu.cfg.Procs; i++ {
+		if released != nil && released[i] == nil {
+			continue
+		}
 		rel := &barRelease{Seq: seq, Proto: rels[i], Red: red}
 		rpkt := &netsim.Packet{
 			Kind:  mkBarRelease,
@@ -102,4 +174,20 @@ func (m *barMgr) handle(n0 *node, pkt *netsim.Packet) {
 		m.clu.net.Send(n0.service, i, netsim.PortCompute, rpkt)
 	}
 	m.relSeq = seq
+	if cp == nil {
+		return
+	}
+	for node, r := range cp.rule {
+		if r == nil || !r.Restarts() || r.RestartAfter == 0 || seq != r.Epoch+r.RestartAfter {
+			continue
+		}
+		// The dead window ends with this release: bring the node back up
+		// and grant its restart, naming the barrier it rejoins after.
+		m.clu.net.SetDown(node, false)
+		n0.service.Advance(m.clu.cm.SendCPU)
+		m.clu.net.Send(n0.service, node, netsim.PortCompute, &netsim.Packet{
+			Kind: mkRestart, Size: bytesBarHeader, Reply: true, NoFault: true,
+			Data: &restartMsg{Seq: seq, Missed: r.RestartAfter},
+		})
+	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"godsm/internal/trace"
 	"godsm/internal/vm"
 )
 
@@ -13,6 +14,11 @@ import (
 // one-time runtime home-migration decision: any page never written by its
 // initial owner but written by at least one other node migrates to its
 // lowest-ranked writer at the end of the first iteration.
+//
+// Under a crash plan it is also the re-election authority: when a node
+// forfeits its homes at its crash epoch, every page homed there migrates
+// to the next live node, announced through the same migration records the
+// runtime decision uses, and mirrored into the cluster home map.
 type barProtoMgr struct {
 	clu      *cluster
 	writers  []copyset // page -> nodes that wrote it during iteration 0
@@ -26,14 +32,28 @@ func newBarProtoMgr(c *cluster) *barProtoMgr {
 
 func (m *barProtoMgr) aggregate(_ int, arrivals []*barArrive) ([]any, []int) {
 	procs := m.clu.cfg.Procs
+	cp := m.clu.cp
 	versions := make(map[vm.PageID]uint32)
 	var news []copysetRec
 	expBatches := make([]int, procs)
-	iterEnd := arrivals[0].Proto.(*barArrivalBar).IterEnd
+	var ref *barArrive
+	for _, a := range arrivals {
+		if a != nil {
+			ref = a
+			break
+		}
+	}
+	seq := ref.Seq
+	iterEnd := ref.Proto.(*barArrivalBar).IterEnd
 
 	for i, a := range arrivals {
+		if a == nil {
+			continue // crashed or already done this episode
+		}
 		p := a.Proto.(*barArrivalBar)
-		if p.IterEnd != iterEnd {
+		if p.IterEnd != iterEnd && (cp == nil || cp.rule[i] == nil) {
+			// A restarted node replays iterations the survivors moved past,
+			// so only nodes without a crash rule must agree.
 			panic("core: nodes disagree on iteration boundary")
 		}
 		for _, pv := range p.Versions {
@@ -63,10 +83,45 @@ func (m *barProtoMgr) aggregate(_ int, arrivals []*barArrive) ([]any, []int) {
 				if w.has(ih) {
 					continue
 				}
-				migs = append(migs, migrateRec{Page: vm.PageID(pg), OldHome: ih, NewHome: w.lowest()})
+				nh := w.lowest()
+				if cp != nil && cp.demoted(nh, seq) {
+					// Never migrate onto a dead node: take the lowest live
+					// writer, or leave the page where it is (re-election
+					// below moves it if the initial home itself is dead).
+					nh = -1
+					for i := 0; i < procs; i++ {
+						if w.has(i) && !cp.demoted(i, seq) {
+							nh = i
+							break
+						}
+					}
+					if nh < 0 {
+						continue
+					}
+				}
+				migs = append(migs, migrateRec{Page: vm.PageID(pg), OldHome: ih, NewHome: nh})
 			}
 		}
 		m.writers = nil
+	}
+
+	if ck := m.clu.ckpt; ck != nil {
+		// Mirror every home change into the cluster's authoritative map,
+		// then re-elect the homes of any node dying at this barrier.
+		for _, mg := range migs {
+			ck.setHome(mg.Page, mg.NewHome)
+		}
+		for dead, r := range cp.rule {
+			if r == nil || !cp.reelectAt(dead, seq) {
+				continue
+			}
+			for _, pg := range ck.homedAt(dead) {
+				nh := cp.nextHome(dead, procs, seq)
+				migs = append(migs, migrateRec{Page: pg, OldHome: dead, NewHome: nh})
+				ck.setHome(pg, nh)
+				m.clu.nodes[0].trcSvc(trace.Reelect, int(pg), int64(nh))
+			}
+		}
 	}
 
 	verList := make([]pageVersion, 0, len(versions))

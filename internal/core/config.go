@@ -179,6 +179,14 @@ type Config struct {
 	// default) costs nothing: no handles are resolved and the hot paths
 	// pay a single nil test, the same contract as PageStats.
 	Metrics *metrics.Registry
+	// NetHook, when non-nil, receives the cluster's network right after
+	// fault injection is armed and before any node runs. It is the
+	// control-plane escape hatch behind dsmd's live fault toggle: the
+	// handle stays valid for the whole run, and netsim's mutating entry
+	// points (SwapFaults) lock internally, so a server may call them from
+	// outside the simulation. The hook itself runs on the launching
+	// goroutine; it must not block.
+	NetHook func(*netsim.Net)
 	// EncodeInFlight, in sim mode, round-trips every remote packet
 	// through the wire codec so the receiver gets an independent decoded
 	// copy instead of the sender's pointers. Virtual time and results are
@@ -231,6 +239,9 @@ func (c *Config) fill() error {
 	case "", transport.KindMem, transport.KindUDP:
 	default:
 		return fmt.Errorf("core: unknown transport %q", c.Transport)
+	}
+	if err := validateCrashes(c); err != nil {
+		return err
 	}
 	return nil
 }

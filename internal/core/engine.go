@@ -32,6 +32,13 @@ type cluster struct {
 	doneSeen []bool // teardown: nodes whose compute body has finished
 	doneLeft int    // teardown: nodes still running
 
+	// cp and ckpt arm crash-stop recovery when the fault plan carries
+	// CrashRules: the shared failure schedule (the deterministic stand-in
+	// for a membership service) and the stable checkpoint store every node
+	// writes at barrier release. Both nil otherwise.
+	cp   *crashPlan
+	ckpt *ckptStore
+
 	// sinks is the fan-out list every trace event goes to: cfg.Trace (if
 	// any) plus cfg.Sinks. Empty means tracing is off.
 	sinks []trace.Sink
@@ -104,6 +111,10 @@ type node struct {
 	// and epoch hooks. Nil (the default) keeps the store hot path to a
 	// single pointer test.
 	check Checker
+
+	// --- crash-stop state ---
+	crashRule *netsim.CrashRule // this node's scheduled crash; nil = survivor
+	crashed   bool              // the crash epoch has been reached
 
 	allocOff int // shared-segment bump allocator
 	result   uint64
@@ -215,6 +226,25 @@ func runContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, err
 		}
 		clu.nodes = append(clu.nodes, n)
 	}
+	if cfg.NetHook != nil {
+		// Faults are armed; hand the control plane its live handle.
+		cfg.NetHook(clu.net)
+	}
+	if clu.faultsOn && len(cfg.Faults.Crashes) > 0 {
+		clu.cp = newCrashPlan(cfg.Procs, cfg.Faults)
+		clu.ckpt = newCkptStore(cfg.Procs, clu.nodes[0].as.NumPages())
+		for _, n := range clu.nodes {
+			n.crashRule = clu.cp.rule[n.id]
+		}
+		// A node that dies for good never reports done; retire it from the
+		// teardown count up front so the survivors' done protocol completes.
+		for id, r := range clu.cp.rule {
+			if r != nil && !r.Restarts() {
+				clu.doneSeen[id] = true
+				clu.doneLeft--
+			}
+		}
+	}
 	clu.pmgr = newProtoManager(clu)
 	for _, n := range clu.nodes {
 		n.proto = newProtocol(n)
@@ -273,10 +303,14 @@ func runContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, err
 }
 
 func (n *node) computeBody(p *sim.Proc) {
-	n.clu.body(&Proc{n: n})
-	// Quiesce: a final barrier guarantees no request can still be headed
-	// for any service, then shut the local service down.
-	n.barrier(nil)
+	if n.runBody() {
+		// Crash-stop death: the body was unwound at the crash epoch. The
+		// service keeps draining (and discarding) stale deliveries until
+		// this local shutdown, which the same-node fast path delivers even
+		// though the node is marked down.
+		n.clu.net.Send(p, n.id, netsim.PortService, &netsim.Packet{Kind: mkShutdown})
+		return
+	}
 	if n.measuring || !n.windowed {
 		// Body never closed (or never opened) a window; fall back to
 		// measuring the whole run. The zero-valued start snapshot is
@@ -305,6 +339,26 @@ func (n *node) computeBody(p *sim.Proc) {
 	n.clu.net.Send(p, n.id, netsim.PortService, &netsim.Packet{Kind: mkShutdown})
 }
 
+// runBody runs the application body plus the quiescing final barrier (the
+// final barrier guarantees no request can still be headed for any
+// service). It reports whether the node died mid-run: a crash rule with no
+// restart unwinds the whole body via errCrashStop.
+func (n *node) runBody() (died bool) {
+	if n.crashRule != nil && !n.crashRule.Restarts() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r != errCrashStop {
+					panic(r)
+				}
+				died = true
+			}
+		}()
+	}
+	n.clu.body(&Proc{n: n})
+	n.barrier(nil)
+	return false
+}
+
 // handleDone runs on the master's service: once every compute body has
 // reported done, release them all to tear their services down.
 func (c *cluster) handleDone(n0 *node, pkt *netsim.Packet) {
@@ -314,6 +368,12 @@ func (c *cluster) handleDone(n0 *node, pkt *netsim.Packet) {
 	}
 	c.doneSeen[d.From] = true
 	c.doneLeft--
+	if c.cp != nil {
+		// A restarted node runs its missed iterations after the survivors
+		// finish; their dones shrink the expected arrival count, which may
+		// complete a barrier episode already pending.
+		c.mgr.maybeRelease(n0)
+	}
 	if c.doneLeft > 0 {
 		return
 	}
@@ -333,6 +393,11 @@ func (n *node) serviceBody(p *sim.Proc) {
 		pkt := m.Payload.(*netsim.Packet)
 		if pkt.Kind == mkShutdown {
 			return
+		}
+		if n.crashed && n.clu.net.NodeDown(n.id) {
+			// Dead window: the packet was in flight before the sender could
+			// learn of the crash. The node's memory is gone; discard it.
+			continue
 		}
 		start := p.Now()
 		if pkt.FromNode != n.id {
@@ -621,8 +686,26 @@ func (n *node) barrier(red *redContrib) *redResult {
 	n.sendRequest(0, mkBarArrive, bytesBarHeader+psize+redSize(red), arr)
 	rel := n.awaitRelease(seq)
 	n.trc(trace.BarrierRelease, -1, int64(seq))
+	if n.clu.ckpt != nil {
+		if r := n.crashRule; r != nil && !n.crashed && seq == r.Epoch {
+			// The dying node checkpoints before applying the release: a
+			// restart must replay the release (RestartAfter 0) or discard it
+			// (RestartAfter > 0), never double-apply it.
+			n.ckptWrite(seq)
+			if r.RestartAfter != 0 {
+				return n.crashStop(seq, rel)
+			}
+			n.crashRestartInPlace(seq)
+		}
+		n.crashBookkeep(seq)
+	}
 	n.proto.onRelease(site, rel.Proto)
 	n.proto.postBarrier(site)
+	if n.clu.ckpt != nil {
+		// Survivors checkpoint the settled post-release state, so a later
+		// rejoiner reading this epoch's entry sees the release applied.
+		n.ckptCharge(n.ckptWrite(seq))
+	}
 	n.ctr.Barriers++
 	n.sampleEpoch()
 	if n.check != nil {
@@ -649,6 +732,7 @@ func (n *node) sampleEpoch() {
 	if fs := n.clu.net.FaultStats; fs != nil {
 		f := fs[n.id]
 		ctr.NetDrops, ctr.NetDups, ctr.NetDelays = f.Drops, f.Dups, f.Delays
+		ctr.NetBlackholed = f.Blackholed
 	}
 	d := ctr.Sub(n.epochCtr)
 	bd := stats.Breakdown{
@@ -829,6 +913,15 @@ func (c *cluster) report() (*Report, error) {
 		ctr.DataBytes = tr.Bytes
 		fs := n.mStopFs.Sub(n.mStartFs)
 		ctr.NetDrops, ctr.NetDups, ctr.NetDelays = fs.Drops, fs.Dups, fs.Delays
+		ctr.NetBlackholed = fs.Blackholed
+		// Crash-recovery counters are whole-run, not windowed: a crash is
+		// a discrete scheduled event (often during warmup) and checkpoint
+		// traffic starts at the first barrier, so a measurement window
+		// would hide both.
+		ctr.Crashes = n.ctr.Crashes
+		ctr.Restarts = n.ctr.Restarts
+		ctr.CheckpointPages = n.ctr.CheckpointPages
+		ctr.CheckpointBytes = n.ctr.CheckpointBytes
 		bd := stats.Breakdown{
 			App:   n.mStopBd.App - n.mStartBd.App,
 			OS:    n.mStopBd.OS - n.mStartBd.OS,

@@ -47,6 +47,9 @@ type lmw struct {
 	locks   map[int]*lockToken
 	lockMgr map[int]*lockChain
 	flags   map[int]*flagState
+	// adopted marks dead peers whose checkpointed manager state this node
+	// has already installed (or decided is not its to install).
+	adopted map[int]bool
 
 	// gc state: vcAtGC snapshots the vector clock at a GC barrier; the
 	// cache and log entries it covers are dropped one barrier later (so
@@ -100,6 +103,7 @@ func newLmw(n *node, update bool) *lmw {
 		locks:     make(map[int]*lockToken),
 		lockMgr:   make(map[int]*lockChain),
 		flags:     make(map[int]*flagState),
+		adopted:   make(map[int]bool),
 		isDirty:   make([]bool, np),
 		wroteLast: make([]bool, np),
 		pending:   make(map[vm.PageID][]writeNotice),
@@ -156,13 +160,23 @@ func (l *lmw) validate(pg vm.PageID) {
 			byCreator[nt.Creator] = append(byCreator[nt.Creator], nt)
 		}
 		sort.Ints(creators)
+		await := 0
 		for _, c := range creators {
 			n.ctr.DiffFetches++
 			n.ps.DiffFetch(pg)
 			n.trc(trace.DiffFetch, int(pg), int64(c))
+			if dms, ok := l.deadCreatorDiffs(c, byCreator[c]); ok {
+				// The creator is dead right now; its final checkpoint holds
+				// every diff it ever created.
+				for _, dm := range dms {
+					l.cacheDiff(dm.Notice, dm.Diff)
+				}
+				continue
+			}
 			n.sendRequest(c, mkDiffReq, len(byCreator[c])*bytesDiffName, &diffReq{Wants: byCreator[c]})
+			await++
 		}
-		for range creators {
+		for i := 0; i < await; i++ {
 			pkt := n.awaitReply()
 			if pkt.Kind != mkDiffRep {
 				n.fatal("lmw: expected diff reply, got kind %d", pkt.Kind)
@@ -362,12 +376,16 @@ func (l *lmw) handleRequest(pkt *netsim.Packet) {
 			l.cacheDiff(dm.Notice, dm.Diff)
 		}
 	case mkLockAcq:
+		l.maybeAdopt()
 		l.handleLockAcq(pkt)
 	case mkLockFwd:
+		l.maybeAdopt()
 		l.handleLockFwd(pkt)
 	case mkFlagSet:
+		l.maybeAdopt()
 		l.handleFlagSet(pkt)
 	case mkFlagWait:
+		l.maybeAdopt()
 		l.handleFlagWait(pkt)
 	default:
 		n.fatal("lmw: unexpected request kind %d", pkt.Kind)
@@ -433,6 +451,9 @@ func newLmwMgr(c *cluster) *lmwMgr { return &lmwMgr{clu: c} }
 func (m *lmwMgr) aggregate(_ int, arrivals []*barArrive) ([]any, []int) {
 	var all []intervalRec
 	for _, a := range arrivals {
+		if a == nil {
+			continue // crashed or already done this episode
+		}
 		if ivs, ok := a.Proto.([]intervalRec); ok {
 			all = append(all, ivs...)
 		}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"sort"
+
+	"godsm/internal/sim"
+	"godsm/internal/vm"
+	"godsm/internal/wire"
+)
+
+// Crash-stop support for the homeless lmw family. The barrier-consistent
+// cut is simpler than the bar family's: at a release no acquire is in
+// flight (a blocked acquirer cannot have arrived), no token is in use,
+// and no waiter is parked — so a checkpoint needs only the interval
+// history, the node's own diffs, its clock state, and its manager roles
+// (lock chains, held tokens, managed flags). Recovery replays the
+// history: every restored page starts unmapped with its full notice
+// history pending, and validation rebuilds content diff-by-diff from the
+// all-zero initial image.
+
+// ckptWrite implements crashProto for lmw: snapshot interval history,
+// own diffs, clocks, lock-manager chains, held tokens, and managed
+// flags. Yield-free (store mutations only).
+func (l *lmw) ckptWrite(int) (int, int) {
+	n := l.n
+	ck := n.clu.ckpt
+	procs := n.clu.cfg.Procs
+	recs, bytes := ck.writeLmw(n.id, procs, l.log, l.cache, l.vc, l.myInterval, l.reported)
+	chains := make(map[int]lockChain, len(l.lockMgr))
+	for lk, cs := range l.lockMgr {
+		chains[lk] = *cs
+	}
+	tokens := make(map[int]int)
+	for lk, st := range l.locks {
+		if st.hasToken {
+			tokens[lk] = st.episode
+		}
+	}
+	ck.writeLocks(n.id, procs, chains, tokens)
+	for _, f := range sortedKeys(l.flags) {
+		fs := l.flags[f]
+		ck.writeFlag(f, n.id, fs.set, fs.ivs)
+	}
+	return recs, bytes
+}
+
+// restoreCkpt implements crashProto for lmw: seed a fresh instance from
+// the store as of epoch seq. An immediate (in-place) restart replays the
+// node's own cut, roles included; a delayed rejoin additionally merges
+// node 0's epoch-seq checkpoint to catch up on the cluster history it
+// slept through, and restores no roles (the node is demoted). Yield-free.
+func (l *lmw) restoreCkpt(seq int) int {
+	n := l.n
+	cp, ck := n.clu.cp, n.clu.ckpt
+	immediate := n.crashRule.RestartAfter == 0
+	bytes := 0
+	merge := func(e *ckptLmw) {
+		if e == nil {
+			return
+		}
+		for _, iv := range e.log {
+			k := ivKey(iv.Creator, iv.Index)
+			if _, ok := l.ivVC[k]; ok {
+				continue
+			}
+			l.log[iv.Creator] = append(l.log[iv.Creator], iv)
+			l.ivVC[k] = iv.VC
+			if iv.Index > l.vc[iv.Creator] {
+				l.vc[iv.Creator] = iv.Index
+			}
+			bytes += wire.SizeIntervals([]intervalRec{iv})
+		}
+	}
+	own := ck.readLmw(n.id)
+	merge(own)
+	if own != nil {
+		l.myInterval, l.reported = own.myInterval, own.reported
+		for nt, d := range own.diffs {
+			l.cacheDiff(nt, d)
+			bytes += bytesDiffName + d.WireSize()
+		}
+	}
+	if !immediate {
+		// The cluster moved on while we were dead; node 0's checkpoint at
+		// the rejoin barrier holds every interval closed since (each is
+		// reported to the manager within one barrier of its creation).
+		merge(ck.readLmw(0))
+	}
+	// Queue the complete per-page notice history: content is rebuilt by
+	// replaying every diff causally over the all-zero initial image, so a
+	// restored page stays unmapped until a fault validates it. GC is
+	// rejected under crash plans precisely so this history is complete.
+	creators := make([]int, 0, len(l.log))
+	for c := range l.log {
+		creators = append(creators, c)
+	}
+	sort.Ints(creators)
+	for _, c := range creators {
+		for _, iv := range l.log[c] {
+			for _, nt := range iv.Notices {
+				l.pending[nt.Page] = append(l.pending[nt.Page], nt)
+			}
+		}
+	}
+	// Pages nobody ever wrote keep their correct all-zero image.
+	for pg := 0; pg < n.as.NumPages(); pg++ {
+		if len(l.pending[vm.PageID(pg)]) == 0 {
+			n.as.SetProt(vm.PageID(pg), vm.Read)
+		}
+	}
+	if immediate {
+		// Roles survive an in-place restart: manager chains, held tokens
+		// and managed flags come back from our own cut. Peers that died
+		// before us were adopted before this cut, so their state is in it —
+		// mark them adopted or we would re-adopt their stale checkpoints.
+		if own != nil {
+			for _, lk := range sortedKeys(own.chains) {
+				cs := own.chains[lk]
+				l.lockMgr[lk] = &cs
+			}
+			for lk, ep := range own.tokens {
+				st := l.lockState(lk)
+				st.hasToken, st.inUse, st.episode = true, false, ep
+			}
+		}
+		for f, ckf := range ck.deadFlags(n.id) {
+			fs := l.flagStateFor(f)
+			fs.set, fs.ivs = ckf.set, ckf.ivs
+		}
+		for dead, r := range cp.rule {
+			if r != nil && r.RestartAfter != 0 && r.Epoch < seq {
+				l.adopted[dead] = true
+			}
+		}
+	} else {
+		// Demoted: adopt nothing, ever (syncHome skips us from our crash
+		// epoch on); pre-mark every settled death so maybeAdopt stays quiet.
+		for dead, r := range cp.rule {
+			if r != nil && r.RestartAfter != 0 && r.Epoch <= seq {
+				l.adopted[dead] = true
+			}
+		}
+	}
+	return bytes
+}
+
+// onCrash implements crashProto for lmw: a survivor's compute path
+// adopts whatever manager duties re-elect onto this node when dead
+// forfeits its roles. Idempotent with the service path's maybeAdopt.
+func (l *lmw) onCrash(p *sim.Proc, dead, _ int) {
+	l.adoptFrom(p, dead)
+}
+
+// maybeAdopt runs at the top of every lock/flag service handler: a
+// faster peer past the crash barrier may route a request here before our
+// own compute has processed that release. The epochOf gate is the
+// happens-before edge — the sender polled the dead node's final
+// checkpoint before it could send, so the store is complete when the
+// gate opens.
+func (l *lmw) maybeAdopt() {
+	n := l.n
+	cp := n.clu.cp
+	if cp == nil {
+		return
+	}
+	for dead, r := range cp.rule {
+		if r == nil || r.RestartAfter == 0 || dead == n.id || l.adopted[dead] {
+			continue
+		}
+		if n.clu.ckpt.epochOf(dead) >= r.Epoch {
+			l.adoptFrom(n.service, dead)
+		}
+	}
+}
+
+// adoptFrom installs the manager state a dead peer checkpointed at its
+// final cut, for every lock chain and flag whose management re-elects
+// onto this node, and reclaims tokens stranded at the dead node for
+// locks this node already manages. The re-election epoch is the dead
+// node's crash epoch, making every liveness decision a pure function of
+// the plan.
+func (l *lmw) adoptFrom(p *sim.Proc, dead int) {
+	n := l.n
+	if l.adopted[dead] {
+		return
+	}
+	l.adopted[dead] = true
+	cp, ck := n.clu.cp, n.clu.ckpt
+	procs := n.clu.cfg.Procs
+	seq := cp.rule[dead].Epoch
+	if e := ck.readLmw(dead); e != nil {
+		for _, lk := range sortedKeys(e.chains) {
+			if cp.syncHome(lk, procs, seq) != n.id {
+				continue
+			}
+			cs := e.chains[lk]
+			l.lockMgr[lk] = &cs
+			l.reclaimToken(p, lk, &cs, seq)
+		}
+	}
+	// Tokens stranded at the dead node for locks we already manage: the
+	// chain would forward the next acquire into the void.
+	for _, lk := range sortedKeys(l.lockMgr) {
+		if cs := l.lockMgr[lk]; cs.lastOwner == dead {
+			l.reclaimToken(p, lk, cs, seq)
+		}
+	}
+	flags := ck.deadFlags(dead)
+	for _, f := range sortedKeys(flags) {
+		if cp.syncHome(f, procs, seq) != n.id {
+			continue
+		}
+		ckf := flags[f]
+		fs := l.flagStateFor(f)
+		if ckf.set && !fs.set {
+			// One-shot install: a set acknowledged before the cut is in the
+			// checkpoint; one still in flight re-aims here by retransmission
+			// (retryFire). Either way waiters parked since release.
+			l.flagSetLocal(p, f, ckf.ivs)
+		}
+	}
+}
+
+// reclaimToken pulls a token whose holder has been demoted back to the
+// (current) manager, at the episode of the holder's acquire, and
+// redirects the chain so future forwards land here.
+func (l *lmw) reclaimToken(p *sim.Proc, lk int, cs *lockChain, seq int) {
+	n := l.n
+	if cs.lastOwner == n.id || !n.clu.cp.demoted(cs.lastOwner, seq) {
+		return
+	}
+	cs.lastOwner = n.id
+	st := l.lockState(lk)
+	st.hasToken, st.inUse, st.episode = true, false, cs.lastSeq
+	l.maybeGrant(p, st)
+}
+
+// deadCreatorDiffs serves a validation fetch from the checkpoint store
+// when the diffs' creator is dead right now: from its crash epoch until
+// (if ever) the barrier it rejoins after. Every diff named by a pending
+// notice predates the creator's death, and its final checkpoint was
+// observed (crashBookkeep polled it) before this node could learn of the
+// interval, so the read cannot miss. Live and rejoined creators answer
+// diff requests themselves — their caches are never collected under a
+// crash plan.
+func (l *lmw) deadCreatorDiffs(creator int, wants []writeNotice) ([]diffMsg, bool) {
+	n := l.n
+	cp, ck := n.clu.cp, n.clu.ckpt
+	if ck == nil {
+		return nil, false
+	}
+	r := cp.rule[creator]
+	phase := n.barSeq - 1
+	if r == nil || r.RestartAfter == 0 || phase < r.Epoch {
+		return nil, false
+	}
+	if r.Restarts() && phase > r.Epoch+r.RestartAfter {
+		return nil, false
+	}
+	dms, err := ck.deadDiffs(creator, wants)
+	if err != nil {
+		n.fatal("lmw: %v", err)
+	}
+	bytes := 0
+	for _, dm := range dms {
+		bytes += bytesDiffName + dm.Diff.WireSize()
+	}
+	n.ckptCharge(bytes)
+	return dms, true
+}
+
+// sortedKeys sorts an int-keyed map's keys, for deterministic adoption
+// and checkpoint order.
+func sortedKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

@@ -42,7 +42,7 @@ func (l *lmw) setFlag(flag int) {
 	for _, c := range sortedLogCreators(l.log) {
 		ivs = append(ivs, l.log[c]...)
 	}
-	mgr := flag % n.clu.cfg.Procs
+	mgr := n.clu.cp.syncHome(flag, n.clu.cfg.Procs, n.barSeq-1)
 	n.trc(trace.FlagSet, -1, int64(flag))
 	if mgr == n.id {
 		l.flagSetLocal(n.compute, flag, ivs)
@@ -58,7 +58,7 @@ func (l *lmw) waitFlag(flag int) {
 	n := l.n
 	n.flush()
 	n.trc(trace.FlagWait, -1, int64(flag))
-	mgr := flag % n.clu.cfg.Procs
+	mgr := n.clu.cp.syncHome(flag, n.clu.cfg.Procs, n.barSeq-1)
 	req := &flagWait{Flag: flag, From: n.id, VC: append([]int(nil), l.vc...)}
 	n.sendRequest(mgr, mkFlagWait, 8+8*len(req.VC), req)
 	pkt := n.awaitReply()

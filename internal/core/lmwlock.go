@@ -52,12 +52,15 @@ type lockChain struct {
 }
 
 // lockState returns (creating if needed) the local token state. The
-// manager node starts out holding the token.
+// manager node starts out holding the token; under a crash plan the
+// manager is the lock's surviving syncHome, which never moves backward
+// (demotion only advances it cyclically), so a lazy init is stable.
 func (l *lmw) lockState(lock int) *lockToken {
 	st, ok := l.locks[lock]
 	if !ok {
+		n := l.n
 		st = &lockToken{
-			hasToken: l.n.id == lock%l.n.clu.cfg.Procs,
+			hasToken: n.id == n.clu.cp.syncHome(lock, n.clu.cfg.Procs, n.barSeq-1),
 			pending:  make(map[int]*netsim.Packet),
 		}
 		l.locks[lock] = st
@@ -68,7 +71,8 @@ func (l *lmw) lockState(lock int) *lockToken {
 func (l *lmw) chainState(lock int) *lockChain {
 	cs, ok := l.lockMgr[lock]
 	if !ok {
-		cs = &lockChain{lastOwner: lock % l.n.clu.cfg.Procs, nextSeq: 1}
+		n := l.n
+		cs = &lockChain{lastOwner: n.clu.cp.syncHome(lock, n.clu.cfg.Procs, n.barSeq-1), nextSeq: 1}
 		l.lockMgr[lock] = cs
 	}
 	return cs
@@ -82,7 +86,7 @@ func (l *lmw) acquire(lock int) {
 	n.flush()
 	n.ctr.LockAcquires++
 	n.trc(trace.LockAcquire, -1, int64(lock))
-	mgr := lock % n.clu.cfg.Procs
+	mgr := n.clu.cp.syncHome(lock, n.clu.cfg.Procs, n.barSeq-1)
 	req := &lockAcq{Lock: lock, From: n.id, VC: append([]int(nil), l.vc...)}
 	n.sendRequest(mgr, mkLockAcq, 8+8*len(req.VC), req)
 	pkt := n.awaitReply()

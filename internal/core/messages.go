@@ -43,6 +43,7 @@ const (
 	mkFlagSetAck    = wire.KindFlagSetAck
 	mkDone          = wire.KindDone
 	mkDoneRelease   = wire.KindDoneRelease
+	mkRestart       = wire.KindRestart
 )
 
 // Modeled on-wire sizes of protocol records, in bytes. The simulated
@@ -93,6 +94,7 @@ type (
 	flagSet       = wire.FlagSet
 	flagWait      = wire.FlagWait
 	flagRelease   = wire.FlagRelease
+	restartMsg    = wire.RestartMsg
 )
 
 // sizeIntervals returns the modeled wire size of an interval batch.

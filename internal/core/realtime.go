@@ -46,6 +46,16 @@ func (l *lockedChecker) Stale(node int, pg vm.PageID) {
 	l.mu.Unlock()
 }
 
+// Rejoin forwards a restarted node's realignment to checkers that
+// support it (see the rejoiner interface in crash.go).
+func (l *lockedChecker) Rejoin(node, missed int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rj, ok := l.inner.(rejoiner); ok {
+		rj.Rejoin(node, missed)
+	}
+}
+
 func (l *lockedChecker) Finish() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

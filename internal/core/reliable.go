@@ -169,6 +169,13 @@ func (n *node) retryFire(pkt *netsim.Packet) {
 	}
 	n.ctr.Retransmits++
 	n.trc(trace.Retransmit, -1, int64(pr.kind))
+	if cp := n.clu.cp; cp != nil && pr.kind == mkFlagSet && cp.demoted(pr.dst, n.barSeq-1) {
+		// A flag set is the one tracked request that can be in flight at a
+		// crash cut (it never blocks its sender); if the manager died with
+		// it, re-aim the retransmission at the re-elected manager, whose
+		// adoption path merges it one-shot with any checkpointed set.
+		pr.dst = cp.syncHome(pr.data.(*flagSet).Flag, n.clu.cfg.Procs, n.barSeq-1)
+	}
 	n.osCharge(n.clu.cm.SendCPU)
 	n.clu.net.Send(n.compute, pr.dst, netsim.PortService,
 		&netsim.Packet{Kind: pr.kind, Size: pr.size, Rid: rid, Orig: n.id, Data: pr.data})

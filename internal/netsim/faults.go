@@ -1,8 +1,10 @@
 package netsim
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"godsm/internal/sim"
 )
@@ -98,6 +100,29 @@ type StragglerRule struct {
 	FromEpoch, ToEpoch int
 }
 
+// CrashRule kills one node at a chosen barrier epoch. Unlike FaultRule,
+// a crash is not probabilistic: the plan names the victim and the epoch,
+// and the engine executes the crash-stop deterministically at the victim's
+// completion of that barrier — the run's one cluster-wide consistent cut,
+// where every interval and flush of the epoch is already distributed.
+type CrashRule struct {
+	// Node is the victim; node 0 (barrier manager, reduction host) must
+	// not crash and is rejected by core's config validation.
+	Node int
+	// Epoch is the barrier sequence at whose completion the node dies
+	// (>= 1; barrier sequences count from 1).
+	Epoch int
+	// RestartAfter is how many barrier episodes the node misses before it
+	// restarts: 0 restarts it immediately at the crash point (all volatile
+	// state lost, recovered by replaying checkpoints and refetching), n > 0
+	// rejoins it at barrier Epoch+n+1, and a negative value never restarts
+	// it (survivors finish without the node's further contributions).
+	RestartAfter int
+}
+
+// Restarts reports whether the rule ever brings the node back.
+func (r *CrashRule) Restarts() bool { return r.RestartAfter >= 0 }
+
 // FaultPlan is a run's complete fault schedule: matching rules plus the
 // seed all injection randomness derives from.
 type FaultPlan struct {
@@ -107,6 +132,19 @@ type FaultPlan struct {
 	Rules []FaultRule
 	// Stragglers slow chosen nodes' compute for chosen epochs.
 	Stragglers []StragglerRule
+	// Crashes lists deterministic crash-stop failures (at most one per
+	// node; validated by core).
+	Crashes []CrashRule
+}
+
+// CrashFor returns the plan's crash rule for node, or nil.
+func (p *FaultPlan) CrashFor(node int) *CrashRule {
+	for i := range p.Crashes {
+		if p.Crashes[i].Node == node {
+			return &p.Crashes[i]
+		}
+	}
+	return nil
 }
 
 // FaultStats counts the faults injected against one node's outbound
@@ -115,11 +153,14 @@ type FaultStats struct {
 	Drops  int64
 	Dups   int64
 	Delays int64
+	// Blackholed counts packets discarded because the destination node was
+	// crashed at send time (counted against the sender, like Drops).
+	Blackholed int64
 }
 
 // Sub returns f - o, for windowing fault counts to a measurement interval.
 func (f FaultStats) Sub(o FaultStats) FaultStats {
-	return FaultStats{f.Drops - o.Drops, f.Dups - o.Dups, f.Delays - o.Delays}
+	return FaultStats{f.Drops - o.Drops, f.Dups - o.Dups, f.Delays - o.Delays, f.Blackholed - o.Blackholed}
 }
 
 // FaultClass labels one injected fault for the OnFault callback.
@@ -129,6 +170,8 @@ const (
 	FaultDrop FaultClass = iota
 	FaultDup
 	FaultDelay
+	// FaultBlackhole marks a packet discarded at a crashed destination.
+	FaultBlackhole
 )
 
 // defaultReorderDelay is the Reorder latency bound when a rule leaves
@@ -161,12 +204,30 @@ func newFaultInjector(plan *FaultPlan, nodes int) *faultInjector {
 	}
 	fi.plan.Rules = append([]FaultRule(nil), plan.Rules...)
 	fi.plan.Stragglers = append([]StragglerRule(nil), plan.Stragglers...)
+	fi.plan.Crashes = append([]CrashRule(nil), plan.Crashes...)
 	for i := range fi.rngs {
 		// Per-node streams derived from one seed; the multiply is done in
 		// int64 so the derivation is identical on 32-bit platforms.
 		fi.rngs[i] = rand.New(rand.NewSource(plan.Seed ^ (int64(i) * 0x9e3779b9)))
 	}
 	return fi
+}
+
+// swap replaces the live rule set with next's, resetting the MaxCount and
+// randomness bookkeeping so the new rules judge from a clean slate. Epoch
+// views and crash rules are preserved: crashes are structural (the engine
+// sized its recovery machinery for them at startup) and cannot be toggled
+// mid-run.
+func (fi *faultInjector) swap(next *FaultPlan) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.plan.Seed = next.Seed
+	fi.plan.Rules = append([]FaultRule(nil), next.Rules...)
+	fi.plan.Stragglers = append([]StragglerRule(nil), next.Stragglers...)
+	fi.fired = make([]int, len(fi.plan.Rules))
+	for i := range fi.rngs {
+		fi.rngs[i] = rand.New(rand.NewSource(next.Seed ^ (int64(i) * 0x9e3779b9)))
+	}
 }
 
 // judge decides one remote packet's fate. The draw sequence per judged
@@ -241,6 +302,51 @@ func (n *Net) SetFaults(plan *FaultPlan) {
 	}
 	n.fi = newFaultInjector(plan, n.nodes)
 	n.FaultStats = make([]FaultStats, n.nodes)
+	if len(plan.Crashes) > 0 {
+		n.down = make([]atomic.Bool, n.nodes)
+	}
+}
+
+// SwapFaults replaces the live rule set of an armed injector with plan's
+// (see faultInjector.swap): the control-plane hook behind dsmd's
+// PATCH /v1/runs/{id}/faults. It returns an error when injection was never
+// armed (the run has no reliability layer, so new faults would wedge it)
+// or when the new plan tries to add crash rules mid-run.
+func (n *Net) SwapFaults(plan *FaultPlan) error {
+	if n.fi == nil {
+		return fmt.Errorf("netsim: fault injection not armed; launch the run with a fault plan to toggle rules live")
+	}
+	if plan == nil {
+		return fmt.Errorf("netsim: nil fault plan")
+	}
+	if len(plan.Crashes) > 0 {
+		return fmt.Errorf("netsim: crash rules cannot be added to a running cluster")
+	}
+	n.fi.swap(plan)
+	return nil
+}
+
+// SetDown marks a node crashed (true) or recovered (false). While down,
+// every packet addressed to the node is blackholed at the sender's wire.
+// No-op unless the armed plan carries crash rules.
+func (n *Net) SetDown(node int, down bool) {
+	if n.down != nil {
+		n.down[node].Store(down)
+	}
+}
+
+// NodeDown reports whether node is currently crashed — netsim is the
+// cluster's ground-truth failure detector (the role a membership service
+// plays in a real deployment).
+func (n *Net) NodeDown(node int) bool {
+	return n.down != nil && n.down[node].Load()
+}
+
+// blackhole discards one packet addressed to a down node, charging the
+// sender's stats. The packet never reaches the wire model, like a Drop.
+func (n *Net) blackhole(from *sim.Proc, fromNode, to int, pkt *Packet) {
+	n.FaultStats[fromNode].Blackholed++
+	n.fault(from, fromNode, to, pkt, FaultBlackhole, 0)
 }
 
 // SetEpoch advances one node's epoch for rule windows (the DSM engine

@@ -19,6 +19,7 @@ var delayBuckets = metrics.ExpBuckets(1e-5, 4, 9) // 10µs .. ~2.6s
 // zero value (no registry) is fully inert.
 type netMetrics struct {
 	drops, dups, delays *metrics.Counter
+	blackholes          *metrics.Counter
 	delayDist           *metrics.Histogram
 	encodeErrs          *metrics.Counter
 	decodeErrs          *metrics.Counter
@@ -33,9 +34,10 @@ func (n *Net) SetMetrics(reg *metrics.Registry) {
 	const faultsName = "godsm_net_faults_total"
 	const faultsHelp = "packets faulted by the injection plan, by verdict class"
 	n.m = netMetrics{
-		drops:  reg.Counter(faultsName, faultsHelp, "class", "drop"),
-		dups:   reg.Counter(faultsName, faultsHelp, "class", "dup"),
-		delays: reg.Counter(faultsName, faultsHelp, "class", "delay"),
+		drops:      reg.Counter(faultsName, faultsHelp, "class", "drop"),
+		dups:       reg.Counter(faultsName, faultsHelp, "class", "dup"),
+		delays:     reg.Counter(faultsName, faultsHelp, "class", "delay"),
+		blackholes: reg.Counter(faultsName, faultsHelp, "class", "blackhole"),
 		delayDist: reg.Histogram("godsm_net_delay_seconds",
 			"injected extra latency per delayed packet (simulated seconds)", delayBuckets),
 		encodeErrs: reg.Counter("godsm_wire_encode_errors_total",
@@ -55,5 +57,7 @@ func (m *netMetrics) observeFault(class FaultClass, extra sim.Duration) {
 	case FaultDelay:
 		m.delays.Inc()
 		m.delayDist.Observe(float64(extra) / float64(sim.Second))
+	case FaultBlackhole:
+		m.blackholes.Inc()
 	}
 }

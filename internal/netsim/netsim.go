@@ -10,6 +10,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"godsm/internal/cost"
 	"godsm/internal/sim"
@@ -73,6 +74,10 @@ type Net struct {
 	Traffic []Traffic     // per sending node
 
 	fi *faultInjector
+	// down marks crashed nodes: packets addressed to a down node are
+	// blackholed at the sender. Nil unless the fault plan carries crash
+	// rules, so the fault-free send path pays one nil test.
+	down []atomic.Bool
 	// m holds the resolved metric handles (SetMetrics); the zero value —
 	// no registry — makes every observation a nil-handle no-op.
 	m netMetrics
@@ -148,6 +153,14 @@ func (n *Net) Send(from *sim.Proc, node int, port Port, pkt *Packet) {
 	}
 	if node == fromNode {
 		from.Send(dst.ID(), 0, pkt)
+		return
+	}
+	if n.down != nil && n.down[node].Load() {
+		// Crashed destination: the packet leaves the sender and vanishes.
+		// Same-node delivery above is exempt — a node's own compute/service
+		// signaling is in-process, not wire traffic, and a crashed node's
+		// procs are parked or gone anyway.
+		n.blackhole(from, fromNode, node, pkt)
 		return
 	}
 	if n.tr != nil {

@@ -26,7 +26,7 @@ func ExportExperiments() []string {
 	return []string{
 		"apps", "table1", "fig2", "fig3", "fig4", "summary",
 		"ablation-stress", "ablation-scale", "ablation-home", "ablation-pagesize",
-		"chaos-loss",
+		"chaos-loss", "recovery",
 	}
 }
 
@@ -142,6 +142,28 @@ func (r *Runner) Records(experiment string) ([]Record, error) {
 					"slowdown": p.Slowdown, "net_drops": float64(p.NetDrops),
 					"retransmits": float64(p.Retransmits), "dup_suppressed": float64(p.DupSuppressed),
 					"messages": float64(p.Messages),
+				},
+			})
+		}
+		return recs, nil
+	case "recovery":
+		pts, err := r.RecoverySweep()
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, p := range pts {
+			recs = append(recs, Record{
+				Experiment: experiment, App: p.App, Protocol: p.Protocol.String(), Procs: r.Procs,
+				Metrics: map[string]float64{
+					"crash_epoch":      float64(p.CrashEpoch),
+					"elapsed_us":       float64(p.Elapsed) / float64(sim.Microsecond),
+					"base_elapsed_us":  float64(p.BaseElapsed) / float64(sim.Microsecond),
+					"slowdown":         p.Slowdown,
+					"messages":         float64(p.Messages),
+					"base_messages":    float64(p.BaseMessages),
+					"msg_overhead":     p.MsgOverhead,
+					"checkpoint_bytes": float64(p.CheckpointBytes),
 				},
 			})
 		}

@@ -240,6 +240,17 @@ func (r *Runner) jobsFor(experiment string) []runJob {
 				add(r.lossJob(jacobi, rate))
 			}
 		}
+	case "recovery":
+		for _, name := range recoveryApps {
+			if a, err := r.appByName(name); err == nil {
+				for _, proto := range core.Protocols() {
+					add(r.appProtoJob(a, proto, r.Procs))
+					for _, epoch := range recoveryEpochs {
+						add(r.crashJob(a, proto, epoch))
+					}
+				}
+			}
+		}
 	}
 	return jobs
 }

@@ -34,6 +34,12 @@ type ParityCell struct {
 	// (modeled accounting — identical bookkeeping on every backend).
 	Messages, Replies, DataBytes int64
 	StaleRefetches, Retransmits  int64
+	// RemoteMisses participates in the slack accounting: under the lazy
+	// update protocols a real-transport consumer can read a halo word
+	// before an in-flight flush lands (or after one the simulator modeled
+	// as late), shifting a remote miss — and its one request — between
+	// backends.
+	RemoteMisses int64
 	// FrameBytes is the encoded bytes actually shipped (zero on sim).
 	FrameBytes int64
 	// Checksum is the application's self-reported result.
@@ -106,6 +112,7 @@ func (r *Runner) ParityContext(ctx context.Context) ([]ParityRow, error) {
 				DataBytes:      rep.Total.DataBytes,
 				StaleRefetches: rep.Total.StaleRefetches,
 				Retransmits:    rep.Total.Retransmits,
+				RemoteMisses:   rep.Total.RemoteMisses,
 				FrameBytes:     rep.FrameBytes,
 				Checksum:       rep.Checksum,
 			})
@@ -117,12 +124,15 @@ func (r *Runner) ParityContext(ctx context.Context) ([]ParityRow, error) {
 					app.Name, proto, c.Backend, c.Checksum, ref.Checksum)
 			}
 			// Real runs may send more messages than the simulator — a
-			// stale refetch or a retransmit each add one accounted
-			// request — but never fewer, and never more than accounted.
-			extra := c.Messages - ref.Messages
+			// stale refetch, a retransmit, or an extra remote miss (a
+			// lazy-validation consumer racing an in-flight flush) each
+			// add one accounted request; a miss the real run avoided
+			// removes one — but net of those, never fewer, and never
+			// more than accounted.
+			extra := c.Messages - ref.Messages - (c.RemoteMisses - ref.RemoteMisses)
 			if slack := c.StaleRefetches + c.Retransmits; extra < 0 || extra > slack {
-				return fmt.Errorf("repro: parity: %s %v over %s: %d messages vs simulator's %d (accounted slack %d)",
-					app.Name, proto, c.Backend, c.Messages, ref.Messages, slack)
+				return fmt.Errorf("repro: parity: %s %v over %s: %d messages vs simulator's %d (accounted slack %d, miss delta %d)",
+					app.Name, proto, c.Backend, c.Messages, ref.Messages, slack, c.RemoteMisses-ref.RemoteMisses)
 			}
 		}
 		rows[i] = row

@@ -1,0 +1,149 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"godsm/internal/apps"
+	"godsm/internal/core"
+	"godsm/internal/netsim"
+	"godsm/internal/sim"
+)
+
+// The recovery-overhead experiment: what does surviving a crash cost?
+// Each point crashes one node at a chosen barrier epoch and restarts it
+// in place, for every DSM protocol over the two canonical static
+// stencils. In-place recovery replays the victim's checkpoint, so the
+// result must stay bit-identical to the fault-free run; the measured
+// slowdown and the extra messages (checkpoint adoption, home
+// re-election, replayed traffic) quantify the price of the masking.
+
+// recoveryApps are the workloads the sweep crashes.
+var recoveryApps = []string{"jacobi", "sor"}
+
+// recoveryEpochs are the barrier epochs the crash is scheduled at: one
+// during warm-up, one inside the measured window (warm is 3 iterations
+// on every app).
+var recoveryEpochs = []int{2, 4}
+
+// recoveryCrashNode is the victim. Node 0 hosts the barrier manager and
+// the reduction root, so the sweep crashes a worker.
+const recoveryCrashNode = 2
+
+// RecoveryPoint is one (app, protocol, crash epoch) sample, paired with
+// its fault-free baseline.
+type RecoveryPoint struct {
+	App        string
+	Protocol   core.ProtocolKind
+	CrashEpoch int
+	// BaseElapsed/BaseMessages are the fault-free run's measured window.
+	BaseElapsed  sim.Duration
+	BaseMessages int64
+	// Elapsed/Messages are the crash-and-recover run's measured window.
+	Elapsed  sim.Duration
+	Messages int64
+	// Slowdown is Elapsed over BaseElapsed; MsgOverhead the message count
+	// ratio. Both 1.0 when recovery is free.
+	Slowdown    float64
+	MsgOverhead float64
+	// CheckpointBytes is the diff-encoded checkpoint volume written over
+	// the whole run (the storage cost of being recoverable).
+	CheckpointBytes int64
+	// Checksum is the application result; identical to the fault-free run.
+	Checksum uint64
+}
+
+// crashJob runs a under proto with one node crashed at the given barrier
+// epoch and restarted in place.
+func (r *Runner) crashJob(a *apps.App, proto core.ProtocolKind, epoch int) runJob {
+	j := r.appProtoJob(a, proto, r.Procs)
+	j.key = fmt.Sprintf("%s/crash=%d@%d", j.key, recoveryCrashNode, epoch)
+	j.run = func() (*core.Report, error) {
+		plan := &netsim.FaultPlan{
+			Seed:    1,
+			Crashes: []netsim.CrashRule{{Node: recoveryCrashNode, Epoch: epoch, RestartAfter: 0}},
+		}
+		rep, err := a.RunWith(r.Procs, proto, apps.RunOpts{Model: r.Model, Faults: plan})
+		if err != nil {
+			return nil, fmt.Errorf("repro: recovery: %s under %v, crash@%d: %w", a.Name, proto, epoch, err)
+		}
+		return rep, nil
+	}
+	return j
+}
+
+// RecoverySweep runs the crash-recovery grid and verifies the masking
+// property as it goes: every crashed-and-recovered run must reproduce
+// the fault-free checksum exactly and account exactly one crash and one
+// restart, or the sweep fails.
+func (r *Runner) RecoverySweep() ([]RecoveryPoint, error) {
+	r.init()
+	var pts []RecoveryPoint
+	for _, name := range recoveryApps {
+		app, err := r.appByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, proto := range core.Protocols() {
+			base, err := r.Report(app, proto)
+			if err != nil {
+				return nil, err
+			}
+			for _, epoch := range recoveryEpochs {
+				rep, err := r.runCached(r.crashJob(app, proto, epoch))
+				if err != nil {
+					return nil, err
+				}
+				if rep.Checksum != base.Checksum {
+					return nil, fmt.Errorf("repro: recovery: %s under %v, crash@%d: checksum %#x != fault-free %#x",
+						name, proto, epoch, rep.Checksum, base.Checksum)
+				}
+				if rep.Total.Crashes != 1 || rep.Total.Restarts != 1 {
+					return nil, fmt.Errorf("repro: recovery: %s under %v, crash@%d: %d crashes / %d restarts accounted, want 1/1",
+						name, proto, epoch, rep.Total.Crashes, rep.Total.Restarts)
+				}
+				p := RecoveryPoint{
+					App:             name,
+					Protocol:        proto,
+					CrashEpoch:      epoch,
+					BaseElapsed:     base.Elapsed,
+					BaseMessages:    base.Total.Messages,
+					Elapsed:         rep.Elapsed,
+					Messages:        rep.Total.Messages,
+					CheckpointBytes: rep.Total.CheckpointBytes,
+					Checksum:        rep.Checksum,
+				}
+				if base.Elapsed > 0 {
+					p.Slowdown = float64(rep.Elapsed) / float64(base.Elapsed)
+				}
+				if base.Total.Messages > 0 {
+					p.MsgOverhead = float64(rep.Total.Messages) / float64(base.Total.Messages)
+				}
+				pts = append(pts, p)
+			}
+		}
+	}
+	return pts, nil
+}
+
+// RenderRecovery renders the recovery-overhead grid as a table.
+func (r *Runner) RenderRecovery() (string, error) {
+	pts, err := r.RecoverySweep()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Crash-recovery overhead (node %d crashes and restarts in place, %d procs)\n",
+		recoveryCrashNode, r.Procs)
+	b.WriteString("Every run reproduces the fault-free checksum bit for bit; slowdown and\n")
+	b.WriteString("message overhead are the measured-window cost of checkpointing, home\n")
+	b.WriteString("re-election and recovery replay.\n\n")
+	fmt.Fprintf(&b, "%-8s %-6s %6s %12s %9s %8s %8s %10s\n",
+		"app", "proto", "crash@", "elapsed", "slowdown", "msgs", "msg-ovh", "ckpt-B")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-8s %-6v %6d %12v %8.2fx %8d %7.2fx %10d\n",
+			p.App, p.Protocol, p.CrashEpoch, p.Elapsed, p.Slowdown, p.Messages, p.MsgOverhead, p.CheckpointBytes)
+	}
+	b.WriteString("\nall crashed runs recovered to the fault-free checksum.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,32 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecoverySweep(t *testing.T) {
+	pts, err := smallRunner.RecoverySweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// apps × protocols × epochs, every cell present.
+	want := len(recoveryApps) * 6 * len(recoveryEpochs)
+	if len(pts) != want {
+		t.Fatalf("%d points, want %d", len(pts), want)
+	}
+	for _, p := range pts {
+		// RecoverySweep itself fails on checksum divergence or missing
+		// crash accounting; re-check the cost evidence here.
+		if p.CheckpointBytes == 0 {
+			t.Errorf("%s %v crash@%d: no checkpoint bytes accounted", p.App, p.Protocol, p.CrashEpoch)
+		}
+		if p.Slowdown <= 0 || p.MsgOverhead <= 0 {
+			t.Errorf("%s %v crash@%d: degenerate overheads %+v", p.App, p.Protocol, p.CrashEpoch, p)
+		}
+	}
+	out, err := smallRunner.RenderRecovery()
+	if err != nil || !strings.Contains(out, "recovered to the fault-free checksum") {
+		t.Fatalf("render: %v\n%s", err, out)
+	}
+}

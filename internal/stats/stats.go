@@ -81,6 +81,21 @@ type Counters struct {
 	NetDups int64
 	// NetDelays counts packets the fault plan delayed (reordered).
 	NetDelays int64
+	// NetBlackholed counts packets this node addressed to a crashed peer;
+	// they leave the sender and vanish (counted in Traffic, never
+	// delivered).
+	NetBlackholed int64
+	// Crashes counts crash-stop failures this node suffered (0 or 1 per
+	// run: a node crashes at most once under a CrashRule plan).
+	Crashes int64
+	// Restarts counts rejoins after a crash (0 or 1 per run).
+	Restarts int64
+	// CheckpointPages counts dirty pages (bar family) or interval records
+	// (lmw family) written to the barrier-consistent checkpoint store.
+	CheckpointPages int64
+	// CheckpointBytes is the diff-encoded volume written to the checkpoint
+	// store.
+	CheckpointBytes int64
 }
 
 // Add accumulates o into c.
@@ -110,6 +125,11 @@ func (c *Counters) Add(o Counters) {
 	c.NetDrops += o.NetDrops
 	c.NetDups += o.NetDups
 	c.NetDelays += o.NetDelays
+	c.NetBlackholed += o.NetBlackholed
+	c.Crashes += o.Crashes
+	c.Restarts += o.Restarts
+	c.CheckpointPages += o.CheckpointPages
+	c.CheckpointBytes += o.CheckpointBytes
 }
 
 // Sub returns c - o, used to window counters to the measured interval.
@@ -140,6 +160,11 @@ func (c Counters) Sub(o Counters) Counters {
 		NetDrops:        c.NetDrops - o.NetDrops,
 		NetDups:         c.NetDups - o.NetDups,
 		NetDelays:       c.NetDelays - o.NetDelays,
+		NetBlackholed:   c.NetBlackholed - o.NetBlackholed,
+		Crashes:         c.Crashes - o.Crashes,
+		Restarts:        c.Restarts - o.Restarts,
+		CheckpointPages: c.CheckpointPages - o.CheckpointPages,
+		CheckpointBytes: c.CheckpointBytes - o.CheckpointBytes,
 	}
 }
 

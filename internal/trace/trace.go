@@ -71,6 +71,15 @@ const (
 	// DupSuppress marks a duplicate request/reply detected and dropped by
 	// the reliability layer; Arg is the message kind.
 	DupSuppress
+	// Crash marks a node's crash-stop failure; Arg is the barrier epoch it
+	// completed before dying, Page -1.
+	Crash
+	// Restart marks a crashed node rejoining; Arg is the barrier sequence
+	// it rejoins after, Page -1.
+	Restart
+	// Reelect marks a page's home re-election after its home crashed; Arg
+	// is the new home.
+	Reelect
 	numKinds
 )
 
@@ -96,6 +105,9 @@ var kindNames = [...]string{
 	NetDelay:       "net-delay",
 	Retransmit:     "retransmit",
 	DupSuppress:    "dup-suppress",
+	Crash:          "crash",
+	Restart:        "restart",
+	Reelect:        "reelect",
 }
 
 func (k Kind) String() string {

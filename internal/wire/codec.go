@@ -680,6 +680,13 @@ func AppendMessage(buf []byte, kind int, data any) ([]byte, error) {
 			return buf, badPayload(kind, data)
 		}
 		return binary.AppendVarint(buf, int64(m.From)), nil
+	case KindRestart:
+		m, ok := data.(*RestartMsg)
+		if !ok {
+			return buf, badPayload(kind, data)
+		}
+		buf = binary.AppendVarint(buf, int64(m.Seq))
+		return binary.AppendVarint(buf, int64(m.Missed)), nil
 	case KindShutdown, KindFlagSetAck, KindDoneRelease:
 		if data != nil {
 			return buf, badPayload(kind, data)
@@ -750,6 +757,8 @@ func DecodeMessage(kind int, b []byte) (any, error) {
 		out = &RetryTimer{Rid: d.varint()}
 	case KindDone:
 		out = &DoneMsg{From: d.int()}
+	case KindRestart:
+		out = &RestartMsg{Seq: d.int(), Missed: d.int()}
 	case KindShutdown, KindFlagSetAck, KindDoneRelease:
 		out = nil
 	default:

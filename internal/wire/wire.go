@@ -77,6 +77,9 @@ const (
 	// KindDoneRelease lets a compute shut its local service down. No
 	// payload.
 	KindDoneRelease
+	// KindRestart is the barrier manager's restart grant waking a crashed
+	// node: rejoin the cluster at barrier Seq+1.
+	KindRestart
 
 	// kindMax is one past the largest valid kind.
 	kindMax
@@ -237,6 +240,16 @@ type RetryTimer struct {
 // DoneMsg reports one finished compute body for teardown coordination.
 type DoneMsg struct {
 	From int
+}
+
+// RestartMsg is the manager's restart grant to a crashed node. Seq is the
+// barrier sequence whose release triggered the grant: the node missed
+// barriers (crash epoch, Seq] and rejoins at Seq+1. Missed counts those
+// missed barrier episodes, so the consistency oracle can realign the
+// node's epoch reporting.
+type RestartMsg struct {
+	Seq    int
+	Missed int
 }
 
 // HomePull asks the old home to relinquish Page's home role.

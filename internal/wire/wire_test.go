@@ -99,6 +99,7 @@ func samples() []sample {
 		{"flagSetAck", reply(KindFlagSetAck), nil, -1},
 		{"done", hdr(KindDone), &DoneMsg{From: 3}, -1},
 		{"doneRelease", reply(KindDoneRelease), nil, -1},
+		{"restart", hdr(KindRestart), &RestartMsg{Seq: 12, Missed: 2}, -1},
 	}
 }
 
