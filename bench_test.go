@@ -326,10 +326,12 @@ func BenchmarkDiffCodec(b *testing.B) {
 // BenchmarkWireCodec pins the frame codec's allocation behaviour on the
 // two frames that dominate real-transport traffic: a copyset update flush
 // (diff batch) and a full 8 KiB page reply. Encoding into a reused buffer
-// must allocate nothing — AppendFrame is on every remote send — and
-// decoding is pinned at its current slice-materialization cost (payload
-// struct, diff list, per-diff backing) so a regression fails the
-// benchmark outright rather than silently reporting a worse number.
+// must allocate nothing — AppendFrame is on every remote send. Decoding
+// is zero-copy (payload bytes alias the frame) and pinned two ways: the
+// plain path at its residual slice-materialization cost (payload struct
+// and slice headers; the bytes themselves are never copied), and the
+// arena path (DecodeFrameArena) at exactly zero allocations per op once
+// its slabs are warm.
 func BenchmarkWireCodec(b *testing.B) {
 	old := make([]byte, 8192)
 	cur := make([]byte, 8192)
@@ -349,8 +351,8 @@ func BenchmarkWireCodec(b *testing.B) {
 		data         any
 		decodeAllocs float64
 	}{
-		"updateFlush": {fh, flush, 6},
-		"pageRep":     {rh, rep, 3},
+		"updateFlush": {fh, flush, 4},
+		"pageRep":     {rh, rep, 2},
 	}
 	for name, fr := range frames {
 		fr := fr
@@ -374,6 +376,21 @@ func BenchmarkWireCodec(b *testing.B) {
 				}
 			}); allocs > fr.decodeAllocs {
 				b.Fatalf("%s: decode allocates %.1f per op, want at most %.0f", name, allocs, fr.decodeAllocs)
+			}
+			// The arena path must be allocation-free in steady state:
+			// warm the slabs once, then every reset-decode cycle reuses
+			// them.
+			var arena wire.Arena
+			if _, _, _, err := wire.DecodeFrameArena(enc, &arena); err != nil {
+				b.Fatal(err)
+			}
+			if allocs := testing.AllocsPerRun(100, func() {
+				arena.Reset()
+				if _, _, _, err := wire.DecodeFrameArena(enc, &arena); err != nil {
+					b.Fatal(err)
+				}
+			}); allocs != 0 {
+				b.Fatalf("%s: arena decode allocates %.1f per op, want 0", name, allocs)
 			}
 			b.SetBytes(int64(len(enc)))
 			b.ReportAllocs()

@@ -59,7 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dsmrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	appName := fs.String("app", "jacobi", "application: barnes expl fft jacobi shallow sor swm tomcat")
-	protoName := fs.String("proto", "bar-u", "protocol: seq lmw-i lmw-u bar-i bar-u bar-s bar-m")
+	protoName := fs.String("proto", "bar-u", "protocol: seq lmw-i lmw-u bar-i bar-u bar-s bar-m adaptive")
 	procs := fs.Int("procs", 8, "cluster size")
 	small := fs.Bool("small", false, "use the reduced application size")
 	traceN := fs.Int("trace", 0, "record up to N protocol events and print a summary plus the last 40")
@@ -230,6 +230,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
+		if log != nil {
+			for _, e := range log.Tail(80) {
+				fmt.Fprintln(stderr, "   ", e)
+			}
+		}
 		return 1
 	}
 	if chrome != nil {

@@ -6,7 +6,7 @@
 //
 //	repro [flags] <experiment>
 //
-// Experiments: apps, table1, fig2, fig3, fig4, summary,
+// Experiments: apps, table1, fig2, fig3, fig4, summary, adaptive,
 // ablation-stress, ablation-scale, ablation-home, chaos-loss, recovery,
 // conform, parity, bench, all.
 //
@@ -33,7 +33,7 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_sweep.json", "output path for the bench experiment")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [flags] <experiment>\n\n")
-		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary ablation-stress ablation-scale ablation-home ablation-pagesize chaos-loss recovery conform parity bench all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary adaptive ablation-stress ablation-scale ablation-home ablation-pagesize chaos-loss recovery conform parity bench all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -125,6 +125,7 @@ func main() {
 		{"fig3", r.RenderFigure3},
 		{"fig4", r.RenderFigure4},
 		{"summary", r.RenderSummary},
+		{"adaptive", r.RenderAdaptive},
 		{"ablation-stress", r.RenderAblationStress},
 		{"ablation-scale", r.RenderAblationScale},
 		{"ablation-home", r.RenderAblationHome},

@@ -47,7 +47,9 @@ type App struct {
 	Body func(p *core.Proc)
 	// Dynamic marks applications whose sharing pattern changes between
 	// iterations; the overdrive protocols (bar-s, bar-m) reject them, as
-	// the paper excludes barnes from Figure 4.
+	// the paper excludes barnes from Figure 4. The adaptive protocol is
+	// exempt: its per-page overdrive keeps trapping, so unpredicted
+	// writes stay ordinary faults.
 	Dynamic bool
 	// BarriersPerIter is the app's phase count, for the applications
 	// table's synchronization-granularity column.

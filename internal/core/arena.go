@@ -1,0 +1,66 @@
+package core
+
+import (
+	"godsm/internal/vm"
+)
+
+// Per-epoch message arenas. Each barrier epoch's outbound diffs, update
+// flush batches and message structs come from one epochArena generation
+// instead of the GC heap; generations rotate with period epochGens so a
+// generation's memory is reused only once every message carved from it is
+// provably dead.
+//
+// Lifetime argument for the rotation period: an epoch-E update flush is
+// banked by its receiver at latest until the receiver's postBarrier(E),
+// which precedes that node's arrival at barrier E+1. A writer reuses
+// generation E%epochGens at preBarrier(E+3), which it can only reach
+// after barrier E+2 released — i.e. after every node arrived at barrier
+// E+2 and therefore long since finished postBarrier(E). That leaves a
+// full barrier of slack on top of the strict requirement. On real
+// transports the argument is even simpler: payloads are encoded into a
+// frame at Send, so the receiver never sees the sender's arena memory at
+// all.
+//
+// Arenas are only used on fault-free runs (see bar.epochArena): fault
+// injection and crash recovery retain sent packets in the dedup/replay
+// layer for unbounded epochs, which breaks any rotation bound. The lmw
+// protocols never use arenas — homeless LRC retains diffs for the whole
+// run.
+const epochGens = 3
+
+// epochArena bundles one generation's allocation state: a diff arena for
+// MakeDiff outputs, a flush accumulator whose batch slices are reused
+// rather than detached, and a slab of updateFlush structs.
+type epochArena struct {
+	diffs vm.DiffArena
+	upd   *flushAccum
+	msgs  []updateFlush
+}
+
+func newEpochArena() *epochArena {
+	return &epochArena{upd: newFlushAccum()}
+}
+
+// reset recycles the generation for a new epoch. Every diff, batch and
+// message struct previously carved from it becomes invalid.
+func (g *epochArena) reset() {
+	g.diffs.Reset()
+	g.upd.reset(false)
+	g.msgs = g.msgs[:0]
+}
+
+// updFlushMsg returns one updateFlush struct from the generation's slab.
+// Plain append would move the slab and invalidate pointers already handed
+// out, so growth abandons the old slab instead (it stays alive through
+// its in-flight messages until they die).
+func (g *epochArena) updFlushMsg() *updateFlush {
+	if len(g.msgs) == cap(g.msgs) {
+		c := 2 * cap(g.msgs)
+		if c < 8 {
+			c = 8
+		}
+		g.msgs = make([]updateFlush, 0, c)
+	}
+	g.msgs = g.msgs[:len(g.msgs)+1]
+	return &g.msgs[len(g.msgs)-1]
+}

@@ -13,7 +13,7 @@ import (
 // migrateRec, barReleaseBar) are defined in internal/wire and aliased in
 // messages.go: they cross the network, so the codec owns them.
 
-// barMode selects among the four home-based protocols.
+// barMode selects among the five home-based protocols.
 type barMode int
 
 const (
@@ -25,10 +25,19 @@ const (
 	barModeS
 	// barModeM: bar-s with steady-state mprotect eliminated.
 	barModeM
+	// barModeA: adaptive. bar-u with per-page runtime selection between
+	// update and invalidate (interest probes meter updates received
+	// against faults they satisfied; pages whose pushes outnumber their
+	// reads switch to fetch-on-demand, see adaptDecide), plus a graceful
+	// per-page overdrive: predicted pages are pre-twinned and
+	// write-enabled like bar-s, but an unpredicted write takes the
+	// ordinary trapping path instead of aborting, so dynamic sharing
+	// patterns stay legal.
+	barModeA
 )
 
-func (m barMode) update() bool    { return m >= barModeU }
-func (m barMode) overdrive() bool { return m >= barModeS }
+func (m barMode) update() bool    { return m != barModeI }
+func (m barMode) overdrive() bool { return m == barModeS || m == barModeM || m == barModeA }
 
 // bar implements the home-based barrier protocols of §2.2 and §4-5.
 type bar struct {
@@ -90,11 +99,43 @@ type bar struct {
 	hist      map[int]map[vm.PageID]bool // epoch start site -> written pages
 	epochSite int
 
+	// Adaptive per-page accounting (barModeA only; the slices stay nil
+	// under the other modes). A probed page has protection None but its
+	// contents are kept current by the updates we still consume — the
+	// next access faults, revalidates locally at segv+mprotect cost with
+	// no messages, and counts one fault the subscription satisfied.
+	// Probes re-arm at every update delivery, so readCnt meters exactly
+	// the fetches an invalidate protocol would have paid, while updCnt
+	// meters the pushes the subscription costs. adaptDecide compares the
+	// two at each iteration boundary and moves losing pages to inval
+	// (fetch-on-demand, no copyset membership, sticky), the drop
+	// announced at the next arrival.
+	probe    []bool
+	updCnt   []int32     // update diffs received this iteration
+	readCnt  []int32     // probe revalidations (satisfied faults) this iteration
+	burstCnt []int32     // epochs with ≥1 push this iteration (post-drop fetch bound)
+	armIter  []int32     // iteration the probe first armed, -1 before (gates the read rule)
+	wrote    []bool      // page written (twinned) at any epoch this iteration
+	accSeen  []bool      // page is on accList
+	accList  []vm.PageID // pages with live counters, reset each boundary
+	inval    []bool      // page runs invalidate-mode: fetch on miss, never subscribe
+	// optOut, kept where we are home, pins dropped members out of the
+	// copyset: writers re-enroll on every home flush, so without it a
+	// drop would last one epoch.
+	optOut []copyset
+	drops  []copysetRec // unsubscriptions to report at our next arrival
+
 	// Flush accumulators and the update-consumption scratch map, reused
 	// across epochs to keep the per-barrier hot path allocation-lean.
 	homeAcc *flushAccum
 	updAcc  *flushAccum
 	perPage map[vm.PageID][]diffMsg
+
+	// gens rotates per-epoch arenas for outbound diffs, update batches
+	// and message structs on fault-free runs (see core/arena.go for the
+	// lifetime argument). Lazily built; stays nil under fault injection,
+	// where updAcc's detach path is used instead.
+	gens [epochGens]*epochArena
 
 	// ckptVer tracks, per page, the version our last checkpoint cut wrote,
 	// so unchanged home pages are not rewritten every epoch. Nil when the
@@ -153,7 +194,59 @@ func newBar(n *node, mode barMode) *bar {
 	if n.clu.ckpt != nil {
 		b.ckptVer = make([]uint32, np)
 	}
+	if mode == barModeA {
+		b.probe = make([]bool, np)
+		b.updCnt = make([]int32, np)
+		b.readCnt = make([]int32, np)
+		b.burstCnt = make([]int32, np)
+		b.armIter = make([]int32, np)
+		for i := range b.armIter {
+			b.armIter[i] = -1
+		}
+		b.wrote = make([]bool, np)
+		b.accSeen = make([]bool, np)
+		b.inval = make([]bool, np)
+		b.optOut = make([]copyset, np)
+	}
 	return b
+}
+
+// probed reports whether pg is an armed interest probe: protection None
+// but contents current (barModeA only; probe stays nil otherwise).
+func (b *bar) probed(pg vm.PageID) bool {
+	return b.probe != nil && b.probe[pg]
+}
+
+// clearProbe disarms pg's probe without touching its protection.
+func (b *bar) clearProbe(pg vm.PageID) {
+	b.probe[pg] = false
+}
+
+// invalMode reports whether pg runs per-page invalidate mode: misses
+// fetch without subscribing.
+func (b *bar) invalMode(pg vm.PageID) bool {
+	return b.inval != nil && b.inval[pg]
+}
+
+// touch puts pg on the boundary-reset list for the adaptive counters.
+func (b *bar) touch(pg vm.PageID) {
+	if !b.accSeen[pg] {
+		b.accSeen[pg] = true
+		b.accList = append(b.accList, pg)
+	}
+}
+
+// probeHit services a fault on a probed page: contents are current
+// (updates kept landing), so revalidate locally — one segv and one
+// mprotect, zero messages — and count one fault the subscription paid
+// for.
+func (b *bar) probeHit(pg vm.PageID) {
+	n := b.n
+	b.clearProbe(pg)
+	n.ctr.ProbeHits++
+	b.readCnt[pg]++
+	b.touch(pg)
+	n.mprotect(pg, vm.Read)
 }
 
 func (b *bar) epoch() int { return b.n.barSeq }
@@ -162,6 +255,10 @@ func (b *bar) epoch() int { return b.n.barSeq }
 
 func (b *bar) readFault(pg vm.PageID) {
 	n := b.n
+	if b.probed(pg) {
+		b.probeHit(pg)
+		return
+	}
 	if n.as.Prot(pg) != vm.None {
 		n.fatal("bar: read fault on valid page %d", pg)
 	}
@@ -170,11 +267,20 @@ func (b *bar) readFault(pg vm.PageID) {
 
 func (b *bar) writeFault(pg vm.PageID) {
 	n := b.n
-	if b.odActive {
+	if b.odActive && b.mode != barModeA {
 		// Overdrive missed this write: the access pattern diverged. The
-		// prototype "complains loudly and exits".
+		// prototype "complains loudly and exits". Adaptive mode instead
+		// falls through to the ordinary trapping path below, which is
+		// what makes it legal on dynamic sharing patterns.
 		n.fatal("%v: unpredicted write to page %d during overdrive (sharing pattern diverged)",
 			n.clu.cfg.Protocol, pg)
+	}
+	if b.probed(pg) {
+		// Contents are current; restore readability so the miss path
+		// below does not refetch what the updates already delivered. A
+		// write to an invalidate-mode page would have fetched, so the hit
+		// counts in the probe accounting like a read.
+		b.probeHit(pg)
 	}
 	if n.as.Prot(pg) == vm.None {
 		b.fetchPage(pg)
@@ -191,6 +297,10 @@ func (b *bar) writeFault(pg vm.PageID) {
 		n.makeTwin(pg)
 		b.isDirty[pg] = true
 		b.dirty = append(b.dirty, pg)
+		if b.wrote != nil {
+			b.wrote[pg] = true
+			b.touch(pg)
+		}
 	}
 	n.mprotect(pg, vm.ReadWrite)
 }
@@ -204,7 +314,8 @@ func (b *bar) fetchPage(pg vm.PageID) {
 	n.ctr.RemoteMisses++
 	n.ctr.PageFetches++
 	n.ps.PageFetch(pg)
-	n.sendRequest(b.home[pg], mkPageReq, bytesPageReq, &pageReq{Page: pg, Epoch: b.epoch()})
+	n.sendRequest(b.home[pg], mkPageReq, bytesPageReq,
+		&pageReq{Page: pg, Epoch: b.epoch(), NoSub: b.invalMode(pg)})
 	pkt := n.awaitReply()
 	if pkt.Kind != mkPageRep {
 		n.fatal("bar: expected page reply, got kind %d", pkt.Kind)
@@ -220,7 +331,7 @@ func (b *bar) fetchPage(pg vm.PageID) {
 	b.vcache[pg] = rep.Version
 	b.fetchAt[pg] = b.epoch()
 	b.fetchAbs[pg] = rep.Absorbed
-	if b.mode.update() {
+	if b.mode.update() && !b.invalMode(pg) {
 		b.subscr[pg] = true
 		b.setCovered(pg, b.epoch()+2)
 	}
@@ -236,6 +347,10 @@ func (b *bar) preBarrier(int) (any, int) {
 
 	arr := &barArrivalBar{IterEnd: b.iterEnd}
 	b.iterEnd = false
+	if len(b.drops) > 0 {
+		arr.CopysetDrops = b.drops
+		b.drops = nil
+	}
 
 	// Learning for migration (first iteration) and overdrive histories.
 	// The epoch ending at the very first barrier is initialization (node 0
@@ -272,13 +387,34 @@ func (b *bar) preBarrier(int) (any, int) {
 	}
 	b.homeDirty = b.homeDirty[:0]
 
-	// Diff every twinned page; route diffs to homes and consumers.
+	// Diff every twinned page; route diffs to homes and consumers. On
+	// fault-free runs the diffs, update batches and flush structs come
+	// from this epoch's arena generation (rotated with period epochGens;
+	// see core/arena.go for the lifetime argument). Under fault injection
+	// the dedup/replay layer retains sent packets indefinitely, so the
+	// detach path stays in force.
+	var gen *epochArena
+	if !n.clu.faultsOn {
+		if b.gens[epoch%epochGens] == nil {
+			b.gens[epoch%epochGens] = newEpochArena()
+		}
+		gen = b.gens[epoch%epochGens]
+		gen.reset()
+	}
 	homeFlushes := b.homeAcc
 	updFlushes := b.updAcc
+	if gen != nil {
+		updFlushes = gen.upd
+	}
 	for _, pg := range b.dirty {
 		b.isDirty[pg] = false
 		n.osCharge(cm.DiffCreateCost(n.as.PageSize()))
-		d := n.as.DiffAgainstTwin(pg)
+		var d vm.Diff
+		if gen != nil {
+			d = n.as.DiffAgainstTwinArena(pg, &gen.diffs)
+		} else {
+			d = n.as.DiffAgainstTwin(pg)
+		}
 		n.as.DiscardTwin(pg)
 		if !(b.odActive && b.mode == barModeM) {
 			n.mprotect(pg, vm.Read)
@@ -330,11 +466,21 @@ func (b *bar) preBarrier(int) (any, int) {
 		n.ctr.UpdatesSent += int64(len(batch.diffs))
 		n.trc(trace.UpdatePush, -1, int64(batch.dst))
 		arr.PushDests = append(arr.PushDests, batch.dst)
-		n.sendFlush(batch.dst, mkUpdateFlush, batch.wire, &updateFlush{Epoch: epoch, Diffs: batch.diffs})
+		var m *updateFlush
+		if gen != nil {
+			m = gen.updFlushMsg()
+		} else {
+			m = new(updateFlush)
+		}
+		*m = updateFlush{Epoch: epoch, Diffs: batch.diffs}
+		n.sendFlush(batch.dst, mkUpdateFlush, batch.wire, m)
 	}
-	// Unacknowledged batches may be banked by the receiver and read later,
-	// so their slices always detach.
-	updFlushes.reset(true)
+	if gen == nil {
+		// Unacknowledged batches may be banked by the receiver and read
+		// later; without an arena generation to rotate them through, the
+		// slices must detach.
+		updFlushes.reset(true)
+	}
 
 	// Home flushes are acknowledged; the acks carry post-apply versions,
 	// settling every version bump before our arrival reports it.
@@ -366,8 +512,28 @@ func (b *bar) onRelease(_ int, rel any) {
 	r := rel.(*barReleaseBar)
 	b.relStash = r
 
+	// Drops before news: a page dropped and re-fetched within the same
+	// epoch emits both records, and the re-subscription must win.
+	for _, cd := range r.CopysetDrops {
+		b.wcopy[cd.Page] = b.wcopy[cd.Page].without(cd.Member)
+		if b.home[cd.Page] == n.id {
+			b.copyset[cd.Page] = b.copyset[cd.Page].without(cd.Member)
+			if b.optOut != nil {
+				// Writers re-enroll on every home flush; the opt-out mask
+				// keeps the dropped member out until it asks back in with a
+				// subscribing fetch.
+				b.optOut[cd.Page].add(cd.Member)
+			}
+		}
+	}
 	for _, cn := range r.CopysetNews {
 		b.wcopy[cn.Page].add(cn.Member)
+		if b.home[cn.Page] == n.id {
+			// Our service already recorded the addition; re-applying it
+			// here is idempotent and restores a member a same-epoch drop
+			// above just removed.
+			b.copyset[cn.Page].add(cn.Member)
+		}
 		if cn.Member == n.id {
 			b.subscr[cn.Page] = true
 			b.setCovered(cn.Page, b.epoch()+1)
@@ -541,7 +707,7 @@ func (b *bar) consumeUpdates(r *barReleaseBar) {
 		} else {
 			ok = b.vcache[pg]+uint32(len(diffs))+selfDelta == pv.Version
 		}
-		if n.as.Prot(pg) != vm.None && ok {
+		if (n.as.Prot(pg) != vm.None || b.probed(pg)) && ok {
 			for i, dm := range diffs {
 				n.trc(trace.DiffApply, int(pg), int64(dm.Diff.Size()))
 				if n.clu.cfg.CheckDisjoint {
@@ -556,8 +722,38 @@ func (b *bar) consumeUpdates(r *barReleaseBar) {
 				n.as.ApplyDiff(dm.Diff)
 			}
 			b.vcache[pg] = pv.Version
+			if b.mode == barModeA && len(diffs) > 0 {
+				b.updCnt[pg] += int32(len(diffs))
+				b.burstCnt[pg]++
+				b.touch(pg)
+				// Re-arm the probe at every delivery so the next fault on
+				// the page is observable: readCnt then meters exactly the
+				// misses an invalidate protocol would have paid. Pages we
+				// write ourselves (dirty, or write-enabled by overdrive)
+				// cannot be probed — their subscription is left alone.
+				if !b.probe[pg] && !b.inval[pg] && b.subscr[pg] &&
+					b.home[pg] != n.id && !b.isDirty[pg] && !b.isHomeDirty[pg] &&
+					n.as.Prot(pg) == vm.Read && n.iter+1 >= n.clu.cfg.LearnIters {
+					b.probe[pg] = true
+					if b.armIter[pg] < 0 {
+						b.armIter[pg] = int32(n.iter)
+					}
+					n.mprotect(pg, vm.None)
+				}
+			}
 		} else {
 			n.ctr.UpdatesUnneeded += int64(len(diffs))
+			if b.mode == barModeA && len(diffs) > 0 {
+				b.updCnt[pg] += int32(len(diffs))
+				b.burstCnt[pg]++
+				b.touch(pg)
+			}
+			if b.probed(pg) {
+				// The probe's contents just went stale (a bump we cannot
+				// account for); the page reverts to plain invalid and the
+				// next read refetches.
+				b.clearProbe(pg)
+			}
 			if b.odActive && b.mode == barModeM && n.as.Prot(pg) != vm.None {
 				b.overdriveRefetch(pg)
 			} else {
@@ -673,7 +869,10 @@ func (b *bar) drainInstall(pg vm.PageID) {
 func (b *bar) engageOverdrive() {
 	n := b.n
 	b.odPending = false
-	b.learning = false
+	// Adaptive mode keeps learning after engagement: unpredicted writes
+	// are ordinary (non-fatal) faults, so histories can keep absorbing a
+	// drifting pattern and predictions improve instead of aborting.
+	b.learning = b.mode == barModeA
 	b.odActive = true
 	n.trc(trace.OverdriveOn, -1, 0)
 	if b.mode == barModeM {
@@ -729,7 +928,22 @@ func (b *bar) armPredictions(site int) {
 		if b.isDirty[pg] {
 			continue
 		}
-		if b.mode == barModeS && n.as.Prot(pg) == vm.None {
+		if b.probed(pg) {
+			// A predicted write proves the page is in use; its probed
+			// contents are current (updates kept landing), so disarm
+			// without refetching and let the arming below proceed.
+			b.clearProbe(pg)
+			n.mprotect(pg, vm.Read)
+		}
+		if (b.mode == barModeS || b.mode == barModeA) && n.as.Prot(pg) == vm.None {
+			if b.mode == barModeA {
+				// Adaptive keeps trapping, so an invalid predicted page
+				// (commonly one demoted to invalidate mode) is repaired by
+				// the ordinary fault on demand. Fetching here would also
+				// race teardown: the final barrier's release must be the
+				// last time anything is owed to a peer service.
+				continue
+			}
 			// A lossy epoch invalidated a predicted page. Write-enabling
 			// the stale copy would bypass the read fault that normally
 			// repairs it, so restore coherence first (bar-m repairs the
@@ -740,7 +954,11 @@ func (b *bar) armPredictions(site int) {
 		n.makeTwin(pg)
 		b.isDirty[pg] = true
 		b.dirty = append(b.dirty, pg)
-		if b.mode == barModeS {
+		if b.wrote != nil {
+			b.wrote[pg] = true
+			b.touch(pg)
+		}
+		if b.mode == barModeS || b.mode == barModeA {
 			n.mprotect(pg, vm.ReadWrite)
 		}
 	}
@@ -771,6 +989,84 @@ func (b *bar) iterBoundary() {
 	case n.iter == n.clu.cfg.LearnIters && !b.odActive:
 		b.odPending = true
 	}
+	if b.mode == barModeA && n.iter >= n.clu.cfg.LearnIters {
+		b.adaptDecide()
+	}
+}
+
+// adaptDecide runs the adaptive protocol's per-page update/invalidate
+// decision at each iteration boundary, once the learning window closed.
+//
+// The iteration's ledger per page splits on whether we wrote the page:
+//
+//   - Pages we did not write: updCnt pushes received versus readCnt
+//     faults those pushes satisfied (probe revalidations — exactly the
+//     misses an invalidate protocol would have served with one fetch
+//     each). Pushes outnumbering satisfied faults are waste — this
+//     catches both multi-reader pages read less often than written and
+//     stale subscriptions to pages we no longer touch at all.
+//
+//   - Pages we wrote (twinned this iteration): probes cannot arm on
+//     them, so the post-drop cost is bounded by burstCnt instead — one
+//     fetch per epoch in which co-writers pushed at all, since only an
+//     external version bump invalidates our copy (our own push keeps it
+//     valid). updCnt > burstCnt means some epoch carried two or more
+//     co-writer pushes: the page is multi-writer, and fetching the
+//     merged copy once beats receiving every writer's diff separately.
+//
+// A losing page is unsubscribed: queue a copyset drop for our next
+// arrival (writers prune their push sets, the home pins us out of the
+// copyset) and pin it in inval mode — later misses fetch with NoSub,
+// never re-subscribing. Ties keep the subscription and the update
+// protocol's data-volume advantage (a diff is smaller than a page).
+//
+// A misjudged drop costs fetch-per-miss from then on, the invalidate
+// protocol's own price, never correctness: version news still invalidates
+// the dropped copy and the next access refetches.
+func (b *bar) adaptDecide() {
+	n := b.n
+	for _, pg := range b.accList {
+		b.accSeen[pg] = false
+		upd, read, burst := b.updCnt[pg], b.readCnt[pg], b.burstCnt[pg]
+		wrote := b.wrote[pg] || b.isDirty[pg]
+		b.updCnt[pg], b.readCnt[pg], b.burstCnt[pg], b.wrote[pg] = 0, 0, 0, false
+		if !b.subscr[pg] || b.home[pg] == n.id || b.isHomeDirty[pg] {
+			continue
+		}
+		if wrote {
+			if upd <= burst {
+				continue
+			}
+		} else {
+			// The read rule is only trustworthy once the probe has metered
+			// a full iteration: probes arm at update deliveries, so a page
+			// probed at its iteration's last release shows read=0 at the
+			// very next boundary even when every iteration reads it (the
+			// reading phase comes after the boundary). A late-armed probe
+			// that already counted reads has proven itself live, so it may
+			// commit one boundary early; a silent one has proven nothing.
+			if b.armIter[pg] < 0 || (int(b.armIter[pg]) >= n.iter-1 && read == 0) {
+				continue
+			}
+			if upd <= read {
+				continue
+			}
+		}
+		if b.probe[pg] {
+			// The probe proved the page unread; its contents are current
+			// this instant, so leave them readable until version news
+			// invalidates them.
+			b.clearProbe(pg)
+			n.mprotect(pg, vm.Read)
+		}
+		b.subscr[pg] = false
+		b.inval[pg] = true
+		b.coveredAt[pg] = -1
+		b.armIter[pg] = -1
+		b.drops = append(b.drops, copysetRec{Page: pg, Member: n.id})
+		n.ctr.ProbeDrops++
+	}
+	b.accList = b.accList[:0]
 }
 
 // --- service path -----------------------------------------------------------
@@ -841,7 +1137,11 @@ func (b *bar) serveHomeRequest(p *sim.Proc, pkt *netsim.Packet) {
 		req := pkt.Data.(*pageReq)
 		pg := req.Page
 		p.Advance(cm.CopyCost(n.as.PageSize()))
-		if b.mode.update() && pkt.FromNode != n.id {
+		if b.mode.update() && pkt.FromNode != n.id && !req.NoSub {
+			if b.optOut != nil {
+				// A subscribing fetch is an explicit opt back in.
+				b.optOut[pg] = b.optOut[pg].without(pkt.FromNode)
+			}
 			b.addCopysetMember(pg, pkt.FromNode)
 		}
 		// The requester is mid-window req.Epoch; flushes for that window are
@@ -877,11 +1177,13 @@ func (b *bar) serveHomeRequest(p *sim.Proc, pkt *netsim.Packet) {
 			b.vcache[pg] = b.version[pg]
 			b.logMerge(pg, hf.Epoch, dm.Notice.Creator)
 			ack.Versions = append(ack.Versions, pageVersion{Page: pg, Version: b.version[pg]})
-			if b.mode.update() && hf.Epoch > 1 {
+			if b.mode.update() && hf.Epoch > 1 &&
+				!(b.optOut != nil && b.optOut[pg].has(dm.Notice.Creator)) {
 				// Writers cache the page: they belong in its copyset. The
 				// initialization epoch is excluded — node 0 typically
 				// populates every array once, and enrolling it everywhere
-				// would defeat the home effect with useless updates.
+				// would defeat the home effect with useless updates. Members
+				// that opted out of updates stay out.
 				b.addCopysetMember(pg, dm.Notice.Creator)
 			}
 		}

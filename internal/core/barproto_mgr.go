@@ -10,7 +10,8 @@ import (
 // barProtoMgr is the home-based family's barrier-manager half. It settles
 // the epoch's final page versions (per-page max over the nodes' reports —
 // every version bump is reported by exactly one node), relays copyset
-// news, computes expected update-batch counts per node, and makes the
+// news and the adaptive protocol's copyset drops, computes expected
+// update-batch counts per node, and makes the
 // one-time runtime home-migration decision: any page never written by its
 // initial owner but written by at least one other node migrates to its
 // lowest-ranked writer at the end of the first iteration.
@@ -34,7 +35,7 @@ func (m *barProtoMgr) aggregate(_ int, arrivals []*barArrive) ([]any, []int) {
 	procs := m.clu.cfg.Procs
 	cp := m.clu.cp
 	versions := make(map[vm.PageID]uint32)
-	var news []copysetRec
+	var news, drops []copysetRec
 	expBatches := make([]int, procs)
 	var ref *barArrive
 	for _, a := range arrivals {
@@ -62,6 +63,7 @@ func (m *barProtoMgr) aggregate(_ int, arrivals []*barArrive) ([]any, []int) {
 			}
 		}
 		news = append(news, p.CopysetNews...)
+		drops = append(drops, p.CopysetDrops...)
 		for _, d := range p.PushDests {
 			expBatches[d]++
 		}
@@ -134,10 +136,11 @@ func (m *barProtoMgr) aggregate(_ int, arrivals []*barArrive) ([]any, []int) {
 	sizes := make([]int, procs)
 	for i := 0; i < procs; i++ {
 		r := &barReleaseBar{
-			Versions:    verList,
-			CopysetNews: news,
-			Migrations:  migs,
-			ExpBatches:  expBatches[i],
+			Versions:     verList,
+			CopysetNews:  news,
+			CopysetDrops: drops,
+			Migrations:   migs,
+			ExpBatches:   expBatches[i],
 		}
 		rels[i] = r
 		sizes[i] = r.ModelSize()

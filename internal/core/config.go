@@ -47,6 +47,14 @@ const (
 	ProtoBarS
 	// ProtoBarM is bar-s with all steady-state mprotect calls eliminated.
 	ProtoBarM
+	// ProtoBarA ("adaptive") is bar-u with runtime per-page protocol
+	// selection: zero-message interest probes decide per page between
+	// update (stay in the copyset) and invalidate (unsubscribe), and a
+	// graceful per-page overdrive write-enables predicted pages while
+	// unpredicted writes fall back to ordinary trapping instead of
+	// aborting — so, unlike bar-s/bar-m, it is safe on dynamic sharing
+	// patterns.
+	ProtoBarA
 )
 
 var protoNames = map[ProtocolKind]string{
@@ -57,6 +65,7 @@ var protoNames = map[ProtocolKind]string{
 	ProtoBarU: "bar-u",
 	ProtoBarS: "bar-s",
 	ProtoBarM: "bar-m",
+	ProtoBarA: "adaptive",
 }
 
 func (k ProtocolKind) String() string {
@@ -76,7 +85,9 @@ func ParseProtocol(s string) (ProtocolKind, error) {
 	return 0, fmt.Errorf("core: unknown protocol %q", s)
 }
 
-// Protocols lists the six paper protocols in presentation order.
+// Protocols lists the six paper protocols in presentation order. The
+// adaptive extension (ProtoBarA) is deliberately not included: tables
+// that reproduce the paper keep the paper's columns.
 func Protocols() []ProtocolKind {
 	return []ProtocolKind{ProtoLmwI, ProtoLmwU, ProtoBarI, ProtoBarU, ProtoBarS, ProtoBarM}
 }
@@ -248,16 +259,16 @@ func (c *Config) fill() error {
 
 // ConformancePlan builds the seeded fault schedule the conformance harness
 // (internal/check) runs proto under: moderate drop, duplication and
-// reordering on every packet. For the overdrive protocols the update
-// flushes are shielded from drops (duplication and reordering still
-// apply): bar-s and bar-m write-enable predicted pages without refetching,
+// reordering on every packet. For the overdrive protocols (adaptive
+// included) the update flushes are shielded from drops (duplication and
+// reordering still apply): they write-enable predicted pages without refetching,
 // so unlike every other protocol they have no invalidation fallback for a
 // lost flush — dropping one would produce a genuine stale read, not a
 // conformance bug. The first matching fault rule wins, so the shield rule
 // precedes the catch-all.
 func ConformancePlan(proto ProtocolKind, seed int64) *netsim.FaultPlan {
 	plan := &netsim.FaultPlan{Seed: seed}
-	if proto == ProtoBarS || proto == ProtoBarM {
+	if proto == ProtoBarS || proto == ProtoBarM || proto == ProtoBarA {
 		plan.Rules = append(plan.Rules, netsim.FaultRule{
 			Kinds:   []int{mkUpdateFlush},
 			From:    netsim.AnyNode,

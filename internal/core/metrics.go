@@ -37,6 +37,8 @@ func recordRunMetrics(reg *metrics.Registry, rep *Report, wall time.Duration) {
 		{"godsm_barriers_total", "barrier episodes completed (measured window)", t.Barriers},
 		{"godsm_retransmits_total", "timed-out requests re-sent by the reliability layer", t.Retransmits},
 		{"godsm_stale_refetches_total", "overdrive whole-page refetches repairing would-be-stale pages", t.StaleRefetches},
+		{"godsm_probe_hits_total", "adaptive interest probes revalidated locally (no messages)", t.ProbeHits},
+		{"godsm_probe_drops_total", "pages the adaptive protocol unsubscribed from updates", t.ProbeDrops},
 		{"godsm_frame_bytes_total", "encoded frame bytes shipped over a real transport (whole run)", rep.FrameBytes},
 	} {
 		reg.Counter(c.name, c.help, "protocol", proto).Add(c.v)

@@ -76,6 +76,8 @@ func newProtocol(n *node) protocol {
 		return newBar(n, barModeS)
 	case ProtoBarM:
 		return newBar(n, barModeM)
+	case ProtoBarA:
+		return newBar(n, barModeA)
 	}
 	panic(fmt.Sprintf("core: no protocol for %v", n.clu.cfg.Protocol))
 }

@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// The tentpole claim for the adaptive protocol: making the
+// update/invalidate choice per page at runtime matches or beats the best
+// static protocol's message count on at least 6 of the 8 applications
+// (the remaining gap is structural — shallow and swm are lmw-u apps, and
+// a home-based protocol cannot out-message the lazy family there, though
+// adaptive still converges to the best home-based static on both).
+func TestAdaptiveBeatsStatics(t *testing.T) {
+	rows, err := smallRunner.Adaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	beaten := 0
+	for _, r := range rows {
+		if r.Beats() {
+			beaten++
+		} else if !strings.HasPrefix(r.BestStatic, "lmw") {
+			// Losing to a home-based static would mean the per-page
+			// decision misfired: adaptive is bar-u that can only shed
+			// cost, so bar-i and bar-u are hard ceilings.
+			t.Errorf("%s: adaptive %d msgs above best home-based static %s %d",
+				r.App, r.Msgs, r.BestStatic, r.BestMsgs)
+		}
+		if r.Msgs <= 0 {
+			t.Errorf("%s: degenerate adaptive row %+v", r.App, r)
+		}
+	}
+	if beaten < 6 {
+		t.Errorf("adaptive matched/beat best static on %d/8 apps, want >= 6", beaten)
+	}
+}
+
+// Adaptation must actually engage somewhere: across the app set, interest
+// probes fire in the measured window. (Drops mostly land during warmup —
+// the decision converges within the first iterations — so the windowed
+// drop counter is legitimately zero on a converged run.)
+func TestAdaptiveEngages(t *testing.T) {
+	rows, err := smallRunner.Adaptive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits int64
+	for _, r := range rows {
+		hits += r.ProbeHits
+	}
+	if hits == 0 {
+		t.Error("no probe hits across any app: probes never armed")
+	}
+}

@@ -19,8 +19,9 @@ import (
 // compared against ("diff two bench files" in EXPERIMENTS.md).
 
 // benchSchemaVersion identifies the BENCH_sweep.json layout. Version 2
-// added frame_bytes and stale_refetches to each run entry.
-const benchSchemaVersion = 2
+// added frame_bytes and stale_refetches to each run entry; version 3
+// added the adaptive-protocol runs plus probe_hits and probe_drops.
+const benchSchemaVersion = 3
 
 // Pre-diet allocation baselines, recorded on the tree as of commit
 // 308965d (before the two-pass MakeDiff and AppendEncode landed): MakeDiff
@@ -33,7 +34,7 @@ const (
 )
 
 // benchExperiments are the sweeps the bench export times.
-var benchExperiments = []string{"table1", "fig2", "fig3", "fig4"}
+var benchExperiments = []string{"table1", "fig2", "fig3", "fig4", "adaptive"}
 
 // BenchRun is one timed simulation of the bench sweep.
 type BenchRun struct {
@@ -50,6 +51,10 @@ type BenchRun struct {
 	// recovery path repaired (measured window); non-zero only for the
 	// bar-s/bar-m runs that took that path.
 	StaleRefetches int64 `json:"stale_refetches"`
+	// ProbeHits and ProbeDrops meter the adaptive protocol's interest
+	// probes (measured window); zero under every static protocol.
+	ProbeHits  int64 `json:"probe_hits,omitempty"`
+	ProbeDrops int64 `json:"probe_drops,omitempty"`
 }
 
 // BenchMicro is one diff-codec microbenchmark sample.
@@ -125,6 +130,8 @@ func (r *Runner) BenchSweep() (*BenchFile, error) {
 			WallMS:         wallMS[i],
 			FrameBytes:     rep.FrameBytes,
 			StaleRefetches: rep.Total.StaleRefetches,
+			ProbeHits:      rep.Total.ProbeHits,
+			ProbeDrops:     rep.Total.ProbeDrops,
 		})
 	}
 	out.Micro = measureDiffMicro()

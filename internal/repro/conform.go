@@ -38,12 +38,15 @@ type ConformRow struct {
 	Benign int
 }
 
-// conformProtocols returns the protocols app is held to.
+// conformProtocols returns the protocols app is held to. The adaptive
+// protocol is appended everywhere: unlike the static overdrive pair it
+// tolerates dynamic sharing (unpredicted writes stay ordinary faults), so
+// no app is exempt.
 func conformProtocols(a *apps.App) []core.ProtocolKind {
 	if a.Dynamic {
-		return []core.ProtocolKind{core.ProtoLmwI, core.ProtoLmwU, core.ProtoBarI, core.ProtoBarU}
+		return []core.ProtocolKind{core.ProtoLmwI, core.ProtoLmwU, core.ProtoBarI, core.ProtoBarU, core.ProtoBarA}
 	}
-	return core.Protocols()
+	return append(core.Protocols(), core.ProtoBarA)
 }
 
 // Conform sweeps every application through the differential conformance

@@ -24,7 +24,7 @@ type Record struct {
 // presentation order.
 func ExportExperiments() []string {
 	return []string{
-		"apps", "table1", "fig2", "fig3", "fig4", "summary",
+		"apps", "table1", "fig2", "fig3", "fig4", "summary", "adaptive",
 		"ablation-stress", "ablation-scale", "ablation-home", "ablation-pagesize",
 		"chaos-loss", "recovery",
 	}
@@ -128,6 +128,30 @@ func (r *Runner) Records(experiment string) ([]Record, error) {
 				"bar_m_over_lmw_i": s.BarMOverLmwI,
 			},
 		}}, nil
+	case "adaptive":
+		rows, err := r.Adaptive()
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, row := range rows {
+			beats := 0.0
+			if row.Beats() {
+				beats = 1
+			}
+			recs = append(recs, Record{
+				Experiment: experiment, App: row.App, Protocol: "adaptive", Procs: r.Procs,
+				Metrics: map[string]float64{
+					"messages":         float64(row.Msgs),
+					"data_kb":          float64(row.DataKB),
+					"probe_hits":       float64(row.ProbeHits),
+					"probe_drops":      float64(row.ProbeDrops),
+					"best_static_msgs": float64(row.BestMsgs),
+					"beats_best":       beats,
+				},
+			})
+		}
+		return recs, nil
 	case "chaos-loss":
 		pts, err := r.LossSweep()
 		if err != nil {

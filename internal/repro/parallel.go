@@ -199,6 +199,13 @@ func (r *Runner) jobsFor(experiment string) []runJob {
 		for _, a := range r.apps {
 			add(r.appProtoJob(a, core.ProtoBarU, r.Procs))
 		}
+	case "adaptive":
+		for _, a := range r.apps {
+			add(r.appProtoJob(a, core.ProtoBarA, r.Procs))
+			for _, p := range adaptiveStatics(a) {
+				add(r.appProtoJob(a, p, r.Procs))
+			}
+		}
 	case "fig4", "summary":
 		for _, a := range r.staticApps() {
 			add(r.appProtoJob(a, core.ProtoSeq, 1))

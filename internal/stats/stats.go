@@ -66,6 +66,13 @@ type Counters struct {
 	// repairing read fault). Zero on a fault-free virtual clock; a real
 	// transport or a lossy network can starve a consumer of a flush.
 	StaleRefetches int64
+	// ProbeHits counts reads (or writes) that revalidated an adaptive
+	// interest probe locally: the page's contents were current, so the
+	// fault cost one segv and one mprotect and no messages.
+	ProbeHits int64
+	// ProbeDrops counts pages the adaptive protocol unsubscribed after a
+	// probe survived a full iteration unread while updates kept landing.
+	ProbeDrops int64
 	// Barriers counts barrier episodes completed.
 	Barriers int64
 	// Retransmits counts timed-out requests re-sent by the reliability
@@ -119,6 +126,8 @@ func (c *Counters) Add(o Counters) {
 	c.DiffsGCed += o.DiffsGCed
 	c.StaleSkips += o.StaleSkips
 	c.StaleRefetches += o.StaleRefetches
+	c.ProbeHits += o.ProbeHits
+	c.ProbeDrops += o.ProbeDrops
 	c.Barriers += o.Barriers
 	c.Retransmits += o.Retransmits
 	c.DupSuppressed += o.DupSuppressed
@@ -154,6 +163,8 @@ func (c Counters) Sub(o Counters) Counters {
 		DiffsGCed:       c.DiffsGCed - o.DiffsGCed,
 		StaleSkips:      c.StaleSkips - o.StaleSkips,
 		StaleRefetches:  c.StaleRefetches - o.StaleRefetches,
+		ProbeHits:       c.ProbeHits - o.ProbeHits,
+		ProbeDrops:      c.ProbeDrops - o.ProbeDrops,
 		Barriers:        c.Barriers - o.Barriers,
 		Retransmits:     c.Retransmits - o.Retransmits,
 		DupSuppressed:   c.DupSuppressed - o.DupSuppressed,

@@ -13,6 +13,11 @@ func Instrument(tr Transport, backend string, reg *metrics.Registry) Transport {
 	if reg == nil {
 		return tr
 	}
+	// Backends with internal counters (udp read errors) resolve them here,
+	// before Start, so the hot path reads the handles unsynchronized.
+	if m, ok := tr.(interface{ SetMetrics(*metrics.Registry) }); ok {
+		m.SetMetrics(reg)
+	}
 	return &instrumented{
 		inner: tr,
 		framesSent: reg.Counter("godsm_transport_frames_sent_total",

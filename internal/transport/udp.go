@@ -7,7 +7,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"godsm/internal/metrics"
 	"godsm/internal/wire"
 )
 
@@ -23,11 +25,21 @@ import (
 // seq is a per-sender-socket counter; the receiver reassembles fragments
 // keyed by (sender address, seq) with bounded eviction, so a lost
 // fragment costs the whole frame (the retransmit path recovers it).
+//
+// Small frames are not sent one per datagram: Send coalesces them into a
+// per-destination batch flushed on size, a short timer, or the next large
+// frame to the same destination. A batch datagram reuses the fragment
+// header with count == 0 as the sentinel (previously an invalid header,
+// so old receivers drop it) and carries length-prefixed whole frames:
+//
+//	uvarint seq | uvarint 0 | uvarint 0 | (uvarint frameLen | frame)...
 type udpTransport struct {
 	nodes, ports int
 	conns        []*net.UDPConn // index: node*ports + port
 	addrs        []*net.UDPAddr
 	seq          []atomic.Uint64 // per-sender fragment sequence
+	send         []*sendState    // per-sender batching + scratch state
+	readErrs     *metrics.Counter
 	wg           sync.WaitGroup
 	closeOnce    sync.Once
 	closed       chan struct{}
@@ -45,7 +57,34 @@ const (
 	// udpReadBuffer asks the kernel for enough socket buffer to ride out
 	// bursts; best effort.
 	udpReadBuffer = 4 << 20
+	// udpBatchMax: frames strictly smaller than this are coalesced into
+	// per-destination batch datagrams instead of going out one per
+	// datagram. Anything larger takes the fragment path immediately.
+	udpBatchMax = 4096
+	// udpFlushDelay bounds how long a batched frame may wait for
+	// companions before the batch is flushed anyway.
+	udpFlushDelay = 100 * time.Microsecond
+	// udpBackoffMin/Max bound the sleep between reads after a persistent
+	// (non-closure) socket error, so a broken socket cannot hot-spin the
+	// pump at 100% CPU.
+	udpBackoffMin = time.Millisecond
+	udpBackoffMax = 100 * time.Millisecond
 )
+
+// sendState serializes one sender endpoint's socket writes and holds its
+// reusable scratch datagram plus the per-destination pending batches.
+type sendState struct {
+	mu      sync.Mutex
+	scratch []byte       // reused datagram build buffer
+	pend    []*pendBatch // indexed by destination endpoint
+}
+
+// pendBatch accumulates length-prefixed small frames bound for one
+// destination until the batch is flushed.
+type pendBatch struct {
+	buf   []byte
+	timer *time.Timer
+}
 
 func newUDP(nodes, ports int) (*udpTransport, error) {
 	t := &udpTransport{
@@ -54,6 +93,7 @@ func newUDP(nodes, ports int) (*udpTransport, error) {
 		conns:  make([]*net.UDPConn, nodes*ports),
 		addrs:  make([]*net.UDPAddr, nodes*ports),
 		seq:    make([]atomic.Uint64, nodes*ports),
+		send:   make([]*sendState, nodes*ports),
 		closed: make(chan struct{}),
 	}
 	for i := range t.conns {
@@ -65,8 +105,19 @@ func newUDP(nodes, ports int) (*udpTransport, error) {
 		_ = conn.SetReadBuffer(udpReadBuffer)
 		t.conns[i] = conn
 		t.addrs[i] = conn.LocalAddr().(*net.UDPAddr)
+		t.send[i] = &sendState{pend: make([]*pendBatch, nodes*ports)}
 	}
 	return t, nil
+}
+
+// SetMetrics resolves the transport's internal counters against reg.
+// Must be called before Start (the pump goroutines read the handles
+// without synchronization). A nil registry leaves the nil-safe handles
+// in place at zero cost.
+func (t *udpTransport) SetMetrics(reg *metrics.Registry) {
+	t.readErrs = reg.Counter("godsm_transport_read_errors_total",
+		"socket read errors in the udp receive pump (backed off, treated as loss)",
+		"backend", KindUDP)
 }
 
 func (t *udpTransport) idx(a Addr) (int, error) {
@@ -86,6 +137,128 @@ type assembly struct {
 	frags   [][]byte
 	got     int
 	arrival uint64 // eviction order stamp
+}
+
+// reassembler turns raw datagrams back into frames: it parses fragment
+// headers, reassembles multi-fragment frames with bounded state, splits
+// batch datagrams into their member frames, and rejects the malformed —
+// truncated headers, oversized fragment counts (bounded by maxFrags so a
+// corrupt datagram cannot demand a gigabyte allocation), duplicates, and
+// fragments of frames already completed (seq at or below the sender's
+// last completed seq would otherwise re-create an assembly entry that can
+// never complete and squats in the table until eviction).
+//
+// It is not safe for concurrent use; each receive pump owns one.
+type reassembler struct {
+	maxFrags uint64
+	pending  map[assemblyKey]*assembly
+	done     map[string]uint64 // per sender: highest completed multi-fragment seq
+	stamp    uint64
+}
+
+func newReassembler(maxFrags int) *reassembler {
+	if maxFrags < 1 {
+		maxFrags = 1
+	}
+	return &reassembler{
+		maxFrags: uint64(maxFrags),
+		pending:  make(map[assemblyKey]*assembly),
+		done:     make(map[string]uint64),
+	}
+}
+
+// ingest parses one datagram from sender, calling emit once per completed
+// frame. Emitted slices are freshly allocated (or subslices of one fresh
+// allocation for a batch) and owned by the callee. Malformed datagrams
+// are dropped silently — on a lossy transport they are indistinguishable
+// from loss, which the reliability layer absorbs.
+func (r *reassembler) ingest(sender string, b []byte, emit func([]byte)) {
+	seq, w := binary.Uvarint(b)
+	if w <= 0 {
+		return
+	}
+	b = b[w:]
+	idx, w := binary.Uvarint(b)
+	if w <= 0 {
+		return
+	}
+	b = b[w:]
+	count, w := binary.Uvarint(b)
+	if w <= 0 {
+		return
+	}
+	b = b[w:]
+	if count == 0 {
+		// Batch sentinel: the payload is whole small frames, each
+		// length-prefixed. One copy backs every member frame; the
+		// transport never touches the copy again.
+		if idx != 0 {
+			return
+		}
+		batch := make([]byte, len(b))
+		copy(batch, b)
+		for len(batch) > 0 {
+			l, w := binary.Uvarint(batch)
+			if w <= 0 || l > uint64(len(batch)-w) {
+				return // truncated or corrupt record: drop the remainder
+			}
+			emit(batch[w : w+int(l) : w+int(l)])
+			batch = batch[w+int(l):]
+		}
+		return
+	}
+	if idx >= count || count > r.maxFrags {
+		return // corrupt header
+	}
+	if count == 1 {
+		frame := make([]byte, len(b))
+		copy(frame, b)
+		emit(frame)
+		return
+	}
+	if seq <= r.done[sender] {
+		return // late duplicate of an already-completed frame
+	}
+	key := assemblyKey{sender: sender, seq: seq}
+	as := r.pending[key]
+	if as == nil {
+		if len(r.pending) >= udpMaxAssembly {
+			evictOldest(r.pending)
+		}
+		r.stamp++
+		as = &assembly{frags: make([][]byte, count), arrival: r.stamp}
+		r.pending[key] = as
+	}
+	if int(count) != len(as.frags) || as.frags[idx] != nil {
+		return // corrupt or duplicate fragment
+	}
+	frag := make([]byte, len(b))
+	copy(frag, b)
+	as.frags[idx] = frag
+	as.got++
+	if as.got == len(as.frags) {
+		delete(r.pending, key)
+		if seq > r.done[sender] {
+			r.done[sender] = seq
+			// Older in-flight assemblies from this sender can no longer
+			// complete (their remaining fragments will be dropped by the
+			// seq check); free their table slots now.
+			for k := range r.pending {
+				if k.sender == sender && k.seq <= seq {
+					delete(r.pending, k)
+				}
+			}
+		}
+		total := 0
+		for _, f := range as.frags {
+			total += len(f)
+		}
+		frame := make([]byte, 0, total)
+		for _, f := range as.frags {
+			frame = append(frame, f...)
+		}
+		emit(frame)
+	}
 }
 
 func (t *udpTransport) Start(deliver DeliverFunc) error {
@@ -108,10 +281,12 @@ func (t *udpTransport) Start(deliver DeliverFunc) error {
 }
 
 // pump reads datagrams for one endpoint, reassembling fragmented frames.
+// Persistent read errors back off exponentially (bounded) instead of
+// hot-spinning; each error increments the transport read-error counter.
 func (t *udpTransport) pump(conn *net.UDPConn, to Addr, deliver DeliverFunc) {
 	buf := make([]byte, udpFragSize+64)
-	pending := make(map[assemblyKey]*assembly)
-	var stamp uint64
+	r := newReassembler(t.MaxFrame()/udpFragSize + 1)
+	var backoff time.Duration
 	for {
 		n, sender, err := conn.ReadFromUDP(buf)
 		if err != nil {
@@ -123,59 +298,26 @@ func (t *udpTransport) pump(conn *net.UDPConn, to Addr, deliver DeliverFunc) {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
-			continue // transient read error: treat as a drop
+			t.readErrs.Inc()
+			if backoff == 0 {
+				backoff = udpBackoffMin
+			} else if backoff < udpBackoffMax {
+				backoff *= 2
+				if backoff > udpBackoffMax {
+					backoff = udpBackoffMax
+				}
+			}
+			select {
+			case <-t.closed:
+				return
+			case <-time.After(backoff):
+			}
+			continue // treat as a drop
 		}
-		b := buf[:n]
-		seq, w := binary.Uvarint(b)
-		if w <= 0 {
-			continue
-		}
-		b = b[w:]
-		idx, w := binary.Uvarint(b)
-		if w <= 0 {
-			continue
-		}
-		b = b[w:]
-		count, w := binary.Uvarint(b)
-		if w <= 0 || count == 0 || idx >= count {
-			continue
-		}
-		b = b[w:]
-		if count == 1 {
-			frame := make([]byte, len(b))
-			copy(frame, b)
+		backoff = 0
+		r.ingest(sender.String(), buf[:n], func(frame []byte) {
 			deliver(to, frame)
-			continue
-		}
-		key := assemblyKey{sender: sender.String(), seq: seq}
-		as := pending[key]
-		if as == nil {
-			if len(pending) >= udpMaxAssembly {
-				evictOldest(pending)
-			}
-			stamp++
-			as = &assembly{frags: make([][]byte, count), arrival: stamp}
-			pending[key] = as
-		}
-		if int(count) != len(as.frags) || as.frags[idx] != nil {
-			continue // corrupt or duplicate fragment
-		}
-		frag := make([]byte, len(b))
-		copy(frag, b)
-		as.frags[idx] = frag
-		as.got++
-		if as.got == len(as.frags) {
-			delete(pending, key)
-			total := 0
-			for _, f := range as.frags {
-				total += len(f)
-			}
-			frame := make([]byte, 0, total)
-			for _, f := range as.frags {
-				frame = append(frame, f...)
-			}
-			deliver(to, frame)
-		}
+		})
 	}
 }
 
@@ -203,27 +345,92 @@ func (t *udpTransport) Send(from, to Addr, frame []byte) error {
 	if len(frame) > t.MaxFrame() {
 		return fmt.Errorf("transport: frame of %d bytes exceeds max %d", len(frame), t.MaxFrame())
 	}
+	st := t.send[fi]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(frame) >= udpBatchMax {
+		// Preserve per-destination order: anything batched for this
+		// destination goes out before the large frame.
+		if err := t.flushLocked(st, fi, ti); err != nil {
+			return err
+		}
+		return t.writeFragmentsLocked(st, fi, ti, frame)
+	}
+	pb := st.pend[ti]
+	if pb == nil {
+		pb = &pendBatch{}
+		st.pend[ti] = pb
+	}
+	if len(pb.buf) > 0 && len(pb.buf)+binary.MaxVarintLen64+len(frame) > udpFragSize {
+		if err := t.flushLocked(st, fi, ti); err != nil {
+			return err
+		}
+	}
+	pb.buf = binary.AppendUvarint(pb.buf, uint64(len(frame)))
+	pb.buf = append(pb.buf, frame...)
+	if pb.timer == nil {
+		pb.timer = time.AfterFunc(udpFlushDelay, func() {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			_ = t.flushLocked(st, fi, ti)
+		})
+	}
+	return nil
+}
+
+// flushLocked sends the pending batch for (fi → ti), if any, as one
+// count==0 datagram built in the sender's reused scratch buffer. Caller
+// holds st.mu.
+func (t *udpTransport) flushLocked(st *sendState, fi, ti int) error {
+	pb := st.pend[ti]
+	if pb == nil {
+		return nil
+	}
+	if pb.timer != nil {
+		pb.timer.Stop()
+		pb.timer = nil
+	}
+	if len(pb.buf) == 0 {
+		return nil
+	}
+	seq := t.seq[fi].Add(1)
+	st.scratch = binary.AppendUvarint(st.scratch[:0], seq)
+	st.scratch = binary.AppendUvarint(st.scratch, 0) // idx
+	st.scratch = binary.AppendUvarint(st.scratch, 0) // count == 0: batch sentinel
+	st.scratch = append(st.scratch, pb.buf...)
+	pb.buf = pb.buf[:0]
+	if _, err := t.conns[fi].WriteToUDP(st.scratch, t.addrs[ti]); err != nil {
+		// A full socket buffer manifests as an error on some kernels;
+		// semantically it is packet loss, which the reliability layer
+		// absorbs. Only closure is fatal.
+		if errors.Is(err, net.ErrClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFragmentsLocked sends frame as one or more fragment datagrams,
+// each built in the sender's reused scratch buffer (no per-fragment
+// allocation). Caller holds st.mu.
+func (t *udpTransport) writeFragmentsLocked(st *sendState, fi, ti int, frame []byte) error {
 	conn, dst := t.conns[fi], t.addrs[ti]
 	seq := t.seq[fi].Add(1)
 	count := uint64((len(frame) + udpFragSize - 1) / udpFragSize)
 	if count == 0 {
 		count = 1
 	}
-	var hdr [30]byte
 	for idx := uint64(0); idx < count; idx++ {
 		lo := int(idx) * udpFragSize
 		hi := lo + udpFragSize
 		if hi > len(frame) {
 			hi = len(frame)
 		}
-		h := binary.AppendUvarint(hdr[:0], seq)
-		h = binary.AppendUvarint(h, idx)
-		h = binary.AppendUvarint(h, count)
-		dgram := append(h, frame[lo:hi]...)
-		if _, err := conn.WriteToUDP(dgram, dst); err != nil {
-			// A full socket buffer manifests as an error on some kernels;
-			// semantically it is packet loss, which the reliability layer
-			// absorbs. Only closure is fatal.
+		st.scratch = binary.AppendUvarint(st.scratch[:0], seq)
+		st.scratch = binary.AppendUvarint(st.scratch, idx)
+		st.scratch = binary.AppendUvarint(st.scratch, count)
+		st.scratch = append(st.scratch, frame[lo:hi]...)
+		if _, err := conn.WriteToUDP(st.scratch, dst); err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return err
 			}
@@ -236,6 +443,19 @@ func (t *udpTransport) MaxFrame() int { return wire.MaxFrameLen + wire.FrameLenS
 
 func (t *udpTransport) Close() error {
 	t.closeOnce.Do(func() { close(t.closed) })
+	for _, st := range t.send {
+		if st == nil {
+			continue
+		}
+		st.mu.Lock()
+		for _, pb := range st.pend {
+			if pb != nil && pb.timer != nil {
+				pb.timer.Stop()
+				pb.timer = nil
+			}
+		}
+		st.mu.Unlock()
+	}
 	for _, c := range t.conns {
 		if c != nil {
 			_ = c.Close()

@@ -148,6 +148,16 @@ func (as *AddressSpace) DiffAgainstTwin(pg PageID) Diff {
 	return MakeDiff(pg, t, as.Page(pg))
 }
 
+// DiffAgainstTwinArena is DiffAgainstTwin with the diff's memory
+// bump-allocated from a (see MakeDiffArena).
+func (as *AddressSpace) DiffAgainstTwinArena(pg PageID, a *DiffArena) Diff {
+	t := as.twins[pg]
+	if t == nil {
+		panic(fmt.Sprintf("vm: diff of page %d without twin", pg))
+	}
+	return MakeDiffArena(pg, t, as.Page(pg), a)
+}
+
 // ApplyDiff applies d to the local copy of its page.
 func (as *AddressSpace) ApplyDiff(d Diff) {
 	d.Apply(as.Page(d.Page))
@@ -277,6 +287,17 @@ const maxRunLen = MaxPageSize - wordSize
 // that differ. Two passes keep it to one allocation for the run headers
 // and one shared backing array for the payloads.
 func MakeDiff(pg PageID, old, cur []byte) Diff {
+	return makeDiff(pg, old, cur, nil)
+}
+
+// MakeDiffArena is MakeDiff with the run headers and payload backing
+// bump-allocated from a, so steady-state diffing allocates nothing. The
+// returned diff is only valid until a.Reset.
+func MakeDiffArena(pg PageID, old, cur []byte, a *DiffArena) Diff {
+	return makeDiff(pg, old, cur, a)
+}
+
+func makeDiff(pg PageID, old, cur []byte, a *DiffArena) Diff {
 	if len(old) != len(cur) {
 		panic("vm: MakeDiff length mismatch")
 	}
@@ -301,8 +322,14 @@ func MakeDiff(pg PageID, old, cur []byte) Diff {
 	if nruns == 0 {
 		return d
 	}
-	d.runs = make([]run, 0, nruns)
-	backing := make([]byte, 0, size)
+	var backing []byte
+	if a != nil {
+		d.runs = a.allocRuns(nruns)[:0]
+		backing = a.allocData(size)[:0]
+	} else {
+		d.runs = make([]run, 0, nruns)
+		backing = make([]byte, 0, size)
+	}
 	for i := 0; i < n; {
 		if binary.LittleEndian.Uint64(old[i:]) == binary.LittleEndian.Uint64(cur[i:]) {
 			i += wordSize
@@ -395,9 +422,26 @@ func (d Diff) AppendEncode(buf []byte) []byte {
 	return buf
 }
 
-// DecodeDiff parses the wire format produced by Encode. A validation pass
-// sizes the diff first so the payloads land in one shared backing array.
+// DecodeDiff parses the wire format produced by Encode. Decoding is
+// zero-copy: the run payloads alias buf, so the caller must not mutate or
+// recycle buf while the diff is live. (Frames delivered by a transport
+// are owned by the receiver and never reused, which makes the aliasing
+// legal on the real receive path; the EncodeInFlight assertion enforces
+// the matching rule on senders.) A validation pass runs first, so corrupt
+// input returns an error before any allocation.
 func DecodeDiff(buf []byte) (Diff, error) {
+	return decodeDiff(buf, nil)
+}
+
+// DecodeDiffArena is DecodeDiff with the run headers bump-allocated from
+// a, making steady-state decoding allocation-free. Payloads alias buf
+// exactly as in DecodeDiff; the returned diff is only valid until
+// a.Reset.
+func DecodeDiffArena(buf []byte, a *DiffArena) (Diff, error) {
+	return decodeDiff(buf, a)
+}
+
+func decodeDiff(buf []byte, a *DiffArena) (Diff, error) {
 	if len(buf) < 6 {
 		return Diff{}, fmt.Errorf("vm: diff truncated header (%d bytes)", len(buf))
 	}
@@ -419,17 +463,76 @@ func DecodeDiff(buf []byte) (Diff, error) {
 	if n == 0 {
 		return d, nil
 	}
-	d.runs = make([]run, 0, n)
-	backing := make([]byte, 0, d.size)
+	if a != nil {
+		d.runs = a.allocRuns(n)
+	} else {
+		d.runs = make([]run, n)
+	}
 	p = 6
 	for i := 0; i < n; i++ {
 		off := binary.LittleEndian.Uint16(buf[p:])
 		l := int(binary.LittleEndian.Uint16(buf[p+2:]))
 		p += 4
-		b0 := len(backing)
-		backing = append(backing, buf[p:p+l]...)
-		d.runs = append(d.runs, run{Off: off, Data: backing[b0:len(backing):len(backing)]})
+		d.runs[i] = run{Off: off, Data: buf[p : p+l : p+l]}
 		p += l
 	}
 	return d, nil
+}
+
+// --- diff arena --------------------------------------------------------------
+
+// DiffArena bump-allocates diff run headers and payload backings so
+// epoch-scoped diffing (decode on the receive path, MakeDiff at the
+// barrier) stops hitting the GC heap. Diffs carved from an arena are
+// valid until Reset; the owner decides when every diff of a generation is
+// dead (the engine rotates generations at barrier boundaries). The zero
+// value is ready to use. Not safe for concurrent use.
+type DiffArena struct {
+	runs []run
+	data []byte
+}
+
+// Reset recycles the arena: every diff previously carved from it becomes
+// invalid and its memory is reused by subsequent allocations.
+func (a *DiffArena) Reset() {
+	a.runs = a.runs[:0]
+	a.data = a.data[:0]
+}
+
+// allocRuns returns a length-n run slice from the bump slab. When the
+// slab is exhausted a larger one replaces it (the old slab stays alive
+// through previously returned slices until they die); steady state
+// reaches a stable capacity and allocates nothing.
+func (a *DiffArena) allocRuns(n int) []run {
+	if len(a.runs)+n > cap(a.runs) {
+		c := 2 * cap(a.runs)
+		if c < n {
+			c = n
+		}
+		if c < 64 {
+			c = 64
+		}
+		a.runs = make([]run, 0, c)
+	}
+	l := len(a.runs)
+	a.runs = a.runs[: l+n : cap(a.runs)]
+	return a.runs[l : l+n : l+n]
+}
+
+// allocData returns a length-n byte slice from the bump slab, with the
+// same growth policy as allocRuns.
+func (a *DiffArena) allocData(n int) []byte {
+	if len(a.data)+n > cap(a.data) {
+		c := 2 * cap(a.data)
+		if c < n {
+			c = n
+		}
+		if c < 4096 {
+			c = 4096
+		}
+		a.data = make([]byte, 0, c)
+	}
+	l := len(a.data)
+	a.data = a.data[: l+n : cap(a.data)]
+	return a.data[l : l+n : l+n]
 }

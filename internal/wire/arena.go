@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"fmt"
+
+	"godsm/internal/vm"
+)
+
+// Arena bump-allocates decoded message structures so the hot receive
+// path — update flushes, home flushes, diff and page replies — stops
+// hitting the GC heap. Decode through DecodeFrameArena/DecodeMessageArena
+// and every message struct, slice and diff comes from reusable slabs;
+// payload bytes always alias the input frame (zero-copy, see dec.bytes).
+//
+// Lifetime contract: everything carved from an arena is valid until
+// Reset. The owner resets only once every message of the current
+// generation is dead — the engine rotates per-epoch generations at
+// barrier boundaries. The zero value is ready to use. Not safe for
+// concurrent use.
+type Arena struct {
+	Diffs vm.DiffArena
+
+	diffMsgs []DiffMsg
+	notices  []WriteNotice
+	versions []PageVersion
+	ints     []int
+
+	updateFlushes []UpdateFlush
+	homeFlushes   []HomeFlush
+	pageReps      []PageRep
+	diffReps      []DiffRep
+	flushAcks     []HomeFlushAck
+}
+
+// Reset recycles the arena: every message previously decoded through it
+// becomes invalid and its memory is reused by subsequent decodes.
+func (a *Arena) Reset() {
+	a.Diffs.Reset()
+	a.diffMsgs = a.diffMsgs[:0]
+	a.notices = a.notices[:0]
+	a.versions = a.versions[:0]
+	a.ints = a.ints[:0]
+	a.updateFlushes = a.updateFlushes[:0]
+	a.homeFlushes = a.homeFlushes[:0]
+	a.pageReps = a.pageReps[:0]
+	a.diffReps = a.diffReps[:0]
+	a.flushAcks = a.flushAcks[:0]
+}
+
+// arenaSlice returns a length-n slice from the bump slab behind s. When
+// the slab is exhausted a larger one replaces it (the old slab stays
+// alive through previously returned slices until they die); steady state
+// reaches a stable capacity and allocates nothing. Callers must fully
+// initialize every element — slab memory is recycled, not zeroed.
+func arenaSlice[T any](s *[]T, n int) []T {
+	if len(*s)+n > cap(*s) {
+		c := 2 * cap(*s)
+		if c < n {
+			c = n
+		}
+		if c < 16 {
+			c = 16
+		}
+		*s = make([]T, 0, c)
+	}
+	l := len(*s)
+	*s = (*s)[: l+n : cap(*s)]
+	return (*s)[l : l+n : l+n]
+}
+
+// arenaOne returns a pointer to one T from the slab.
+func arenaOne[T any](s *[]T) *T {
+	return &arenaSlice(s, 1)[0]
+}
+
+// DecodeMessageArena is DecodeMessage with the data-plane message kinds —
+// update/home flushes, diff/page replies and flush acks, the frames that
+// dominate real-transport traffic — allocated from a instead of the heap.
+// Control-plane kinds fall back to DecodeMessage (they are rare and their
+// lifetimes outlive epochs). A nil arena is exactly DecodeMessage.
+func DecodeMessageArena(kind int, b []byte, a *Arena) (any, error) {
+	if a == nil {
+		return DecodeMessage(kind, b)
+	}
+	d := &dec{b: b, arena: a}
+	var out any
+	switch kind {
+	case KindUpdateFlush, KindLmwFlush:
+		m := arenaOne(&a.updateFlushes)
+		*m = UpdateFlush{Epoch: d.int(), Diffs: d.diffMsgs()}
+		out = m
+	case KindHomeFlush:
+		m := arenaOne(&a.homeFlushes)
+		*m = HomeFlush{Epoch: d.int(), Diffs: d.diffMsgs()}
+		out = m
+	case KindHomeFlushAck:
+		m := arenaOne(&a.flushAcks)
+		*m = HomeFlushAck{Versions: d.versions()}
+		out = m
+	case KindDiffRep:
+		m := arenaOne(&a.diffReps)
+		*m = DiffRep{Diffs: d.diffMsgs()}
+		out = m
+	case KindPageRep:
+		m := arenaOne(&a.pageReps)
+		*m = PageRep{Page: d.pageID(), Data: d.bytes(), Version: d.uint32(), Absorbed: d.ints()}
+		out = m
+	default:
+		return DecodeMessage(kind, b)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("wire: kind %d: %d trailing bytes", kind, len(d.b))
+	}
+	return out, nil
+}
+
+// DecodeFrameArena is DecodeFrame with the payload decoded through
+// DecodeMessageArena. A nil arena is exactly DecodeFrame.
+func DecodeFrameArena(b []byte, a *Arena) (Header, any, int, error) {
+	return decodeFrame(b, a)
+}

@@ -22,8 +22,9 @@ import (
 // average longer.
 
 type dec struct {
-	b   []byte
-	err error
+	b     []byte
+	arena *Arena // nil: slices come from the heap
+	err   error
 }
 
 func (d *dec) fail(format string, args ...any) {
@@ -134,7 +135,12 @@ func (d *dec) ints() []int {
 	if n == 0 || d.err != nil {
 		return nil
 	}
-	out := make([]int, n)
+	var out []int
+	if d.arena != nil {
+		out = arenaSlice(&d.arena.ints, n)
+	} else {
+		out = make([]int, n)
+	}
 	for i := range out {
 		out[i] = d.int()
 	}
@@ -149,10 +155,13 @@ func appendInts(b []byte, vs []int) []byte {
 	return b
 }
 
-// bytes reads a length-prefixed byte string into a pooled page buffer
-// when pooled is true (callers return page images via vm.PutPageBuf), or
-// a fresh slice otherwise. Zero length decodes as nil.
-func (d *dec) bytes(pooled bool) []byte {
+// bytes reads a length-prefixed byte string. Zero-copy: the returned
+// slice aliases the input buffer (capped at its own length), so the
+// caller must not mutate or recycle the buffer while the decoded message
+// is live. Transports hand frame ownership to the receiver and the
+// EncodeInFlight assertion polices senders, which makes the aliasing
+// legal on the real receive path. Zero length decodes as nil.
+func (d *dec) bytes() []byte {
 	n := d.count()
 	if d.err != nil {
 		return nil
@@ -164,14 +173,11 @@ func (d *dec) bytes(pooled bool) []byte {
 	if n == 0 {
 		return nil
 	}
-	var out []byte
-	if pooled {
-		out = vm.GetPageBuf(n)
-	} else {
-		out = make([]byte, n)
+	s := d.take(n)
+	if d.err != nil {
+		return nil
 	}
-	copy(out, d.take(n))
-	return out
+	return s[:n:n]
 }
 
 func appendBytes(b, s []byte) []byte {
@@ -190,7 +196,13 @@ func (d *dec) diff() vm.Diff {
 	if d.err != nil {
 		return vm.Diff{}
 	}
-	diff, err := vm.DecodeDiff(sub)
+	var diff vm.Diff
+	var err error
+	if d.arena != nil {
+		diff, err = vm.DecodeDiffArena(sub, &d.arena.Diffs)
+	} else {
+		diff, err = vm.DecodeDiff(sub)
+	}
 	if err != nil {
 		d.fail("diff: %v", err)
 		return vm.Diff{}
@@ -221,7 +233,12 @@ func (d *dec) notices() []WriteNotice {
 	if n == 0 || d.err != nil {
 		return nil
 	}
-	out := make([]WriteNotice, n)
+	var out []WriteNotice
+	if d.arena != nil {
+		out = arenaSlice(&d.arena.notices, n)
+	} else {
+		out = make([]WriteNotice, n)
+	}
 	for i := range out {
 		out[i] = d.notice()
 	}
@@ -271,7 +288,12 @@ func (d *dec) diffMsgs() []DiffMsg {
 	if n == 0 || d.err != nil {
 		return nil
 	}
-	out := make([]DiffMsg, n)
+	var out []DiffMsg
+	if d.arena != nil {
+		out = arenaSlice(&d.arena.diffMsgs, n)
+	} else {
+		out = make([]DiffMsg, n)
+	}
 	for i := range out {
 		out[i] = DiffMsg{Notice: d.notice(), Diff: d.diff()}
 	}
@@ -292,7 +314,12 @@ func (d *dec) versions() []PageVersion {
 	if n == 0 || d.err != nil {
 		return nil
 	}
-	out := make([]PageVersion, n)
+	var out []PageVersion
+	if d.arena != nil {
+		out = arenaSlice(&d.arena.versions, n)
+	} else {
+		out = make([]PageVersion, n)
+	}
 	for i := range out {
 		out[i] = PageVersion{Page: d.pageID(), Version: d.uint32()}
 	}
@@ -448,6 +475,7 @@ func appendBarArrivalBar(b []byte, a *BarArrivalBar) []byte {
 	b = appendVersions(b, a.Versions)
 	b = appendPageIDs(b, a.Written)
 	b = appendCopysetRecs(b, a.CopysetNews)
+	b = appendCopysetRecs(b, a.CopysetDrops)
 	b = appendInts(b, a.PushDests)
 	if a.IterEnd {
 		return append(b, 1)
@@ -457,27 +485,30 @@ func appendBarArrivalBar(b []byte, a *BarArrivalBar) []byte {
 
 func (d *dec) barArrivalBar() *BarArrivalBar {
 	return &BarArrivalBar{
-		Versions:    d.versions(),
-		Written:     d.pageIDs(),
-		CopysetNews: d.copysetRecs(),
-		PushDests:   d.ints(),
-		IterEnd:     d.bool(),
+		Versions:     d.versions(),
+		Written:      d.pageIDs(),
+		CopysetNews:  d.copysetRecs(),
+		CopysetDrops: d.copysetRecs(),
+		PushDests:    d.ints(),
+		IterEnd:      d.bool(),
 	}
 }
 
 func appendBarReleaseBar(b []byte, r *BarReleaseBar) []byte {
 	b = appendVersions(b, r.Versions)
 	b = appendCopysetRecs(b, r.CopysetNews)
+	b = appendCopysetRecs(b, r.CopysetDrops)
 	b = appendMigrateRecs(b, r.Migrations)
 	return binary.AppendVarint(b, int64(r.ExpBatches))
 }
 
 func (d *dec) barReleaseBar() *BarReleaseBar {
 	return &BarReleaseBar{
-		Versions:    d.versions(),
-		CopysetNews: d.copysetRecs(),
-		Migrations:  d.migrateRecs(),
-		ExpBatches:  d.int(),
+		Versions:     d.versions(),
+		CopysetNews:  d.copysetRecs(),
+		CopysetDrops: d.copysetRecs(),
+		Migrations:   d.migrateRecs(),
+		ExpBatches:   d.int(),
 	}
 }
 
@@ -540,7 +571,11 @@ func AppendMessage(buf []byte, kind int, data any) ([]byte, error) {
 			return buf, badPayload(kind, data)
 		}
 		buf = binary.AppendVarint(buf, int64(m.Page))
-		return binary.AppendVarint(buf, int64(m.Epoch)), nil
+		buf = binary.AppendVarint(buf, int64(m.Epoch))
+		if m.NoSub {
+			return append(buf, 1), nil
+		}
+		return append(buf, 0), nil
 	case KindPageRep:
 		m, ok := data.(*PageRep)
 		if !ok {
@@ -720,9 +755,9 @@ func DecodeMessage(kind int, b []byte) (any, error) {
 	case KindDiffRep:
 		out = &DiffRep{Diffs: d.diffMsgs()}
 	case KindPageReq:
-		out = &PageReq{Page: d.pageID(), Epoch: d.int()}
+		out = &PageReq{Page: d.pageID(), Epoch: d.int(), NoSub: d.bool()}
 	case KindPageRep:
-		out = &PageRep{Page: d.pageID(), Data: d.bytes(true), Version: d.uint32(), Absorbed: d.ints()}
+		out = &PageRep{Page: d.pageID(), Data: d.bytes(), Version: d.uint32(), Absorbed: d.ints()}
 	case KindHomeFlush:
 		out = &HomeFlush{Epoch: d.int(), Diffs: d.diffMsgs()}
 	case KindHomeFlushAck:
@@ -740,7 +775,7 @@ func DecodeMessage(kind int, b []byte) (any, error) {
 	case KindHomePull:
 		out = &HomePull{Page: d.pageID()}
 	case KindHomePullRep:
-		out = &HomePullRep{Page: d.pageID(), Data: d.bytes(true), Version: d.uint32(), Copyset: d.fixed64()}
+		out = &HomePullRep{Page: d.pageID(), Data: d.bytes(), Version: d.uint32(), Copyset: d.fixed64()}
 	case KindLockAcq:
 		out = d.lockAcq()
 	case KindLockFwd:

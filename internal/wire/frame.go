@@ -78,8 +78,14 @@ func AppendFrame(buf []byte, h *Header, data any) ([]byte, error) {
 // DecodeFrame decodes the first frame in b, returning its header, payload
 // and total encoded length (prefix included). Input after the frame is
 // left for the caller — transports carrying one frame per datagram should
-// check n == len(b).
+// check n == len(b). Decoding is zero-copy: page images and diff run
+// payloads in the returned message alias b, so the caller must not mutate
+// or recycle b while the message is live.
 func DecodeFrame(b []byte) (Header, any, int, error) {
+	return decodeFrame(b, nil)
+}
+
+func decodeFrame(b []byte, a *Arena) (Header, any, int, error) {
 	var h Header
 	if len(b) < FrameLenSize {
 		return h, nil, 0, fmt.Errorf("wire: truncated frame length prefix")
@@ -111,7 +117,7 @@ func DecodeFrame(b []byte) (Header, any, int, error) {
 	if !KindValid(h.Kind) {
 		return h, nil, 0, fmt.Errorf("wire: unknown message kind %d", h.Kind)
 	}
-	data, err := DecodeMessage(h.Kind, d.b)
+	data, err := DecodeMessageArena(h.Kind, d.b, a)
 	if err != nil {
 		return h, nil, 0, err
 	}

@@ -163,10 +163,13 @@ type DiffRep struct {
 }
 
 // PageReq asks the receiving home for a full copy of Page at the
-// requester's current barrier sequence.
+// requester's current barrier sequence. NoSub (adaptive protocol) asks
+// the home not to enroll the requester in the page's copyset: the page
+// runs per-page invalidate mode and wants no update pushes.
 type PageReq struct {
 	Page  vm.PageID
 	Epoch int
+	NoSub bool
 }
 
 // PageRep carries the page image, its version index, and the writers
@@ -271,11 +274,16 @@ type BarArrivalBar struct {
 	Versions    []PageVersion
 	Written     []vm.PageID
 	CopysetNews []CopysetRec
-	PushDests   []int
-	IterEnd     bool
+	// CopysetDrops reports unsubscriptions: the adaptive protocol's
+	// interest probes found the page unread for a full iteration while
+	// updates kept landing, so the sender stops consuming its updates.
+	CopysetDrops []CopysetRec
+	PushDests    []int
+	IterEnd      bool
 }
 
-// CopysetRec reports one copyset addition.
+// CopysetRec reports one copyset membership change (an addition in
+// CopysetNews, a removal in CopysetDrops).
 type CopysetRec struct {
 	Page   vm.PageID
 	Member int
@@ -292,8 +300,13 @@ type MigrateRec struct {
 type BarReleaseBar struct {
 	Versions    []PageVersion
 	CopysetNews []CopysetRec
-	Migrations  []MigrateRec
-	ExpBatches  int
+	// CopysetDrops relays every node's unsubscriptions (see
+	// BarArrivalBar.CopysetDrops) so writers prune their push sets and
+	// homes their copysets. Drops are processed before news, so a
+	// same-epoch re-subscription wins.
+	CopysetDrops []CopysetRec
+	Migrations   []MigrateRec
+	ExpBatches   int
 }
 
 // RedOp identifies a reduction operator.
@@ -367,12 +380,14 @@ func SizeDiffs(diffs []DiffMsg) int {
 // ModelSize is the arrival payload's modeled wire size.
 func (a *BarArrivalBar) ModelSize() int {
 	return len(a.Versions)*BytesVersionRec + len(a.Written)*BytesWriteNotice +
-		len(a.CopysetNews)*BytesCopysetRec + len(a.PushDests)*BytesUpdateCount + 1
+		(len(a.CopysetNews)+len(a.CopysetDrops))*BytesCopysetRec +
+		len(a.PushDests)*BytesUpdateCount + 1
 }
 
 // ModelSize is the release payload's modeled wire size.
 func (r *BarReleaseBar) ModelSize() int {
-	return len(r.Versions)*BytesVersionRec + len(r.CopysetNews)*BytesCopysetRec +
+	return len(r.Versions)*BytesVersionRec +
+		(len(r.CopysetNews)+len(r.CopysetDrops))*BytesCopysetRec +
 		len(r.Migrations)*BytesMigrateRec + BytesUpdateCount
 }
 
