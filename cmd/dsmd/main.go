@@ -14,6 +14,11 @@
 //	GET    /healthz              liveness probe
 //	/debug/pprof/*               Go profiling endpoints (with -pprof)
 //
+// Every /v1 failure carries the uniform JSON error envelope
+// {"error": {"code": "<slug>", "message": "<text>"}} with the same
+// status codes as before; the flat {"error": "<text>"} body is
+// deprecated and no longer emitted.
+//
 // Finished sessions are retained until -session-ttl elapses or the
 // -max-sessions cap evicts the oldest; an expired id thereafter 404s.
 //

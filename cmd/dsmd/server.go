@@ -76,9 +76,14 @@ type runRequest struct {
 	Proto string `json:"proto"`           // required: seq lmw-i lmw-u bar-i bar-u bar-s bar-m
 	Procs int    `json:"procs,omitempty"` // default 8 (1 for seq)
 	Small bool   `json:"small,omitempty"` // reduced application size
-	// Transport runs the cluster over a real backend ("mem" or "udp") on
-	// the wall clock instead of the virtual-time simulator.
+	// Transport selects the backend by internal/transport registry name:
+	// "sim" (or empty) keeps the virtual-time simulator; a real backend
+	// ("mem", "udp", "tcp") runs the cluster on the wall clock.
 	Transport string `json:"transport,omitempty"`
+	// Workers, under the simulator, shards the discrete-event kernel
+	// across that many goroutines (bit-identical results; -1 selects
+	// GOMAXPROCS). Rejected with a real transport.
+	Workers int `json:"workers,omitempty"`
 	// Timeline attaches the per-epoch statistics history to the report.
 	Timeline bool `json:"timeline,omitempty"`
 	// PageStats attaches per-page attribution to the report.
@@ -403,11 +408,49 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// httpError emits a JSON error document with the given status.
+// errorBody is the payload of the uniform /v1 error envelope:
+//
+//	{"error": {"code": "<stable slug>", "message": "<human text>"}}
+//
+// Every /v1 handler emits exactly this shape on failure; status codes
+// are unchanged from the flat era. The pre-envelope body — a bare
+// string under "error" — is deprecated and no longer emitted; clients
+// that matched on it should branch on error.code instead.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// httpError emits the /v1 error envelope with a slug derived from the
+// status; handlers with a more specific cause use httpErrorCode.
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	httpErrorCode(w, code, codeSlug(code), format, args...)
+}
+
+// httpErrorCode emits the /v1 error envelope with an explicit code slug.
+func httpErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]errorBody{
+		"error": {Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// codeSlug is the default machine-readable code for an HTTP status.
+func codeSlug(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	}
+	return "internal"
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -434,12 +477,21 @@ func (rr *runRequest) validate() (*apps.App, core.ProtocolKind, *netsim.FaultPla
 	if rr.Procs < 1 {
 		return nil, 0, nil, fmt.Errorf("procs %d: cluster needs at least 1 node", rr.Procs)
 	}
-	if rr.Transport != "" && rr.Transport != transport.KindMem && rr.Transport != transport.KindUDP {
-		return nil, 0, nil, fmt.Errorf("transport %q: unknown backend (want %q or %q)",
-			rr.Transport, transport.KindMem, transport.KindUDP)
+	if rr.Transport != "" {
+		e, ok := transport.Lookup(rr.Transport)
+		if !ok {
+			return nil, 0, nil, fmt.Errorf("transport %q: unknown backend (have %s)",
+				rr.Transport, strings.Join(transport.Names(), ", "))
+		}
+		if e.Virtual {
+			rr.Transport = "" // "sim" is the default simulator
+		}
 	}
 	if rr.Transport != "" && proto == core.ProtoSeq {
 		return nil, 0, nil, fmt.Errorf("transport %s needs a parallel protocol; seq has no remote traffic", rr.Transport)
+	}
+	if rr.Workers != 0 && rr.Transport != "" {
+		return nil, 0, nil, fmt.Errorf("workers shards the simulated kernel; it cannot be combined with transport %s", rr.Transport)
 	}
 	list := apps.All()
 	if rr.Small {
@@ -493,12 +545,13 @@ func (s *server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		created: time.Now(),
 	}
 	opts := apps.RunOpts{
-		Timeline:  req.Timeline,
-		PageStats: req.PageStats,
-		Transport: req.Transport,
-		Faults:    plan,
-		Sinks:     []trace.Sink{ss.bcast},
-		Metrics:   s.reg,
+		Timeline:      req.Timeline,
+		PageStats:     req.PageStats,
+		Transport:     req.Transport,
+		KernelWorkers: req.Workers,
+		Faults:        plan,
+		Sinks:         []trace.Sink{ss.bcast},
+		Metrics:       s.reg,
 		// Capture the cluster's live network handle so PATCH
 		// /v1/runs/{id}/faults can swap fault rules mid-run. netsim's
 		// mutating entry points lock internally, so the handler may call
@@ -516,7 +569,7 @@ func (s *server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		s.mu.Unlock()
 		cancel()
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		httpErrorCode(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
 	s.nextID++

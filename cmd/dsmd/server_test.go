@@ -32,9 +32,9 @@ func launch(t *testing.T, ts *httptest.Server, req runRequest) sessionDoc {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		var e map[string]string
+		var e map[string]errorBody
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		t.Fatalf("POST /v1/runs: %d: %s", resp.StatusCode, e["error"])
+		t.Fatalf("POST /v1/runs: %d: %s: %s", resp.StatusCode, e["error"].Code, e["error"].Message)
 	}
 	var doc sessionDoc
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
@@ -323,7 +323,7 @@ func TestLaunchValidation(t *testing.T) {
 		{"unknown proto", `{"app":"jacobi","proto":"bar-x"}`},
 		{"dynamic app under overdrive", `{"app":"barnes","proto":"bar-s"}`},
 		{"seq over transport", `{"app":"jacobi","proto":"seq","transport":"mem"}`},
-		{"unknown transport", `{"app":"jacobi","proto":"bar-u","transport":"tcp"}`},
+		{"unknown transport", `{"app":"jacobi","proto":"bar-u","transport":"rdma"}`},
 		{"loss above 1", `{"app":"jacobi","proto":"bar-u","faults":{"loss":1.5}}`},
 		{"negative delay", `{"app":"jacobi","proto":"bar-u","faults":{"delay_ns":-1}}`},
 		{"unknown field", `{"app":"jacobi","proto":"bar-u","bogus":1}`},

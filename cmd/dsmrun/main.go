@@ -20,12 +20,19 @@
 // bit-for-bit to the sequential baseline with the consistency oracle
 // attached, and any divergence exits non-zero with a localized report.
 //
-// -transport=mem|udp leaves the simulator entirely: the cluster runs on
-// the wall-clock scheduler over a real transport (in-process channels or
-// loopback UDP sockets), every frame crosses the internal/wire codec, and
-// elapsed time is measured rather than modeled — so the virtual-time
-// sequential baseline, speedup, and -straggler do not apply. Combines
-// with -check to hold the real runtime to the simulated baseline.
+// -transport selects the backend by internal/transport registry name:
+// "sim" (the default discrete-event simulator) or a real backend —
+// mem (in-process channels), udp (loopback datagrams), tcp (persistent
+// streams). A real backend leaves the simulator entirely: the cluster
+// runs on the wall-clock scheduler, every frame crosses the
+// internal/wire codec, and elapsed time is measured rather than modeled
+// — so the virtual-time sequential baseline, speedup, and -straggler do
+// not apply. Combines with -check to hold the real runtime to the
+// simulated baseline.
+//
+// -workers N shards the simulated kernel across N goroutines under
+// conservative lookahead; results are bit-identical to the sequential
+// kernel, only wall-clock time changes. Sim only.
 package main
 
 import (
@@ -74,7 +81,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	delay := fs.Duration("delay", 0, "fault injection: maximum extra latency for -reorder (0 = 500µs); with -reorder 0, delay every packet by up to this")
 	straggler := fs.String("straggler", "", "fault injection: slow one node, as node:factor[:fromEpoch[:toEpoch]]")
 	crash := fs.String("crash", "", "fault injection: crash nodes at barriers, as node:epoch[:restartAfter] (comma-separated; restartAfter 0 restarts in place, omitted never restarts)")
-	transportName := fs.String("transport", "", "run over a real transport instead of the simulator: mem (in-process channels) or udp (loopback sockets)")
+	transportName := fs.String("transport", "", "transport backend: sim (the default simulator) or a real one — mem (in-process channels), udp (loopback datagrams), tcp (persistent streams)")
+	workers := fs.Int("workers", 0, "sim only: drive the discrete-event kernel with N parallel shard workers (bit-identical results; -1 = GOMAXPROCS)")
 	metricsPath := fs.String("metrics", "", "write the run's final metrics snapshot to `file` in Prometheus text format (- for stdout)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault-injection schedule")
 	checkRun := fs.Bool("check", false, "differential conformance: hold this protocol (fault flags included) bit-for-bit to the sequential baseline under the consistency oracle")
@@ -103,10 +111,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dsmrun: -delay %v: extra latency cannot be negative\n", *delay)
 		return 2
 	}
-	if *transportName != "" && *transportName != transport.KindMem && *transportName != transport.KindUDP {
-		fmt.Fprintf(stderr, "dsmrun: -transport %q: unknown backend (want %q or %q)\n",
-			*transportName, transport.KindMem, transport.KindUDP)
-		fs.Usage()
+	if *transportName != "" {
+		e, ok := transport.Lookup(*transportName)
+		if !ok {
+			fmt.Fprintf(stderr, "dsmrun: -transport %q: unknown backend (have %s)\n",
+				*transportName, strings.Join(transport.Names(), ", "))
+			fs.Usage()
+			return 2
+		}
+		if e.Virtual {
+			*transportName = "" // "sim" is the default simulator
+		}
+	}
+	if *workers != 0 && *transportName != "" {
+		fmt.Fprintf(stderr, "dsmrun: -workers shards the simulated kernel; it cannot be combined with -transport %s\n",
+			*transportName)
 		return 2
 	}
 	if *metricsPath != "" && *checkRun {
@@ -154,9 +173,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := apps.RunOpts{
-		Timeline:  *jsonOut || *timeline,
-		PageStats: *pageStatsN > 0,
-		Transport: *transportName,
+		Timeline:      *jsonOut || *timeline,
+		PageStats:     *pageStatsN > 0,
+		Transport:     *transportName,
+		KernelWorkers: *workers,
 	}
 	var reg *metrics.Registry
 	if *metricsPath != "" {
@@ -184,7 +204,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 			}
 		}
-		return runCheck(stdout, stderr, app, proto, *procs, plan, *transportName)
+		return runCheck(stdout, stderr, app, proto, *procs, plan, *transportName, *workers)
 	}
 
 	var log *trace.Log
@@ -299,7 +319,7 @@ func writeMetrics(path string, reg *metrics.Registry, stdout io.Writer) error {
 // runCheck executes the -check mode: the differential conformance harness
 // over exactly the requested protocol, fault-free plus (when fault flags
 // are set) the requested plan.
-func runCheck(stdout, stderr io.Writer, app *apps.App, proto core.ProtocolKind, procs int, plan *netsim.FaultPlan, transportName string) int {
+func runCheck(stdout, stderr io.Writer, app *apps.App, proto core.ProtocolKind, procs int, plan *netsim.FaultPlan, transportName string, workers int) int {
 	if proto == core.ProtoSeq {
 		fmt.Fprintln(stderr, "dsmrun: -check holds a protocol to the sequential baseline; -proto seq is the baseline itself")
 		return 2
@@ -309,10 +329,11 @@ func runCheck(stdout, stderr io.Writer, app *apps.App, proto core.ProtocolKind, 
 		return 2
 	}
 	copts := check.Options{
-		Procs:        procs,
-		SegmentBytes: app.SegmentBytes,
-		Protocols:    []core.ProtocolKind{proto},
-		Transport:    transportName,
+		Procs:         procs,
+		SegmentBytes:  app.SegmentBytes,
+		Protocols:     []core.ProtocolKind{proto},
+		Transport:     transportName,
+		KernelWorkers: workers,
 	}
 	if plan != nil {
 		copts.Plans = []*netsim.FaultPlan{plan}

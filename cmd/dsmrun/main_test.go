@@ -355,7 +355,7 @@ func TestTransportFlagValidation(t *testing.T) {
 		args []string
 		want string // substring of the stderr diagnostic
 	}{
-		{"unknown backend", []string{"-transport", "tcp"}, "-transport"},
+		{"unknown backend", []string{"-transport", "rdma"}, "-transport"},
 		{"misspelled backend", []string{"-transport", "memm"}, "unknown backend"},
 		{"straggler over mem", []string{"-transport", "mem", "-straggler", "1:2"}, "straggler"},
 		{"straggler over udp", []string{"-transport", "udp", "-straggler", "1:2"}, "straggler"},
@@ -378,7 +378,7 @@ func TestTransportFlagValidation(t *testing.T) {
 	// An unknown backend additionally prints the flag usage, so the user
 	// sees the valid values without a second invocation.
 	var out, errb bytes.Buffer
-	if code := run([]string{"-transport", "tcp"}, &out, &errb); code != 2 {
+	if code := run([]string{"-transport", "rdma"}, &out, &errb); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 	if !strings.Contains(errb.String(), "Usage of dsmrun") {

@@ -49,6 +49,7 @@ import (
 	"godsm/internal/metrics"
 	"godsm/internal/netsim"
 	"godsm/internal/sim"
+	"godsm/internal/transport"
 )
 
 // Core engine types.
@@ -175,6 +176,11 @@ func UpdateLossPlan(rate float64, seed int64, base *FaultPlan) *FaultPlan {
 
 // Protocols lists the paper's six protocols in presentation order.
 func Protocols() []ProtocolKind { return core.Protocols() }
+
+// TransportNames lists every registered transport backend name, sorted —
+// the values WithTransport (and Config.Transport) accepts. "sim" is the
+// virtual backend: the discrete-event kernel itself.
+func TransportNames() []string { return transport.Names() }
 
 // ParseProtocol maps a protocol name ("bar-u", "lmw-i", ...) to its kind.
 func ParseProtocol(s string) (ProtocolKind, error) { return core.ParseProtocol(s) }

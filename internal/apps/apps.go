@@ -79,10 +79,16 @@ type RunOpts struct {
 	// fails the run.
 	Check core.Checker
 	// Transport, when non-"", runs the cluster over the named real
-	// transport ("mem" or "udp", see internal/transport) on the wall-clock
-	// scheduler instead of the virtual-time simulator. Ignored for the
-	// sequential baseline, which has no remote traffic.
+	// transport backend ("mem", "udp" or "tcp"; see internal/transport's
+	// registry) on the wall-clock scheduler instead of the virtual-time
+	// simulator. Ignored for the sequential baseline, which has no remote
+	// traffic.
 	Transport string
+	// KernelWorkers, in sim mode, shards the discrete-event kernel by
+	// node and drives it with this many workers under conservative
+	// lookahead (core.Config.KernelWorkers). Results stay bit-identical
+	// to the sequential kernel. Ignored for the sequential baseline.
+	KernelWorkers int
 	// Metrics, when non-nil, accumulates run counters and histograms into
 	// the registry (see core.Config.Metrics). The registry outlives the
 	// run, so a server can aggregate across many sessions.
@@ -124,6 +130,7 @@ func (a *App) RunWithContext(ctx context.Context, procs int, proto core.Protocol
 	}
 	if proto != core.ProtoSeq {
 		cfg.Transport = opts.Transport
+		cfg.KernelWorkers = opts.KernelWorkers
 	}
 	if opts.Configure != nil {
 		opts.Configure(&cfg)

@@ -1,0 +1,42 @@
+package apps
+
+import (
+	"fmt"
+
+	"godsm/internal/sim"
+)
+
+// Weak builds a weak-scaled instance of the named kernel for a cluster of
+// procs nodes: the input grows with the cluster so per-node work stays
+// roughly constant, the regime the scaling experiment (internal/repro)
+// sweeps at 16/64/256 nodes. The stencils hold rows-per-node fixed (their
+// partition is by row block), barnes holds bodies-per-node fixed. small
+// selects reduced per-node slabs for tests and CI smoke runs.
+func Weak(name string, procs int, small bool) (*App, error) {
+	rows, bodies := 4, 16
+	if small {
+		rows, bodies = 2, 4
+	}
+	switch name {
+	case "jacobi":
+		return Jacobi(JacobiConfig{
+			N: rows*procs + 2, Warm: 3, Measure: 3,
+			CellCost: 360 * sim.Nanosecond,
+		}), nil
+	case "sor":
+		cols := 256
+		if small {
+			cols = 64
+		}
+		return SOR(SORConfig{
+			Rows: rows*procs + 2, Cols: cols, Warm: 3, Measure: 3,
+			CellCost: 260 * sim.Nanosecond, Omega: 1.5,
+		}), nil
+	case "barnes":
+		return Barnes(BarnesConfig{
+			Bodies: bodies * procs, Warm: 3, Measure: 3,
+			Theta: 0.7, InterCost: 400 * sim.Nanosecond, Dt: 0.025,
+		}), nil
+	}
+	return nil, fmt.Errorf("apps: no weak-scaled variant of %q", name)
+}

@@ -40,13 +40,22 @@ type Options struct {
 	// Protocol, Faults, Check or Trace.
 	Configure func(*core.Config)
 	// Transport, when non-"", runs every protocol variant over the named
-	// real transport ("mem" or "udp", see internal/transport) instead of
-	// the virtual wire; the sequential reference still runs in sim (it is
-	// single-node and exchanges no messages). The oracle's digests and
-	// checksums are timing-independent, so the conformance verdict is as
-	// strict as in sim mode — but a divergence cannot be replayed
-	// deterministically, so reports carry no localization detail.
+	// real transport backend ("mem", "udp" or "tcp"; see
+	// internal/transport's registry) instead of the virtual wire; the
+	// sequential reference still runs in sim (it is single-node and
+	// exchanges no messages). The oracle's digests and checksums are
+	// timing-independent, so the conformance verdict is as strict as in
+	// sim mode — but a divergence cannot be replayed deterministically, so
+	// reports carry no localization detail.
 	Transport string
+	// KernelWorkers, in sim mode, drives every protocol variant on the
+	// sharded parallel DES kernel with that many workers
+	// (core.Config.KernelWorkers). The parallel kernel is bit-identical to
+	// the sequential one, so conformance semantics are unchanged —
+	// divergences replay deterministically and reports keep their full
+	// localization detail. The sequential reference stays on the
+	// sequential kernel.
+	KernelWorkers int
 }
 
 // RunStat summarizes one conforming run.
@@ -171,6 +180,7 @@ func (opts *Options) config(proto core.ProtocolKind, plan *netsim.FaultPlan) cor
 	}
 	if proto != core.ProtoSeq {
 		cfg.Transport = opts.Transport
+		cfg.KernelWorkers = opts.KernelWorkers
 	}
 	if opts.Configure != nil {
 		opts.Configure(&cfg)

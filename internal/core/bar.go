@@ -111,11 +111,13 @@ type bar struct {
 	// (fetch-on-demand, no copyset membership, sticky), the drop
 	// announced at the next arrival.
 	probe    []bool
-	updCnt   []int32     // update diffs received this iteration
+	updCnt   []int32     // amortized push credit this iteration, adaptCreditUnit fixed-point
 	readCnt  []int32     // probe revalidations (satisfied faults) this iteration
-	burstCnt []int32     // epochs with ≥1 push this iteration (post-drop fetch bound)
+	burstCnt []int32     // epochs with ≥1 push this iteration
+	touchCnt []int32     // epochs this iteration in which we dirtied the page
 	armIter  []int32     // iteration the probe first armed, -1 before (gates the read rule)
 	wrote    []bool      // page written (twinned) at any epoch this iteration
+	wflushed []int32     // per writer: pages in its flush this epoch (edge-accounting scratch)
 	accSeen  []bool      // page is on accList
 	accList  []vm.PageID // pages with live counters, reset each boundary
 	inval    []bool      // page runs invalidate-mode: fetch on miss, never subscribe
@@ -199,11 +201,13 @@ func newBar(n *node, mode barMode) *bar {
 		b.updCnt = make([]int32, np)
 		b.readCnt = make([]int32, np)
 		b.burstCnt = make([]int32, np)
+		b.touchCnt = make([]int32, np)
 		b.armIter = make([]int32, np)
 		for i := range b.armIter {
 			b.armIter[i] = -1
 		}
 		b.wrote = make([]bool, np)
+		b.wflushed = make([]int32, n.clu.cfg.Procs)
 		b.accSeen = make([]bool, np)
 		b.inval = make([]bool, np)
 		b.optOut = make([]copyset, np)
@@ -285,7 +289,7 @@ func (b *bar) writeFault(pg vm.PageID) {
 	if n.as.Prot(pg) == vm.None {
 		b.fetchPage(pg)
 	}
-	if b.home[pg] == n.id && !(b.mode.update() && b.copyset[pg].without(n.id) != 0) {
+	if b.home[pg] == n.id && !(b.mode.update() && b.copyset[pg].without(n.id).any()) {
 		// The home effect: the home tracks its modification but creates no
 		// twin or diff. (With consumers to update, the home twins after
 		// all, so it has a diff to push.)
@@ -299,6 +303,7 @@ func (b *bar) writeFault(pg vm.PageID) {
 		b.dirty = append(b.dirty, pg)
 		if b.wrote != nil {
 			b.wrote[pg] = true
+			b.touchCnt[pg]++
 			b.touch(pg)
 		}
 	}
@@ -441,12 +446,12 @@ func (b *bar) preBarrier(int) (any, int) {
 		if b.mode.update() {
 			cs := b.wcopy[pg]
 			if b.home[pg] == n.id {
-				cs |= b.copyset[pg]
+				cs = cs.union(b.copyset[pg])
 			}
 			// The home receives the diff via the acknowledged home flush;
 			// never push to it as a consumer.
 			cs = cs.without(b.home[pg])
-			for cs = cs.without(n.id); cs != 0; {
+			for cs = cs.without(n.id); cs.any(); {
 				m := cs.lowest()
 				cs = cs.without(m)
 				updFlushes.add(m, dm)
@@ -663,6 +668,22 @@ func (b *bar) consumeUpdates(r *barReleaseBar) {
 	for _, dm := range banked {
 		perPage[dm.Notice.Page] = append(perPage[dm.Notice.Page], dm)
 	}
+	if b.mode == barModeA {
+		// Per-writer edge accounting: a writer sends one flush per epoch
+		// (duplicates are suppressed at banking), so its banked diff count
+		// is the number of pages that flush carried. Unsubscribing pages
+		// only saves a message when it retires a writer's entire flush,
+		// so each diff is credited 1/k of a message (pushCredit) rather
+		// than the whole message the old per-diff count claimed.
+		for _, dm := range banked {
+			b.wflushed[dm.Notice.Creator]++
+		}
+		defer func() {
+			for _, dm := range banked {
+				b.wflushed[dm.Notice.Creator] = 0
+			}
+		}()
+	}
 	for _, pv := range r.Versions {
 		pg := pv.Page
 		diffs := perPage[pg]
@@ -723,7 +744,7 @@ func (b *bar) consumeUpdates(r *barReleaseBar) {
 			}
 			b.vcache[pg] = pv.Version
 			if b.mode == barModeA && len(diffs) > 0 {
-				b.updCnt[pg] += int32(len(diffs))
+				b.updCnt[pg] += b.pushCredit(diffs)
 				b.burstCnt[pg]++
 				b.touch(pg)
 				// Re-arm the probe at every delivery so the next fault on
@@ -744,7 +765,7 @@ func (b *bar) consumeUpdates(r *barReleaseBar) {
 		} else {
 			n.ctr.UpdatesUnneeded += int64(len(diffs))
 			if b.mode == barModeA && len(diffs) > 0 {
-				b.updCnt[pg] += int32(len(diffs))
+				b.updCnt[pg] += b.pushCredit(diffs)
 				b.burstCnt[pg]++
 				b.touch(pg)
 			}
@@ -773,6 +794,27 @@ func (b *bar) consumeUpdates(r *barReleaseBar) {
 	clear(perPage)
 }
 
+// adaptCreditUnit is the fixed-point scale of the adaptive ledger's
+// message accounting: one whole retired flush message = adaptCreditUnit.
+const adaptCreditUnit = 256
+
+// pushCredit is the amortized message credit of one page's banked diffs:
+// a diff from a writer whose flush carried k pages this epoch is worth
+// 1/k of a message (in adaptCreditUnit fixed-point), since only dropping
+// all k pages retires the flush. The per-page credits of a batch sum to
+// the whole message, so joint drops still account exactly — while a
+// single page of a large batch can no longer claim the full message the
+// old per-diff count credited it. (A flush of more than adaptCreditUnit
+// pages rounds to zero credit: dropping any one page of it is pure
+// fetch-risk for no measurable message gain.)
+func (b *bar) pushCredit(diffs []diffMsg) int32 {
+	credit := int32(0)
+	for _, dm := range diffs {
+		credit += adaptCreditUnit / b.wflushed[dm.Notice.Creator]
+	}
+	return credit
+}
+
 // pullHome takes over a page's home role from its old home, blocking
 // inside the barrier so our first access (or the first queued request) is
 // served from the installed authoritative copy. When the old home is
@@ -798,7 +840,7 @@ func (b *bar) pullHome(mg migrateRec) {
 	vm.PutPageBuf(rep.Data)
 	b.version[pg] = rep.Version
 	b.vcache[pg] = rep.Version
-	b.copyset[pg] |= copyset(rep.Copyset).without(n.id)
+	b.copyset[pg] = b.copyset[pg].union(copyset(rep.Copyset).without(n.id))
 	b.adoptCkpt(pg)
 	n.trc(trace.Migration, int(pg), int64(n.id))
 	n.mprotect(pg, vm.Read)
@@ -827,7 +869,7 @@ func (b *bar) pullHomeFromStore(mg migrateRec) {
 	}
 	b.version[pg] = ver
 	b.vcache[pg] = ver
-	cset := copyset(cs).without(n.id)
+	cset := cs.without(n.id)
 	for i := 0; i < n.clu.cfg.Procs; i++ {
 		if n.clu.cp.demoted(i, n.barSeq-1) {
 			cset = cset.without(i)
@@ -851,7 +893,7 @@ func (b *bar) adoptCkpt(pg vm.PageID) {
 	}
 	n := b.n
 	ps := n.as.PageSize()
-	ck.writePage(pg, n.as.Mem[int(pg)*ps:(int(pg)+1)*ps], b.version[pg], uint64(b.copyset[pg]), n.barSeq-1, n.id)
+	ck.writePage(pg, n.as.Mem[int(pg)*ps:(int(pg)+1)*ps], b.version[pg], b.copyset[pg], n.barSeq-1, n.id)
 	b.ckptVer[pg] = b.version[pg]
 }
 
@@ -956,6 +998,7 @@ func (b *bar) armPredictions(site int) {
 		b.dirty = append(b.dirty, pg)
 		if b.wrote != nil {
 			b.wrote[pg] = true
+			b.touchCnt[pg]++
 			b.touch(pg)
 		}
 		if b.mode == barModeS || b.mode == barModeA {
@@ -999,26 +1042,43 @@ func (b *bar) iterBoundary() {
 //
 // The iteration's ledger per page splits on whether we wrote the page:
 //
-//   - Pages we did not write: updCnt pushes received versus readCnt
-//     faults those pushes satisfied (probe revalidations — exactly the
-//     misses an invalidate protocol would have served with one fetch
-//     each). Pushes outnumbering satisfied faults are waste — this
-//     catches both multi-reader pages read less often than written and
-//     stale subscriptions to pages we no longer touch at all.
+//   - Pages we did not write: updCnt push credit versus readCnt faults
+//     those pushes satisfied (probe revalidations — exactly the misses
+//     an invalidate protocol would have served with one fetch each).
+//     Pushes outnumbering satisfied faults are waste — this catches
+//     both multi-reader pages read less often than written and stale
+//     subscriptions to pages we no longer touch at all. updCnt is
+//     edge-accounted in adaptCreditUnit fixed-point: a diff from a
+//     k-page flush is worth 1/k of a message, since only dropping the
+//     writer's whole batch retires it. The old per-diff count let one
+//     page of a big batch claim the entire message, and on batched
+//     workloads (barnes, fft at full size) adaptive dropped its way
+//     into fetch storms below bar-u; amortized credit keeps those
+//     subscriptions while still letting batches retire jointly.
 //
 //   - Pages we wrote (twinned this iteration): probes cannot arm on
-//     them, so the post-drop cost is bounded by burstCnt instead — one
-//     fetch per epoch in which co-writers pushed at all, since only an
-//     external version bump invalidates our copy (our own push keeps it
-//     valid). updCnt > burstCnt means some epoch carried two or more
-//     co-writer pushes: the page is multi-writer, and fetching the
-//     merged copy once beats receiving every writer's diff separately.
+//     them, so the post-drop cost is bounded differently — one fetch
+//     per epoch in which we touch the page after an external version
+//     bump. That is at most once per push epoch (burstCnt: only an
+//     external bump invalidates our copy, our own push keeps it valid)
+//     and at most once per epoch we touch it at all (touchCnt write
+//     epochs plus readCnt probe-metered reads); the smaller bounds it.
+//     Credit above the bound means the subscription costs more message
+//     flow than fetching the merged copy at each miss would. When the
+//     touch bound undercuts the push-epoch bound it rests on a single
+//     iteration's access pattern — weaker evidence, and on dynamic
+//     sharing (barnes) a page idle this iteration is hot again the
+//     next while a drop is forever — so that path demands half again
+//     the credit before committing.
 //
 // A losing page is unsubscribed: queue a copyset drop for our next
 // arrival (writers prune their push sets, the home pins us out of the
 // copyset) and pin it in inval mode — later misses fetch with NoSub,
 // never re-subscribing. Ties keep the subscription and the update
-// protocol's data-volume advantage (a diff is smaller than a page).
+// protocol's data-volume advantage (a diff is smaller than a page) —
+// except on wrote pages the probe proved unread, where the tied
+// message flow buys content nobody looks at and the fetch path at
+// least stops paying for co-writers' diffs.
 //
 // A misjudged drop costs fetch-per-miss from then on, the invalidate
 // protocol's own price, never correctness: version news still invalidates
@@ -1028,13 +1088,30 @@ func (b *bar) adaptDecide() {
 	for _, pg := range b.accList {
 		b.accSeen[pg] = false
 		upd, read, burst := b.updCnt[pg], b.readCnt[pg], b.burstCnt[pg]
+		touch := b.touchCnt[pg]
+		b.touchCnt[pg] = 0
 		wrote := b.wrote[pg] || b.isDirty[pg]
 		b.updCnt[pg], b.readCnt[pg], b.burstCnt[pg], b.wrote[pg] = 0, 0, 0, false
 		if !b.subscr[pg] || b.home[pg] == n.id || b.isHomeDirty[pg] {
 			continue
 		}
 		if wrote {
-			if upd <= burst {
+			// The post-drop cost is one fetch per epoch in which we touch
+			// the page after an external version bump: at most once per
+			// push epoch (burst, only external bumps invalidate our copy),
+			// and at most once per epoch we touch it at all — writes we
+			// twinned (touch) plus reads the probe metered (read). The
+			// smaller of the two bounds it.
+			bound, margin := burst, int32(adaptCreditUnit)
+			if touch+read < bound {
+				// Tightening below the push-epoch bound leans on one
+				// iteration's touch pattern alone — weaker evidence, and
+				// dynamic sharing (barnes) makes marginal drops costly
+				// since a drop is forever. Demand half again the credit.
+				bound = touch + read
+				margin = 3 * adaptCreditUnit / 2
+			}
+			if upd < bound*margin || (upd == bound*margin && read > 0) {
 				continue
 			}
 		} else {
@@ -1048,7 +1125,7 @@ func (b *bar) adaptDecide() {
 			if b.armIter[pg] < 0 || (int(b.armIter[pg]) >= n.iter-1 && read == 0) {
 				continue
 			}
-			if upd <= read {
+			if upd <= read*adaptCreditUnit {
 				continue
 			}
 		}
@@ -1110,9 +1187,9 @@ func (b *bar) dispatchHomeReq(p *sim.Proc, pkt *netsim.Packet) {
 			Page:    pg,
 			Data:    data,
 			Version: b.version[pg],
-			Copyset: uint64(cs),
+			Copyset: cs,
 		}
-		b.copyset[pg] = 0
+		b.copyset[pg] = copyset{}
 		// Our replica stops being authoritative and nobody will update it,
 		// so discard it now; a later read faults and subscribes properly.
 		// An active mid-epoch writer keeps its copy — its next flush and
@@ -1250,7 +1327,7 @@ func (b *bar) ckptWrite(seq int) (items, bytes int) {
 			continue
 		}
 		bytes += ck.writePage(vm.PageID(pg), n.as.Mem[pg*ps:(pg+1)*ps],
-			b.version[pg], uint64(b.copyset[pg]), seq, n.id)
+			b.version[pg], b.copyset[pg], seq, n.id)
 		b.ckptVer[pg] = b.version[pg]
 		items++
 	}
@@ -1283,7 +1360,7 @@ func (b *bar) restoreCkpt(int) (bytes int) {
 		b.version[pg] = ver
 		b.vcache[pg] = ver
 		b.ckptVer[pg] = ver
-		b.copyset[pg] = copyset(cs).without(n.id)
+		b.copyset[pg] = cs.without(n.id)
 		n.as.SetProt(pg, vm.Read)
 		bytes += len(data)
 	}

@@ -153,12 +153,13 @@ func (m *barMgr) maybeRelease(n0 *node) {
 		m.arrivals[i] = nil
 	}
 	m.count = 0
+	pkts := make([]*netsim.Packet, m.clu.cfg.Procs)
 	for i := 0; i < m.clu.cfg.Procs; i++ {
 		if released != nil && released[i] == nil {
 			continue
 		}
 		rel := &barRelease{Seq: seq, Proto: rels[i], Red: red}
-		rpkt := &netsim.Packet{
+		pkts[i] = &netsim.Packet{
 			Kind:  mkBarRelease,
 			Size:  bytesBarHeader + sizes[i] + redResultSize(red),
 			Reply: true,
@@ -166,12 +167,21 @@ func (m *barMgr) maybeRelease(n0 *node) {
 			Data:  rel,
 		}
 		if m.clu.faultsOn {
-			m.cached[i] = rpkt
+			m.cached[i] = pkts[i]
 		}
-		if i != n0.id {
-			n0.service.Advance(m.clu.cm.SendCPU)
+	}
+	if m.clu.cfg.BarrierFanout > 0 && cp == nil {
+		m.treeRelease(n0, pkts)
+	} else {
+		for i, rpkt := range pkts {
+			if rpkt == nil {
+				continue
+			}
+			if i != n0.id {
+				n0.service.Advance(m.clu.cm.SendCPU)
+			}
+			m.clu.net.Send(n0.service, i, netsim.PortCompute, rpkt)
 		}
-		m.clu.net.Send(n0.service, i, netsim.PortCompute, rpkt)
 	}
 	m.relSeq = seq
 	if cp == nil {
@@ -190,4 +200,88 @@ func (m *barMgr) maybeRelease(n0 *node) {
 			Data: &restartMsg{Seq: seq, Missed: r.RestartAfter},
 		})
 	}
+}
+
+// --- release relay tree (Config.BarrierFanout) --------------------------
+
+// treeRelease sends the episode's releases down the k-ary relay tree
+// rooted at the manager: node 0 delivers its own release locally, then
+// sends each direct child one bundle carrying the child's whole subtree,
+// paying SendCPU per subtree instead of per node. Lost or duplicated
+// bundles need no tree-level recovery: an unreleased compute retransmits
+// its arrival and the manager answers from its per-node release cache,
+// exactly as under the flat fan-out.
+func (m *barMgr) treeRelease(n0 *node, pkts []*netsim.Packet) {
+	if own := pkts[n0.id]; own != nil {
+		m.clu.net.Send(n0.service, n0.id, netsim.PortCompute, own)
+	}
+	var rels []bundleRel
+	for i, rpkt := range pkts {
+		if rpkt == nil || i == n0.id {
+			continue
+		}
+		rels = append(rels, bundleRel{
+			Node: i, Rid: rpkt.Rid, Size: rpkt.Size, Rel: rpkt.Data.(*barRelease),
+		})
+	}
+	bundleFanout(n0, n0.id, rels)
+}
+
+// handleBarBundle runs on a relay node's service: deliver this node's own
+// release to its compute process (a free same-node send, like the flat
+// manager's own delivery) and forward the remaining entries as per-child
+// sub-bundles. The filter builds a fresh slice because a fault-duplicated
+// bundle replays with the same payload pointer.
+func (n *node) handleBarBundle(pkt *netsim.Packet) {
+	b := pkt.Data.(*barBundle)
+	rest := make([]bundleRel, 0, len(b.Rels))
+	for _, r := range b.Rels {
+		if r.Node == n.id {
+			n.clu.net.Send(n.service, n.id, netsim.PortCompute, &netsim.Packet{
+				Kind: mkBarRelease, Size: r.Size, Reply: true, Rid: r.Rid, Data: r.Rel,
+			})
+			continue
+		}
+		rest = append(rest, r)
+	}
+	bundleFanout(n, n.id, rest)
+}
+
+// bundleFanout partitions rels among the direct children of root in the
+// heap-layout k-ary tree and sends each non-empty partition as one bundle,
+// charging the sender SendCPU per bundle. A bundle's modeled size is the
+// sum of its entries' stand-alone release sizes.
+func bundleFanout(n *node, root int, rels []bundleRel) {
+	c := n.clu
+	k := c.cfg.BarrierFanout
+	for ci := 1; ci <= k; ci++ {
+		child := root*k + ci
+		if child >= c.cfg.Procs {
+			break
+		}
+		var sub []bundleRel
+		size := 0
+		for _, r := range rels {
+			if inSubtree(r.Node, child, k) {
+				sub = append(sub, r)
+				size += r.Size
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		n.service.Advance(c.cm.SendCPU)
+		c.net.Send(n.service, child, netsim.PortService, &netsim.Packet{
+			Kind: mkBarBundle, Size: size, Data: &barBundle{Rels: sub},
+		})
+	}
+}
+
+// inSubtree reports whether node m lies in the subtree rooted at c of the
+// heap-layout k-ary tree (children of x are k*x+1 .. k*x+k).
+func inSubtree(m, c, k int) bool {
+	for m > c {
+		m = (m - 1) / k
+	}
+	return m == c
 }

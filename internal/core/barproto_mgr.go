@@ -78,7 +78,7 @@ func (m *barProtoMgr) aggregate(_ int, arrivals []*barArrive) ([]any, []int) {
 		if !m.clu.cfg.DisableMigration {
 			npages := len(m.writers)
 			for pg, w := range m.writers {
-				if w == 0 {
+				if !w.any() {
 					continue
 				}
 				ih := initialHome(vm.PageID(pg), npages, procs)

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"godsm/internal/cost"
 	"godsm/internal/metrics"
@@ -171,15 +172,16 @@ type Config struct {
 	// graph. Nil (the default) costs one pointer test per store and
 	// nothing else — the same zero-cost-when-off contract as PageStats.
 	Check Checker
-	// Transport selects how protocol messages travel. "" (the default)
-	// keeps the discrete-event simulation with its virtual clock. "mem"
-	// and "udp" run the cluster for real: every node's processes execute
-	// concurrently against the wall clock and every remote message is
-	// encoded by internal/wire and carried by the named
-	// internal/transport backend. Application results are identical by
-	// construction (see internal/check); timings and message interleavings
-	// are not, so Elapsed and the breakdowns report wall time, not the
-	// calibrated SP-2 model.
+	// Transport selects how protocol messages travel, by
+	// internal/transport registry name. "" or "sim" (the default) keeps
+	// the discrete-event simulation with its virtual clock. Any real
+	// backend ("mem", "udp", "tcp") runs the cluster for real: every
+	// node's processes execute concurrently against the wall clock and
+	// every remote message is encoded by internal/wire and carried by the
+	// named backend. Application results are identical by construction
+	// (see internal/check); timings and message interleavings are not, so
+	// Elapsed and the breakdowns report wall time, not the calibrated
+	// SP-2 model.
 	Transport string
 	// Metrics, when non-nil, accumulates the run's protocol activity into
 	// the registry: per-protocol message/retransmit/stale-refetch counters
@@ -205,6 +207,28 @@ type Config struct {
 	// hazard a real transport would turn into corruption. Ignored when
 	// Transport is set (real transports always encode).
 	EncodeInFlight bool
+	// KernelWorkers, in sim mode, shards the discrete-event kernel by node
+	// and drives the shards with this many worker goroutines under
+	// conservative lookahead (see internal/sim/parallel.go). Results —
+	// event order, virtual times, checksums, every counter — are
+	// bit-identical to the sequential kernel; only wall-clock time changes.
+	// 0 (the default) keeps the sequential kernel; negative selects
+	// GOMAXPROCS workers. Incompatible with Transport: a real transport
+	// already runs every node concurrently against the wall clock.
+	KernelWorkers int
+	// BarrierFanout, when positive, routes barrier releases down a k-ary
+	// relay tree instead of the manager's historical flat fan-out: node 0
+	// sends each of its k direct children (heap layout: children of x are
+	// k*x+1 .. k*x+k) one bundled message carrying its whole subtree's
+	// releases, and every relay delivers its own release locally before
+	// forwarding per-child sub-bundles. Release latency drops from
+	// Procs*SendCPU serial sends to log_k(Procs) relay hops, which is what
+	// lets barrier-bound runs scale past a handful of nodes (and what gives
+	// the sharded kernel concurrent windows to exploit). 0 (the default)
+	// keeps the flat fan-out and the paper's 8-node cost accounting. Under
+	// a crash plan the manager always uses the flat fan-out: releases go
+	// only to live arrivers, which the membership-aware path handles.
+	BarrierFanout int
 }
 
 // Checker observes a run for the consistency oracle (internal/check). The
@@ -231,6 +255,9 @@ func (c *Config) fill() error {
 	if c.Procs <= 0 {
 		return fmt.Errorf("core: Procs = %d", c.Procs)
 	}
+	if c.Procs > MaxNodes {
+		return fmt.Errorf("core: Procs = %d exceeds the %d-node copyset bound", c.Procs, MaxNodes)
+	}
 	if c.SegmentBytes <= 0 {
 		return fmt.Errorf("core: SegmentBytes = %d", c.SegmentBytes)
 	}
@@ -246,10 +273,26 @@ func (c *Config) fill() error {
 	if c.RetryTimeout == 0 {
 		c.RetryTimeout = 5 * sim.Millisecond
 	}
-	switch c.Transport {
-	case "", transport.KindMem, transport.KindUDP:
-	default:
-		return fmt.Errorf("core: unknown transport %q", c.Transport)
+	if c.Transport != "" {
+		e, ok := transport.Lookup(c.Transport)
+		if !ok {
+			return fmt.Errorf("core: unknown transport %q (have %s)",
+				c.Transport, strings.Join(transport.Names(), ", "))
+		}
+		if e.Virtual {
+			// "sim" (and any other virtual backend) is the DES kernel
+			// itself; normalize so the engine takes the simulated path.
+			c.Transport = ""
+		}
+	}
+	if c.KernelWorkers != 0 && c.Transport != "" {
+		return fmt.Errorf("core: KernelWorkers requires the simulated transport (got Transport=%q)", c.Transport)
+	}
+	if c.BarrierFanout < 0 {
+		return fmt.Errorf("core: BarrierFanout = %d", c.BarrierFanout)
+	}
+	if c.BarrierFanout != 0 && c.Transport != "" {
+		return fmt.Errorf("core: BarrierFanout requires the simulated transport (got Transport=%q)", c.Transport)
 	}
 	if err := validateCrashes(c); err != nil {
 		return err

@@ -1,34 +1,68 @@
 package core
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"godsm/internal/wire"
+)
 
 // copyset is a bitmap of node ranks caching (or consuming) a page. The
 // paper: "Accesses to shared pages are tracked by using per-page copysets,
 // which are bitmaps that specify which processors cache a given page."
-// Bitmaps bound the cluster at 64 nodes — eight times the paper's testbed.
-type copyset uint64
+// Four 64-bit words bound the cluster at MaxNodes — thirty-two times the
+// paper's testbed; the word count is shared with the wire codec so the
+// bitmap crosses the network losslessly.
+type copyset [wire.CopysetWords]uint64
 
-func (c copyset) has(i int) bool { return c&(1<<uint(i)) != 0 }
+// MaxNodes is the largest cluster Config.Procs may ask for: the per-page
+// copyset bitmaps carry one bit per node.
+const MaxNodes = wire.CopysetWords * 64
 
-func (c *copyset) add(i int) { *c |= 1 << uint(i) }
+func (c copyset) has(i int) bool { return c[i>>6]&(1<<uint(i&63)) != 0 }
 
-func (c copyset) count() int { return bits.OnesCount64(uint64(c)) }
+func (c *copyset) add(i int) { c[i>>6] |= 1 << uint(i&63) }
+
+func (c copyset) count() int {
+	n := 0
+	for _, w := range c {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// any reports whether the set has at least one member.
+func (c copyset) any() bool { return c != (copyset{}) }
 
 // without returns c with member i removed.
-func (c copyset) without(i int) copyset { return c &^ (1 << uint(i)) }
+func (c copyset) without(i int) copyset {
+	c[i>>6] &^= 1 << uint(i&63)
+	return c
+}
+
+// union returns c with every member of o added.
+func (c copyset) union(o copyset) copyset {
+	for i, w := range o {
+		c[i] |= w
+	}
+	return c
+}
 
 // members appends the set's node ranks, ascending, to dst.
 func (c copyset) members(dst []int) []int {
-	for v := uint64(c); v != 0; v &= v - 1 {
-		dst = append(dst, bits.TrailingZeros64(v))
+	for wi, w := range c {
+		for v := w; v != 0; v &= v - 1 {
+			dst = append(dst, wi<<6+bits.TrailingZeros64(v))
+		}
 	}
 	return dst
 }
 
 // lowest returns the smallest member rank; it panics on an empty set.
 func (c copyset) lowest() int {
-	if c == 0 {
-		panic("core: lowest of empty copyset")
+	for wi, w := range c {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
 	}
-	return bits.TrailingZeros64(uint64(c))
+	panic("core: lowest of empty copyset")
 }

@@ -15,7 +15,7 @@ func TestCopysetBasics(t *testing.T) {
 	c.add(7)
 	c.add(3)
 	if c.count() != 2 || !c.has(3) || !c.has(7) || c.has(4) {
-		t.Fatalf("copyset state wrong: %b", c)
+		t.Fatalf("copyset state wrong: %v", c)
 	}
 	if got := c.members(nil); len(got) != 2 || got[0] != 3 || got[1] != 7 {
 		t.Fatalf("members = %v", got)
@@ -27,6 +27,18 @@ func TestCopysetBasics(t *testing.T) {
 	if d.has(3) || !d.has(7) || c.count() != 2 {
 		t.Fatal("without mutated the receiver or kept the member")
 	}
+	// Cross-word members: ranks past 64 land in the upper bitmap words.
+	c.add(200)
+	c.add(64)
+	if c.count() != 4 || !c.has(200) || !c.has(64) || c.has(199) {
+		t.Fatalf("cross-word state wrong: %v", c)
+	}
+	if got := c.members(nil); len(got) != 4 || got[2] != 64 || got[3] != 200 {
+		t.Fatalf("cross-word members = %v", got)
+	}
+	if u := (copyset{}).union(c); u != c || u.without(200).count() != 3 {
+		t.Fatalf("union/without across words = %v", u)
+	}
 }
 
 func TestCopysetLowestOfEmptyPanics(t *testing.T) {
@@ -35,7 +47,7 @@ func TestCopysetLowestOfEmptyPanics(t *testing.T) {
 			t.Fatal("lowest of empty set did not panic")
 		}
 	}()
-	copyset(0).lowest()
+	(copyset{}).lowest()
 }
 
 // Property: members() is sorted, duplicate-free, consistent with has() and
@@ -46,7 +58,7 @@ func TestCopysetMembersProperty(t *testing.T) {
 		var c copyset
 		want := map[int]bool{}
 		for i := 0; i < int(n%40); i++ {
-			m := rng.Intn(64)
+			m := rng.Intn(MaxNodes)
 			c.add(m)
 			want[m] = true
 		}

@@ -191,7 +191,7 @@ type ckptDiffRec struct {
 type ckptPage struct {
 	data    []byte
 	version uint32
-	copyset uint64
+	copyset copyset
 	epoch   int
 	home    int
 	ring    []ckptDiffRec
@@ -264,7 +264,7 @@ func newCkptStore(procs, npages int) *ckptStore {
 // writePage checkpoints one authoritative page image for its home node.
 // Returns the incremental (diff-encoded) byte count charged for the
 // write.
-func (s *ckptStore) writePage(pg vm.PageID, data []byte, version uint32, cs uint64, epoch, home int) int {
+func (s *ckptStore) writePage(pg vm.PageID, data []byte, version uint32, cs copyset, epoch, home int) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.pages[pg]
@@ -291,12 +291,12 @@ func (s *ckptStore) writePage(pg vm.PageID, data []byte, version uint32, cs uint
 // readPage loads a page's checkpoint: image copy, version, copyset. ok is
 // false when the page was never checkpointed (never written: its content
 // is the all-zero initial image at version 0).
-func (s *ckptStore) readPage(pg vm.PageID) (data []byte, version uint32, cs uint64, ok bool) {
+func (s *ckptStore) readPage(pg vm.PageID) (data []byte, version uint32, cs copyset, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.pages[pg]
 	if e == nil {
-		return nil, 0, 0, false
+		return nil, 0, copyset{}, false
 	}
 	return append([]byte(nil), e.data...), e.version, e.copyset, true
 }

@@ -29,6 +29,7 @@ type cluster struct {
 	seq      bool   // ProtoSeq: synchronization nulled out
 	faultsOn bool   // cfg.Faults armed: reliability layer active
 	rt       bool   // cfg.Transport set: realtime kernel, real delivery
+	conc     bool   // nodes execute concurrently (rt or parallel kernel)
 	doneSeen []bool // teardown: nodes whose compute body has finished
 	doneLeft int    // teardown: nodes still running
 
@@ -158,6 +159,7 @@ func runContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, err
 		return nil, fmt.Errorf("core: ProtoSeq requires Procs=1, got %d", cfg.Procs)
 	}
 	rt := cfg.Transport != ""
+	par := cfg.KernelWorkers != 0
 	if rt {
 		if cfg.Transport == transport.KindUDP && cfg.Faults == nil {
 			// Real datagrams can be lost or reordered even without injected
@@ -165,9 +167,9 @@ func runContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, err
 			// retransmission and dedup recover socket-level misbehaviour.
 			cfg.Faults = &netsim.FaultPlan{}
 		}
-		if cfg.Check != nil {
-			cfg.Check = &lockedChecker{inner: cfg.Check}
-		}
+	}
+	if (rt || par) && cfg.Check != nil {
+		cfg.Check = &lockedChecker{inner: cfg.Check}
 	}
 	clu := &cluster{
 		cfg:  cfg,
@@ -175,15 +177,21 @@ func runContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, err
 		body: body,
 		seq:  cfg.Protocol == ProtoSeq,
 		rt:   rt,
+		conc: rt || par,
 	}
-	if rt {
+	switch {
+	case rt:
 		clu.kern = sim.NewRealtimeKernel()
-	} else {
+	case par:
+		clu.kern = sim.NewParallelKernel(cfg.KernelWorkers)
+	default:
 		clu.kern = sim.NewKernel()
 	}
 	clu.net = netsim.New(clu.kern, cfg.Procs, clu.cm)
 	clu.net.SetMetrics(cfg.Metrics)
-	if cfg.EncodeInFlight && !rt {
+	if (cfg.EncodeInFlight || par) && !rt {
+		// Parallel shards force the codec round-trip: payloads must be
+		// deep-copied at Send so no pointer crosses shards.
 		clu.net.EncodeInFlight()
 	}
 	clu.mgr = newBarMgr(clu)
@@ -226,6 +234,15 @@ func runContext(ctx context.Context, cfg Config, body func(*Proc)) (*Report, err
 		}
 		clu.nodes = append(clu.nodes, n)
 	}
+	// Large segments are mapping-backed (see vm.NewAddressSpace); return
+	// them to the OS once the run — report included — is over. Nothing may
+	// retain segment memory past Run: the Checker contract reads the space
+	// synchronously, and the Report carries only derived statistics.
+	defer func() {
+		for _, n := range clu.nodes {
+			n.as.Release()
+		}
+	}()
 	if cfg.NetHook != nil {
 		// Faults are armed; hand the control plane its live handle.
 		cfg.NetHook(clu.net)
@@ -406,6 +423,8 @@ func (n *node) serviceBody(p *sim.Proc) {
 		switch pkt.Kind {
 		case mkBarArrive:
 			n.clu.mgr.handle(n, pkt)
+		case mkBarBundle:
+			n.handleBarBundle(pkt)
 		case mkUpdateFlush:
 			n.handleUpdateFlush(pkt)
 		case mkDone:
@@ -514,7 +533,7 @@ func (n *node) emitTrace(t sim.Time, kind trace.Kind, page int, arg int64) {
 		return
 	}
 	e := trace.Event{T: t, Node: n.id, Kind: kind, Page: page, Arg: arg}
-	if n.clu.rt {
+	if n.clu.conc {
 		n.clu.obsMu.Lock()
 		defer n.clu.obsMu.Unlock()
 	}
@@ -536,7 +555,7 @@ func (c *cluster) emitFault(t sim.Time, from, to, kind int, class netsim.FaultCl
 		k = trace.NetDelay
 	}
 	e := trace.Event{T: t, Node: from, Kind: k, Page: -1, Arg: int64(kind)}
-	if c.rt {
+	if c.conc {
 		c.obsMu.Lock()
 		defer c.obsMu.Unlock()
 	}
@@ -744,7 +763,7 @@ func (n *node) sampleEpoch() {
 	if bd.Wait < 0 {
 		bd.Wait = 0
 	}
-	if n.clu.rt {
+	if n.clu.conc {
 		n.clu.obsMu.Lock()
 		tc.Record(n.id, n.epochT, now, d, bd)
 		n.clu.obsMu.Unlock()

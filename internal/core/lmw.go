@@ -257,7 +257,7 @@ func (l *lmw) endInterval(flushUpdates bool) []writeNotice {
 		notices = append(notices, nt)
 		l.wroteLast[pg] = true
 		if l.update && flushUpdates {
-			for cs := l.copyset[pg].without(n.id); cs != 0; {
+			for cs := l.copyset[pg].without(n.id); cs.any(); {
 				m := cs.lowest()
 				cs = cs.without(m)
 				flushes.add(m, diffMsg{Notice: nt, Diff: d})

@@ -44,6 +44,7 @@ const (
 	mkDone          = wire.KindDone
 	mkDoneRelease   = wire.KindDoneRelease
 	mkRestart       = wire.KindRestart
+	mkBarBundle     = wire.KindBarBundle
 )
 
 // Modeled on-wire sizes of protocol records, in bytes. The simulated
@@ -95,6 +96,8 @@ type (
 	flagWait      = wire.FlagWait
 	flagRelease   = wire.FlagRelease
 	restartMsg    = wire.RestartMsg
+	barBundle     = wire.BarBundle
+	bundleRel     = wire.BundleRel
 )
 
 // sizeIntervals returns the modeled wire size of an interval batch.

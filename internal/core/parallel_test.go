@@ -1,0 +1,103 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// allProtocols is the six paper protocols plus the adaptive extension —
+// the full set the parallel kernel must reproduce bit-for-bit.
+func allProtocols() []ProtocolKind {
+	return append(Protocols(), ProtoBarA)
+}
+
+// runStencilWorkers runs the mini stencil with the given worker count
+// (0 = sequential kernel) and optional fault seed (0 = fault-free).
+func runStencilWorkers(t *testing.T, procs, workers int, proto ProtocolKind, seed int64) *Report {
+	t.Helper()
+	cfg := stencilConfig(procs, proto)
+	cfg.KernelWorkers = workers
+	if seed != 0 {
+		cfg.Faults = ConformancePlan(proto, seed)
+	}
+	if workers == 0 {
+		// The parallel kernel forces the codec round-trip; match it on the
+		// reference run so both sides charge identical virtual time.
+		cfg.EncodeInFlight = true
+	}
+	r, err := Run(cfg, miniStencil(64, 128, 8, 5))
+	if err != nil {
+		t.Fatalf("%v/%d procs/%d workers: %v", proto, procs, workers, err)
+	}
+	return r
+}
+
+// reportEqual compares every deterministic field of two Reports: elapsed
+// virtual time, all counters, all breakdowns, and the checksum.
+func reportEqual(t *testing.T, name string, seq, par *Report) {
+	t.Helper()
+	if seq.Checksum != par.Checksum {
+		t.Errorf("%s: checksum %#x, want %#x", name, par.Checksum, seq.Checksum)
+	}
+	if seq.Elapsed != par.Elapsed {
+		t.Errorf("%s: elapsed %v, want %v", name, par.Elapsed, seq.Elapsed)
+	}
+	if !reflect.DeepEqual(seq.PerNode, par.PerNode) {
+		t.Errorf("%s: per-node counters diverge\n seq: %+v\n par: %+v", name, seq.PerNode, par.PerNode)
+	}
+	if !reflect.DeepEqual(seq.Breakdowns, par.Breakdowns) {
+		t.Errorf("%s: breakdowns diverge", name)
+	}
+}
+
+// TestParallelKernelMatchesSequential is the tentpole's central property:
+// the sharded kernel, at any worker count, produces the identical Report —
+// same event order, same virtual times, same checksums — as the sequential
+// kernel, for every protocol.
+func TestParallelKernelMatchesSequential(t *testing.T) {
+	for _, proto := range allProtocols() {
+		seq := runStencilWorkers(t, 8, 0, proto, 0)
+		for _, workers := range []int{2, 4} {
+			par := runStencilWorkers(t, 8, workers, proto, 0)
+			reportEqual(t, proto.String(), seq, par)
+		}
+	}
+}
+
+// TestParallelKernelMatchesSequentialUnderFaults repeats the comparison
+// under the seeded conformance fault plan: drops, duplicates, reordering
+// and delays must replay identically on the sharded kernel.
+func TestParallelKernelMatchesSequentialUnderFaults(t *testing.T) {
+	for _, proto := range allProtocols() {
+		for _, seed := range []int64{1, 42} {
+			seq := runStencilWorkers(t, 8, 0, proto, seed)
+			par := runStencilWorkers(t, 8, 4, proto, seed)
+			reportEqual(t, proto.String(), seq, par)
+		}
+	}
+}
+
+// TestParallelKernelLargeCluster checks the 64-node acceptance point for
+// every protocol at one worker count.
+func TestParallelKernelLargeCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-node sweep")
+	}
+	for _, proto := range allProtocols() {
+		seq := runStencilWorkers(t, 64, 0, proto, 0)
+		par := runStencilWorkers(t, 64, 4, proto, 0)
+		reportEqual(t, proto.String()+"/64", seq, par)
+	}
+}
+
+// TestParallelKernelRejectsTransport pins the config invariant: a real
+// transport already runs wall-clock concurrent, so combining it with the
+// sharded virtual-time kernel is a configuration error.
+func TestParallelKernelRejectsTransport(t *testing.T) {
+	cfg := stencilConfig(2, ProtoBarU)
+	cfg.KernelWorkers = 4
+	cfg.Transport = "mem"
+	if _, err := Run(cfg, miniStencil(16, 16, 2, 1)); err == nil {
+		t.Fatal("KernelWorkers+Transport accepted, want error")
+	}
+}

@@ -20,8 +20,10 @@ import (
 
 // benchSchemaVersion identifies the BENCH_sweep.json layout. Version 2
 // added frame_bytes and stale_refetches to each run entry; version 3
-// added the adaptive-protocol runs plus probe_hits and probe_drops.
-const benchSchemaVersion = 3
+// added the adaptive-protocol runs plus probe_hits and probe_drops;
+// version 4 added the weak-scaling runs and the workers field marking
+// their parallel-kernel twins.
+const benchSchemaVersion = 4
 
 // Pre-diet allocation baselines, recorded on the tree as of commit
 // 308965d (before the two-pass MakeDiff and AppendEncode landed): MakeDiff
@@ -34,14 +36,18 @@ const (
 )
 
 // benchExperiments are the sweeps the bench export times.
-var benchExperiments = []string{"table1", "fig2", "fig3", "fig4", "adaptive"}
+var benchExperiments = []string{"table1", "fig2", "fig3", "fig4", "adaptive", "scaling"}
 
 // BenchRun is one timed simulation of the bench sweep.
 type BenchRun struct {
-	RunID     string  `json:"run_id"`
-	App       string  `json:"app"`
-	Protocol  string  `json:"protocol"`
-	Procs     int     `json:"procs"`
+	RunID    string `json:"run_id"`
+	App      string `json:"app"`
+	Protocol string `json:"protocol"`
+	Procs    int    `json:"procs"`
+	// Workers is the parallel-kernel worker count; 0 is the sequential
+	// kernel. A workers>0 run is bit-identical to its workers=0 twin —
+	// the pair differs only in wall clock, which is the point.
+	Workers   int     `json:"workers,omitempty"`
 	SimTimeUS float64 `json:"sim_time_us"`
 	WallMS    float64 `json:"wall_ms"`
 	// FrameBytes is the run's encoded wire traffic (whole run); zero
@@ -126,6 +132,7 @@ func (r *Runner) BenchSweep() (*BenchFile, error) {
 			App:            j.app,
 			Protocol:       j.proto,
 			Procs:          j.procs,
+			Workers:        j.workers,
 			SimTimeUS:      float64(rep.Elapsed) / float64(sim.Microsecond),
 			WallMS:         wallMS[i],
 			FrameBytes:     rep.FrameBytes,

@@ -26,7 +26,7 @@ func ExportExperiments() []string {
 	return []string{
 		"apps", "table1", "fig2", "fig3", "fig4", "summary", "adaptive",
 		"ablation-stress", "ablation-scale", "ablation-home", "ablation-pagesize",
-		"chaos-loss", "recovery",
+		"chaos-loss", "recovery", "scaling",
 	}
 }
 
@@ -168,6 +168,26 @@ func (r *Runner) Records(experiment string) ([]Record, error) {
 					"messages": float64(p.Messages),
 				},
 			})
+		}
+		return recs, nil
+	case "scaling":
+		rows, err := r.Scaling()
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, row := range rows {
+			for _, c := range row.Cells {
+				recs = append(recs, Record{
+					Experiment: experiment, App: row.App, Protocol: c.Protocol, Procs: row.Procs,
+					Metrics: map[string]float64{
+						"sim_time_us": c.SimTimeUS,
+						"messages":    float64(c.Messages),
+						"data_kb":     float64(c.DataKB),
+						"diffs":       float64(c.Diffs),
+					},
+				})
+			}
 		}
 		return recs, nil
 	case "recovery":

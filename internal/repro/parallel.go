@@ -20,11 +20,12 @@ import (
 
 // runJob is one cacheable simulation run.
 type runJob struct {
-	key   string // app/protocol/procs plus any variant suffix
-	app   string
-	proto string
-	procs int
-	run   func() (*core.Report, error)
+	key     string // app/protocol/procs plus any variant suffix
+	app     string
+	proto   string
+	procs   int
+	workers int // parallel-kernel workers; 0 = sequential kernel
+	run     func() (*core.Report, error)
 }
 
 // runCached returns the cached report for j, running it on a miss.
@@ -245,6 +246,19 @@ func (r *Runner) jobsFor(experiment string) []runJob {
 		if jacobi, err := r.appByName("jacobi"); err == nil {
 			for _, rate := range lossSweepRates {
 				add(r.lossJob(jacobi, rate))
+			}
+		}
+	case "scaling":
+		for _, name := range scalingApps {
+			for _, procs := range r.scalingProcs() {
+				for _, p := range scalingProtocols {
+					add(r.scalingJob(name, procs, p, 0))
+				}
+				// The kernel-comparison twin: same run on the sharded
+				// parallel kernel, for the bench export's wall clocks.
+				if name == "jacobi" {
+					add(r.scalingJob(name, procs, core.ProtoBarU, scalingWorkers))
+				}
 			}
 		}
 	case "recovery":

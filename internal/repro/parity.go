@@ -24,11 +24,11 @@ import (
 // framing overhead the simulator's modeled byte counts do not include.
 
 // parityBackends are the runtimes the sweep compares, simulator first.
-var parityBackends = []string{"sim", "mem", "udp"}
+var parityBackends = []string{"sim", "mem", "udp", "tcp"}
 
 // ParityCell is one protocol's run on one backend.
 type ParityCell struct {
-	// Backend is "sim", "mem" or "udp".
+	// Backend is "sim", "mem", "udp" or "tcp".
 	Backend string
 	// Messages..Retransmits are the run's Table-1-style counters
 	// (modeled accounting — identical bookkeeping on every backend).
@@ -72,7 +72,7 @@ func (r *Runner) parityApp() (*apps.App, error) {
 	return fallback, nil
 }
 
-// Parity runs the sim/mem/udp parity sweep and verifies it.
+// Parity runs the sim/mem/udp/tcp parity sweep and verifies it.
 func (r *Runner) Parity() ([]ParityRow, error) {
 	return r.ParityContext(context.Background())
 }

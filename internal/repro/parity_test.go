@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-// TestParitySmall runs the sim/mem/udp parity sweep at reduced scale: all
+// TestParitySmall runs the sim/mem/udp/tcp parity sweep at reduced scale: all
 // six protocols on jacobi, checksums bit-identical across backends and
 // message counts matched to the simulator's within accounted slack (the
 // sweep itself enforces both; the test checks shape and rendering).
@@ -22,8 +22,8 @@ func TestParitySmall(t *testing.T) {
 		t.Fatalf("swept %d protocols, want 6", len(rows))
 	}
 	for _, row := range rows {
-		if len(row.Cells) != 3 {
-			t.Fatalf("%v: %d backends, want 3", row.Protocol, len(row.Cells))
+		if len(row.Cells) != 4 {
+			t.Fatalf("%v: %d backends, want 4", row.Protocol, len(row.Cells))
 		}
 		if row.Cells[0].Backend != "sim" || row.Cells[0].FrameBytes != 0 {
 			t.Errorf("%v: first cell %q frame bytes %d; want sim with 0",
@@ -43,7 +43,7 @@ func TestParitySmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "all backends agree") || !strings.Contains(out, "udp") {
+	if !strings.Contains(out, "all backends agree") || !strings.Contains(out, "udp") || !strings.Contains(out, "tcp") {
 		t.Errorf("render incomplete:\n%s", out)
 	}
 }

@@ -10,9 +10,12 @@
 //
 // Virtual time is an int64 count of nanoseconds. A Proc's clock advances
 // only through kernel calls; computation performed between calls is free
-// unless the Proc charges for it explicitly with Advance. Because all
-// events are processed in (time, sequence) order, runs are bit-for-bit
-// deterministic.
+// unless the Proc charges for it explicitly with Advance. Every event
+// carries a content-derived ordering key — (delivery time, push time,
+// pushing proc, per-proc push sequence) — so the event order is a pure
+// function of what the procs do, never of how the kernel interleaves
+// them, and runs are bit-for-bit deterministic. The same key drives the
+// sharded parallel kernel (see parallel.go) to the identical event order.
 //
 // The kernel is the substrate for godsm's simulated cluster: higher layers
 // (netsim, core) build message passing, RPC, and the DSM protocols on top
@@ -59,9 +62,17 @@ type Message struct {
 }
 
 // event is a heap entry: either a message delivery or a timer wakeup.
+// Ties at equal delivery time are broken by the push-time key (pushAt,
+// from, seq): events pushed earlier in virtual time fire first, then by
+// pushing proc id, then in per-proc push order. The key depends only on
+// the pushing proc's own deterministic execution — not on any global
+// counter — which is what lets the parallel kernel (parallel.go)
+// reproduce the sequential event order exactly.
 type event struct {
 	at      Time
-	seq     uint64 // global tiebreak: FIFO among simultaneous events
+	pushAt  Time   // pushing proc's clock at push
+	from    int    // pushing proc id
+	seq     uint64 // pushing proc's push sequence number
 	proc    int    // destination proc id
 	msg     *Message
 	isTimer bool
@@ -73,6 +84,12 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].pushAt != h[j].pushAt {
+		return h[i].pushAt < h[j].pushAt
+	}
+	if h[i].from != h[j].from {
+		return h[i].from < h[j].from
 	}
 	return h[i].seq < h[j].seq
 }
@@ -106,8 +123,15 @@ type Proc struct {
 	now   Time
 	state procState
 
-	resume chan Time // kernel -> proc: wake at this time
+	resume chan Time     // kernel -> proc: wake at this time
+	yield  chan struct{} // proc -> scheduler: I have blocked or finished
 	mbox   []*Message
+
+	pushSeq uint64 // events pushed by this proc, for the ordering key
+
+	// sh is the owning shard under a parallel kernel (parallel.go); nil on
+	// a sequential or realtime kernel.
+	sh *shard
 
 	body func(*Proc)
 
@@ -149,10 +173,13 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 type Kernel struct {
 	procs  []*Proc
 	events eventHeap
-	seq    uint64
 	yield  chan struct{} // proc -> kernel: I have blocked or finished
 	live   int           // procs not yet Done
 	failed error
+
+	// par, when non-nil, switches the kernel to sharded parallel execution
+	// with conservative lookahead (see parallel.go).
+	par *parState
 
 	// canceled carries an external stop request (Cancel); the event loop
 	// polls it between events. It is the only kernel field touched from
@@ -186,6 +213,7 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 		id:     len(k.procs),
 		name:   name,
 		resume: make(chan Time),
+		yield:  k.yield,
 		body:   body,
 		state:  stateReady,
 	}
@@ -200,9 +228,17 @@ func (k *Kernel) NumProcs() int { return len(k.procs) }
 // Proc returns the proc with the given id.
 func (k *Kernel) Proc(id int) *Proc { return k.procs[id] }
 
-func (k *Kernel) push(e *event) {
-	e.seq = k.seq
-	k.seq++
+// push enqueues an event pushed by proc p, stamping the deterministic
+// ordering key from p's clock and push counter.
+func (k *Kernel) push(p *Proc, e *event) {
+	e.pushAt = p.now
+	e.from = p.id
+	e.seq = p.pushSeq
+	p.pushSeq++
+	if k.par != nil {
+		k.par.route(p, e)
+		return
+	}
 	heap.Push(&k.events, e)
 }
 
@@ -220,19 +256,13 @@ func (k *Kernel) Run() error {
 	if k.rt != nil {
 		return k.runRT()
 	}
+	if k.par != nil {
+		return k.runPar()
+	}
 	// Start all procs at t=0 in spawn order.
 	for _, p := range k.procs {
-		p := p
 		k.live++
-		go func() {
-			t := <-p.resume
-			p.now = t
-			p.state = stateRunning
-			p.body(p)
-			p.state = stateDone
-			k.live--
-			k.yield <- struct{}{}
-		}()
+		k.startProc(p)
 	}
 	for _, p := range k.procs {
 		k.schedule(p, 0)
@@ -275,9 +305,32 @@ func (k *Kernel) schedule(p *Proc, t Time) {
 	<-k.yield
 }
 
+// startProc launches p's goroutine: it waits for its first resume, runs
+// the body, and reports completion to its scheduler (the kernel loop, or
+// the owning shard under a parallel kernel).
+func (k *Kernel) startProc(p *Proc) {
+	go func() {
+		t := <-p.resume
+		p.now = t
+		p.state = stateRunning
+		p.body(p)
+		p.state = stateDone
+		if p.sh != nil {
+			p.sh.live--
+		} else {
+			k.live--
+		}
+		p.yield <- struct{}{}
+	}()
+}
+
 // Fail aborts the simulation with err; the currently running proc must call
 // it and then block forever (the kernel's Run returns err).
 func (k *Kernel) fail(err error) {
+	if k.par != nil {
+		k.par.fail(err)
+		return
+	}
 	if k.failed == nil {
 		k.failed = err
 	}
@@ -337,7 +390,7 @@ func (k *Kernel) dump() string {
 // yieldAndWait blocks the calling proc until the kernel resumes it,
 // updating the proc clock to the resume time.
 func (p *Proc) yieldAndWait() {
-	p.k.yield <- struct{}{}
+	p.yield <- struct{}{}
 	t := <-p.resume
 	if t > p.now {
 		p.now = t
@@ -368,7 +421,7 @@ func (p *Proc) Advance(d Duration) {
 	if d == 0 {
 		return
 	}
-	p.k.push(&event{at: p.now + Time(d), proc: p.id, isTimer: true})
+	p.k.push(p, &event{at: p.now + Time(d), proc: p.id, isTimer: true})
 	p.state = stateBlockedTimer
 	p.yieldAndWait()
 }
@@ -386,7 +439,7 @@ func (p *Proc) Send(dst int, delay Duration, payload any) {
 	}
 	m := &Message{From: p.id, To: dst}
 	m.Payload = payload
-	p.k.push(&event{at: p.now + Time(delay), proc: dst, msg: m})
+	p.k.push(p, &event{at: p.now + Time(delay), proc: dst, msg: m})
 }
 
 // Recv returns the next queued message, blocking in virtual time until one
@@ -438,8 +491,12 @@ func (p *Proc) Fail(err error) {
 		panic(errProcKilled)
 	}
 	p.k.fail(err)
-	p.k.live--
 	p.state = stateDone
-	p.k.yield <- struct{}{}
+	if p.sh != nil {
+		p.sh.live--
+	} else {
+		p.k.live--
+	}
+	p.yield <- struct{}{}
 	select {} // unreachable in practice; kernel never resumes us
 }

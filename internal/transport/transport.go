@@ -1,5 +1,5 @@
 // Package transport carries encoded wire frames between DSM nodes under
-// the realtime runtime. Two backends share one interface:
+// the realtime runtime. Three real backends share one interface:
 //
 //   - mem: goroutine-per-endpoint over in-process channels. Reliable and
 //     ordered per sender→receiver pair, but frames still cross an
@@ -8,16 +8,28 @@
 //     datagrams, so loss and reorder are possible and the reliability
 //     layer (rid/retransmit/dedup) does real work. Frames larger than a
 //     safe datagram are fragmented and reassembled.
+//   - tcp: one listener per node with a persistent lazily-dialed stream
+//     per ordered node pair. Reliable and ordered like mem, but over the
+//     kernel's TCP stack — the stream format spans hosts.
+//
+// A fourth name, "sim", is registered as a virtual backend: it selects
+// the discrete-event kernel with its virtual clock, so no transport
+// object is ever constructed for it. Registering it here gives every
+// selection surface (CLI flags, dsmd launch requests, the public
+// options) one authoritative name list.
 //
 // A frame is an opaque []byte produced by wire.AppendFrame (4-byte length
 // prefix + varint header + payload). The transport never inspects frame
 // contents; it only moves bytes. Send does not retain the caller's slice
-// past the call — both backends copy (mem) or write to the socket (udp)
-// before returning.
+// past the call — every backend copies or writes to the socket before
+// returning.
 package transport
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 )
 
 // Addr names one endpoint: a node and a port on it (the DSM uses
@@ -46,21 +58,98 @@ type Transport interface {
 	Close() error
 }
 
-// Kinds of transport selectable from the CLI.
+// Names of the built-in backends.
 const (
+	KindSim = "sim"
 	KindMem = "mem"
 	KindUDP = "udp"
+	KindTCP = "tcp"
 )
 
-// New builds a transport for nodes × ports endpoints. Kind is "mem" or
-// "udp".
-func New(kind string, nodes, ports int) (Transport, error) {
-	switch kind {
-	case KindMem:
-		return newMem(nodes, ports), nil
-	case KindUDP:
-		return newUDP(nodes, ports)
-	default:
-		return nil, fmt.Errorf("transport: unknown kind %q (want %q or %q)", kind, KindMem, KindUDP)
+// Factory constructs a backend for nodes × ports endpoints.
+type Factory func(nodes, ports int) (Transport, error)
+
+// Entry describes one registered backend.
+type Entry struct {
+	// Name is the selector callers pass to flags, launch requests and
+	// godsm.WithTransport.
+	Name string
+	// Virtual marks a backend realized inside the discrete-event kernel
+	// rather than by a Transport object: the name is selectable, but New
+	// refuses to construct it. "sim" is the only built-in virtual entry.
+	Virtual bool
+	// New builds the backend; nil for virtual entries.
+	New Factory
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Entry{}
+)
+
+// Register adds a backend to the selection registry. It panics on an
+// empty name, a duplicate, or a non-virtual entry without a factory —
+// registration is init-time wiring, and a bad entry is a programming
+// error no caller can recover from.
+func Register(e Entry) {
+	if e.Name == "" {
+		panic("transport: Register with empty name")
 	}
+	if !e.Virtual && e.New == nil {
+		panic(fmt.Sprintf("transport: Register(%q) without factory", e.Name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("transport: Register(%q) twice", e.Name))
+	}
+	registry[e.Name] = e
+}
+
+// Lookup resolves a backend name.
+func Lookup(name string) (Entry, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names lists every registered backend name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(Entry{Name: KindSim, Virtual: true})
+	Register(Entry{Name: KindMem, New: func(nodes, ports int) (Transport, error) {
+		return newMem(nodes, ports), nil
+	}})
+	Register(Entry{Name: KindUDP, New: func(nodes, ports int) (Transport, error) {
+		return newUDP(nodes, ports)
+	}})
+	Register(Entry{Name: KindTCP, New: func(nodes, ports int) (Transport, error) {
+		return newTCP(nodes, ports)
+	}})
+}
+
+// New builds a transport for nodes × ports endpoints by registry lookup.
+// Virtual backends (the DES kernel's "sim") have no transport object and
+// are rejected here; resolve them before reaching for New.
+func New(kind string, nodes, ports int) (Transport, error) {
+	e, ok := Lookup(kind)
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown kind %q (have %s)",
+			kind, strings.Join(Names(), ", "))
+	}
+	if e.Virtual {
+		return nil, fmt.Errorf("transport: kind %q is virtual (no transport object)", kind)
+	}
+	return e.New(nodes, ports)
 }

@@ -204,3 +204,97 @@ func TestCloseUnblocksSend(t *testing.T) {
 		t.Fatal("Send blocked past Close")
 	}
 }
+
+func TestTCPBasicDelivery(t *testing.T) { testBasicDelivery(t, KindTCP) }
+func TestTCPSendCopies(t *testing.T)    { testSendCopies(t, KindTCP) }
+func TestTCPBadAddress(t *testing.T)    { testBadAddress(t, KindTCP) }
+
+// tcp preserves per-pair ordering across batch flushes and delivers
+// everything, like mem.
+func TestTCPOrderedDelivery(t *testing.T) {
+	tr, err := New(KindTCP, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	deliver, read := collectors(2, 1)
+	if err := tr.Start(deliver); err != nil {
+		t.Fatal(err)
+	}
+	src := Addr{Node: 0}
+	dst := Addr{Node: 1}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Send(src, dst, []byte(fmt.Sprintf("frame-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(read(dst)) == n })
+	for i, f := range read(dst) {
+		if want := fmt.Sprintf("frame-%04d", i); string(f) != want {
+			t.Fatalf("frame %d = %q, want %q", i, f, want)
+		}
+	}
+}
+
+// A frame near the size ceiling crosses the stream in one piece, and
+// interleaves correctly with coalesced small frames.
+func TestTCPLargeFrame(t *testing.T) {
+	tr, err := New(KindTCP, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	deliver, read := collectors(1, 2)
+	if err := tr.Start(deliver); err != nil {
+		t.Fatal(err)
+	}
+	src := Addr{}
+	big := Addr{Port: 1}
+	want := make([]byte, tcpBatchBytes*3)
+	for i := range want {
+		want[i] = byte(i * 31)
+	}
+	small := []byte("just a small one")
+	if err := tr.Send(src, src, small); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(src, big, want); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(read(big)) == 1 && len(read(src)) == 1 })
+	if got := read(big)[0]; !bytes.Equal(got, want) {
+		t.Fatalf("large frame differs: %d bytes vs %d", len(got), len(want))
+	}
+	if got := read(src)[0]; !bytes.Equal(got, small) {
+		t.Fatalf("small frame differs: %q", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	for _, want := range []string{KindSim, KindMem, KindUDP, KindTCP} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Names() = %v: missing %q", names, want)
+		}
+	}
+	e, ok := Lookup(KindSim)
+	if !ok || !e.Virtual {
+		t.Fatalf("Lookup(sim) = %+v, %v: want a virtual entry", e, ok)
+	}
+	if _, err := New(KindSim, 2, 2); err == nil {
+		t.Fatal("New(sim) built a transport for the virtual backend")
+	}
+	for _, kind := range []string{KindMem, KindUDP, KindTCP} {
+		e, ok := Lookup(kind)
+		if !ok || e.Virtual || e.New == nil {
+			t.Fatalf("Lookup(%s) = %+v, %v: want a real factory", kind, e, ok)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package vm
+
+// segAlloc on platforms without the mmap fast path reports no mapping;
+// NewAddressSpace falls back to heap allocation.
+func segAlloc(n int) []byte { return nil }
+
+func segFree(m []byte) {}

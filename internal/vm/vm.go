@@ -53,11 +53,17 @@ const MaxPageSize = 1 << 16
 // AddressSpace is one node's view of the shared segment.
 type AddressSpace struct {
 	Mem      []byte // local copy of the shared segment
+	mapped   []byte // non-nil when Mem is an anonymous mapping (see Release)
 	prot     []Prot
 	twins    [][]byte // per-page twin, nil when absent
 	pageSize int
 	shift    uint
 }
+
+// mmapThreshold is the segment size above which NewAddressSpace prefers an
+// anonymous mapping over the heap: big enough that small test segments
+// stay ordinary GC-managed slices with no release obligation.
+const mmapThreshold = 1 << 20
 
 // NewAddressSpace returns an address space of size bytes (rounded up to a
 // whole number of pages), all pages zero-filled with protection Read.
@@ -77,12 +83,32 @@ func NewAddressSpace(size, pageSize int) *AddressSpace {
 	for i := range prot {
 		prot[i] = Read
 	}
-	return &AddressSpace{
-		Mem:      make([]byte, npages*pageSize),
+	as := &AddressSpace{
 		prot:     prot,
 		twins:    make([][]byte, npages),
 		pageSize: pageSize,
 		shift:    shift,
+	}
+	if n := npages * pageSize; n >= mmapThreshold {
+		as.mapped = segAlloc(n)
+		as.Mem = as.mapped
+	}
+	if as.Mem == nil {
+		as.Mem = make([]byte, npages*pageSize)
+	}
+	return as
+}
+
+// Release returns a mapping-backed segment to the OS; heap-backed spaces
+// are left to the garbage collector. The address space (and anything
+// aliasing Mem) must not be touched afterwards. Callers that own the full
+// run lifecycle (the engine) call this once the report is built; leaking a
+// release only costs memory until process exit.
+func (as *AddressSpace) Release() {
+	if as.mapped != nil {
+		segFree(as.mapped)
+		as.mapped = nil
+		as.Mem = nil
 	}
 }
 

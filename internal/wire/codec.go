@@ -100,6 +100,23 @@ func (d *dec) count() int {
 	return int(v)
 }
 
+// copyset decodes the nonzero-prefix word list HomePullRep carries.
+func (d *dec) copyset() [CopysetWords]uint64 {
+	var cs [CopysetWords]uint64
+	n := d.uvarint()
+	if d.err != nil {
+		return cs
+	}
+	if n > CopysetWords {
+		d.fail("copyset of %d words exceeds %d", n, CopysetWords)
+		return cs
+	}
+	for i := 0; i < int(n); i++ {
+		cs[i] = d.fixed64()
+	}
+	return cs
+}
+
 func (d *dec) fixed64() uint64 {
 	if d.err != nil {
 		return 0
@@ -655,7 +672,17 @@ func AppendMessage(buf []byte, kind int, data any) ([]byte, error) {
 		buf = binary.AppendVarint(buf, int64(m.Page))
 		buf = appendBytes(buf, m.Data)
 		buf = binary.AppendUvarint(buf, uint64(m.Version))
-		return binary.LittleEndian.AppendUint64(buf, m.Copyset), nil
+		// Nonzero-prefix copyset words: small clusters (the common case)
+		// pay one count byte plus one word, never the full four.
+		nw := len(m.Copyset)
+		for nw > 0 && m.Copyset[nw-1] == 0 {
+			nw--
+		}
+		buf = binary.AppendUvarint(buf, uint64(nw))
+		for _, w := range m.Copyset[:nw] {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+		return buf, nil
 	case KindLockAcq:
 		m, ok := data.(*LockAcq)
 		if !ok {
@@ -722,6 +749,29 @@ func AppendMessage(buf []byte, kind int, data any) ([]byte, error) {
 		}
 		buf = binary.AppendVarint(buf, int64(m.Seq))
 		return binary.AppendVarint(buf, int64(m.Missed)), nil
+	case KindBarBundle:
+		m, ok := data.(*BarBundle)
+		if !ok {
+			return buf, badPayload(kind, data)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(m.Rels)))
+		for i := range m.Rels {
+			r := &m.Rels[i]
+			if r.Rel == nil {
+				return buf, fmt.Errorf("wire: bundle entry without release")
+			}
+			buf = binary.AppendVarint(buf, int64(r.Node))
+			buf = binary.AppendVarint(buf, r.Rid)
+			buf = binary.AppendVarint(buf, int64(r.Size))
+			buf = binary.AppendVarint(buf, int64(r.Rel.Seq))
+			var err error
+			buf, err = appendProto(buf, r.Rel.Proto)
+			if err != nil {
+				return buf, err
+			}
+			buf = appendRedResult(buf, r.Rel.Red)
+		}
+		return buf, nil
 	case KindShutdown, KindFlagSetAck, KindDoneRelease:
 		if data != nil {
 			return buf, badPayload(kind, data)
@@ -775,7 +825,7 @@ func DecodeMessage(kind int, b []byte) (any, error) {
 	case KindHomePull:
 		out = &HomePull{Page: d.pageID()}
 	case KindHomePullRep:
-		out = &HomePullRep{Page: d.pageID(), Data: d.bytes(), Version: d.uint32(), Copyset: d.fixed64()}
+		out = &HomePullRep{Page: d.pageID(), Data: d.bytes(), Version: d.uint32(), Copyset: d.copyset()}
 	case KindLockAcq:
 		out = d.lockAcq()
 	case KindLockFwd:
@@ -794,6 +844,18 @@ func DecodeMessage(kind int, b []byte) (any, error) {
 		out = &DoneMsg{From: d.int()}
 	case KindRestart:
 		out = &RestartMsg{Seq: d.int(), Missed: d.int()}
+	case KindBarBundle:
+		n := d.count()
+		rels := make([]BundleRel, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			rels = append(rels, BundleRel{
+				Node: d.int(),
+				Rid:  d.varint(),
+				Size: d.int(),
+				Rel:  &BarRelease{Seq: d.int(), Proto: d.proto(), Red: d.redResult()},
+			})
+		}
+		out = &BarBundle{Rels: rels}
 	case KindShutdown, KindFlagSetAck, KindDoneRelease:
 		out = nil
 	default:

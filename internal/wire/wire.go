@@ -80,6 +80,9 @@ const (
 	// KindRestart is the barrier manager's restart grant waking a crashed
 	// node: rejoin the cluster at barrier Seq+1.
 	KindRestart
+	// KindBarBundle carries one subtree's barrier releases down the k-ary
+	// release relay tree (core's BarrierFanout option).
+	KindBarBundle
 
 	// kindMax is one past the largest valid kind.
 	kindMax
@@ -104,6 +107,11 @@ const (
 	BytesReduceVal   = 8
 	BytesBarHeader   = 16
 )
+
+// CopysetWords is the word count of the on-wire copyset bitmap carried
+// by HomePullRep: 64 node ranks per word. core's copyset type aliases
+// the same shape, so the bound (CopysetWords * 64 nodes) is shared.
+const CopysetWords = 4
 
 // WriteNotice names one interval's modification of one page by one node.
 // Under the barrier-only bar protocols Epoch is the global barrier
@@ -225,6 +233,25 @@ type BarRelease struct {
 	Red   *RedResult
 }
 
+// BarBundle carries every barrier release for one subtree of the k-ary
+// release relay tree. The manager sends each of its direct children one
+// bundle instead of every node a separate release; a relay node delivers
+// its own entry to its compute process and forwards the remaining entries
+// as per-child sub-bundles.
+type BarBundle struct {
+	Rels []BundleRel
+}
+
+// BundleRel is one node's release inside a bundle: the destination node,
+// the rid of the barrier arrival the release answers, the modeled size of
+// the stand-alone release message, and the release record itself.
+type BundleRel struct {
+	Node int
+	Rid  int64
+	Size int
+	Rel  *BarRelease
+}
+
 // UpdatesReady is the local signal payload for KindUpdatesReady.
 type UpdatesReady struct {
 	Epoch int
@@ -266,7 +293,7 @@ type HomePullRep struct {
 	Page    vm.PageID
 	Data    []byte
 	Version uint32
-	Copyset uint64
+	Copyset [CopysetWords]uint64
 }
 
 // BarArrivalBar is the home-based family's barrier arrival payload.

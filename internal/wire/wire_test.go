@@ -87,7 +87,7 @@ func samples() []sample {
 		{"updatesReady", hdr(KindUpdatesReady), &UpdatesReady{Epoch: 4}, -1},
 		{"updateTimeout", hdr(KindUpdateTimeout), &UpdateTimeout{WaitSeq: 9}, -1},
 		{"homePull", hdr(KindHomePull), &HomePull{Page: 4}, BytesPageReq},
-		{"homePullRep", reply(KindHomePullRep), &HomePullRep{Page: 4, Data: page, Version: 5, Copyset: 0b1011}, len(page) + BytesMigrateRec},
+		{"homePullRep", reply(KindHomePullRep), &HomePullRep{Page: 4, Data: page, Version: 5, Copyset: [CopysetWords]uint64{0b1011}}, len(page) + BytesMigrateRec},
 		{"lockAcq", hdr(KindLockAcq), &LockAcq{Lock: 3, From: 2, VC: []int{0, -1, 4, 2}}, 8 + 8*4},
 		{"lockFwd", hdr(KindLockFwd), &LockFwd{Acq: &LockAcq{Lock: 3, From: 2, VC: []int{0, -1, 4, 2}}, Seq: 2, Pred: 1}, 8 + 8*4},
 		{"lockGrant", reply(KindLockGrant), &LockGrant{Lock: 3, Seq: 2, Intervals: ivs}, 8 + SizeIntervals(ivs)},
@@ -100,6 +100,10 @@ func samples() []sample {
 		{"done", hdr(KindDone), &DoneMsg{From: 3}, -1},
 		{"doneRelease", reply(KindDoneRelease), nil, -1},
 		{"restart", hdr(KindRestart), &RestartMsg{Seq: 12, Missed: 2}, -1},
+		{"barBundle", hdr(KindBarBundle), &BarBundle{Rels: []BundleRel{
+			{Node: 1, Rid: 4, Size: BytesBarHeader + relBar.ModelSize(), Rel: &BarRelease{Seq: 5, Proto: relBar, Red: redRes}},
+			{Node: 5, Rid: 9, Size: BytesBarHeader, Rel: &BarRelease{Seq: 5}},
+		}}, 2*BytesBarHeader + relBar.ModelSize() + redRes.ModelSize()},
 	}
 }
 

@@ -80,6 +80,27 @@ func WithMetrics(reg *MetricsRegistry) Option {
 	return func(c *Config) { c.Metrics = reg }
 }
 
+// WithTransport selects how protocol messages travel, by transport
+// registry name. "sim" (or "") keeps the deterministic discrete-event
+// simulation — the default. "mem", "udp" and "tcp" run the cluster for
+// real against the wall clock, carrying every remote message through the
+// wire codec and the named backend. TransportNames lists what is
+// available; an unknown name fails the run at startup.
+func WithTransport(name string) Option {
+	return func(c *Config) { c.Transport = name }
+}
+
+// WithParallelKernel shards the discrete-event kernel by node and drives
+// the shards with workers goroutines under conservative lookahead.
+// Results — event order, virtual times, checksums, every counter — are
+// bit-identical to the sequential kernel; only wall-clock time changes.
+// workers <= -1 selects GOMAXPROCS workers; 0 restores the sequential
+// kernel. Incompatible with a real transport (WithTransport "mem",
+// "udp", "tcp"), which already runs nodes concurrently.
+func WithParallelKernel(workers int) Option {
+	return func(c *Config) { c.KernelWorkers = workers }
+}
+
 // WithConfig applies fn to the assembled Config after every preceding
 // option, an escape hatch for fields without a dedicated option.
 func WithConfig(fn func(*Config)) Option {
