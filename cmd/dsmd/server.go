@@ -15,6 +15,7 @@ import (
 
 	"godsm/internal/apps"
 	"godsm/internal/core"
+	"godsm/internal/kvload"
 	"godsm/internal/metrics"
 	"godsm/internal/netsim"
 	"godsm/internal/sim"
@@ -72,7 +73,7 @@ type server struct {
 // runRequest is the POST /v1/runs body. Zero values select the
 // defaults noted per field.
 type runRequest struct {
-	App   string `json:"app"`             // required: barnes expl fft jacobi shallow sor swm tomcat
+	App   string `json:"app"`             // required: barnes expl fft jacobi shallow sor swm tomcat kv
 	Proto string `json:"proto"`           // required: seq lmw-i lmw-u bar-i bar-u bar-s bar-m
 	Procs int    `json:"procs,omitempty"` // default 8 (1 for seq)
 	Small bool   `json:"small,omitempty"` // reduced application size
@@ -89,6 +90,92 @@ type runRequest struct {
 	// PageStats attaches per-page attribution to the report.
 	PageStats bool          `json:"page_stats,omitempty"`
 	Faults    *faultRequest `json:"faults,omitempty"`
+	// KV parameterizes the datastore workload; only legal with app "kv".
+	KV *kvRequest `json:"kv,omitempty"`
+}
+
+// kvRequest carries the kv workload's traffic parameters, mirroring
+// dsmrun's -kv-* flags (see internal/apps.KVConfig). Zero values keep
+// the app's default (or -small) configuration; ops and write are
+// pointers because 0 is a meaningful setting for both.
+type kvRequest struct {
+	Ops        *int     `json:"ops,omitempty"`         // total op budget
+	Keys       int      `json:"keys,omitempty"`        // key-space size
+	Shards     int      `json:"shards,omitempty"`      // hash-shard count
+	Streams    int      `json:"streams,omitempty"`     // request streams
+	Dist       string   `json:"dist,omitempty"`        // uniform, zipf=S, hotset=FRAC/KEYS
+	Mix        string   `json:"mix,omitempty"`         // write=F,scan=F,scanlen=N
+	Write      *float64 `json:"write,omitempty"`       // put fraction override
+	Epochs     int      `json:"epochs,omitempty"`      // measured epochs
+	Seed       uint64   `json:"seed,omitempty"`        // traffic seed
+	StatsEvery int      `json:"stats_every,omitempty"` // stats-epoch period
+	Locks      bool     `json:"locks,omitempty"`       // per-shard locks (lmw only)
+}
+
+// kvApp resolves the kv workload configuration for the request,
+// mirroring dsmrun's -kv-* validation. reg, when non-nil, receives the
+// workload-level godsm_kv_* series (the server's registry, so they show
+// on GET /metrics alongside the engine counters).
+func (rr *runRequest) kvApp(proto core.ProtocolKind, reg *metrics.Registry) (*apps.App, error) {
+	cfg := apps.KVDefault()
+	if rr.Small {
+		cfg = apps.KVSmall()
+	}
+	if k := rr.KV; k != nil {
+		if k.Ops != nil {
+			if *k.Ops < 0 {
+				return nil, fmt.Errorf("kv.ops %d: the op budget cannot be negative", *k.Ops)
+			}
+			cfg.Ops = *k.Ops
+		}
+		if k.Keys != 0 {
+			cfg.Keys = k.Keys
+		}
+		if k.Shards != 0 {
+			cfg.Shards = k.Shards
+		}
+		if k.Streams != 0 {
+			cfg.Streams = k.Streams
+		}
+		if k.Dist != "" {
+			d, err := kvload.ParseDist(k.Dist)
+			if err != nil {
+				return nil, fmt.Errorf("kv.dist: %v", err)
+			}
+			cfg.Dist = d
+		}
+		if k.Mix != "" {
+			m, err := kvload.ParseMix(k.Mix)
+			if err != nil {
+				return nil, fmt.Errorf("kv.mix: %v", err)
+			}
+			cfg.Mix = m
+		}
+		if k.Write != nil {
+			if *k.Write < 0 || *k.Write > 1 {
+				return nil, fmt.Errorf("kv.write %g: must be a fraction in [0, 1]", *k.Write)
+			}
+			cfg.Mix.Write = *k.Write
+		}
+		if k.Epochs != 0 {
+			cfg.Measure = k.Epochs
+		}
+		if k.Seed != 0 {
+			cfg.Seed = k.Seed
+		}
+		if k.StatsEvery != 0 {
+			cfg.StatsEvery = k.StatsEvery
+		}
+		cfg.Locks = k.Locks
+	}
+	if cfg.Shards < rr.Procs {
+		return nil, fmt.Errorf("kv.shards %d: want at least one shard per node (procs %d)", cfg.Shards, rr.Procs)
+	}
+	if cfg.Locks && proto != core.ProtoLmwI && proto != core.ProtoLmwU && proto != core.ProtoSeq {
+		return nil, fmt.Errorf("kv.locks needs a homeless protocol (lmw-i, lmw-u); %v is barrier-only", proto)
+	}
+	cfg.Metrics = reg
+	return apps.KV(cfg)
 }
 
 // faultRequest arms deterministic fault injection, mirroring dsmrun's
@@ -462,8 +549,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // validate resolves a run request against the same rules dsmrun enforces
-// on its flags: reject what the engine would silently misinterpret.
-func (rr *runRequest) validate() (*apps.App, core.ProtocolKind, *netsim.FaultPlan, error) {
+// on its flags: reject what the engine would silently misinterpret. reg
+// (which may be nil) receives the kv workload's godsm_kv_* series.
+func (rr *runRequest) validate(reg *metrics.Registry) (*apps.App, core.ProtocolKind, *netsim.FaultPlan, error) {
 	proto, err := core.ParseProtocol(rr.Proto)
 	if err != nil {
 		return nil, 0, nil, err
@@ -493,18 +581,27 @@ func (rr *runRequest) validate() (*apps.App, core.ProtocolKind, *netsim.FaultPla
 	if rr.Workers != 0 && rr.Transport != "" {
 		return nil, 0, nil, fmt.Errorf("workers shards the simulated kernel; it cannot be combined with transport %s", rr.Transport)
 	}
-	list := apps.All()
-	if rr.Small {
-		list = apps.Small()
-	}
 	var app *apps.App
-	for _, a := range list {
-		if a.Name == rr.App {
-			app = a
+	if rr.App == "kv" {
+		if app, err = rr.kvApp(proto, reg); err != nil {
+			return nil, 0, nil, err
 		}
-	}
-	if app == nil {
-		return nil, 0, nil, fmt.Errorf("unknown application %q", rr.App)
+	} else {
+		if rr.KV != nil {
+			return nil, 0, nil, fmt.Errorf("kv parameters only apply to app %q (got app %q)", "kv", rr.App)
+		}
+		list := apps.All()
+		if rr.Small {
+			list = apps.Small()
+		}
+		for _, a := range list {
+			if a.Name == rr.App {
+				app = a
+			}
+		}
+		if app == nil {
+			return nil, 0, nil, fmt.Errorf("unknown application %q (have %s)", rr.App, strings.Join(apps.Names(), ", "))
+		}
 	}
 	if app.Dynamic && (proto == core.ProtoBarS || proto == core.ProtoBarM) {
 		return nil, 0, nil, fmt.Errorf("%s has a dynamic sharing pattern; %v would abort (the paper excludes it)", app.Name, proto)
@@ -529,7 +626,7 @@ func (s *server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	app, proto, plan, err := req.validate()
+	app, proto, plan, err := req.validate(s.reg)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return

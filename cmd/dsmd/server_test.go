@@ -711,3 +711,72 @@ func TestFaultedRun(t *testing.T) {
 		t.Error("drop-verdict counter is zero despite injected loss")
 	}
 }
+
+// TestKVLaunchValidation mirrors dsmrun's kv flag validation at the
+// REST surface: every nonsensical traffic parameter is a 400 before any
+// run starts.
+func TestKVLaunchValidation(t *testing.T) {
+	_, ts := newTestServer(t, config{workers: 1, queueCap: 1})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"negative ops", `{"app":"kv","proto":"bar-u","kv":{"ops":-1}}`},
+		{"negative zipf", `{"app":"kv","proto":"bar-u","kv":{"dist":"zipf=-1"}}`},
+		{"unknown dist", `{"app":"kv","proto":"bar-u","kv":{"dist":"pareto"}}`},
+		{"write above one", `{"app":"kv","proto":"bar-u","kv":{"write":1.5}}`},
+		{"bad mix", `{"app":"kv","proto":"bar-u","kv":{"mix":"reads=1"}}`},
+		{"shards below procs", `{"app":"kv","proto":"bar-u","procs":8,"kv":{"shards":4}}`},
+		{"locks under bar", `{"app":"kv","proto":"bar-u","kv":{"locks":true}}`},
+		{"zero keys", `{"app":"kv","proto":"bar-u","kv":{"keys":-1}}`},
+		{"kv params on stencil", `{"app":"jacobi","proto":"bar-u","kv":{"ops":100}}`},
+		{"unknown kv field", `{"app":"kv","proto":"bar-u","kv":{"bogus":1}}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestKVLaunchRun drives a kv session end to end through the server:
+// custom traffic parameters, completion, a checksummed report, and the
+// workload's godsm_kv_* series on GET /metrics.
+func TestKVLaunchRun(t *testing.T) {
+	_, ts := newTestServer(t, config{workers: 1, queueCap: 2, traceCap: 1 << 14})
+	ops := 8000
+	doc := launch(t, ts, runRequest{
+		App: "kv", Proto: "bar-u", Procs: 4, Small: true, Timeline: true,
+		KV: &kvRequest{Ops: &ops, Dist: "zipf=1.2", Mix: "write=0.3,scan=0.05,scanlen=8", Seed: 9},
+	})
+	final := waitState(t, ts, doc.ID)
+	if final.State != stateDone {
+		t.Fatalf("final state = %s (error %q)", final.State, final.Error)
+	}
+	if final.Report == nil || !final.Report.HasChecksum {
+		t.Fatal("kv session carries no checksummed report")
+	}
+	if final.Epochs == 0 {
+		t.Fatal("kv session recorded no epochs")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"godsm_kv_ops_total", "godsm_kv_op_virtual_us", "godsm_kv_hot_page_ops"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics is missing %s", want)
+		}
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"godsm/internal/apps"
 	"godsm/internal/check"
 	"godsm/internal/core"
+	"godsm/internal/kvload"
 	"godsm/internal/metrics"
 	"godsm/internal/netsim"
 	"godsm/internal/obs"
@@ -65,7 +66,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dsmrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	appName := fs.String("app", "jacobi", "application: barnes expl fft jacobi shallow sor swm tomcat")
+	appName := fs.String("app", "jacobi", "application: barnes expl fft jacobi shallow sor swm tomcat kv")
 	protoName := fs.String("proto", "bar-u", "protocol: seq lmw-i lmw-u bar-i bar-u bar-s bar-m adaptive")
 	procs := fs.Int("procs", 8, "cluster size")
 	small := fs.Bool("small", false, "use the reduced application size")
@@ -86,6 +87,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsPath := fs.String("metrics", "", "write the run's final metrics snapshot to `file` in Prometheus text format (- for stdout)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault-injection schedule")
 	checkRun := fs.Bool("check", false, "differential conformance: hold this protocol (fault flags included) bit-for-bit to the sequential baseline under the consistency oracle")
+	kvDef := apps.KVDefault()
+	kvOps := fs.Int("kv-ops", kvDef.Ops, "kv: total operation budget across all streams and epochs")
+	kvKeys := fs.Int("kv-keys", kvDef.Keys, "kv: key-space size")
+	kvShards := fs.Int("kv-shards", kvDef.Shards, "kv: hash-shard count (>= -procs so every node owns a shard)")
+	kvStreams := fs.Int("kv-streams", kvDef.Streams, "kv: open-loop request-stream count (fixed across cluster sizes)")
+	kvDist := fs.String("kv-dist", kvDef.Dist.String(), "kv: key popularity: uniform, zipf=S, or hotset=FRAC/KEYS")
+	kvMix := fs.String("kv-mix", "", "kv: request mix, e.g. write=0.2,scan=0.05,scanlen=16 (empty = default mix)")
+	kvWrite := fs.Float64("kv-write", kvDef.Mix.Write, "kv: put fraction in [0,1] (shorthand for the -kv-mix write term)")
+	kvEpochs := fs.Int("kv-epochs", kvDef.Measure, "kv: measured stats epochs")
+	kvSeed := fs.Uint64("kv-seed", kvDef.Seed, "kv: traffic generator seed")
+	kvStatsEvery := fs.Int("kv-stats-every", kvDef.StatsEvery, "kv: carry the cluster-wide op-counter reduction every N epochs")
+	kvLocks := fs.Bool("kv-locks", false, "kv: bracket each shard's apply phase in per-shard locks (lmw protocols only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -157,19 +170,104 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "dsmrun: -crash needs a DSM protocol; seq has no cluster to crash")
 		return 2
 	}
-	var app *apps.App
-	list := apps.All()
-	if *small {
-		list = apps.Small()
-	}
-	for _, a := range list {
-		if a.Name == *appName {
-			app = a
+	// The kv flag surface only means something for -app kv; a kv knob on
+	// a stencil run would silently measure something other than asked.
+	kvFlagSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if strings.HasPrefix(f.Name, "kv-") {
+			kvFlagSet = true
 		}
-	}
-	if app == nil {
-		fmt.Fprintf(stderr, "dsmrun: unknown application %q\n", *appName)
+	})
+	if kvFlagSet && *appName != "kv" {
+		fmt.Fprintf(stderr, "dsmrun: -kv-* flags only apply to -app kv (got -app %s)\n", *appName)
 		return 2
+	}
+
+	var reg *metrics.Registry
+	if *metricsPath != "" {
+		reg = metrics.New()
+	}
+
+	var app *apps.App
+	if *appName == "kv" {
+		// Nonsensical traffic parameters exit 2 before any run starts,
+		// like the fault flags: a negative op budget, a fraction outside
+		// [0,1] or a zipf exponent below zero would otherwise be rejected
+		// deep in the workload builder (or worse, silently clamped).
+		if *kvOps < 0 {
+			fmt.Fprintf(stderr, "dsmrun: -kv-ops %d: the op budget cannot be negative\n", *kvOps)
+			return 2
+		}
+		if *kvWrite < 0 || *kvWrite > 1 {
+			fmt.Fprintf(stderr, "dsmrun: -kv-write %g: must be a fraction in [0, 1]\n", *kvWrite)
+			return 2
+		}
+		if *kvShards < *procs {
+			fmt.Fprintf(stderr, "dsmrun: -kv-shards %d: want at least one shard per node (-procs %d)\n", *kvShards, *procs)
+			return 2
+		}
+		if *kvLocks && proto != core.ProtoLmwI && proto != core.ProtoLmwU && proto != core.ProtoSeq {
+			fmt.Fprintf(stderr, "dsmrun: -kv-locks needs a homeless protocol (lmw-i, lmw-u); %v is barrier-only\n", proto)
+			return 2
+		}
+		cfg := apps.KVDefault()
+		if *small {
+			cfg = apps.KVSmall()
+		}
+		// Explicitly-set flags override either base config; untouched
+		// flags keep the -small/default values.
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "kv-ops":
+				cfg.Ops = *kvOps
+			case "kv-keys":
+				cfg.Keys = *kvKeys
+			case "kv-shards":
+				cfg.Shards = *kvShards
+			case "kv-streams":
+				cfg.Streams = *kvStreams
+			case "kv-epochs":
+				cfg.Measure = *kvEpochs
+			case "kv-seed":
+				cfg.Seed = *kvSeed
+			case "kv-stats-every":
+				cfg.StatsEvery = *kvStatsEvery
+			}
+		})
+		cfg.Locks = *kvLocks
+		var err error
+		if cfg.Dist, err = kvload.ParseDist(*kvDist); err != nil {
+			fmt.Fprintf(stderr, "dsmrun: -kv-dist: %v\n", err)
+			return 2
+		}
+		if cfg.Mix, err = kvload.ParseMix(*kvMix); err != nil {
+			fmt.Fprintf(stderr, "dsmrun: -kv-mix: %v\n", err)
+			return 2
+		}
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "kv-write" {
+				cfg.Mix.Write = *kvWrite
+			}
+		})
+		cfg.Metrics = reg // godsm_kv_* series join the -metrics snapshot
+		if app, err = apps.KV(cfg); err != nil {
+			fmt.Fprintf(stderr, "dsmrun: %v\n", err)
+			return 2
+		}
+	} else {
+		list := apps.All()
+		if *small {
+			list = apps.Small()
+		}
+		for _, a := range list {
+			if a.Name == *appName {
+				app = a
+			}
+		}
+		if app == nil {
+			fmt.Fprintf(stderr, "dsmrun: unknown application %q (have %s)\n", *appName, strings.Join(apps.Names(), ", "))
+			return 2
+		}
 	}
 
 	opts := apps.RunOpts{
@@ -177,11 +275,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		PageStats:     *pageStatsN > 0,
 		Transport:     *transportName,
 		KernelWorkers: *workers,
-	}
-	var reg *metrics.Registry
-	if *metricsPath != "" {
-		reg = metrics.New()
-		opts.Metrics = reg
+		Metrics:       reg,
 	}
 	plan, err := buildFaultPlan(*loss, *dup, *reorder, *delay, *straggler, *crash, *faultSeed, *procs)
 	if err != nil {

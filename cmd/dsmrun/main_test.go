@@ -449,3 +449,96 @@ func TestCheckMode(t *testing.T) {
 		t.Fatalf("-check on dynamic app under overdrive exited %d: %s", code, errb.String())
 	}
 }
+
+// TestKVFlagValidation mirrors the fault-flag suite for the datastore
+// workload's traffic knobs: every parameter the workload builder would
+// reject must exit 2 up front with a diagnostic naming the flag.
+func TestKVFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the stderr diagnostic
+	}{
+		{"negative ops", []string{"-kv-ops", "-1"}, "-kv-ops"},
+		{"negative write", []string{"-kv-write", "-0.1"}, "-kv-write"},
+		{"write above one", []string{"-kv-write", "1.5"}, "-kv-write"},
+		{"negative zipf", []string{"-kv-dist", "zipf=-1"}, "zipf"},
+		{"unknown dist", []string{"-kv-dist", "pareto"}, "unknown distribution"},
+		{"bad hotset", []string{"-kv-dist", "hotset=2/64"}, "hotset"},
+		{"bad mix term", []string{"-kv-mix", "reads=0.5"}, "mix"},
+		{"mix over one", []string{"-kv-mix", "write=0.7,scan=0.7"}, "exceeds 1"},
+		{"zero scanlen", []string{"-kv-mix", "scanlen=0"}, "scan length"},
+		{"shards below procs", []string{"-procs", "8", "-kv-shards", "4"}, "shard per node"},
+		{"zero shards", []string{"-procs", "1", "-kv-shards", "0"}, "-kv-shards"},
+		{"zero keys", []string{"-kv-keys", "0"}, "keys"},
+		{"zero streams", []string{"-kv-streams", "0"}, "streams"},
+		{"zero epochs", []string{"-kv-epochs", "0"}, "epochs"},
+		{"zero stats period", []string{"-kv-stats-every", "0"}, "stats"},
+		{"locks under bar", []string{"-kv-locks", "-proto", "bar-u"}, "homeless"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			args := append([]string{"-app", "kv", "-small", "-procs", "4"}, tc.args...)
+			// Case-specific -procs wins: flag packages use the last value.
+			code := run(args, &out, &errb)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Fatalf("diagnostic %q does not mention %q", errb.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestKVFlagsRequireKVApp: a kv traffic knob on a stencil run is a
+// configuration error, not a silent no-op.
+func TestKVFlagsRequireKVApp(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-app", "jacobi", "-small", "-kv-ops", "1000"}, &out, &errb)
+	if code != 2 || !strings.Contains(errb.String(), "-app kv") {
+		t.Fatalf("exit %d, stderr %q; want 2 mentioning -app kv", code, errb.String())
+	}
+}
+
+// TestUnknownAppListsNames pins the ByName satellite at the CLI surface:
+// the unknown-application diagnostic carries the valid set.
+func TestUnknownAppListsNames(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-app", "memcached"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	for _, want := range []string{"jacobi", "barnes", "kv"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Fatalf("diagnostic %q does not list %q", errb.String(), want)
+		}
+	}
+}
+
+// TestKVRunEndToEnd drives a small kv run through the full flag surface:
+// plain, with explicit traffic knobs, under -check, and with locks on a
+// homeless protocol.
+func TestKVRunEndToEnd(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-app", "kv", "-proto", "bar-u", "-procs", "4", "-small",
+		"-kv-ops", "8000", "-kv-dist", "zipf=1.2", "-kv-write", "0.5"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("kv run exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "kv under bar-u") || !strings.Contains(out.String(), "checksum") {
+		t.Fatalf("unexpected report:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-app", "kv", "-proto", "lmw-i", "-procs", "4", "-small",
+		"-kv-ops", "8000", "-kv-locks", "-check"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("kv -kv-locks -check exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "bit-identical") {
+		t.Fatalf("conformance summary incomplete:\n%s", out.String())
+	}
+}

@@ -8,7 +8,7 @@
 //
 // Experiments: apps, table1, fig2, fig3, fig4, summary, adaptive,
 // ablation-stress, ablation-scale, ablation-home, chaos-loss, recovery,
-// scaling, conform, parity, bench, all.
+// scaling, datastore, conform, parity, bench, all.
 //
 // SIGINT/SIGTERM mid-sweep cancels cleanly: no new simulations start and
 // the command exits with the cancellation error.
@@ -33,7 +33,7 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_sweep.json", "output path for the bench experiment")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [flags] <experiment>\n\n")
-		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary adaptive ablation-stress ablation-scale ablation-home ablation-pagesize chaos-loss recovery scaling conform parity bench all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: apps table1 fig2 fig3 fig4 summary adaptive ablation-stress ablation-scale ablation-home ablation-pagesize chaos-loss recovery scaling datastore conform parity bench all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -133,6 +133,7 @@ func main() {
 		{"chaos-loss", r.RenderLossSweep},
 		{"recovery", r.RenderRecovery},
 		{"scaling", r.RenderScaling},
+		{"datastore", r.RenderDatastore},
 	}
 	ran := false
 	for _, e := range exps {

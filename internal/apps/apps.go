@@ -22,6 +22,7 @@ package apps
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"godsm/internal/core"
 	"godsm/internal/cost"
@@ -177,14 +178,29 @@ func Small() []*App {
 	}
 }
 
-// ByName finds a full-size app by its paper name.
+// Names lists every application ByName resolves, in presentation
+// order: the paper's eight plus the kv datastore workload (which stays
+// out of All() — the paper's tables are fixed at eight apps).
+func Names() []string {
+	names := make([]string, 0, len(All())+1)
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return append(names, "kv")
+}
+
+// ByName finds a full-size app by name. Unknown names fail like
+// transport.Lookup: the error carries the valid set.
 func ByName(name string) (*App, error) {
+	if name == "kv" {
+		return KV(KVDefault())
+	}
 	for _, a := range All() {
 		if a.Name == name {
 			return a, nil
 		}
 	}
-	return nil, fmt.Errorf("apps: unknown application %q", name)
+	return nil, fmt.Errorf("apps: unknown application %q (have %s)", name, strings.Join(Names(), ", "))
 }
 
 // --- shared helpers ---------------------------------------------------------

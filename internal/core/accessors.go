@@ -140,6 +140,20 @@ func (a I64Array) Set(i int, v int64) {
 	binary.LittleEndian.PutUint64(as.Mem[off:], uint64(v))
 }
 
+// Checksum folds elements [lo,hi) into a position-dependent XOR, like
+// F64Array.Checksum: each word is rotated by its absolute segment
+// position, so disjoint partition checksums XOR-combine to the same
+// value regardless of how the range was split across nodes.
+func (a I64Array) Checksum(lo, hi int) uint64 {
+	var c uint64
+	for i := lo; i < hi; i++ {
+		b := uint64(a.Get(i))
+		r := uint(((a.base/8 + i) * 7) & 63)
+		c ^= b<<r | b>>(64-r)
+	}
+	return c
+}
+
 // F64Matrix is a dense row-major shared matrix of float64.
 type F64Matrix struct {
 	A          F64Array

@@ -1,0 +1,69 @@
+package kvload
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseDist holds the distribution parser to two properties: a spec
+// it accepts always validates, and String() of the result re-parses to
+// the same distribution (the dsmd launch surface echoes specs back
+// through this round trip).
+func FuzzParseDist(f *testing.F) {
+	f.Add("uniform")
+	f.Add("zipf=0.99")
+	f.Add("zipf=0")
+	f.Add("hotset=0.9/64")
+	f.Add("hotset=1/1")
+	f.Add("zipf=-1")
+	f.Add("hotset=0.5")
+	f.Add("zipf=1e309")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDist(s)
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("ParseDist(%q) = %+v accepted but invalid: %v", s, d, verr)
+		}
+		back, err := ParseDist(d.String())
+		if err != nil {
+			t.Fatalf("ParseDist(%q).String() = %q does not re-parse: %v", s, d.String(), err)
+		}
+		if back != d {
+			t.Fatalf("round trip of %q: %+v -> %q -> %+v", s, d, d.String(), back)
+		}
+	})
+}
+
+// FuzzParseMix mirrors FuzzParseDist for the op-mix parser, additionally
+// pinning the numeric invariants the kv app depends on (fractions sum
+// within [0,1], scan length bounded so Op.Len cannot truncate).
+func FuzzParseMix(f *testing.F) {
+	f.Add("")
+	f.Add("write=0.2,scan=0.05,scanlen=16")
+	f.Add("write=1")
+	f.Add("scan=0.5,write=0.5")
+	f.Add("scanlen=32768")
+	f.Add("write=0.6,scan=0.6")
+	f.Add("write=nan")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMix(s)
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("ParseMix(%q) = %+v accepted but invalid: %v", s, m, verr)
+		}
+		if m.Write < 0 || m.Scan < 0 || m.Write+m.Scan > 1 || math.IsNaN(m.Write+m.Scan) {
+			t.Fatalf("ParseMix(%q) = %+v breaks fraction invariants", s, m)
+		}
+		if m.ScanLen < 1 || m.ScanLen > 1<<15 {
+			t.Fatalf("ParseMix(%q) scan length %d out of bounds", s, m.ScanLen)
+		}
+		back, err := ParseMix(m.String())
+		if err != nil || back != m {
+			t.Fatalf("round trip of %q: %+v -> %q -> %+v (%v)", s, m, m.String(), back, err)
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package kvload
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// opBytes serializes a prefix of a stream so determinism can be asserted
+// byte-for-byte, as the issue demands, not just value-for-value.
+func opBytes(t *testing.T, seed uint64, id, n int, d Dist, m Mix) []byte {
+	t.Helper()
+	s, err := NewSampler(1<<14, d)
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	st := NewStream(s, m, seed, id)
+	buf := make([]byte, 0, n*7)
+	for i := 0; i < n; i++ {
+		op := st.Next()
+		buf = append(buf, byte(op.Kind))
+		buf = binary.LittleEndian.AppendUint32(buf, op.Key)
+		buf = binary.LittleEndian.AppendUint16(buf, op.Len)
+	}
+	return buf
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	for _, d := range []Dist{
+		{Kind: DistUniform},
+		{Kind: DistZipf, S: 0.99},
+		{Kind: DistZipf, S: 1.2},
+		{Kind: DistHotset, HotFrac: 0.9, HotKeys: 64},
+	} {
+		m := Mix{Write: 0.2, Scan: 0.05, ScanLen: 16}
+		a := opBytes(t, 42, 3, 4096, d, m)
+		b := opBytes(t, 42, 3, 4096, d, m)
+		if string(a) != string(b) {
+			t.Errorf("%v: same seed produced different op streams", d)
+		}
+		c := opBytes(t, 43, 3, 4096, d, m)
+		if string(a) == string(c) {
+			t.Errorf("%v: different seeds produced identical op streams", d)
+		}
+		e := opBytes(t, 42, 4, 4096, d, m)
+		if string(a) == string(e) {
+			t.Errorf("%v: different stream ids produced identical op streams", d)
+		}
+	}
+}
+
+// TestStreamReplay replays a stream and checks per-op invariants: the
+// generator's output is part of the conformance surface (repro results
+// embed checksums derived from it), so an accidental reordering of rng
+// draws must fail loudly, not just perturb benchmarks.
+func TestStreamReplay(t *testing.T) {
+	s, err := NewSampler(1024, Dist{Kind: DistZipf, S: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStream(s, Mix{Write: 0.5, Scan: 0.1, ScanLen: 4}, 7, 0)
+	var got []Op
+	for i := 0; i < 4; i++ {
+		got = append(got, st.Next())
+	}
+	st2 := NewStream(s, Mix{Write: 0.5, Scan: 0.1, ScanLen: 4}, 7, 0)
+	for i, op := range got {
+		if op2 := st2.Next(); op2 != op {
+			t.Fatalf("op %d: replay %+v != first pass %+v", i, op2, op)
+		}
+		if op.Kind == OpScan && op.Len != 4 {
+			t.Errorf("op %d: scan len %d, want 4", i, op.Len)
+		}
+		if op.Kind != OpScan && op.Len != 1 {
+			t.Errorf("op %d: point op len %d, want 1", i, op.Len)
+		}
+		if op.Key >= 1024 {
+			t.Errorf("op %d: key %d outside key space", i, op.Key)
+		}
+	}
+}
+
+// TestZipfCDF checks the sampler's cumulative mass against the
+// analytical zipf distribution at a few quantiles.
+func TestZipfCDF(t *testing.T) {
+	const keys = 10000
+	for _, s := range []float64{0.5, 0.99, 1.2} {
+		smp, err := NewSampler(keys, Dist{Kind: DistZipf, S: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Analytical CDF at rank r: sum_{k<=r} k^-s / H.
+		h := 0.0
+		for k := 1; k <= keys; k++ {
+			h += math.Pow(float64(k), -s)
+		}
+		partial := 0.0
+		for r := 0; r < 100; r++ {
+			partial += math.Pow(float64(r+1), -s)
+		}
+		want := partial / h
+		if got := smp.cdf[99]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("s=%g: cdf[99] = %g, want %g", s, got, want)
+		}
+		if last := smp.cdf[keys-1]; last != 1 {
+			t.Errorf("s=%g: cdf[last] = %g, want exactly 1", s, last)
+		}
+		for k := 1; k < keys; k++ {
+			if smp.cdf[k] < smp.cdf[k-1] {
+				t.Fatalf("s=%g: cdf not monotone at %d", s, k)
+			}
+		}
+	}
+}
+
+// TestZipfEmpirical samples heavily and checks head mass: under s=1.2
+// the top 1% of keys must absorb most of the traffic; under s=0 (which
+// degenerates to uniform) it must not.
+func TestZipfEmpirical(t *testing.T) {
+	const keys, n = 10000, 200000
+	headMass := func(s float64) float64 {
+		smp, err := NewSampler(keys, Dist{Kind: DistZipf, S: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewStream(smp, Mix{ScanLen: 1}, 1, 0)
+		head := 0
+		for i := 0; i < n; i++ {
+			if st.Next().Key < keys/100 {
+				head++
+			}
+		}
+		return float64(head) / n
+	}
+	if m := headMass(1.2); m < 0.5 {
+		t.Errorf("s=1.2: top 1%% of keys got %.3f of traffic, want > 0.5", m)
+	}
+	if m := headMass(0); math.Abs(m-0.01) > 0.005 {
+		t.Errorf("s=0: top 1%% of keys got %.3f of traffic, want ~0.01", m)
+	}
+}
+
+func TestHotsetMass(t *testing.T) {
+	const keys, n = 4096, 200000
+	smp, err := NewSampler(keys, Dist{Kind: DistHotset, HotFrac: 0.9, HotKeys: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStream(smp, Mix{ScanLen: 1}, 1, 0)
+	hot := 0
+	for i := 0; i < n; i++ {
+		if st.Next().Key < 64 {
+			hot++
+		}
+	}
+	if m := float64(hot) / n; math.Abs(m-0.9) > 0.01 {
+		t.Errorf("hot set got %.3f of traffic, want ~0.9", m)
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	const n = 200000
+	smp, err := NewSampler(1024, Dist{Kind: DistUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStream(smp, Mix{Write: 0.3, Scan: 0.1, ScanLen: 8}, 5, 0)
+	var puts, scans int
+	for i := 0; i < n; i++ {
+		switch st.Next().Kind {
+		case OpPut:
+			puts++
+		case OpScan:
+			scans++
+		}
+	}
+	if f := float64(puts) / n; math.Abs(f-0.3) > 0.01 {
+		t.Errorf("put fraction %.3f, want ~0.3", f)
+	}
+	if f := float64(scans) / n; math.Abs(f-0.1) > 0.01 {
+		t.Errorf("scan fraction %.3f, want ~0.1", f)
+	}
+}
+
+func TestParseDist(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Dist
+	}{
+		{"uniform", Dist{Kind: DistUniform}},
+		{"zipf=0.99", Dist{Kind: DistZipf, S: 0.99}},
+		{"zipf=0", Dist{Kind: DistZipf, S: 0}},
+		{"hotset=0.9/64", Dist{Kind: DistHotset, HotFrac: 0.9, HotKeys: 64}},
+	}
+	for _, c := range cases {
+		got, err := ParseDist(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseDist(%q) = %+v, %v; want %+v", c.in, got, err, c.want)
+		}
+		// String round-trips through the parser.
+		back, err := ParseDist(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip of %q via %q failed: %+v, %v", c.in, got.String(), back, err)
+		}
+	}
+	for _, bad := range []string{
+		"", "zipfian", "zipf=", "zipf=-1", "zipf=NaN", "zipf=1e99",
+		"hotset=0.9", "hotset=2/64", "hotset=0.9/0", "hotset=0.9/x",
+	} {
+		if d, err := ParseDist(bad); err == nil {
+			t.Errorf("ParseDist(%q) accepted: %+v", bad, d)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("write=0.2,scan=0.05,scanlen=16")
+	want := Mix{Write: 0.2, Scan: 0.05, ScanLen: 16}
+	if err != nil || m != want {
+		t.Errorf("ParseMix = %+v, %v; want %+v", m, err, want)
+	}
+	if m, err := ParseMix(""); err != nil || m != DefaultMix() {
+		t.Errorf("ParseMix(\"\") = %+v, %v; want default", m, err)
+	}
+	if m, err := ParseMix("write=1"); err != nil || m.Write != 1 {
+		t.Errorf("ParseMix(write=1) = %+v, %v", m, err)
+	}
+	for _, bad := range []string{
+		"write", "write=x", "write=-0.1", "write=1.5", "scan=NaN",
+		"write=0.6,scan=0.6", "scanlen=0", "scanlen=99999", "reads=0.5",
+	} {
+		if m, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted: %+v", bad, m)
+		}
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	if _, err := NewSampler(0, Dist{Kind: DistUniform}); err == nil {
+		t.Error("NewSampler accepted an empty key space")
+	}
+	if _, err := NewSampler(100, Dist{Kind: DistZipf, S: -1}); err == nil {
+		t.Error("NewSampler accepted a negative exponent")
+	}
+	// Hot set covering the whole space degenerates to uniform rather
+	// than dividing by zero.
+	s, err := NewSampler(64, Dist{Kind: DistHotset, HotFrac: 0.9, HotKeys: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStream(s, Mix{ScanLen: 1}, 1, 0)
+	for i := 0; i < 1000; i++ {
+		if k := st.Next().Key; k >= 64 {
+			t.Fatalf("degenerate hotset produced key %d outside space", k)
+		}
+	}
+}

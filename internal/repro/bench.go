@@ -22,8 +22,10 @@ import (
 // added frame_bytes and stale_refetches to each run entry; version 3
 // added the adaptive-protocol runs plus probe_hits and probe_drops;
 // version 4 added the weak-scaling runs and the workers field marking
-// their parallel-kernel twins.
-const benchSchemaVersion = 4
+// their parallel-kernel twins; version 5 added the kv datastore skew
+// sweep (zipf s × write fraction × protocol, plus the static-home
+// column and a sequential baseline per grid point).
+const benchSchemaVersion = 5
 
 // Pre-diet allocation baselines, recorded on the tree as of commit
 // 308965d (before the two-pass MakeDiff and AppendEncode landed): MakeDiff
@@ -36,7 +38,7 @@ const (
 )
 
 // benchExperiments are the sweeps the bench export times.
-var benchExperiments = []string{"table1", "fig2", "fig3", "fig4", "adaptive", "scaling"}
+var benchExperiments = []string{"table1", "fig2", "fig3", "fig4", "adaptive", "scaling", "datastore"}
 
 // BenchRun is one timed simulation of the bench sweep.
 type BenchRun struct {

@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestDatastoreSweep runs the small skew sweep and checks its shape and
+// the acceptance property: there is at least one regime where an
+// invalidate-family protocol carries fewer messages than the best
+// update-family one, and at least one where it does not — the sweep
+// demonstrates a flip, not a uniform verdict.
+func TestDatastoreSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid is dozens of simulations in -short mode")
+	}
+	rows, err := smallRunner.Datastore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(datastoreSkews) * len(datastoreWriteFracs); len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	flips, holds := 0, 0
+	for _, row := range rows {
+		if len(row.Cells) != len(datastoreProtocols) {
+			t.Fatalf("s=%g w=%g: %d cells, want %d",
+				row.ZipfS, row.WriteFrac, len(row.Cells), len(datastoreProtocols))
+		}
+		for _, c := range row.Cells {
+			if c.Messages <= 0 || c.SimTimeUS <= 0 {
+				t.Errorf("s=%g w=%g under %s: degenerate cell %+v",
+					row.ZipfS, row.WriteFrac, c.Protocol, c)
+			}
+			// Datastore() already hard-fails on a mismatch; re-assert so
+			// the invariant is visible where the acceptance test lives.
+			if c.Checksum != row.SeqChecksum {
+				t.Errorf("s=%g w=%g under %s: checksum %#x, sequential %#x",
+					row.ZipfS, row.WriteFrac, c.Protocol, c.Checksum, row.SeqChecksum)
+			}
+		}
+		if row.StaticHome.Checksum != row.SeqChecksum {
+			t.Errorf("s=%g w=%g static-home: checksum %#x, sequential %#x",
+				row.ZipfS, row.WriteFrac, row.StaticHome.Checksum, row.SeqChecksum)
+		}
+		if row.InvalidateWins {
+			flips++
+		} else {
+			holds++
+		}
+	}
+	if flips == 0 {
+		t.Error("no regime where the invalidate family beats the best update protocol on messages")
+	}
+	if holds == 0 {
+		t.Error("no regime where the update family holds — the sweep shows no frontier")
+	}
+	// The write-heavy column is where the flip lives: at the highest put
+	// fraction the per-epoch read set is a sliver, so flush traffic to
+	// accumulated subscribers dominates miss traffic at every skew.
+	for _, row := range rows {
+		if row.WriteFrac == datastoreWriteFracs[len(datastoreWriteFracs)-1] && !row.InvalidateWins {
+			t.Errorf("s=%g w=%g: expected the invalidate family to win the write-heavy regime",
+				row.ZipfS, row.WriteFrac)
+		}
+	}
+}
+
+// TestDatastoreRecords checks the JSONL projection: one record per
+// protocol cell plus the static-home column, each carrying the grid
+// coordinates and traffic metrics.
+func TestDatastoreRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid is dozens of simulations in -short mode")
+	}
+	recs, err := smallRunner.Records("datastore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRow := len(datastoreProtocols) + 1
+	if want := len(datastoreSkews) * len(datastoreWriteFracs) * perRow; len(recs) != want {
+		t.Fatalf("%d records, want %d", len(recs), want)
+	}
+	static := 0
+	for _, rec := range recs {
+		if rec.App != "kv" {
+			t.Fatalf("record app %q, want kv", rec.App)
+		}
+		for _, k := range []string{"zipf_s", "write_frac", "messages", "sim_time_us", "invalidate_wins", "static_home"} {
+			if _, ok := rec.Metrics[k]; !ok {
+				t.Fatalf("record %s/%s missing metric %q", rec.Experiment, rec.Protocol, k)
+			}
+		}
+		if rec.Metrics["static_home"] == 1 {
+			static++
+			if rec.Protocol != "bar-u" {
+				t.Errorf("static-home record under %q, want bar-u", rec.Protocol)
+			}
+		}
+	}
+	if want := len(datastoreSkews) * len(datastoreWriteFracs); static != want {
+		t.Errorf("%d static-home records, want %d", static, want)
+	}
+}
+
+// TestDatastoreJobs pins the prefetch enumeration: one sequential
+// baseline, five protocol runs and one static-home run per grid point,
+// all under distinct cache keys.
+func TestDatastoreJobs(t *testing.T) {
+	jobs := smallRunner.jobsFor("datastore")
+	perRow := len(datastoreProtocols) + 2
+	if want := len(datastoreSkews) * len(datastoreWriteFracs) * perRow; len(jobs) != want {
+		t.Fatalf("%d jobs, want %d", len(jobs), want)
+	}
+	keys := map[string]bool{}
+	for _, j := range jobs {
+		if keys[j.key] {
+			t.Fatalf("duplicate job key %q", j.key)
+		}
+		keys[j.key] = true
+		if j.app != "kv" {
+			t.Fatalf("job %q app %q, want kv", j.key, j.app)
+		}
+	}
+}
+
+// TestDatastoreVerifySweep runs the trimmed verify pass: oracle-checked
+// sim runs plus the three real transports, one protocol per family.
+func TestDatastoreVerifySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-transport runs in -short mode")
+	}
+	rows, err := smallRunner.DatastoreVerifySweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d verify rows, want 2", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Cells) != len(parityBackends) {
+			t.Fatalf("%v: %d cells, want %d", row.Protocol, len(row.Cells), len(parityBackends))
+		}
+	}
+}
+
+// TestRenderDatastore spot-checks the rendered table.
+func TestRenderDatastore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid plus transports in -short mode")
+	}
+	out, err := smallRunner.RenderDatastore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bar-i", "bar-u", "lmw-i", "lmw-u", "adaptive",
+		"static-home", "invalidate family wins", "oracle clean; all backends agree."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -26,7 +26,7 @@ func ExportExperiments() []string {
 	return []string{
 		"apps", "table1", "fig2", "fig3", "fig4", "summary", "adaptive",
 		"ablation-stress", "ablation-scale", "ablation-home", "ablation-pagesize",
-		"chaos-loss", "recovery", "scaling",
+		"chaos-loss", "recovery", "scaling", "datastore",
 	}
 }
 
@@ -185,6 +185,43 @@ func (r *Runner) Records(experiment string) ([]Record, error) {
 						"messages":    float64(c.Messages),
 						"data_kb":     float64(c.DataKB),
 						"diffs":       float64(c.Diffs),
+					},
+				})
+			}
+		}
+		return recs, nil
+	case "datastore":
+		rows, err := r.Datastore()
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, row := range rows {
+			wins := 0.0
+			if row.InvalidateWins {
+				wins = 1
+			}
+			cells := append([]DatastoreCell{}, row.Cells...)
+			cells = append(cells, row.StaticHome)
+			for i, c := range cells {
+				static := 0.0
+				proto := c.Protocol
+				if i == len(cells)-1 {
+					static = 1
+					proto = "bar-u"
+				}
+				recs = append(recs, Record{
+					Experiment: experiment, App: "kv", Protocol: proto, Procs: r.Procs,
+					Metrics: map[string]float64{
+						"zipf_s":          row.ZipfS,
+						"write_frac":      row.WriteFrac,
+						"sim_time_us":     c.SimTimeUS,
+						"messages":        float64(c.Messages),
+						"data_kb":         float64(c.DataKB),
+						"remote_misses":   float64(c.RemoteMisses),
+						"diffs":           float64(c.Diffs),
+						"static_home":     static,
+						"invalidate_wins": wins,
 					},
 				})
 			}

@@ -261,6 +261,16 @@ func (r *Runner) jobsFor(experiment string) []runJob {
 				}
 			}
 		}
+	case "datastore":
+		for _, s := range datastoreSkews {
+			for _, w := range datastoreWriteFracs {
+				add(r.datastoreJob(s, w, core.ProtoSeq, false))
+				for _, p := range datastoreProtocols {
+					add(r.datastoreJob(s, w, p, false))
+				}
+				add(r.datastoreJob(s, w, core.ProtoBarU, true))
+			}
+		}
 	case "recovery":
 		for _, name := range recoveryApps {
 			if a, err := r.appByName(name); err == nil {
